@@ -1,0 +1,95 @@
+// Ablation — adaptation to a route change (paper Sec. VII-B): de Launois et
+// al. stabilize Vivaldi by damping each new measurement's weight toward
+// zero, which "prevents the algorithm from adapting to changing network
+// conditions". Here every link of one node triples in latency mid-run; a
+// healthy system re-embeds the node, the damped one cannot. Error is
+// measured against the ground-truth oracle before and after the shift.
+//
+// Flags: --nodes (80), --hours (1.5), --seed, --factor (3).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Config {
+  const char* name;
+  nc::FilterConfig filter;
+  nc::HeuristicConfig heuristic;
+  double damping;
+};
+
+struct Phase {
+  double changed_node_err;  // oracle median error of the perturbed node 0
+  double median_err;
+};
+
+// Runs with measurement window [start, end); same seed => same workload.
+Phase run_phase(const nc::eval::ReplaySpec& base, const Config& cfg, double start,
+                double end) {
+  nc::eval::ReplaySpec spec = base;
+  spec.duration_s = end;
+  spec.measure_start_s = start;
+  spec.collect_oracle = true;
+  spec.client.filter = cfg.filter;
+  spec.client.heuristic = cfg.heuristic;
+  spec.client.vivaldi.delaunois_damping = cfg.damping;
+  const auto out = nc::eval::run_replay(spec);
+  return {out.metrics.oracle_median_error_of(0),
+          out.metrics.oracle_per_node_median_error().median()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nc::Flags flags(argc, argv);
+  nc::eval::ReplaySpec base = ncb::replay_spec(
+      flags, {.nodes = 80, .hours = 1.5, .full_nodes = 269, .full_hours = 4.0});
+  const double factor = flags.get_double("factor", 2.0);
+  // Clean single-variable experiment: no churn, and node 0 stays up.
+  base.availability = nc::lat::AvailabilityConfig{.enabled = false};
+  const double change_t = base.duration_s / 2.0;
+  for (nc::NodeId j = 1; j < base.num_nodes; ++j)
+    base.route_changes.push_back({0, j, factor, change_t});
+
+  ncb::print_header("Ablation: adaptation after a route change",
+                    "de Launois damping stabilizes but freezes; the paper's "
+                    "MP+ENERGY keeps adapting");
+  ncb::print_workload(base);
+  std::printf("event: at t=%.2f h every link of node 0 multiplies by %.1fx\n",
+              change_t / 3600.0, factor);
+
+  const Config configs[] = {
+      {"mp+energy", nc::FilterConfig::moving_percentile(4, 25),
+       nc::HeuristicConfig::energy(8.0, 32), 0.0},
+      {"mp+raw", nc::FilterConfig::moving_percentile(4, 25),
+       nc::HeuristicConfig::always(), 0.0},
+      {"mp+raw damped(c=10)", nc::FilterConfig::moving_percentile(4, 25),
+       nc::HeuristicConfig::always(), 10.0},
+      {"mp+raw damped(c=50)", nc::FilterConfig::moving_percentile(4, 25),
+       nc::HeuristicConfig::always(), 50.0},
+  };
+
+  // Phase A: the half hour before the change. Phase B: the final stretch
+  // after it, giving each system time to re-converge.
+  const double pre_start = change_t - 0.25 * base.duration_s;
+  const double post_start = change_t + 0.25 * base.duration_s;
+
+  nc::eval::TextTable t({"config", "node-0 err (before)", "node-0 err (after)",
+                         "median err (after)"});
+  for (const Config& cfg : configs) {
+    const Phase before = run_phase(base, cfg, pre_start, change_t);
+    const Phase after = run_phase(base, cfg, post_start, base.duration_s);
+    t.add_row({cfg.name, nc::eval::fmt(before.changed_node_err, 3),
+               nc::eval::fmt(after.changed_node_err, 3),
+               nc::eval::fmt(after.median_err, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: undamped raw Vivaldi recovers after the change\n"
+               "(node-0 error heads back toward its pre-change level); damped rows\n"
+               "stay high. ENERGY lands between raw and damped here: while the\n"
+               "perturbed node's spring is still violently re-converging, its\n"
+               "sparse change points publish mid-flight centroids — the stability/\n"
+               "agility trade-off surfacing during a drastic network change.\n";
+  return 0;
+}

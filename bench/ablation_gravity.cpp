@@ -1,0 +1,61 @@
+// Ablation — gravity as drift control (extension; deployed later in Pyxida,
+// Ledlie's production implementation). Fig. 7 shows coordinates translating
+// steadily: spring forces constrain only pairwise distances, so the whole
+// space is free to drift, forcing application-coordinate updates that carry
+// no information. A weak gravity well (pull toward the origin of
+// (||x||/rho)^2 ms per update) anchors the space.
+//
+// Flags: --nodes (100), --hours (3), --seed, --rho list.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/replay.hpp"
+
+int main(int argc, char** argv) {
+  const nc::Flags flags(argc, argv);
+  nc::eval::ReplaySpec base = ncb::replay_spec(
+      flags, {.nodes = 100, .hours = 3.0, .full_nodes = 269, .full_hours = 4.0});
+  base.client.heuristic = nc::HeuristicConfig::energy(8.0, 32);
+  base.track_interval_s = 600.0;
+  for (nc::NodeId id = 0; id < base.num_nodes; id += base.num_nodes / 8)
+    base.tracked_nodes.push_back(id);
+  const auto rhos = flags.get_double_list("rho", {0.0, 2000.0, 500.0});
+
+  ncb::print_header("Ablation: gravity (Pyxida-style drift control)",
+                    "spring forces fix pairwise distances only; the space "
+                    "itself translates (Fig. 7) unless anchored");
+  ncb::print_workload(base);
+
+  nc::eval::TextTable t({"gravity rho", "median rel err", "mean instab",
+                         "centroid norm (ms)", "mean node drift (ms)"});
+  for (double rho : rhos) {
+    nc::eval::ReplaySpec spec = base;
+    spec.client.vivaldi.gravity_rho = rho;
+    const auto out = nc::eval::run_replay(spec);
+
+    // Global translation: how far off-origin the cloud of tracked nodes sits
+    // at the end of the run. Gravity controls this; it cannot (and should
+    // not) stop per-node movement that tracks genuine network change.
+    nc::Vec centroid = nc::Vec::zero(spec.client.vivaldi.dim);
+    double drift_sum = 0.0;
+    int n = 0;
+    for (nc::NodeId id : spec.tracked_nodes) {
+      const auto& d = out.metrics.drift(id);
+      if (d.size() < 2) continue;
+      centroid += d.back().position;
+      drift_sum += d.back().position.distance_to(d.front().position);
+      ++n;
+    }
+    if (n > 0) centroid /= static_cast<double>(n);
+    t.add_row({rho == 0.0 ? "off" : nc::eval::fmt(rho, 5),
+               nc::eval::fmt(out.metrics.median_relative_error(), 3),
+               nc::eval::fmt(out.metrics.mean_instability_ms_per_s(), 4),
+               n ? nc::eval::fmt(centroid.norm(), 4) : "-",
+               n ? nc::eval::fmt(drift_sum / n, 4) : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: the centroid norm (global translation) shrinks as\n"
+               "rho tightens while relative error is unchanged; per-node drift is\n"
+               "mostly genuine network tracking and barely moves.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation — joint (history, percentile) grid for the MP filter, extending
+// Fig. 4's p = 25 slice (the paper notes p = 25 beat p = 50 slightly at
+// h = 4). Reports the median over links of the per-link 95th-percentile
+// prediction error.
+//
+// Flags: --nodes (60), --hours (6), --seed.
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/filters/mp_filter.hpp"
+#include "latency/trace_generator.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/percentile.hpp"
+
+int main(int argc, char** argv) {
+  const nc::Flags flags(argc, argv);
+  const int nodes = static_cast<int>(flags.get_int("nodes", 60));
+  const double hours = flags.get_double("hours", 6.0);
+
+  const std::vector<int> histories = {2, 4, 8, 16, 32};
+  const std::vector<double> percentiles = {0, 10, 25, 50, 75};
+
+  nc::lat::TraceGenConfig cfg;
+  cfg.topology.num_nodes = nodes;
+  cfg.duration_s = hours * 3600.0;
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.topology.seed = cfg.seed;
+
+  ncb::print_header("Ablation: MP filter (history x percentile) grid",
+                    "low percentiles of short windows predict best; p=25 "
+                    "slightly beats p=50 at h=4");
+  std::printf("workload: %d nodes, %.1f h trace; cells are the median over links\n"
+              "of per-link 95th-pctile prediction error\n",
+              nodes, hours);
+
+  struct LinkState {
+    std::vector<nc::MovingPercentileFilter> filters;
+    std::vector<nc::stats::P2Quantile> p95;
+  };
+  const std::size_t cells = histories.size() * percentiles.size();
+  std::unordered_map<std::uint64_t, LinkState> links;
+
+  nc::lat::TraceGenerator gen(cfg);
+  while (auto rec = gen.next()) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(rec->src) << 32) |
+                              static_cast<std::uint64_t>(rec->dst);
+    auto [it, inserted] = links.try_emplace(key);
+    LinkState& link = it->second;
+    if (inserted) {
+      link.filters.reserve(cells);
+      link.p95.assign(cells, nc::stats::P2Quantile(0.95));
+      for (int h : histories)
+        for (double p : percentiles) link.filters.emplace_back(h, p);
+    }
+    for (std::size_t c = 0; c < cells; ++c) {
+      const auto pred = link.filters[c].estimate();
+      if (pred.has_value())
+        link.p95[c].add(std::fabs(*pred - rec->rtt_ms) / rec->rtt_ms);
+      link.filters[c].update(rec->rtt_ms);
+    }
+  }
+
+  std::vector<std::string> headers = {"history"};
+  for (double p : percentiles) headers.push_back("p=" + nc::eval::fmt(p, 3));
+  nc::eval::TextTable table(std::move(headers));
+  for (std::size_t hi = 0; hi < histories.size(); ++hi) {
+    std::vector<std::string> row = {std::to_string(histories[hi])};
+    for (std::size_t pi = 0; pi < percentiles.size(); ++pi) {
+      const std::size_t c = hi * percentiles.size() + pi;
+      std::vector<double> per_link;
+      for (auto& [key, link] : links)
+        if (link.p95[c].count() >= 16) per_link.push_back(link.p95[c].value());
+      row.push_back(per_link.empty()
+                        ? "-"
+                        : nc::eval::fmt(nc::stats::median(std::move(per_link)), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: a valley at moderate (h, p) — low percentiles of\n"
+               "mid-size windows; p=75 admits tail samples and p=0 of long windows\n"
+               "under-predicts. With our tight lognormal body p=25 and p=50 sit\n"
+               "within a few percent of each other (the paper's wider PlanetLab\n"
+               "bodies favored p=25 more clearly); the asymmetric relative-error\n"
+               "loss is why low percentiles stay competitive.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation — why the original Vivaldi evaluation missed the problem.
+//
+// The SIGCOMM'04 evaluation drove Vivaldi from a derived latency MATRIX:
+// every link returned the same l_ij on every sample. This bench runs raw
+// (unfiltered) Vivaldi on exactly that world and then on the realistic
+// stream, same topology and seed. On the matrix, raw Vivaldi is accurate
+// and almost perfectly stable — nothing to fix. On the stream it falls
+// apart, and the paper's MP filter restores it. This is the paper's core
+// observation (Sec. I and III) as a single table.
+//
+// Flags: --nodes (150), --hours (2), --seed.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const nc::Flags flags(argc, argv);
+  nc::eval::ReplaySpec base = ncb::replay_spec(
+      flags, {.nodes = 150, .hours = 2.0, .full_nodes = 269, .full_hours = 4.0});
+  base.client.heuristic = nc::HeuristicConfig::always();
+
+  ncb::print_header("Ablation: static latency matrix vs live sample stream",
+                    "the original evaluation (fixed l_ij) shows no instability; "
+                    "real streams break raw Vivaldi; the MP filter repairs it");
+  ncb::print_workload(base);
+
+  struct Row {
+    const char* world;
+    const char* filter_name;
+    bool noiseless;
+    nc::FilterConfig filter;
+  };
+  const Row rows[] = {
+      {"static matrix", "none", true, nc::FilterConfig::none()},
+      {"live stream", "none", false, nc::FilterConfig::none()},
+      {"live stream", "mp(4,25)", false, nc::FilterConfig::moving_percentile(4, 25)},
+  };
+
+  nc::eval::TextTable t({"world", "filter", "median rel err", "mean instab (ms/s)",
+                         "instab p99"});
+  for (const Row& row : rows) {
+    nc::eval::ReplaySpec spec = base;
+    spec.client.filter = row.filter;
+    if (row.noiseless) {
+      spec.link_model = nc::lat::LinkModelConfig::noiseless();
+      spec.availability = nc::lat::AvailabilityConfig{.enabled = false};
+    }
+    const auto out = nc::eval::run_replay(spec);
+    t.add_row({row.world, row.filter_name,
+               nc::eval::fmt(out.metrics.median_relative_error(), 3),
+               nc::eval::fmt(out.metrics.mean_instability_ms_per_s(), 4),
+               nc::eval::fmt(out.metrics.instability().quantile(0.99), 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: raw Vivaldi on the static matrix is accurate with\n"
+               "only residual-tension jitter (the original paper's world gave no\n"
+               "reason to filter); the same algorithm on the live stream is several\n"
+               "times worse on error and instability with an enormous tail; and\n"
+               "MP(4,25) on the live stream recovers essentially the matrix-world\n"
+               "behaviour on every column.\n";
+  return 0;
+}

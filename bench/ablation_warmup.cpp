@@ -1,0 +1,43 @@
+// Ablation — first-sample pathology (paper Sec. VI): the MP filter emits a
+// value from its very first sample, so a link whose FIRST observation is an
+// extreme outlier injects it straight into Vivaldi; the paper traced its
+// five largest PlanetLab displacements to this case and suggests waiting for
+// a second sample. min_samples implements that delay.
+//
+// Flags: --nodes (100), --hours (1), --seed.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const nc::Flags flags(argc, argv);
+  nc::eval::ReplaySpec base = ncb::replay_spec(
+      flags, {.nodes = 100, .hours = 1.0, .full_nodes = 269, .full_hours = 4.0});
+  base.client.heuristic = nc::HeuristicConfig::always();
+  base.measure_start_s = 0.0;  // include start-up: that is where the damage is
+
+  ncb::print_header("Ablation: filter warm-up delay (min_samples)",
+                    "Sec. VI: extreme first samples caused the five largest "
+                    "displacements; waiting for a 2nd sample removes them");
+  ncb::print_workload(base);
+
+  nc::eval::TextTable t({"min_samples", "instability p99 (ms/s)", "instability max",
+                         "median rel err", "absorbed samples"});
+  for (int min_samples : {1, 2, 4}) {
+    nc::eval::ReplaySpec spec = base;
+    spec.client.filter = nc::FilterConfig::moving_percentile(4, 25, min_samples);
+    const auto out = nc::eval::run_replay(spec);
+    const auto inst = out.metrics.instability();
+    t.add_row({std::to_string(min_samples), nc::eval::fmt(inst.quantile(0.99), 4),
+               nc::eval::fmt(inst.max(), 4),
+               nc::eval::fmt(out.metrics.median_relative_error(), 3),
+               std::to_string(out.absorbed)});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: the instability tail (p99/max) shrinks from\n"
+               "min_samples 1 -> 2 with no accuracy cost; 4 adds little more\n"
+               "(diminishing returns, slower priming on fresh links).\n";
+  std::cout << "note: 'absorbed samples' counts observations withheld while\n"
+               "filters primed (the cost of the delay).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared scaffolding for the bench binaries.
+//
+// Every bench accepts the standard workload flags:
+//   --nodes=N     number of nodes
+//   --hours=H     simulated duration
+//   --seed=S      master seed
+//   --full        paper-scale workload (overrides the laptop defaults)
+// plus bench-specific flags documented in each binary's header comment.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.hpp"
+#include "eval/experiment.hpp"
+#include "eval/report.hpp"
+
+namespace ncb {
+
+struct WorkloadDefaults {
+  int nodes = 269;
+  double hours = 4.0;
+  int full_nodes = 269;
+  double full_hours = 4.0;
+};
+
+inline nc::eval::ReplaySpec replay_spec(const nc::Flags& flags,
+                                        const WorkloadDefaults& d) {
+  nc::eval::ReplaySpec spec;
+  const bool full = flags.get_bool("full", false);
+  spec.num_nodes = static_cast<int>(
+      flags.get_int("nodes", full ? d.full_nodes : d.nodes));
+  spec.duration_s =
+      3600.0 * flags.get_double("hours", full ? d.full_hours : d.hours);
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return spec;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_claim) {
+  std::cout << "\n==== " << title << " ====\n";
+  if (!paper_claim.empty()) std::cout << "paper: " << paper_claim << "\n";
+}
+
+inline void print_workload(const nc::eval::ReplaySpec& spec) {
+  std::printf("workload: %d nodes, %.2f h replay, seed %llu, measure from %.2f h\n",
+              spec.num_nodes, spec.duration_s / 3600.0,
+              static_cast<unsigned long long>(spec.seed),
+              (spec.measure_start_s >= 0 ? spec.measure_start_s
+                                         : spec.duration_s / 2.0) /
+                  3600.0);
+}
+
+struct SweepPoint {
+  double median_error = 0.0;
+  double instability = 0.0;
+  double pct_updates = 0.0;  // % of nodes changing c_a per second
+};
+
+inline SweepPoint run_point(nc::eval::ReplaySpec spec,
+                            const nc::HeuristicConfig& heuristic) {
+  spec.client.heuristic = heuristic;
+  const auto out = nc::eval::run_replay(spec);
+  return {out.metrics.median_relative_error(),
+          out.metrics.mean_instability_ms_per_s(),  // paper: s = sum(dx)/t
+          out.metrics.mean_pct_nodes_updating_per_s()};
+}
+
+}  // namespace ncb

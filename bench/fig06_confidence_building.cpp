@@ -1,0 +1,104 @@
+// Fig. 6 — Confidence building on a low-latency cluster (paper: three
+// cluster nodes pinging each other once per second; with a 3 ms margin of
+// error the node holds ~100% confidence after start-up, without it
+// confidence hovers around 75% because timing jitter dominates the
+// sub-millisecond link latency).
+//
+// Flags: --minutes (10), --margin (3), --seed.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/nc_client.hpp"
+#include "latency/trace_generator.hpp"
+
+namespace {
+
+// One 3-node cluster run; returns node 0's confidence sampled every 15 s.
+std::vector<double> run_cluster(double margin_ms, bool use_mp, double minutes,
+                                std::uint64_t seed) {
+  nc::lat::TraceGenConfig cfg;
+  cfg.topology.num_nodes = 3;
+  cfg.topology.seed = seed;
+  cfg.topology.regions = {{"cluster", nc::Vec{0.0, 0.0, 0.0}, 0.15, 1.0}};
+  cfg.topology.height_log_mu = -1.5;
+  cfg.topology.height_log_sigma = 0.2;
+  cfg.topology.height_min_ms = 0.1;
+  cfg.topology.height_max_ms = 0.3;
+  cfg.link_model.body_sigma = 0.35;      // jitter comparable to the latency
+  cfg.link_model.base_spike_prob = 0.05; // ~5% of samples above 1.2 ms
+  cfg.link_model.spike_xm_min_ms = 0.5;
+  cfg.link_model.spike_xm_max_ms = 1.5;
+  cfg.link_model.spike_alpha = 1.5;
+  cfg.link_model.loss_prob = 0.0;
+  cfg.availability.enabled = false;
+  cfg.duration_s = minutes * 60.0;
+  cfg.seed = seed;
+
+  nc::NCClientConfig client_cfg;
+  client_cfg.vivaldi.dim = 3;
+  client_cfg.vivaldi.confidence_margin_ms = margin_ms;
+  client_cfg.filter = use_mp ? nc::FilterConfig::moving_percentile(4, 25)
+                             : nc::FilterConfig::none();
+  client_cfg.heuristic = nc::HeuristicConfig::always();
+
+  std::vector<nc::NCClient> nodes;
+  for (nc::NodeId id = 0; id < 3; ++id) nodes.emplace_back(id, client_cfg);
+
+  nc::lat::TraceGenerator gen(cfg);
+  std::vector<double> series;
+  double next_sample_t = 0.0;
+  while (auto rec = gen.next()) {
+    while (rec->t_s >= next_sample_t) {
+      series.push_back(nodes[0].confidence());
+      next_sample_t += 15.0;
+    }
+    auto& src = nodes[static_cast<std::size_t>(rec->src)];
+    auto& dst = nodes[static_cast<std::size_t>(rec->dst)];
+    src.observe(rec->dst, dst.system_coordinate(), dst.error_estimate(),
+                rec->rtt_ms, rec->t_s);
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nc::Flags flags(argc, argv);
+  const double minutes = flags.get_double("minutes", 10.0);
+  const double margin = flags.get_double("margin", 3.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  ncb::print_header("Fig. 6: confidence building on a 3-node cluster",
+                    "with a 3 ms margin confidence holds ~1.0; without it "
+                    "~0.75; the MP filter alone does not fix it");
+  std::printf("workload: 3 cluster nodes, 1 Hz sampling, %.0f min, margin %.1f ms\n",
+              minutes, margin);
+
+  const auto with_margin = run_cluster(margin, false, minutes, seed);
+  const auto without = run_cluster(0.0, false, minutes, seed);
+  const auto mp_only = run_cluster(0.0, true, minutes, seed);
+
+  nc::eval::TextTable t({"t(min)", "confidence-building", "none", "mp-only"});
+  for (std::size_t i = 0; i < with_margin.size(); ++i) {
+    t.add_row({nc::eval::fmt(static_cast<double>(i) * 15.0 / 60.0, 3),
+               nc::eval::fmt(with_margin[i], 3),
+               i < without.size() ? nc::eval::fmt(without[i], 3) : "-",
+               i < mp_only.size() ? nc::eval::fmt(mp_only[i], 3) : "-"});
+  }
+  t.print(std::cout);
+
+  const auto steady = [](const std::vector<double>& s) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = s.size() / 2; i < s.size(); ++i) {
+      sum += s[i];
+      ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  };
+  std::printf("\nsteady-state confidence: building=%.3f none=%.3f mp-only=%.3f\n",
+              steady(with_margin), steady(without), steady(mp_only));
+  std::cout << "expected shape: 'building' near 1.0, the other two well below.\n";
+  return 0;
+}

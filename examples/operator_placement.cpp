@@ -1,0 +1,146 @@
+// Stream-operator placement — the authors' own motivating application
+// (network-aware operator placement for stream-processing systems): a query
+// operator should run on the overlay node minimizing source-to-sink latency,
+// and MIGRATING the operator is expensive. A coordinate change triggers
+// re-evaluation, so coordinate stability directly bounds migration churn.
+//
+// This example runs the same workload twice — application coordinates driven
+// by the ENERGY heuristic vs raw system coordinates — and counts how many
+// migrations each triggers for the same final placement quality. This is the
+// paper's "cascade of heavyweight process migrations" argument made concrete.
+//
+//   build/examples/operator_placement [--nodes=80 --minutes=45]
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "eval/experiment.hpp"
+#include "latency/trace_generator.hpp"
+#include "sim/replay.hpp"
+
+using namespace nc;
+
+namespace {
+
+struct PlacementRun {
+  long reevaluations = 0;       // placement recomputations triggered
+  int migrations = 0;           // actual host changes
+  double final_cost_ms = 0.0;   // placed path latency (ground truth)
+  double optimal_cost_ms = 0.0; // best possible path latency
+};
+
+// Replays the workload. The placement controller is event-driven, exactly as
+// the paper prescribes for the coordinate black box: whenever the coordinate
+// subsystem reports that the application coordinate of the source, the sink
+// or the current host changed, the controller re-runs the O(n) placement
+// scan; a host change is a heavyweight migration. Raw coordinates notify on
+// nearly every sample; ENERGY notifies only at change points.
+PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
+                 double duration) {
+  lat::TraceGenConfig trace;
+  trace.topology.num_nodes = n;
+  trace.duration_s = duration;
+  trace.seed = seed;
+  trace.topology.seed = seed;
+  trace.availability.enabled = false;
+
+  sim::ReplayConfig rc;
+  rc.client.heuristic = heuristic;
+  rc.duration_s = duration;
+  rc.measure_start_s = duration / 2.0;
+
+  lat::TraceGenerator gen(trace);
+  sim::ReplayDriver driver(rc, gen.num_nodes());
+
+  // Source and sink in the same (largest) region: many hosts are near-tied,
+  // so the argmin is sensitive to coordinate jitter — the regime where
+  // application-coordinate stability matters.
+  const NodeId source = 0;
+  const NodeId sink = static_cast<NodeId>(n / 5);
+
+  PlacementRun result;
+  NodeId host = kInvalidNode;
+  const double warmup = duration / 4.0;  // let coordinates converge first
+
+  const auto replace = [&] {
+    ++result.reevaluations;
+    const Coordinate& s = driver.client(source).application_coordinate();
+    const Coordinate& k = driver.client(sink).application_coordinate();
+    NodeId best = source;
+    double best_cost = 1e18;
+    for (NodeId cand = 0; cand < n; ++cand) {
+      const Coordinate& c = driver.client(cand).application_coordinate();
+      const double cost = s.distance_to(c) + c.distance_to(k);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = cand;
+      }
+    }
+    if (best != host) {
+      if (host != kInvalidNode) ++result.migrations;
+      host = best;
+    }
+  };
+
+  while (auto rec = gen.next()) {
+    if (rec->t_s >= rc.duration_s) break;
+    NCClient& src = driver.client(rec->src);
+    NCClient& dst = driver.client(rec->dst);
+    const ObservationOutcome out =
+        src.observe(rec->dst, dst.system_coordinate(), dst.error_estimate(),
+                    rec->rtt_ms, rec->t_s);
+    if (rec->t_s < warmup) continue;
+    if (host == kInvalidNode) {
+      replace();  // initial placement
+      continue;
+    }
+    // The coordinate subsystem's change notification drives the controller.
+    if (out.app_updated &&
+        (rec->src == source || rec->src == sink || rec->src == host)) {
+      replace();
+    }
+  }
+
+  // Score the final placement against ground truth.
+  const double t = duration + 1.0;
+  auto path_cost = [&](NodeId mid) {
+    double cost = 0.0;
+    if (mid != source) cost += gen.network().ground_truth_rtt(source, mid, t);
+    if (mid != sink) cost += gen.network().ground_truth_rtt(mid, sink, t);
+    return cost;
+  };
+  result.final_cost_ms = host == kInvalidNode ? -1.0 : path_cost(host);
+  result.optimal_cost_ms = 1e18;
+  for (NodeId cand = 0; cand < n; ++cand)
+    result.optimal_cost_ms = std::min(result.optimal_cost_ms, path_cost(cand));
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.get_int("nodes", 80));
+  const double duration = 60.0 * flags.get_double("minutes", 45.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
+
+  std::printf("operator placement between node 0 and node %d, re-run on every\n"
+              "coordinate-change notification for source/sink/host:\n\n",
+              n / 5);
+  const PlacementRun stable = run(HeuristicConfig::energy(8.0, 32), seed, n, duration);
+  const PlacementRun raw = run(HeuristicConfig::always(), seed, n, duration);
+
+  std::printf("  %-24s re-evaluations %6ld  migrations %3d  path %.1f ms "
+              "(optimum %.1f)\n",
+              "energy application c_a:", stable.reevaluations, stable.migrations,
+              stable.final_cost_ms, stable.optimal_cost_ms);
+  std::printf("  %-24s re-evaluations %6ld  migrations %3d  path %.1f ms "
+              "(optimum %.1f)\n",
+              "raw system c_s:", raw.reevaluations, raw.migrations,
+              raw.final_cost_ms, raw.optimal_cost_ms);
+  std::printf("\nsame placement quality; the stable application coordinate cuts the\n"
+              "notification -> re-evaluation -> (possible) migration cascade by\n"
+              "orders of magnitude — the reason the paper separates application-\n"
+              "from system-level coordinates.\n");
+  return 0;
+}

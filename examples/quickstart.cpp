@@ -1,0 +1,76 @@
+// Quickstart: build a network coordinate system with NCClient and estimate
+// an RTT between two nodes that never measured each other directly.
+//
+// The snippet drives 32 clients from a synthetic latency network (in a real
+// deployment you would call observe() with your own ping measurements). Each
+// node samples a few random peers per second; after a couple of simulated
+// minutes, coordinate distances predict RTTs between *any* pair.
+//
+//   build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/nc_client.hpp"
+#include "latency/link_model.hpp"
+
+using namespace nc;
+
+int main() {
+  // 1. The coordinate subsystem configuration: the paper's recommended
+  //    MP(4,25) filter and ENERGY(tau=8, window=32) application updates are
+  //    the defaults; we only pin the dimensionality for clarity.
+  NCClientConfig config;
+  config.vivaldi.dim = 3;
+
+  const int n = 32;
+  std::vector<NCClient> nodes;
+  nodes.reserve(n);
+  for (NodeId id = 0; id < n; ++id) nodes.emplace_back(id, config);
+
+  // 2. A stand-in for the real world: a synthetic latency network. Your
+  //    deployment would instead measure RTTs with pings or piggybacked
+  //    timestamps.
+  lat::TopologyConfig topo;
+  topo.num_nodes = n;
+  topo.seed = 42;
+  lat::LatencyNetwork network(lat::Topology::make(topo), lat::LinkModelConfig{},
+                              lat::AvailabilityConfig{.enabled = false}, 42);
+
+  // 3. Feed observations: each second every node measures two random peers
+  //    and hands the sample plus the peer's advertised state to observe().
+  Rng rng(7);
+  for (int second = 0; second < 180; ++second) {
+    const double t = static_cast<double>(second);
+    for (NodeId id = 0; id < n; ++id) {
+      for (int k = 0; k < 2; ++k) {
+        const auto peer = static_cast<NodeId>(rng.uniform_int(n - 1));
+        const NodeId target = peer >= id ? peer + 1 : peer;
+        const auto rtt = network.sample_rtt(id, target, t);
+        if (!rtt.has_value()) continue;  // lost ping
+        NCClient& remote = nodes[static_cast<std::size_t>(target)];
+        nodes[static_cast<std::size_t>(id)].observe(
+            target, remote.system_coordinate(), remote.error_estimate(), *rtt, t);
+      }
+    }
+  }
+
+  // 4. Estimate the RTT between nodes 3 and 29 from coordinates alone and
+  //    compare it against the (normally unknowable) ground truth.
+  const NCClient& a = nodes[3];
+  const NCClient& b = nodes[29];
+  const double predicted =
+      a.application_coordinate().distance_to(b.application_coordinate());
+  const double actual = network.ground_truth_rtt(3, 29, 181.0);
+
+  std::printf("node 3  confidence %.2f, coordinate ", a.confidence());
+  std::printf("(%.1f, %.1f, %.1f)\n", a.application_coordinate().position()[0],
+              a.application_coordinate().position()[1],
+              a.application_coordinate().position()[2]);
+  std::printf("node 29 confidence %.2f\n", b.confidence());
+  std::printf("predicted RTT 3<->29: %.1f ms (ground truth %.1f ms, error %.0f%%)\n",
+              predicted, actual, 100.0 * std::fabs(predicted - actual) / actual);
+  std::printf("application-coordinate updates on node 3: %llu of %llu samples\n",
+              static_cast<unsigned long long>(a.app_update_count()),
+              static_cast<unsigned long long>(a.observation_count()));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Lightweight runtime checks.
+//
+// NC_CHECK is always on and throws; use it to validate API preconditions
+// whose violation indicates a caller bug (Core Guidelines I.6).
+// NC_ASSERT compiles away in release builds; use it for internal invariants
+// on hot paths.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nc {
+
+/// Thrown when an NC_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace nc
+
+#define NC_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::nc::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::nc::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define NC_ASSERT(expr) assert(expr)

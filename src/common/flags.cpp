@@ -1,0 +1,89 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nc {
+
+namespace {
+
+bool looks_like_flag(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  NC_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    NC_CHECK_MSG(looks_like_flag(arg), "expected --flag, got: " + arg);
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare switch
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  NC_CHECK_MSG(end != nullptr && *end == '\0', "bad double for --" + name);
+  return v;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  NC_CHECK_MSG(end != nullptr && *end == '\0', "bad integer for --" + name);
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  NC_CHECK_MSG(false, "bad boolean for --" + name);
+  return default_value;
+}
+
+std::vector<double> Flags::get_double_list(
+    const std::string& name, const std::vector<double>& default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    NC_CHECK_MSG(end != nullptr && *end == '\0' && !item.empty(),
+                 "bad list element for --" + name);
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace nc

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Supports --name=value, --name value, and bare boolean switches (--full).
+// Unrecognized positional arguments are an error: bench binaries take flags
+// only, so typos fail loudly instead of silently running the default workload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nc {
+
+class Flags {
+ public:
+  /// Parses argv; throws nc::CheckError on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& default_value) const;
+  [[nodiscard]] double get_double(const std::string& name, double default_value) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t default_value) const;
+  /// A bare --flag or --flag=true/1 is true; --flag=false/0 is false.
+  [[nodiscard]] bool get_bool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated list of doubles, e.g. --thresholds=1,2,4,8.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name, const std::vector<double>& default_value) const;
+
+  /// Name of the program (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace nc

@@ -1,0 +1,128 @@
+// Deterministic, portable random number generation.
+//
+// The standard <random> distributions are implementation-defined, which would
+// make traces differ across standard libraries. Experiments must be exactly
+// reproducible from a seed, so we ship our own xoshiro256++ engine plus the
+// handful of distributions the latency models need (uniform, normal,
+// lognormal, exponential, Pareto). Sub-streams are derived with SplitMix64
+// hashing so that e.g. every link of a topology gets an independent,
+// stable stream regardless of the order links are first touched.
+#pragma once
+
+#include <cstdint>
+
+#include "common/vec.hpp"
+
+namespace nc {
+
+/// SplitMix64 step; also used as a 64-bit hash/mixer for seed derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into a well-mixed 64-bit hash.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// xoshiro256++ pseudo-random engine with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x = splitmix64(x);
+      s = x;
+    }
+    has_cached_normal_ = false;
+  }
+
+  /// An independent generator derived from this seed and a stream id.
+  /// Deterministic: the same (seed, stream) always yields the same stream.
+  [[nodiscard]] static Rng derived(std::uint64_t seed, std::uint64_t stream) noexcept {
+    return Rng(hash_combine(seed, stream));
+  }
+  [[nodiscard]] static Rng derived(std::uint64_t seed, std::uint64_t a,
+                                   std::uint64_t b) noexcept {
+    return Rng(hash_combine(hash_combine(seed, a), b));
+  }
+
+  /// Raw 64 uniformly random bits.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); n must be positive.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method: unbiased.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (portable, unlike std::normal_distribution).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal with the given log-space parameters.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Pareto (type I) with scale xm > 0 and shape alpha > 0.
+  /// Heavy-tailed: infinite variance for alpha <= 2; used to model latency spikes.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Uniformly random direction on the unit sphere of dimension `dim`.
+  [[nodiscard]] Vec unit_vector(int dim) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace nc

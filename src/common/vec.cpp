@@ -1,0 +1,16 @@
+#include "common/vec.hpp"
+
+#include <ostream>
+
+namespace nc {
+
+std::ostream& operator<<(std::ostream& os, const Vec& v) {
+  os << '(';
+  for (int i = 0; i < v.dim(); ++i) {
+    if (i > 0) os << ", ";
+    os << v[i];
+  }
+  return os << ')';
+}
+
+}  // namespace nc

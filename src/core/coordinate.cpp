@@ -1,0 +1,39 @@
+#include "core/coordinate.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace nc {
+
+Vec Coordinate::as_vec() const {
+  if (!has_height_) return pos_;
+  NC_CHECK_MSG(pos_.dim() < kMaxDim, "no room to embed height");
+  Vec v(pos_.dim() + 1);
+  for (int i = 0; i < pos_.dim(); ++i) v[i] = pos_[i];
+  v[pos_.dim()] = height_;
+  return v;
+}
+
+Coordinate Coordinate::from_vec(const Vec& v, bool with_height) {
+  if (!with_height) return Coordinate(v);
+  NC_CHECK_MSG(v.dim() >= 2, "height embedding needs >= 2 components");
+  Vec pos(v.dim() - 1);
+  for (int i = 0; i < pos.dim(); ++i) pos[i] = v[i];
+  return Coordinate(pos, std::max(0.0, v[v.dim() - 1]));
+}
+
+void Coordinate::apply_displacement(const Vec& spatial, double dheight,
+                                    double min_height) {
+  pos_ += spatial;
+  if (has_height_) {
+    height_ = std::max(min_height, height_ + dheight);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Coordinate& c) {
+  os << c.position();
+  if (c.has_height()) os << "+h" << c.height();
+  return os;
+}
+
+}  // namespace nc

@@ -1,0 +1,90 @@
+// Network coordinate: a low-dimensional Euclidean position, optionally
+// augmented with a height (Dabek et al., SIGCOMM'04).
+//
+// With heights the predicted RTT between i and j is
+//     ||x_i - x_j|| + h_i + h_j
+// modelling the access link each packet must traverse twice. The paper under
+// reproduction uses pure Euclidean 3-D coordinates but notes its techniques
+// admit heights, so height support is carried through the whole stack.
+//
+// Height algebra follows the original Vivaldi/p2psim semantics: subtracting
+// two coordinates yields a displacement whose height component is the SUM of
+// the two heights (moving away from someone pushes you up off the plane), and
+// a coordinate's height is clamped non-negative after every update.
+#pragma once
+
+#include <iosfwd>
+
+#include "common/vec.hpp"
+
+namespace nc {
+
+class Coordinate {
+ public:
+  /// Empty coordinate (dim 0); used as "not yet initialized".
+  Coordinate() = default;
+
+  /// Pure Euclidean coordinate.
+  explicit Coordinate(Vec position) : pos_(position) {}
+
+  /// Coordinate with a height component (height must be >= 0).
+  Coordinate(Vec position, double height) : pos_(position), height_(height), has_height_(true) {
+    NC_CHECK_MSG(height >= 0.0, "height must be non-negative");
+  }
+
+  [[nodiscard]] static Coordinate origin(int dim, bool with_height = false) {
+    return with_height ? Coordinate(Vec::zero(dim), 0.0) : Coordinate(Vec::zero(dim));
+  }
+
+  [[nodiscard]] bool initialized() const noexcept { return pos_.dim() > 0; }
+  [[nodiscard]] int dim() const noexcept { return pos_.dim(); }
+  [[nodiscard]] bool has_height() const noexcept { return has_height_; }
+  [[nodiscard]] const Vec& position() const noexcept { return pos_; }
+  [[nodiscard]] double height() const noexcept { return height_; }
+
+  /// Predicted RTT (ms) to `o`: Euclidean distance plus both heights.
+  /// Heights are summed first so the result is bit-symmetric in (this, o).
+  [[nodiscard]] double distance_to(const Coordinate& o) const {
+    check_compatible(o);
+    return pos_.distance_to(o.pos_) + (height_ + o.height_);
+  }
+
+  /// Magnitude of the coordinate *movement* from `from` to *this: spatial
+  /// displacement plus height change. This is the quantity the stability
+  /// metric (ms of coordinate change per second) accumulates; unlike
+  /// distance_to it does not add the heights themselves.
+  [[nodiscard]] double displacement_from(const Coordinate& from) const {
+    check_compatible(from);
+    return pos_.distance_to(from.pos_) + std::abs(height_ - from.height_);
+  }
+
+  /// Embeds the coordinate in R^dim (or R^(dim+1) with the height appended)
+  /// for window statistics (centroids, energy distance).
+  [[nodiscard]] Vec as_vec() const;
+
+  /// Inverse of as_vec(); `with_height` must match the embedding.
+  [[nodiscard]] static Coordinate from_vec(const Vec& v, bool with_height);
+
+  /// Applies a Vivaldi displacement: the spatial part moves the position;
+  /// the height part adds to the height, clamped at `min_height`.
+  /// `spatial` must have the coordinate's dimension.
+  void apply_displacement(const Vec& spatial, double dheight, double min_height = 0.0);
+
+  [[nodiscard]] friend bool operator==(const Coordinate& a, const Coordinate& b) noexcept {
+    return a.pos_ == b.pos_ && a.height_ == b.height_ && a.has_height_ == b.has_height_;
+  }
+
+ private:
+  void check_compatible(const Coordinate& o) const {
+    NC_CHECK_MSG(pos_.dim() == o.pos_.dim(), "coordinate dimension mismatch");
+    NC_CHECK_MSG(has_height_ == o.has_height_, "height-model mismatch");
+  }
+
+  Vec pos_;
+  double height_ = 0.0;
+  bool has_height_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const Coordinate& c);
+
+}  // namespace nc

@@ -1,0 +1,69 @@
+#include "core/coordinate_map.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nc {
+
+void CoordinateMap::update(NodeId id, const Coordinate& coordinate, double now_s) {
+  NC_CHECK_MSG(id != kInvalidNode, "invalid node id");
+  NC_CHECK_MSG(coordinate.initialized(), "cannot cache an empty coordinate");
+  entries_[id] = Entry{coordinate, now_s};
+}
+
+void CoordinateMap::remove(NodeId id) { entries_.erase(id); }
+
+std::optional<Coordinate> CoordinateMap::get(NodeId id, double now_s,
+                                             double max_age_s) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  if (now_s - it->second.updated_s > max_age_s) return std::nullopt;
+  return it->second.coordinate;
+}
+
+std::optional<double> CoordinateMap::estimate_rtt(NodeId a, NodeId b, double now_s,
+                                                  double max_age_s) const {
+  const auto ca = get(a, now_s, max_age_s);
+  const auto cb = get(b, now_s, max_age_s);
+  if (!ca.has_value() || !cb.has_value()) return std::nullopt;
+  return ca->distance_to(*cb);
+}
+
+std::vector<CoordinateMap::Neighbor> CoordinateMap::nearest(const Coordinate& query,
+                                                            int k, double now_s,
+                                                            double max_age_s,
+                                                            NodeId exclude) const {
+  NC_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<Neighbor> all;
+  all.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    if (id == exclude) continue;
+    if (now_s - entry.updated_s > max_age_s) continue;
+    all.push_back(Neighbor{id, query.distance_to(entry.coordinate)});
+  }
+  const auto count = std::min<std::size_t>(static_cast<std::size_t>(k), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance_ms != b.distance_ms)
+                        return a.distance_ms < b.distance_ms;
+                      return a.id < b.id;  // deterministic tie-break
+                    });
+  all.resize(count);
+  return all;
+}
+
+std::size_t CoordinateMap::expire_older_than(double cutoff_s) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.updated_s < cutoff_s) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace nc

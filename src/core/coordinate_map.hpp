@@ -1,0 +1,67 @@
+// Cache of remote application coordinates with staleness tracking and
+// nearest-neighbor queries.
+//
+// Applications using network coordinates (replica selection, operator
+// placement, the distributed approximate k-NN problem the paper cites)
+// accumulate peers' application coordinates from protocol traffic and query
+// them later. Because application coordinates change rarely by design, a
+// cached entry stays useful for a long time; max_age_s bounds how stale an
+// entry may be before queries ignore it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/coordinate.hpp"
+#include "core/node_id.hpp"
+
+namespace nc {
+
+class CoordinateMap {
+ public:
+  struct Neighbor {
+    NodeId id = kInvalidNode;
+    double distance_ms = 0.0;  // predicted RTT to the query coordinate
+  };
+
+  /// Inserts or refreshes a peer's coordinate.
+  void update(NodeId id, const Coordinate& coordinate, double now_s);
+
+  /// Removes a peer (e.g. on failure detection). No-op if absent.
+  void remove(NodeId id);
+
+  /// The peer's coordinate if present and no older than max_age_s.
+  [[nodiscard]] std::optional<Coordinate> get(NodeId id, double now_s,
+                                              double max_age_s = kNoMaxAge) const;
+
+  /// Predicted RTT between two cached peers; nullopt if either is missing
+  /// or stale.
+  [[nodiscard]] std::optional<double> estimate_rtt(NodeId a, NodeId b, double now_s,
+                                                   double max_age_s = kNoMaxAge) const;
+
+  /// The k cached peers nearest to `query` (ascending distance), skipping
+  /// entries older than max_age_s and the optional `exclude` id.
+  [[nodiscard]] std::vector<Neighbor> nearest(const Coordinate& query, int k,
+                                              double now_s,
+                                              double max_age_s = kNoMaxAge,
+                                              NodeId exclude = kInvalidNode) const;
+
+  /// Drops every entry last updated before `cutoff_s`; returns drop count.
+  std::size_t expire_older_than(double cutoff_s);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  static constexpr double kNoMaxAge = 1e300;
+
+ private:
+  struct Entry {
+    Coordinate coordinate;
+    double updated_s = 0.0;
+  };
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace nc

@@ -1,0 +1,39 @@
+// Per-link latency filter interface.
+//
+// A deployment does not observe one latency per link; it observes a stream
+// whose samples vary by orders of magnitude (paper Sec. III). A LatencyFilter
+// turns that raw stream into the estimate fed to Vivaldi. update() may return
+// nullopt to signal "no usable estimate yet" — either because the filter is
+// not primed (MP filter with min_samples, guarding the first-sample pathology
+// of Sec. VI) or because the sample was rejected (threshold filter).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+namespace nc {
+
+class LatencyFilter {
+ public:
+  virtual ~LatencyFilter() = default;
+
+  /// Feeds one raw observation (ms); returns the filtered estimate, if any.
+  virtual std::optional<double> update(double raw_ms) = 0;
+
+  /// Current estimate without feeding a new observation.
+  [[nodiscard]] virtual std::optional<double> estimate() const = 0;
+
+  /// Forgets all history.
+  virtual void reset() = 0;
+
+  /// Fresh filter with the same parameters and empty history. Used to stamp
+  /// out one filter instance per link from a configured prototype.
+  [[nodiscard]] virtual std::unique_ptr<LatencyFilter> clone() const = 0;
+
+ protected:
+  LatencyFilter() = default;
+  LatencyFilter(const LatencyFilter&) = default;
+  LatencyFilter& operator=(const LatencyFilter&) = default;
+};
+
+}  // namespace nc

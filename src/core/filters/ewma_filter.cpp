@@ -1,0 +1,35 @@
+#include "core/filters/ewma_filter.hpp"
+
+#include "common/check.hpp"
+
+namespace nc {
+
+EwmaFilter::EwmaFilter(double alpha) : alpha_(alpha) {
+  NC_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+}
+
+std::optional<double> EwmaFilter::update(double raw_ms) {
+  if (!primed_) {
+    value_ = raw_ms;
+    primed_ = true;
+  } else {
+    value_ = alpha_ * raw_ms + (1.0 - alpha_) * value_;
+  }
+  return value_;
+}
+
+std::optional<double> EwmaFilter::estimate() const {
+  if (!primed_) return std::nullopt;
+  return value_;
+}
+
+void EwmaFilter::reset() {
+  primed_ = false;
+  value_ = 0.0;
+}
+
+std::unique_ptr<LatencyFilter> EwmaFilter::clone() const {
+  return std::make_unique<EwmaFilter>(alpha_);
+}
+
+}  // namespace nc

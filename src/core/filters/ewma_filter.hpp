@@ -1,0 +1,32 @@
+// Exponentially-weighted moving average filter (paper Sec. IV-B, Table I).
+//
+// The conventional smoothing baseline:  v <- alpha*s + (1-alpha)*v.
+// The paper shows it performs WORSE than no filter on latency streams: the
+// heavy-tail outliers are not a trend to be tracked but impulses to discard,
+// and every outlier pollutes the average for ~1/alpha subsequent samples.
+// Kept as a faithful baseline for Table I.
+#pragma once
+
+#include "core/filter.hpp"
+
+namespace nc {
+
+class EwmaFilter final : public LatencyFilter {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit EwmaFilter(double alpha);
+
+  std::optional<double> update(double raw_ms) override;
+  [[nodiscard]] std::optional<double> estimate() const override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<LatencyFilter> clone() const override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace nc

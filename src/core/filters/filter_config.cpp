@@ -1,0 +1,77 @@
+#include "core/filters/filter_config.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "core/filters/ewma_filter.hpp"
+#include "core/filters/identity_filter.hpp"
+#include "core/filters/mp_filter.hpp"
+#include "core/filters/threshold_filter.hpp"
+
+namespace nc {
+
+std::unique_ptr<LatencyFilter> FilterConfig::make() const {
+  switch (kind) {
+    case FilterKind::kIdentity:
+      return std::make_unique<IdentityFilter>();
+    case FilterKind::kMovingPercentile:
+      return std::make_unique<MovingPercentileFilter>(mp_history, mp_percentile,
+                                                      mp_min_samples);
+    case FilterKind::kEwma:
+      return std::make_unique<EwmaFilter>(ewma_alpha);
+    case FilterKind::kThreshold:
+      return std::make_unique<ThresholdFilter>(threshold_ms);
+  }
+  NC_CHECK_MSG(false, "unknown filter kind");
+  return nullptr;
+}
+
+std::string FilterConfig::name() const {
+  char buf[64];
+  switch (kind) {
+    case FilterKind::kIdentity:
+      return "none";
+    case FilterKind::kMovingPercentile:
+      std::snprintf(buf, sizeof buf, "mp(h=%d,p=%g)", mp_history, mp_percentile);
+      return buf;
+    case FilterKind::kEwma:
+      std::snprintf(buf, sizeof buf, "ewma(a=%g)", ewma_alpha);
+      return buf;
+    case FilterKind::kThreshold:
+      std::snprintf(buf, sizeof buf, "threshold(%gms)", threshold_ms);
+      return buf;
+  }
+  return "unknown";
+}
+
+FilterConfig FilterConfig::none() {
+  FilterConfig c;
+  c.kind = FilterKind::kIdentity;
+  return c;
+}
+
+FilterConfig FilterConfig::moving_percentile(int history, double percentile,
+                                             int min_samples) {
+  FilterConfig c;
+  c.kind = FilterKind::kMovingPercentile;
+  c.mp_history = history;
+  c.mp_percentile = percentile;
+  c.mp_min_samples = min_samples;
+  return c;
+}
+
+FilterConfig FilterConfig::ewma(double alpha) {
+  FilterConfig c;
+  c.kind = FilterKind::kEwma;
+  c.ewma_alpha = alpha;
+  return c;
+}
+
+FilterConfig FilterConfig::threshold(double cutoff_ms) {
+  FilterConfig c;
+  c.kind = FilterKind::kThreshold;
+  c.threshold_ms = cutoff_ms;
+  return c;
+}
+
+}  // namespace nc

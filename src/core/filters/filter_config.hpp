@@ -1,0 +1,45 @@
+// Value-type filter configuration and factory.
+//
+// Experiment configs carry a FilterConfig; every per-link filter instance is
+// stamped out with make(). Defaults are the paper's recommended MP(4, 25).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/filter.hpp"
+
+namespace nc {
+
+enum class FilterKind {
+  kIdentity,          // "No Filter"
+  kMovingPercentile,  // the paper's MP filter
+  kEwma,
+  kThreshold,
+};
+
+struct FilterConfig {
+  FilterKind kind = FilterKind::kMovingPercentile;
+
+  // Moving percentile parameters.
+  int mp_history = 4;
+  double mp_percentile = 25.0;
+  int mp_min_samples = 1;
+
+  // EWMA parameter.
+  double ewma_alpha = 0.10;
+
+  // Threshold parameter.
+  double threshold_ms = 1000.0;
+
+  [[nodiscard]] std::unique_ptr<LatencyFilter> make() const;
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] static FilterConfig none();
+  [[nodiscard]] static FilterConfig moving_percentile(int history, double percentile,
+                                                      int min_samples = 1);
+  [[nodiscard]] static FilterConfig ewma(double alpha);
+  [[nodiscard]] static FilterConfig threshold(double cutoff_ms);
+};
+
+}  // namespace nc

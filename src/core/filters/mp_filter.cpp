@@ -1,0 +1,52 @@
+#include "core/filters/mp_filter.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/percentile.hpp"
+
+namespace nc {
+
+MovingPercentileFilter::MovingPercentileFilter(int history, double percentile,
+                                               int min_samples)
+    : history_(history), percentile_(percentile), min_samples_(min_samples) {
+  NC_CHECK_MSG(history >= 1, "history must be >= 1");
+  NC_CHECK_MSG(percentile >= 0.0 && percentile <= 100.0, "percentile out of range");
+  NC_CHECK_MSG(min_samples >= 1 && min_samples <= history,
+               "min_samples must be in [1, history]");
+  window_.reserve(static_cast<std::size_t>(history));
+  sorted_.reserve(static_cast<std::size_t>(history));
+}
+
+std::optional<double> MovingPercentileFilter::update(double raw_ms) {
+  if (static_cast<int>(window_.size()) < history_) {
+    window_.push_back(raw_ms);
+  } else {
+    // Evict the oldest sample from the sorted view, then overwrite it.
+    const double evicted = window_[head_];
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), evicted);
+    NC_ASSERT(it != sorted_.end());
+    sorted_.erase(it);
+    window_[head_] = raw_ms;
+    head_ = (head_ + 1) % window_.size();
+  }
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), raw_ms), raw_ms);
+  return estimate();
+}
+
+std::optional<double> MovingPercentileFilter::estimate() const {
+  if (static_cast<int>(sorted_.size()) < min_samples_) return std::nullopt;
+  return stats::percentile_nearest_rank_sorted(sorted_, percentile_);
+}
+
+void MovingPercentileFilter::reset() {
+  window_.clear();
+  sorted_.clear();
+  head_ = 0;
+}
+
+std::unique_ptr<LatencyFilter> MovingPercentileFilter::clone() const {
+  return std::make_unique<MovingPercentileFilter>(history_, percentile_, min_samples_);
+}
+
+}  // namespace nc

@@ -1,0 +1,44 @@
+// Moving-Percentile filter (paper Sec. IV).
+//
+// Keeps the last `history` raw observations per link and outputs their p-th
+// percentile (nearest-rank). With the paper's best parameters — history 4,
+// p = 25 — the output is the minimum of the last four samples: a non-linear
+// low-pass filter that discards heavy-tail impulses while tracking genuine
+// shifts in the underlying latency within `history` observations.
+//
+// `min_samples` withholds output until that many samples have been seen,
+// fixing the first-sample pathology of Sec. VI (an extreme outlier arriving
+// first on a link otherwise passes straight through the filter).
+#pragma once
+
+#include <vector>
+
+#include "core/filter.hpp"
+
+namespace nc {
+
+class MovingPercentileFilter final : public LatencyFilter {
+ public:
+  /// history >= 1; percentile in [0,100]; 1 <= min_samples <= history.
+  MovingPercentileFilter(int history, double percentile, int min_samples = 1);
+
+  std::optional<double> update(double raw_ms) override;
+  [[nodiscard]] std::optional<double> estimate() const override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<LatencyFilter> clone() const override;
+
+  [[nodiscard]] int history() const noexcept { return history_; }
+  [[nodiscard]] double percentile() const noexcept { return percentile_; }
+  [[nodiscard]] int min_samples() const noexcept { return min_samples_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(window_.size()); }
+
+ private:
+  int history_;
+  double percentile_;
+  int min_samples_;
+  std::vector<double> window_;  // chronological ring (oldest at head_)
+  std::size_t head_ = 0;        // index of the oldest element once full
+  std::vector<double> sorted_;  // same elements, ascending
+};
+
+}  // namespace nc

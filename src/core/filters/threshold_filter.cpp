@@ -1,0 +1,32 @@
+#include "core/filters/threshold_filter.hpp"
+
+#include "common/check.hpp"
+
+namespace nc {
+
+ThresholdFilter::ThresholdFilter(double cutoff_ms) : cutoff_ms_(cutoff_ms) {
+  NC_CHECK_MSG(cutoff_ms > 0.0, "cutoff must be positive");
+}
+
+std::optional<double> ThresholdFilter::update(double raw_ms) {
+  if (raw_ms > cutoff_ms_) return std::nullopt;
+  last_accepted_ = raw_ms;
+  primed_ = true;
+  return raw_ms;
+}
+
+std::optional<double> ThresholdFilter::estimate() const {
+  if (!primed_) return std::nullopt;
+  return last_accepted_;
+}
+
+void ThresholdFilter::reset() {
+  primed_ = false;
+  last_accepted_ = 0.0;
+}
+
+std::unique_ptr<LatencyFilter> ThresholdFilter::clone() const {
+  return std::make_unique<ThresholdFilter>(cutoff_ms_);
+}
+
+}  // namespace nc

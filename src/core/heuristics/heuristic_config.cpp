@@ -1,0 +1,111 @@
+#include "core/heuristics/heuristic_config.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "core/heuristics/threshold_heuristics.hpp"
+#include "core/heuristics/windowed_heuristics.hpp"
+
+namespace nc {
+
+std::unique_ptr<UpdateHeuristic> HeuristicConfig::make() const {
+  switch (kind) {
+    case HeuristicKind::kAlways:
+      return std::make_unique<AlwaysUpdateHeuristic>();
+    case HeuristicKind::kSystem:
+      return std::make_unique<SystemHeuristic>(threshold);
+    case HeuristicKind::kApplication:
+      return std::make_unique<ApplicationHeuristic>(threshold);
+    case HeuristicKind::kApplicationCentroid:
+      return std::make_unique<ApplicationCentroidHeuristic>(threshold, window);
+    case HeuristicKind::kRelative:
+      return std::make_unique<RelativeHeuristic>(threshold, window);
+    case HeuristicKind::kEnergy:
+      return std::make_unique<EnergyHeuristic>(threshold, window);
+    case HeuristicKind::kRankSum:
+      return std::make_unique<RankSumHeuristic>(threshold, window);
+  }
+  NC_CHECK_MSG(false, "unknown heuristic kind");
+  return nullptr;
+}
+
+std::string HeuristicConfig::name() const {
+  char buf[80];
+  switch (kind) {
+    case HeuristicKind::kAlways:
+      return "always";
+    case HeuristicKind::kSystem:
+      std::snprintf(buf, sizeof buf, "system(tau=%g)", threshold);
+      return buf;
+    case HeuristicKind::kApplication:
+      std::snprintf(buf, sizeof buf, "application(tau=%g)", threshold);
+      return buf;
+    case HeuristicKind::kApplicationCentroid:
+      std::snprintf(buf, sizeof buf, "app_centroid(tau=%g,k=%d)", threshold, window);
+      return buf;
+    case HeuristicKind::kRelative:
+      std::snprintf(buf, sizeof buf, "relative(eps=%g,k=%d)", threshold, window);
+      return buf;
+    case HeuristicKind::kEnergy:
+      std::snprintf(buf, sizeof buf, "energy(tau=%g,k=%d)", threshold, window);
+      return buf;
+    case HeuristicKind::kRankSum:
+      std::snprintf(buf, sizeof buf, "ranksum(a=%g,k=%d)", threshold, window);
+      return buf;
+  }
+  return "unknown";
+}
+
+HeuristicConfig HeuristicConfig::always() {
+  HeuristicConfig c;
+  c.kind = HeuristicKind::kAlways;
+  return c;
+}
+
+HeuristicConfig HeuristicConfig::system(double tau_ms) {
+  HeuristicConfig c;
+  c.kind = HeuristicKind::kSystem;
+  c.threshold = tau_ms;
+  return c;
+}
+
+HeuristicConfig HeuristicConfig::application(double tau_ms) {
+  HeuristicConfig c;
+  c.kind = HeuristicKind::kApplication;
+  c.threshold = tau_ms;
+  return c;
+}
+
+HeuristicConfig HeuristicConfig::application_centroid(double tau_ms, int window) {
+  HeuristicConfig c;
+  c.kind = HeuristicKind::kApplicationCentroid;
+  c.threshold = tau_ms;
+  c.window = window;
+  return c;
+}
+
+HeuristicConfig HeuristicConfig::relative(double eps_r, int window) {
+  HeuristicConfig c;
+  c.kind = HeuristicKind::kRelative;
+  c.threshold = eps_r;
+  c.window = window;
+  return c;
+}
+
+HeuristicConfig HeuristicConfig::energy(double tau, int window) {
+  HeuristicConfig c;
+  c.kind = HeuristicKind::kEnergy;
+  c.threshold = tau;
+  c.window = window;
+  return c;
+}
+
+HeuristicConfig HeuristicConfig::rank_sum(double alpha, int window) {
+  HeuristicConfig c;
+  c.kind = HeuristicKind::kRankSum;
+  c.threshold = alpha;
+  c.window = window;
+  return c;
+}
+
+}  // namespace nc

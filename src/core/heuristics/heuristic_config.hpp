@@ -1,0 +1,41 @@
+// Value-type heuristic configuration and factory.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/heuristics/update_heuristic.hpp"
+
+namespace nc {
+
+enum class HeuristicKind {
+  kAlways,              // publish every system update ("Raw")
+  kSystem,              // SYSTEM threshold
+  kApplication,         // APPLICATION threshold
+  kApplicationCentroid, // APPLICATION trigger, centroid publish
+  kRelative,            // windowed, nearest-neighbor-relative centroids
+  kEnergy,              // windowed, energy-distance statistic
+  kRankSum,             // windowed, 1-D rank-sum baseline (extension)
+};
+
+struct HeuristicConfig {
+  HeuristicKind kind = HeuristicKind::kEnergy;
+  /// tau (ms) for SYSTEM/APPLICATION/APPLICATION_CENTROID, the energy
+  /// statistic threshold for ENERGY, or eps_r for RELATIVE.
+  double threshold = 8.0;
+  /// Window size k for the windowed and centroid heuristics.
+  int window = 32;
+
+  [[nodiscard]] std::unique_ptr<UpdateHeuristic> make() const;
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] static HeuristicConfig always();
+  [[nodiscard]] static HeuristicConfig system(double tau_ms);
+  [[nodiscard]] static HeuristicConfig application(double tau_ms);
+  [[nodiscard]] static HeuristicConfig application_centroid(double tau_ms, int window);
+  [[nodiscard]] static HeuristicConfig relative(double eps_r, int window);
+  [[nodiscard]] static HeuristicConfig energy(double tau, int window);
+  [[nodiscard]] static HeuristicConfig rank_sum(double alpha, int window);
+};
+
+}  // namespace nc

@@ -1,0 +1,166 @@
+#include "core/heuristics/windowed_heuristics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "stats/ranksum.hpp"
+
+namespace nc {
+
+// ------------------------------------------------------ WindowedHeuristic --
+
+WindowedHeuristic::WindowedHeuristic(int window) : window_(window) {
+  NC_CHECK_MSG(window >= 2, "window must be >= 2");
+}
+
+bool WindowedHeuristic::on_system_update(const UpdateContext& ctx, Coordinate& app) {
+  const Vec v = ctx.system.as_vec();
+  if (current_sum_.dim() == 0) current_sum_ = Vec::zero(v.dim());
+
+  if (!armed()) {
+    // Filling: both windows receive the element (W_s == W_c while filling).
+    start_.push_back(v);
+    current_.push_back(v);
+    current_sum_ += v;
+    on_current_push(v);
+    if (armed()) on_start_frozen();
+    return false;
+  }
+
+  // Armed: W_s is frozen, W_c slides.
+  current_.push_back(v);
+  current_sum_ += v;
+  on_current_push(v);
+  const Vec oldest = current_.front();
+  current_.pop_front();
+  current_sum_ -= oldest;
+  on_current_pop(oldest);
+
+  if (!windows_differ(ctx)) return false;
+
+  // Change point: publish the centroid of the current window and restart.
+  ++change_points_;
+  app = Coordinate::from_vec(current_centroid(), ctx.system.has_height());
+  const int dim = current_sum_.dim();
+  start_.clear();
+  current_.clear();
+  current_sum_ = Vec::zero(dim);
+  on_cleared();
+  return true;
+}
+
+void WindowedHeuristic::reset() {
+  start_.clear();
+  current_.clear();
+  current_sum_ = Vec();
+  change_points_ = 0;
+  on_cleared();
+}
+
+Vec WindowedHeuristic::current_centroid() const {
+  NC_CHECK_MSG(!current_.empty(), "centroid of empty window");
+  return current_sum_ / static_cast<double>(current_.size());
+}
+
+// ------------------------------------------------------- RelativeHeuristic --
+
+RelativeHeuristic::RelativeHeuristic(double eps_r, int window)
+    : WindowedHeuristic(window), eps_r_(eps_r) {
+  NC_CHECK_MSG(eps_r > 0.0, "eps_r must be positive");
+}
+
+void RelativeHeuristic::on_start_frozen() {
+  Vec sum = Vec::zero(start_window().front().dim());
+  for (const Vec& v : start_window()) sum += v;
+  start_centroid_ = sum / static_cast<double>(start_window().size());
+}
+
+void RelativeHeuristic::on_cleared() { start_centroid_ = Vec(); }
+
+bool RelativeHeuristic::windows_differ(const UpdateContext& ctx) {
+  // Without a known neighbor there is no local scale to compare against;
+  // the paper learns r from latency samples, which every node has by the
+  // time the windows fill.
+  if (ctx.nearest == nullptr || !ctx.nearest->initialized()) return false;
+  const double moved = start_centroid_.distance_to(current_centroid());
+  const double scale =
+      std::max(start_centroid_.distance_to(ctx.nearest->as_vec()), 1e-9);
+  return moved / scale > eps_r_;
+}
+
+std::unique_ptr<UpdateHeuristic> RelativeHeuristic::clone() const {
+  return std::make_unique<RelativeHeuristic>(eps_r_, window());
+}
+
+// --------------------------------------------------------- EnergyHeuristic --
+
+EnergyHeuristic::EnergyHeuristic(double tau, int window)
+    : WindowedHeuristic(window), tau_(tau) {
+  NC_CHECK_MSG(tau > 0.0, "tau must be positive");
+}
+
+void EnergyHeuristic::on_current_push(const Vec& v) { energy_.push_current(v); }
+
+void EnergyHeuristic::on_current_pop(const Vec&) { energy_.pop_current(); }
+
+void EnergyHeuristic::on_start_frozen() { energy_.set_base(start_window()); }
+
+void EnergyHeuristic::on_cleared() { energy_.reset(); }
+
+bool EnergyHeuristic::windows_differ(const UpdateContext&) {
+  return energy_.value() > tau_;
+}
+
+std::unique_ptr<UpdateHeuristic> EnergyHeuristic::clone() const {
+  return std::make_unique<EnergyHeuristic>(tau_, window());
+}
+
+// -------------------------------------------------------- RankSumHeuristic --
+
+RankSumHeuristic::RankSumHeuristic(double alpha, int window)
+    : WindowedHeuristic(window), alpha_(alpha) {
+  NC_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+}
+
+void RankSumHeuristic::on_start_frozen() {
+  Vec sum = Vec::zero(start_window().front().dim());
+  for (const Vec& v : start_window()) sum += v;
+  start_centroid_ = sum / static_cast<double>(start_window().size());
+  start_dists_.clear();
+  start_dists_.reserve(start_window().size());
+  for (const Vec& v : start_window())
+    start_dists_.push_back(start_centroid_.distance_to(v));
+  // W_c == W_s at freeze time, so its reduction is identical.
+  current_dists_.assign(start_dists_.begin(), start_dists_.end());
+}
+
+void RankSumHeuristic::on_current_push(const Vec& v) {
+  // During the fill phase (including the push that completes it) the start
+  // centroid does not exist yet; on_start_frozen seeds the current
+  // reduction wholesale right afterwards.
+  if (start_centroid_.dim() == 0) return;
+  current_dists_.push_back(start_centroid_.distance_to(v));
+}
+
+void RankSumHeuristic::on_current_pop(const Vec&) {
+  if (current_dists_.empty()) return;  // fill phase
+  current_dists_.pop_front();
+}
+
+void RankSumHeuristic::on_cleared() {
+  start_centroid_ = Vec();
+  start_dists_.clear();
+  current_dists_.clear();
+}
+
+bool RankSumHeuristic::windows_differ(const UpdateContext&) {
+  const std::vector<double> current(current_dists_.begin(), current_dists_.end());
+  return stats::rank_sum_test(start_dists_, current).p_two_sided < alpha_;
+}
+
+std::unique_ptr<UpdateHeuristic> RankSumHeuristic::clone() const {
+  return std::make_unique<RankSumHeuristic>(alpha_, window());
+}
+
+}  // namespace nc

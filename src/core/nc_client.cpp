@@ -1,0 +1,95 @@
+#include "core/nc_client.hpp"
+
+#include "common/check.hpp"
+
+namespace nc {
+
+NCClient::NCClient(NodeId id, const NCClientConfig& config)
+    : id_(id),
+      config_(config),
+      vivaldi_(config.vivaldi, static_cast<std::uint64_t>(id)),
+      heuristic_(config.heuristic.make()) {}
+
+NCClient::LinkState& NCClient::link_for(NodeId remote, double now_s) {
+  auto it = links_.find(remote);
+  if (it == links_.end()) {
+    if (config_.max_tracked_links > 0 && links_.size() >= config_.max_tracked_links) {
+      evict_oldest_link();
+    }
+    it = links_.emplace(remote, LinkState{config_.filter.make(), {}, now_s}).first;
+  }
+  return it->second;
+}
+
+void NCClient::evict_oldest_link() {
+  auto oldest = links_.begin();
+  for (auto it = links_.begin(); it != links_.end(); ++it) {
+    if (it->second.last_seen_s < oldest->second.last_seen_s) oldest = it;
+  }
+  if (oldest != links_.end()) {
+    if (oldest->first == nearest_id_) nearest_id_ = kInvalidNode;
+    links_.erase(oldest);
+    ++evictions_;
+  }
+}
+
+ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coord,
+                                     double remote_error, double raw_rtt_ms,
+                                     double now_s) {
+  NC_CHECK_MSG(remote != id_, "node observed itself");
+  NC_CHECK_MSG(raw_rtt_ms > 0.0, "rtt must be positive");
+  ++observations_;
+
+  ObservationOutcome out;
+  LinkState& link = link_for(remote, now_s);
+  link.last_coord = remote_coord;
+  link.last_seen_s = now_s;
+
+  out.filtered_rtt_ms = link.filter->update(raw_rtt_ms);
+  if (!out.filtered_rtt_ms.has_value()) {
+    ++absorbed_;
+    return out;
+  }
+  const double filtered = *out.filtered_rtt_ms;
+
+  // Approximate nearest neighbor by filtered RTT. Re-observing the current
+  // nearest refreshes its value and coordinate even if the link got slower;
+  // this keeps the scale honest without scanning all links.
+  if (nearest_id_ == kInvalidNode || filtered <= nearest_rtt_ms_ ||
+      remote == nearest_id_) {
+    nearest_id_ = remote;
+    nearest_rtt_ms_ = filtered;
+    nearest_coord_ = remote_coord;
+  }
+
+  const VivaldiSample sample = vivaldi_.observe(remote_coord, remote_error, filtered);
+  out.vivaldi_updated = true;
+  out.sample_relative_error = sample.relative_error;
+  out.system_displacement_ms = sample.displacement_ms;
+
+  if (!app_initialized_) {
+    // First usable sample: seed the application coordinate so callers always
+    // have something consistent, then let the heuristic take over.
+    app_coord_ = vivaldi_.coordinate();
+    app_initialized_ = true;
+    out.app_updated = true;
+    out.app_displacement_ms = 0.0;  // seeded from origin-adjacent state
+    ++app_updates_;
+    return out;
+  }
+
+  const UpdateContext ctx{
+      .system = vivaldi_.coordinate(),
+      .nearest = nearest_coord_.initialized() ? &nearest_coord_ : nullptr,
+      .now_s = now_s,
+  };
+  const Coordinate app_before = app_coord_;
+  out.app_updated = heuristic_->on_system_update(ctx, app_coord_);
+  if (out.app_updated) {
+    out.app_displacement_ms = app_coord_.displacement_from(app_before);
+    ++app_updates_;
+  }
+  return out;
+}
+
+}  // namespace nc

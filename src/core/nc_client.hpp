@@ -1,0 +1,118 @@
+// NCClient: the complete per-node coordinate subsystem as a black box
+// (paper Sec. V intro): raw RTT samples go in; a stable application
+// coordinate plus a continuously-evolving system coordinate come out.
+//
+// Pipeline per observation of remote node j:
+//   raw rtt --(per-link LatencyFilter)--> filtered rtt
+//           --(Vivaldi update)----------> system coordinate c_s
+//           --(UpdateHeuristic)---------> application coordinate c_a
+//
+// The client also tracks the approximate nearest neighbor (lowest filtered
+// RTT seen so far), which the RELATIVE heuristic uses as its local scale,
+// and caps per-link filter state with least-recently-seen eviction so that
+// gossip-discovered neighbor churn cannot grow memory without bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/coordinate.hpp"
+#include "core/filters/filter_config.hpp"
+#include "core/heuristics/heuristic_config.hpp"
+#include "core/node_id.hpp"
+#include "core/vivaldi.hpp"
+
+namespace nc {
+
+struct NCClientConfig {
+  VivaldiConfig vivaldi;
+  FilterConfig filter;          // default: MP(4, 25)
+  HeuristicConfig heuristic;    // default: ENERGY(tau=8, k=32)
+  /// Maximum remote nodes with live filter state; 0 = unbounded.
+  std::size_t max_tracked_links = 8192;
+};
+
+/// What one call to observe() did.
+struct ObservationOutcome {
+  /// Filter output fed to Vivaldi; nullopt if the sample was absorbed
+  /// (filter not yet primed, or rejected by a threshold filter).
+  std::optional<double> filtered_rtt_ms;
+  /// True when Vivaldi ran (filtered_rtt_ms engaged).
+  bool vivaldi_updated = false;
+  /// Relative error of the Vivaldi sample (against the filtered rtt).
+  double sample_relative_error = 0.0;
+  /// How far the system coordinate moved (ms), for stability accounting.
+  double system_displacement_ms = 0.0;
+  /// True when the application coordinate changed this observation.
+  bool app_updated = false;
+  /// How far the application coordinate moved (0 unless app_updated).
+  double app_displacement_ms = 0.0;
+};
+
+class NCClient {
+ public:
+  NCClient(NodeId id, const NCClientConfig& config);
+
+  /// Feeds one latency observation of `remote` (its advertised coordinate
+  /// and error estimate plus a raw RTT sample), advancing all three stages.
+  ObservationOutcome observe(NodeId remote, const Coordinate& remote_coord,
+                             double remote_error, double raw_rtt_ms, double now_s);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const Coordinate& system_coordinate() const noexcept {
+    return vivaldi_.coordinate();
+  }
+  /// The stable coordinate applications should use. Equals the system
+  /// coordinate until the first Vivaldi update, then evolves per heuristic.
+  [[nodiscard]] const Coordinate& application_coordinate() const noexcept {
+    return app_initialized_ ? app_coord_ : vivaldi_.coordinate();
+  }
+  [[nodiscard]] double error_estimate() const noexcept { return vivaldi_.error_estimate(); }
+  [[nodiscard]] double confidence() const noexcept { return vivaldi_.confidence(); }
+
+  /// Approximate nearest neighbor by filtered RTT, if any sample passed the
+  /// filter yet.
+  [[nodiscard]] std::optional<NodeId> nearest_neighbor() const noexcept {
+    if (nearest_id_ == kInvalidNode) return std::nullopt;
+    return nearest_id_;
+  }
+  [[nodiscard]] double nearest_rtt_ms() const noexcept { return nearest_rtt_ms_; }
+
+  [[nodiscard]] std::uint64_t observation_count() const noexcept { return observations_; }
+  [[nodiscard]] std::uint64_t app_update_count() const noexcept { return app_updates_; }
+  [[nodiscard]] std::uint64_t absorbed_sample_count() const noexcept { return absorbed_; }
+  [[nodiscard]] std::size_t tracked_link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] std::uint64_t evicted_link_count() const noexcept { return evictions_; }
+
+  [[nodiscard]] const NCClientConfig& config() const noexcept { return config_; }
+
+ private:
+  struct LinkState {
+    std::unique_ptr<LatencyFilter> filter;
+    Coordinate last_coord;
+    double last_seen_s = 0.0;
+  };
+
+  LinkState& link_for(NodeId remote, double now_s);
+  void evict_oldest_link();
+
+  NodeId id_;
+  NCClientConfig config_;
+  Vivaldi vivaldi_;
+  std::unique_ptr<UpdateHeuristic> heuristic_;
+  Coordinate app_coord_;
+  bool app_initialized_ = false;
+
+  std::unordered_map<NodeId, LinkState> links_;
+  NodeId nearest_id_ = kInvalidNode;
+  double nearest_rtt_ms_ = 0.0;
+  Coordinate nearest_coord_;
+
+  std::uint64_t observations_ = 0;
+  std::uint64_t app_updates_ = 0;
+  std::uint64_t absorbed_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace nc

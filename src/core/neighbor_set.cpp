@@ -1,0 +1,41 @@
+#include "core/neighbor_set.hpp"
+
+#include "common/check.hpp"
+
+namespace nc {
+
+NeighborSet::NeighborSet(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(Rng::derived(seed, 0x6e65696768626f72ULL)) {
+  NC_CHECK_MSG(capacity >= 1, "capacity must be >= 1");
+}
+
+bool NeighborSet::add(NodeId id) {
+  NC_CHECK_MSG(id != kInvalidNode, "invalid neighbor id");
+  if (members_.count(id) > 0) return false;
+  if (order_.size() < capacity_) {
+    order_.push_back(id);
+    members_.insert(id);
+    return true;
+  }
+  // Full: replace a uniformly random member, keeping its round-robin slot so
+  // the cursor's cycle length is undisturbed.
+  const auto victim_idx =
+      static_cast<std::size_t>(rng_.uniform_int(order_.size()));
+  members_.erase(order_[victim_idx]);
+  order_[victim_idx] = id;
+  members_.insert(id);
+  return true;
+}
+
+std::optional<NodeId> NeighborSet::next_round_robin() {
+  if (order_.empty()) return std::nullopt;
+  if (cursor_ >= order_.size()) cursor_ = 0;
+  return order_[cursor_++];
+}
+
+std::optional<NodeId> NeighborSet::random_neighbor() {
+  if (order_.empty()) return std::nullopt;
+  return order_[static_cast<std::size_t>(rng_.uniform_int(order_.size()))];
+}
+
+}  // namespace nc

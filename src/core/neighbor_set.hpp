@@ -1,0 +1,50 @@
+// Neighbor management for the sampling loop (paper Sec. II).
+//
+// Each node keeps a set of neighbors it samples in round-robin order and
+// learns new neighbors through gossip (every sampling message carries one
+// extra node address). Capacity is bounded; once full, new additions replace
+// a uniformly random existing neighbor so long-running nodes keep mixing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/node_id.hpp"
+
+namespace nc {
+
+class NeighborSet {
+ public:
+  /// capacity >= 1; `seed` drives replacement choices deterministically.
+  NeighborSet(std::size_t capacity, std::uint64_t seed);
+
+  /// Adds a neighbor; returns true if the set changed. Adding a node already
+  /// present (or self, passed as `self`) is a no-op.
+  bool add(NodeId id);
+
+  [[nodiscard]] bool contains(NodeId id) const { return members_.count(id) > 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return order_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Next neighbor in round-robin order; nullopt when empty.
+  [[nodiscard]] std::optional<NodeId> next_round_robin();
+
+  /// A uniformly random neighbor (for gossip payloads); nullopt when empty.
+  [[nodiscard]] std::optional<NodeId> random_neighbor();
+
+  /// All current neighbors, in round-robin order.
+  [[nodiscard]] const std::vector<NodeId>& members() const noexcept { return order_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<NodeId> order_;
+  std::unordered_set<NodeId> members_;
+  std::size_t cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace nc

@@ -1,0 +1,11 @@
+// Node identity used across the coordinate subsystem and simulators.
+#pragma once
+
+#include <cstdint>
+
+namespace nc {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace nc

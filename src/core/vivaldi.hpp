@@ -1,0 +1,111 @@
+// Vivaldi spring-relaxation coordinate update (Dabek et al., SIGCOMM'04),
+// as used and extended by the paper (Fig. 1).
+//
+// Each node keeps a coordinate and a local error estimate w_i in [0, 1]
+// (the paper calls 1 - w_i the node's "confidence"). On observing a
+// neighbor's coordinate, error estimate and an RTT sample:
+//
+//   w      = w_i / (w_i + w_j)                  observation weight
+//   eps    = | ||x_i - x_j|| - rtt | / rtt      relative error of sample
+//   alpha  = c_e * w
+//   w_i    = alpha * eps + (1 - alpha) * w_i    adaptive EWMA of error
+//   delta  = c_c * w
+//   x_i    = x_i + delta * (rtt - ||x_i - x_j||) * u(x_i - x_j)
+//
+// Note on the sign: the TR's Figure 1 line 6 prints the force term as
+// (||x_i-x_j|| - rtt) * u(x_i - x_j), which would move a node AWAY from a
+// neighbor it already overestimates — a typo for the SIGCOMM'04 form above
+// (spring force pushes apart when rtt exceeds the coordinate distance). We
+// implement the original, self-consistent form; DESIGN.md discusses this.
+//
+// Two optional behaviors from the paper and its related work:
+//  * Confidence building (Sec. IV-B): samples within `confidence_margin_ms`
+//    of the predicted distance count as exact (eps = 0, no movement), so
+//    timing jitter on sub-millisecond cluster links cannot erode confidence.
+//  * de Launois damping (Sec. VII-B): multiply delta by c/(c + k) after k
+//    observations. Stabilizes but freezes the system — kept as an ablation
+//    baseline showing why the paper rejects it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/coordinate.hpp"
+
+namespace nc {
+
+struct VivaldiConfig {
+  int dim = 3;              // coordinate dimensionality (paper uses 3)
+  bool use_height = false;  // height-vector variant
+
+  double cc = 0.25;  // coordinate gain (paper's c_c)
+  double ce = 0.25;  // error-estimate gain (paper's c_e)
+
+  double initial_error = 1.0;  // error estimate of a fresh node
+  double max_error = 1.0;      // clamp: paper keeps w_i in (0,1)
+
+  // Confidence building: treat |predicted - measured| <= margin as an exact
+  // match. 0 disables (the paper enables 3 ms only on cluster experiments).
+  double confidence_margin_ms = 0.0;
+
+  // de Launois asymptotic damping constant; 0 disables. When enabled, the
+  // movement delta is additionally scaled by c/(c + observation_count).
+  double delaunois_damping = 0.0;
+
+  // Gravity (drift control, as later deployed in Pyxida — Ledlie's own
+  // implementation): after each spring update, the coordinate is pulled
+  // toward the origin by (||x|| / rho)^2 ms. Coordinates are relative, so
+  // the spring force cannot stop the whole space from translating (Fig. 7);
+  // a weak gravity well anchors it without distorting pairwise distances
+  // noticeably when rho is much larger than the network diameter.
+  // 0 disables.
+  double gravity_rho = 0.0;
+
+  // Height-vector parameters (use_height). Heights must start positive:
+  // the spring force's height component scales with (h_i + h_j), so a node
+  // whose height reaches exactly zero could never lift off the plane again.
+  double initial_height_ms = 1.0;
+  double min_height_ms = 0.1;
+
+  double min_rtt_ms = 0.01;  // guard for eps = |d - rtt| / rtt
+
+  std::uint64_t seed = 0x5eed;  // symmetry-breaking random directions
+};
+
+/// Result of applying one observation.
+struct VivaldiSample {
+  double displacement_ms = 0.0;   // how far the coordinate moved
+  double relative_error = 0.0;    // eps of this sample (before moving)
+  bool within_margin = false;     // confidence building treated it as exact
+};
+
+class Vivaldi {
+ public:
+  /// `node_seed` individualizes the RNG so co-located nodes break symmetry
+  /// differently under identical configs.
+  explicit Vivaldi(const VivaldiConfig& config, std::uint64_t node_seed = 0);
+
+  /// Applies one observation of a remote node. `rtt_ms` must be positive
+  /// (filters upstream guarantee this; non-positive samples trip NC_CHECK).
+  VivaldiSample observe(const Coordinate& remote, double remote_error, double rtt_ms);
+
+  [[nodiscard]] const Coordinate& coordinate() const noexcept { return coord_; }
+  /// Local relative-error estimate w_i in [0, max_error].
+  [[nodiscard]] double error_estimate() const noexcept { return error_; }
+  /// The paper's "confidence": 1 - w_i.
+  [[nodiscard]] double confidence() const noexcept { return 1.0 - error_; }
+  [[nodiscard]] std::uint64_t observation_count() const noexcept { return observations_; }
+  [[nodiscard]] const VivaldiConfig& config() const noexcept { return config_; }
+
+  /// Forgets all state (coordinate back to origin, error to initial).
+  void reset();
+
+ private:
+  VivaldiConfig config_;
+  Coordinate coord_;
+  double error_;
+  std::uint64_t observations_ = 0;
+  Rng rng_;
+};
+
+}  // namespace nc

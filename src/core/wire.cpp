@@ -1,0 +1,87 @@
+#include "core/wire.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace nc {
+
+namespace {
+
+constexpr std::uint8_t kFlagHeight = 0x01;
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint8_t buf[4];
+  std::memcpy(buf, &v, 4);
+  out.insert(out.end(), buf, buf + 4);
+}
+
+bool get_f32(std::span<const std::uint8_t> bytes, std::size_t& offset, float& v) {
+  if (offset + 4 > bytes.size()) return false;
+  std::memcpy(&v, bytes.data() + offset, 4);
+  offset += 4;
+  return true;
+}
+
+}  // namespace
+
+std::size_t encoded_size(int dim, bool has_height) {
+  return 3 + 4 * static_cast<std::size_t>(dim) + (has_height ? 4 : 0) + 4;
+}
+
+std::vector<std::uint8_t> encode_state(const Coordinate& coordinate,
+                                       double error_estimate) {
+  NC_CHECK_MSG(coordinate.initialized(), "cannot encode an empty coordinate");
+  NC_CHECK_MSG(error_estimate >= 0.0 && error_estimate <= 1.0,
+               "error estimate out of [0,1]");
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(coordinate.dim(), coordinate.has_height()));
+  out.push_back(kWireVersion);
+  out.push_back(coordinate.has_height() ? kFlagHeight : 0);
+  out.push_back(static_cast<std::uint8_t>(coordinate.dim()));
+  for (int i = 0; i < coordinate.dim(); ++i)
+    put_f32(out, static_cast<float>(coordinate.position()[i]));
+  if (coordinate.has_height())
+    put_f32(out, static_cast<float>(coordinate.height()));
+  put_f32(out, static_cast<float>(error_estimate));
+  return out;
+}
+
+std::optional<WireState> decode_state(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 3) return std::nullopt;
+  if (bytes[0] != kWireVersion) return std::nullopt;
+  const std::uint8_t flags = bytes[1];
+  if ((flags & ~kFlagHeight) != 0) return std::nullopt;
+  const bool has_height = (flags & kFlagHeight) != 0;
+  const int dim = bytes[2];
+  if (dim < 1 || dim > kMaxDim) return std::nullopt;
+  if (bytes.size() != encoded_size(dim, has_height)) return std::nullopt;
+
+  std::size_t offset = 3;
+  Vec pos(dim);
+  for (int i = 0; i < dim; ++i) {
+    float v = 0.0f;
+    if (!get_f32(bytes, offset, v) || !std::isfinite(v)) return std::nullopt;
+    pos[i] = static_cast<double>(v);
+  }
+  double height = 0.0;
+  if (has_height) {
+    float v = 0.0f;
+    if (!get_f32(bytes, offset, v) || !std::isfinite(v) || v < 0.0f)
+      return std::nullopt;
+    height = static_cast<double>(v);
+  }
+  float err = 0.0f;
+  if (!get_f32(bytes, offset, err) || !std::isfinite(err) || err < 0.0f ||
+      err > 1.0f) {
+    return std::nullopt;
+  }
+
+  WireState state;
+  state.coordinate = has_height ? Coordinate(pos, height) : Coordinate(pos);
+  state.error_estimate = static_cast<double>(err);
+  return state;
+}
+
+}  // namespace nc

@@ -1,0 +1,44 @@
+// Wire encoding of the coordinate state nodes exchange on every sample.
+//
+// The protocol payload is (coordinate, error estimate); with gossip piggy-
+// backed on pings it must stay small. Encoding: one version byte, one flags
+// byte (bit 0: height present), one dimension byte, then float32 components,
+// optional float32 height, float32 error — 19 bytes for the paper's 3-D
+// no-height configuration.
+//
+// decode_state() validates everything a remote peer could get wrong
+// (truncation, bad version, dimension out of range, non-finite components,
+// negative height, error outside [0, 1]) and returns nullopt rather than
+// trusting the bytes: a malformed or malicious peer must not be able to
+// inject NaN into the spring computation (cf. PIC's security discussion in
+// the paper's related work).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/coordinate.hpp"
+
+namespace nc {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+struct WireState {
+  Coordinate coordinate;
+  double error_estimate = 1.0;
+};
+
+/// Serializes a node's advertised state.
+[[nodiscard]] std::vector<std::uint8_t> encode_state(const Coordinate& coordinate,
+                                                     double error_estimate);
+
+/// Parses and validates a peer's advertised state; nullopt on any defect.
+[[nodiscard]] std::optional<WireState> decode_state(
+    std::span<const std::uint8_t> bytes);
+
+/// Exact encoded size for a coordinate of this shape.
+[[nodiscard]] std::size_t encoded_size(int dim, bool has_height);
+
+}  // namespace nc

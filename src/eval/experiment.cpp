@@ -1,0 +1,85 @@
+#include "eval/experiment.hpp"
+
+#include "common/check.hpp"
+#include "sim/online_sim.hpp"
+#include "sim/replay.hpp"
+
+namespace nc::eval {
+
+lat::TraceGenConfig resolve_trace_config(const ReplaySpec& spec) {
+  lat::TraceGenConfig cfg;
+  cfg.topology = spec.topology.value_or(lat::TopologyConfig{});
+  cfg.topology.num_nodes = spec.num_nodes;
+  if (cfg.topology.seed == lat::TopologyConfig{}.seed) cfg.topology.seed = spec.seed;
+  cfg.link_model = spec.link_model.value_or(lat::LinkModelConfig{});
+  cfg.availability = spec.availability.value_or(lat::AvailabilityConfig{});
+  cfg.duration_s = spec.duration_s;
+  cfg.ping_interval_s = spec.ping_interval_s;
+  cfg.seed = spec.seed;
+  return cfg;
+}
+
+ReplayOutput run_replay(const ReplaySpec& spec) {
+  NC_CHECK_MSG(spec.num_nodes >= 2, "need at least two nodes");
+
+  lat::TraceGenerator gen(resolve_trace_config(spec));
+  for (const RouteChangeEvent& rc : spec.route_changes)
+    gen.network().schedule_route_change(rc.i, rc.j, rc.factor, rc.at_t);
+
+  sim::ReplayConfig rc;
+  rc.client = spec.client;
+  rc.duration_s = spec.duration_s;
+  rc.measure_start_s =
+      spec.measure_start_s >= 0.0 ? spec.measure_start_s : spec.duration_s / 2.0;
+  rc.collect_timeseries = spec.collect_timeseries;
+  rc.timeseries_bucket_s = spec.timeseries_bucket_s;
+  rc.collect_oracle = spec.collect_oracle;
+  rc.tracked_nodes = spec.tracked_nodes;
+  rc.track_interval_s = spec.track_interval_s;
+
+  sim::ReplayDriver driver(rc, gen.num_nodes());
+  driver.run(gen, spec.collect_oracle ? &gen.network() : nullptr);
+
+  std::uint64_t absorbed = 0;
+  for (NodeId id = 0; id < driver.num_nodes(); ++id)
+    absorbed += driver.client(id).absorbed_sample_count();
+  return ReplayOutput{std::move(driver.metrics()), gen.produced(), gen.attempts(),
+                      absorbed};
+}
+
+OnlineOutput run_online(const OnlineSpec& spec) {
+  NC_CHECK_MSG(spec.num_nodes >= 2, "need at least two nodes");
+
+  lat::TopologyConfig topo = spec.topology.value_or(lat::TopologyConfig{});
+  topo.num_nodes = spec.num_nodes;
+  if (topo.seed == lat::TopologyConfig{}.seed) topo.seed = spec.seed;
+
+  lat::LatencyNetwork network(lat::Topology::make(topo),
+                              spec.link_model.value_or(lat::LinkModelConfig{}),
+                              spec.availability.value_or(lat::AvailabilityConfig{}),
+                              spec.seed);
+  for (const RouteChangeEvent& rc : spec.route_changes)
+    network.schedule_route_change(rc.i, rc.j, rc.factor, rc.at_t);
+
+  sim::OnlineSimConfig oc;
+  oc.client = spec.client;
+  oc.duration_s = spec.duration_s;
+  oc.measure_start_s =
+      spec.measure_start_s >= 0.0 ? spec.measure_start_s : spec.duration_s / 2.0;
+  oc.ping_interval_s = spec.ping_interval_s;
+  oc.bootstrap_degree = spec.bootstrap_degree;
+  oc.collect_timeseries = spec.collect_timeseries;
+  oc.timeseries_bucket_s = spec.timeseries_bucket_s;
+  oc.collect_oracle = spec.collect_oracle;
+  oc.tracked_nodes = spec.tracked_nodes;
+  oc.track_interval_s = spec.track_interval_s;
+  oc.seed = spec.seed;
+
+  sim::OnlineSimulator simulator(oc, network);
+  simulator.run();
+
+  return OnlineOutput{std::move(simulator.metrics()), simulator.pings_sent(),
+                      simulator.pings_lost()};
+}
+
+}  // namespace nc::eval

@@ -1,0 +1,99 @@
+// Experiment runners shared by benches, examples and integration tests.
+//
+// A ReplaySpec describes one trace-replay experiment (the paper's simulator
+// methodology): a synthetic workload plus one NCClient configuration applied
+// to every node. An OnlineSpec is the analogous description for the
+// event-driven deployment simulator. Both return the populated
+// MetricsCollector so callers can print whichever figure they reproduce.
+//
+// Two experiments with the same workload fields and seed see bit-identical
+// observation streams even when their client configurations differ — the
+// reproduction of the paper's "run both systems on the same nodes at the
+// same time" methodology (Sec. VI).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/nc_client.hpp"
+#include "latency/link_model.hpp"
+#include "latency/trace_generator.hpp"
+#include "sim/metrics.hpp"
+
+namespace nc::eval {
+
+/// A controlled route change injected into the workload (adaptation studies).
+struct RouteChangeEvent {
+  NodeId i = kInvalidNode;
+  NodeId j = kInvalidNode;
+  double factor = 1.0;
+  double at_t = 0.0;
+};
+
+struct ReplaySpec {
+  // Workload.
+  int num_nodes = 269;
+  double duration_s = 4.0 * 3600.0;
+  double ping_interval_s = 1.0;
+  std::uint64_t seed = 1;
+  std::optional<lat::TopologyConfig> topology;        // default: PlanetLab-like
+  std::optional<lat::LinkModelConfig> link_model;     // default: LinkModelConfig{}
+  std::optional<lat::AvailabilityConfig> availability;
+  std::vector<RouteChangeEvent> route_changes;
+
+  // Node configuration.
+  NCClientConfig client;
+
+  // Measurement.
+  double measure_start_s = -1.0;  // < 0: second half of the run
+  bool collect_timeseries = false;
+  double timeseries_bucket_s = 600.0;
+  bool collect_oracle = false;
+  std::vector<NodeId> tracked_nodes;
+  double track_interval_s = 600.0;
+};
+
+struct ReplayOutput {
+  sim::MetricsCollector metrics;
+  std::uint64_t records = 0;   // observations replayed
+  std::uint64_t attempts = 0;  // ping attempts incl. losses
+  std::uint64_t absorbed = 0;  // samples withheld by filters (not primed/rejected)
+};
+
+[[nodiscard]] ReplayOutput run_replay(const ReplaySpec& spec);
+
+struct OnlineSpec {
+  int num_nodes = 270;
+  double duration_s = 4.0 * 3600.0;
+  double ping_interval_s = 5.0;
+  int bootstrap_degree = 3;
+  std::uint64_t seed = 7;
+  std::optional<lat::TopologyConfig> topology;
+  std::optional<lat::LinkModelConfig> link_model;
+  std::optional<lat::AvailabilityConfig> availability;
+  std::vector<RouteChangeEvent> route_changes;
+
+  NCClientConfig client;
+
+  double measure_start_s = -1.0;
+  bool collect_timeseries = false;
+  double timeseries_bucket_s = 600.0;
+  bool collect_oracle = false;
+  std::vector<NodeId> tracked_nodes;
+  double track_interval_s = 600.0;
+};
+
+struct OnlineOutput {
+  sim::MetricsCollector metrics;
+  std::uint64_t pings_sent = 0;
+  std::uint64_t pings_lost = 0;
+};
+
+[[nodiscard]] OnlineOutput run_online(const OnlineSpec& spec);
+
+/// The trace-generator configuration a ReplaySpec resolves to (exposed so
+/// benches can build matching TraceGenerators, e.g. for filter-only studies).
+[[nodiscard]] lat::TraceGenConfig resolve_trace_config(const ReplaySpec& spec);
+
+}  // namespace nc::eval

@@ -1,0 +1,188 @@
+#include "latency/link_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nc::lat {
+
+namespace {
+
+// Next Poisson event; rate 0 means "never".
+double next_event_after(Rng& rng, double t, double rate_hz) {
+  return rate_hz > 0.0 ? t + rng.exponential(rate_hz) : 1e18;
+}
+
+}  // namespace
+
+LinkModelConfig LinkModelConfig::noiseless() {
+  LinkModelConfig c;
+  c.body_sigma = 0.0;
+  c.base_spike_prob = 0.0;
+  c.burst_spike_prob = 0.0;
+  c.node_overload_spike_prob = 0.0;
+  c.node_overload_extra_min_ms = 0.0;
+  c.node_overload_extra_max_ms = 0.0;
+  c.link_burst_rate_hz = 0.0;
+  c.node_burst_rate_hz = 0.0;
+  c.route_change_rate_hz = 0.0;
+  c.loss_prob = 0.0;
+  return c;
+}
+
+LatencyNetwork::LatencyNetwork(Topology topology, LinkModelConfig link_config,
+                               AvailabilityConfig availability, std::uint64_t seed)
+    : topology_(std::move(topology)),
+      config_(link_config),
+      availability_(availability),
+      seed_(seed),
+      nodes_(static_cast<std::size_t>(topology_.size())),
+      node_init_(static_cast<std::size_t>(topology_.size()), false) {
+  NC_CHECK_MSG(config_.body_sigma >= 0.0, "negative jitter sigma");
+  NC_CHECK_MSG(config_.loss_prob >= 0.0 && config_.loss_prob < 1.0, "bad loss prob");
+  NC_CHECK_MSG(config_.spike_alpha > 0.0, "bad spike alpha");
+}
+
+std::uint64_t LatencyNetwork::link_key(NodeId i, NodeId j) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(i, j));
+  const auto hi = static_cast<std::uint64_t>(std::max(i, j));
+  return (lo << 32) | hi;
+}
+
+LatencyNetwork::LinkState& LatencyNetwork::link_at(NodeId i, NodeId j, double t) {
+  const std::uint64_t key = link_key(i, j);
+  auto [it, inserted] = links_.try_emplace(key);
+  LinkState& s = it->second;
+  if (inserted) {
+    s.rng = Rng::derived(seed_, 0x6c696e6bULL /* "link" */, key);
+    s.next_route_change_t = next_event_after(s.rng, t, config_.route_change_rate_hz);
+    s.next_burst_t = next_event_after(s.rng, t, config_.link_burst_rate_hz);
+    s.last_t = t;
+  }
+  NC_CHECK_MSG(t >= s.last_t - 1e-9, "link time went backwards");
+  s.last_t = t;
+
+  if (!s.route_changes_frozen) {
+    while (s.next_route_change_t <= t) {
+      s.route_factor = s.rng.uniform(config_.route_factor_min, config_.route_factor_max);
+      s.next_route_change_t += s.rng.exponential(config_.route_change_rate_hz);
+    }
+  }
+  while (!s.scheduled.empty() && s.scheduled.front().first <= t) {
+    s.route_factor = s.scheduled.front().second;
+    s.scheduled.erase(s.scheduled.begin());
+  }
+  while (s.next_burst_t <= t) {
+    s.burst_end_t =
+        s.next_burst_t + s.rng.exponential(1.0 / config_.link_burst_mean_duration_s);
+    s.next_burst_t =
+        next_event_after(s.rng, s.burst_end_t, config_.link_burst_rate_hz);
+  }
+  return s;
+}
+
+LatencyNetwork::NodeState& LatencyNetwork::node_at(NodeId i, double t) {
+  auto& s = nodes_.at(static_cast<std::size_t>(i));
+  if (!node_init_[static_cast<std::size_t>(i)]) {
+    node_init_[static_cast<std::size_t>(i)] = true;
+    s.rng = Rng::derived(seed_, 0x6e6f6465ULL /* "node" */, static_cast<std::uint64_t>(i));
+    s.up = !availability_.enabled || s.rng.bernoulli(availability_.initial_up_prob);
+    s.next_toggle_t =
+        availability_.enabled
+            ? t + s.rng.exponential(1.0 / (s.up ? availability_.mean_up_s
+                                               : availability_.mean_down_s))
+            : 1e18;
+    s.next_burst_t = next_event_after(s.rng, t, config_.node_burst_rate_hz);
+    s.last_t = t;
+  }
+  NC_CHECK_MSG(t >= s.last_t - 1e-9, "node time went backwards");
+  s.last_t = t;
+
+  while (s.next_toggle_t <= t) {
+    s.up = !s.up;
+    s.next_toggle_t += s.rng.exponential(
+        1.0 / (s.up ? availability_.mean_up_s : availability_.mean_down_s));
+  }
+  while (s.next_burst_t <= t) {
+    s.burst_end_t =
+        s.next_burst_t + s.rng.exponential(1.0 / config_.node_burst_mean_duration_s);
+    s.next_burst_t =
+        next_event_after(s.rng, s.burst_end_t, config_.node_burst_rate_hz);
+  }
+  return s;
+}
+
+std::optional<double> LatencyNetwork::sample_rtt(NodeId i, NodeId j, double t) {
+  NC_CHECK_MSG(i != j, "no self-ping");
+  ++samples_;
+
+  NodeState& ni = node_at(i, t);
+  NodeState& nj = node_at(j, t);
+  if (!nj.up) {  // target down: the ping times out
+    ++losses_;
+    return std::nullopt;
+  }
+  const bool overload = t < ni.burst_end_t || t < nj.burst_end_t;
+
+  LinkState& link = link_at(i, j, t);
+  if (link.rng.bernoulli(config_.loss_prob)) {
+    ++losses_;
+    return std::nullopt;
+  }
+
+  const double base = topology_.base_rtt_ms(i, j) * link.route_factor;
+  const double sigma = config_.body_sigma;
+  double rtt = base * link.rng.lognormal(-0.5 * sigma * sigma, sigma);
+
+  if (overload) {
+    rtt += link.rng.uniform(config_.node_overload_extra_min_ms,
+                            config_.node_overload_extra_max_ms);
+  }
+
+  const bool in_link_burst = t < link.burst_end_t;
+  const double spike_prob = in_link_burst   ? config_.burst_spike_prob
+                            : overload      ? config_.node_overload_spike_prob
+                                            : config_.base_spike_prob;
+  if (link.rng.bernoulli(spike_prob)) {
+    const double xm = link.rng.uniform(config_.spike_xm_min_ms, config_.spike_xm_max_ms);
+    rtt += link.rng.pareto(xm, config_.spike_alpha);
+  }
+
+  return std::min(rtt, config_.rtt_cap_ms);
+}
+
+double LatencyNetwork::ground_truth_rtt(NodeId i, NodeId j, double t) {
+  return topology_.base_rtt_ms(i, j) * link_at(i, j, t).route_factor;
+}
+
+bool LatencyNetwork::node_up(NodeId i, double t) { return node_at(i, t).up; }
+
+void LatencyNetwork::force_route_change(NodeId i, NodeId j, double factor, double t) {
+  NC_CHECK_MSG(factor > 0.0, "route factor must be positive");
+  LinkState& s = link_at(i, j, t);
+  s.route_factor = factor;
+  s.route_changes_frozen = true;
+}
+
+void LatencyNetwork::schedule_route_change(NodeId i, NodeId j, double factor,
+                                           double at_t) {
+  NC_CHECK_MSG(factor > 0.0, "route factor must be positive");
+  const std::uint64_t key = link_key(i, j);
+  auto [it, inserted] = links_.try_emplace(key);
+  LinkState& s = it->second;
+  if (inserted) {
+    // Initialize exactly as link_at would at first sample time; the first
+    // real sample will advance from here.
+    s.rng = Rng::derived(seed_, 0x6c696e6bULL, key);
+    s.next_route_change_t = next_event_after(s.rng, 0.0, config_.route_change_rate_hz);
+    s.next_burst_t = next_event_after(s.rng, 0.0, config_.link_burst_rate_hz);
+    s.last_t = 0.0;
+  }
+  NC_CHECK_MSG(s.last_t <= at_t, "link already advanced past at_t");
+  s.route_changes_frozen = true;
+  s.scheduled.emplace_back(at_t, factor);
+  std::sort(s.scheduled.begin(), s.scheduled.end());
+}
+
+}  // namespace nc::lat

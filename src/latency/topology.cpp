@@ -1,0 +1,112 @@
+#include "latency/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nc::lat {
+
+std::vector<RegionSpec> planetlab_regions() {
+  // Centers chosen so pairwise distances approximate 2005-era continental
+  // RTTs; z-offsets keep the space genuinely 3-D.
+  return {
+      {"us-east", Vec{0.0, 0.0, 0.0}, 9.0, 0.30},
+      {"us-west", Vec{70.0, 0.0, 5.0}, 8.0, 0.18},
+      {"europe", Vec{-85.0, 30.0, -5.0}, 10.0, 0.30},
+      {"east-asia", Vec{185.0, -40.0, 0.0}, 9.0, 0.14},
+      {"oceania", Vec{170.0, -160.0, 10.0}, 6.0, 0.04},
+      {"s-america", Vec{40.0, 140.0, 0.0}, 6.0, 0.04},
+  };
+}
+
+Topology Topology::make(const TopologyConfig& config) {
+  NC_CHECK_MSG(config.num_nodes >= 2, "need at least two nodes");
+  NC_CHECK_MSG(config.dim >= 1 && config.dim <= kMaxDim, "bad dimension");
+  const std::vector<RegionSpec> regions =
+      config.regions.empty() ? planetlab_regions() : config.regions;
+  NC_CHECK_MSG(!regions.empty(), "need at least one region");
+
+  double total_weight = 0.0;
+  for (const auto& r : regions) {
+    NC_CHECK_MSG(r.weight >= 0.0, "negative region weight");
+    NC_CHECK_MSG(r.center.dim() == config.dim, "region center dimension mismatch");
+    total_weight += r.weight;
+  }
+  NC_CHECK_MSG(total_weight > 0.0, "total region weight must be positive");
+
+  Topology t;
+  t.dim_ = config.dim;
+  t.min_base_rtt_ms_ = config.min_base_rtt_ms;
+  t.inefficiency_max_ = config.inefficiency_max;
+  t.seed_ = config.seed;
+  t.positions_.reserve(static_cast<std::size_t>(config.num_nodes));
+  t.heights_.reserve(static_cast<std::size_t>(config.num_nodes));
+  t.region_.reserve(static_cast<std::size_t>(config.num_nodes));
+  for (const auto& r : regions) t.region_names_.push_back(r.name);
+
+  Rng rng = Rng::derived(config.seed, 0x746f706fULL /* "topo" */);
+
+  // Largest-remainder apportionment of nodes to regions keeps the mix exact.
+  std::vector<int> counts(regions.size(), 0);
+  {
+    std::vector<double> exact(regions.size());
+    int assigned = 0;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      exact[r] = config.num_nodes * regions[r].weight / total_weight;
+      counts[r] = static_cast<int>(exact[r]);
+      assigned += counts[r];
+    }
+    while (assigned < config.num_nodes) {
+      std::size_t best = 0;
+      double best_frac = -1.0;
+      for (std::size_t r = 0; r < regions.size(); ++r) {
+        const double frac = exact[r] - counts[r];
+        if (frac > best_frac) {
+          best_frac = frac;
+          best = r;
+        }
+      }
+      ++counts[best];
+      ++assigned;
+    }
+  }
+
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    for (int k = 0; k < counts[r]; ++k) {
+      Vec pos = regions[r].center;
+      for (int d = 0; d < config.dim; ++d)
+        pos[d] += rng.normal(0.0, regions[r].spread_ms);
+      const double h =
+          std::clamp(rng.lognormal(config.height_log_mu, config.height_log_sigma),
+                     config.height_min_ms, config.height_max_ms);
+      t.positions_.push_back(pos);
+      t.heights_.push_back(h);
+      t.region_.push_back(static_cast<int>(r));
+    }
+  }
+  return t;
+}
+
+double Topology::base_rtt_ms(NodeId i, NodeId j) const {
+  NC_CHECK_MSG(i != j, "no self-RTT");
+  // Heights summed first so the result is bit-symmetric in (i, j).
+  const double direct =
+      position(i).distance_to(position(j)) + (height_ms(i) + height_ms(j));
+  // Deterministic per-link routing inefficiency (symmetric key).
+  const auto lo = static_cast<std::uint64_t>(std::min(i, j));
+  const auto hi = static_cast<std::uint64_t>(std::max(i, j));
+  const double u = static_cast<double>(
+                       splitmix64(hash_combine(seed_, (lo << 32) | hi)) >> 11) *
+                   0x1.0p-53;
+  const double factor = 1.0 + inefficiency_max_ * u * u;
+  return std::max(direct * factor, min_base_rtt_ms_);
+}
+
+NodeId Topology::first_node_in_region(int region) const {
+  for (std::size_t n = 0; n < region_.size(); ++n)
+    if (region_[n] == region) return static_cast<NodeId>(n);
+  return kInvalidNode;
+}
+
+}  // namespace nc::lat

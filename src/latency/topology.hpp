@@ -1,0 +1,102 @@
+// Ground-truth network topology for the synthetic PlanetLab.
+//
+// Nodes are placed in geographic regions embedded in a low-dimensional
+// "latency space" (coordinates in milliseconds). The quiescent RTT between
+// two nodes is the Euclidean distance between their positions plus both
+// access-link heights:
+//
+//     base_rtt(i, j) = ||p_i - p_j|| + h_i + h_j
+//
+// Heights model the last-mile/access link each packet crosses twice. A
+// height metric still satisfies the triangle inequality but is not
+// realizable by any pure Euclidean embedding, giving coordinate systems an
+// irreducible error floor. Genuine triangle-inequality VIOLATIONS — the
+// other structural error the paper cites — come from per-link routing
+// inefficiency: each link's RTT is inflated by a deterministic link-specific
+// factor (indirect BGP paths), so a two-hop detour can beat the direct link.
+//
+// The default region mix approximates the 2005 PlanetLab footprint: mostly
+// North America and Europe, a smaller East-Asian contingent, and a few nodes
+// elsewhere. Inter-region distances approximate real continent-scale RTTs
+// (US-East <-> Europe ~90 ms, US coasts ~70 ms, Europe <-> East Asia ~280 ms).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec.hpp"
+#include "core/node_id.hpp"
+
+namespace nc::lat {
+
+struct RegionSpec {
+  std::string name;
+  Vec center;        // region center in latency space (ms)
+  double spread_ms;  // stddev of node placement around the center
+  double weight;     // share of nodes assigned to the region
+};
+
+struct TopologyConfig {
+  int num_nodes = 269;
+  int dim = 3;  // latency-space dimension
+  std::uint64_t seed = 1;
+
+  /// Empty => planetlab_regions() defaults.
+  std::vector<RegionSpec> regions;
+
+  // Access-link heights: lognormal(log mu, sigma), clamped to [min, max].
+  double height_log_mu = 1.0;    // median ~e^1.0 ≈ 2.7 ms
+  double height_log_sigma = 0.8;
+  double height_min_ms = 0.3;
+  double height_max_ms = 25.0;
+
+  // Routing inefficiency: each link's RTT is multiplied by
+  // 1 + inefficiency_max * u^2 with link-specific u ~ U[0,1), so most links
+  // are near-direct and a minority take substantially indirect routes
+  // (creating genuine triangle-inequality violations).
+  double inefficiency_max = 0.25;
+
+  /// Floor for base RTTs (co-located nodes still need one RTT quantum).
+  double min_base_rtt_ms = 0.2;
+};
+
+/// The PlanetLab-like default region mix.
+[[nodiscard]] std::vector<RegionSpec> planetlab_regions();
+
+class Topology {
+ public:
+  [[nodiscard]] static Topology make(const TopologyConfig& config);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(positions_.size()); }
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+
+  [[nodiscard]] const Vec& position(NodeId id) const { return positions_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] double height_ms(NodeId id) const { return heights_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] int region_of(NodeId id) const { return region_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const std::string& region_name(int region) const {
+    return region_names_.at(static_cast<std::size_t>(region));
+  }
+  [[nodiscard]] int region_count() const noexcept {
+    return static_cast<int>(region_names_.size());
+  }
+
+  /// Quiescent RTT between two distinct nodes (ms).
+  [[nodiscard]] double base_rtt_ms(NodeId i, NodeId j) const;
+
+  /// First node belonging to `region`, if any.
+  [[nodiscard]] NodeId first_node_in_region(int region) const;
+
+ private:
+  int dim_ = 3;
+  double min_base_rtt_ms_ = 0.2;
+  double inefficiency_max_ = 0.6;
+  std::uint64_t seed_ = 0;
+  std::vector<Vec> positions_;
+  std::vector<double> heights_;
+  std::vector<int> region_;
+  std::vector<std::string> region_names_;
+};
+
+}  // namespace nc::lat

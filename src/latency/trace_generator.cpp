@@ -1,0 +1,63 @@
+#include "latency/trace_generator.hpp"
+
+#include "common/check.hpp"
+
+namespace nc::lat {
+
+TraceGenerator::TraceGenerator(const TraceGenConfig& config)
+    : config_(config),
+      network_(Topology::make(config.topology), config.link_model,
+               config.availability, config.seed) {
+  NC_CHECK_MSG(config.duration_s > 0.0, "duration must be positive");
+  NC_CHECK_MSG(config.ping_interval_s > 0.0, "ping interval must be positive");
+
+  const int n = network_.topology().size();
+  rr_counter_.resize(static_cast<std::size_t>(n));
+  Rng rng = Rng::derived(config.seed, 0x7363686564ULL /* "sched" */);
+  for (NodeId id = 0; id < n; ++id) {
+    // Random phase staggers nodes inside the second; random round-robin
+    // starting point decorrelates who measures whom first.
+    schedule_.push({rng.uniform(0.0, config.ping_interval_s), id});
+    rr_counter_[static_cast<std::size_t>(id)] =
+        rng.uniform_int(static_cast<std::uint64_t>(n - 1));
+  }
+}
+
+NodeId TraceGenerator::next_partner(NodeId src) {
+  const int n = network_.topology().size();
+  auto& counter = rr_counter_[static_cast<std::size_t>(src)];
+  const auto idx = static_cast<NodeId>(counter % static_cast<std::uint64_t>(n - 1));
+  ++counter;
+  // Map [0, n-2] onto node ids skipping src.
+  return idx >= src ? idx + 1 : idx;
+}
+
+std::optional<TraceRecord> TraceGenerator::next() {
+  while (!schedule_.empty()) {
+    const PingSlot slot = schedule_.top();
+    schedule_.pop();
+    if (slot.t >= config_.duration_s) return std::nullopt;
+    schedule_.push({slot.t + config_.ping_interval_s, slot.src});
+
+    ++attempts_;
+    if (!network_.node_up(slot.src, slot.t)) continue;  // down nodes do not ping
+    const NodeId dst = next_partner(slot.src);
+    const auto rtt = network_.sample_rtt(slot.src, dst, slot.t);
+    if (!rtt.has_value()) continue;  // lost or target down
+
+    ++produced_;
+    return TraceRecord{slot.t, slot.src, dst, static_cast<float>(*rtt)};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t generate_trace_file(const TraceGenConfig& config,
+                                  const std::string& path) {
+  TraceGenerator gen(config);
+  TraceWriter writer(path, gen.num_nodes());
+  while (auto r = gen.next()) writer.append(*r);
+  writer.close();
+  return writer.written();
+}
+
+}  // namespace nc::lat

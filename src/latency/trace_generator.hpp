@@ -1,0 +1,72 @@
+// Streaming synthetic-trace generator.
+//
+// Reproduces the paper's measurement methodology (Sec. III): every node
+// sends one application-level UDP ping per `ping_interval_s` to its
+// neighbors in round-robin order, cycling through all other nodes. Records
+// stream out in global time order without materializing the trace, so
+// three-day, 40M+-sample traces generate in seconds of CPU and O(nodes)
+// memory. Lost pings and down nodes simply produce no record, which is why
+// the paper's 269-node, 3-day trace holds 43M samples instead of the ~70M a
+// perfect 1 Hz schedule would yield.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "latency/link_model.hpp"
+#include "latency/trace.hpp"
+
+namespace nc::lat {
+
+struct TraceGenConfig {
+  TopologyConfig topology;
+  LinkModelConfig link_model;
+  AvailabilityConfig availability;
+  double duration_s = 4.0 * 3600.0;
+  double ping_interval_s = 1.0;  // per-node ping period
+  std::uint64_t seed = 1;
+};
+
+class TraceGenerator final : public TraceSource {
+ public:
+  explicit TraceGenerator(const TraceGenConfig& config);
+
+  /// Next successful ping observation, in non-decreasing time order;
+  /// nullopt once the configured duration is exhausted.
+  [[nodiscard]] std::optional<TraceRecord> next() override;
+
+  [[nodiscard]] int num_nodes() const override { return network_.topology().size(); }
+
+  [[nodiscard]] const Topology& topology() const noexcept { return network_.topology(); }
+  [[nodiscard]] LatencyNetwork& network() noexcept { return network_; }
+
+  /// Successful observations emitted so far.
+  [[nodiscard]] std::uint64_t produced() const noexcept { return produced_; }
+  /// Ping attempts (successful or not) so far.
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+
+ private:
+  struct PingSlot {
+    double t;
+    NodeId src;
+    [[nodiscard]] friend bool operator>(const PingSlot& a, const PingSlot& b) {
+      return a.t != b.t ? a.t > b.t : a.src > b.src;
+    }
+  };
+
+  [[nodiscard]] NodeId next_partner(NodeId src);
+
+  TraceGenConfig config_;
+  LatencyNetwork network_;
+  std::priority_queue<PingSlot, std::vector<PingSlot>, std::greater<>> schedule_;
+  std::vector<std::uint64_t> rr_counter_;  // per-node round-robin progress
+  std::uint64_t produced_ = 0;
+  std::uint64_t attempts_ = 0;
+};
+
+/// Generates a full trace to a binary file; returns records written.
+std::uint64_t generate_trace_file(const TraceGenConfig& config,
+                                  const std::string& path);
+
+}  // namespace nc::lat

@@ -1,0 +1,60 @@
+// Deterministic discrete-event queue.
+//
+// A min-heap ordered by (time, insertion sequence): events at equal times
+// fire in insertion order, which keeps simulations bit-reproducible across
+// runs and platforms. Payloads are plain structs (no std::function) so a
+// multi-million-event run does not allocate per event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nc::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void schedule(double t, Payload payload) {
+    NC_CHECK_MSG(t >= now_, "cannot schedule in the past");
+    heap_.push(Event{t, next_seq_++, std::move(payload)});
+  }
+
+  /// Pops the earliest event and advances the simulated clock to it.
+  [[nodiscard]] std::optional<Event> pop() {
+    if (heap_.empty()) return std::nullopt;
+    Event e = heap_.top();
+    heap_.pop();
+    NC_ASSERT(e.t >= now_);
+    now_ = e.t;
+    return e;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Time of the last popped event (0 before any pop).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace nc::sim

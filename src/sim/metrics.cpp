@@ -1,0 +1,228 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "stats/percentile.hpp"
+
+namespace nc::sim {
+
+MetricsCollector::MetricsCollector(const MetricsConfig& config) : config_(config) {
+  NC_CHECK_MSG(config.num_nodes >= 2, "need at least two nodes");
+  NC_CHECK_MSG(config.duration_s > 0.0, "duration must be positive");
+  NC_CHECK_MSG(config.measure_start_s >= 0.0 &&
+                   config.measure_start_s < config.duration_s,
+               "bad measurement window");
+  const auto n = static_cast<std::size_t>(config.num_nodes);
+  node_errors_.resize(n);
+  node_current_second_.resize(n);
+  node_second_movements_.resize(n);
+  node_last_update_sec_.assign(n, -1);
+  if (config.collect_oracle) {
+    node_oracle_median_.assign(n, stats::P2Quantile(0.5));
+    node_oracle_count_.assign(n, 0);
+  }
+  const auto total_secs = static_cast<std::size_t>(std::ceil(config.duration_s)) + 1;
+  app_move_per_sec_.assign(total_secs, 0.0);
+  sys_move_per_sec_.assign(total_secs, 0.0);
+  updating_nodes_per_sec_.assign(eval_window_seconds(), 0);
+  if (config.collect_timeseries) {
+    ts_errors_.emplace(config.timeseries_bucket_s);
+  }
+  for (NodeId id : config.tracked_nodes) drift_[id];  // pre-create entries
+}
+
+std::size_t MetricsCollector::second_index(double t) const noexcept {
+  const auto idx = static_cast<std::size_t>(std::max(0.0, std::floor(t)));
+  return std::min(idx, app_move_per_sec_.size() - 1);
+}
+
+std::size_t MetricsCollector::eval_window_seconds() const noexcept {
+  return static_cast<std::size_t>(
+      std::ceil(config_.duration_s - config_.measure_start_s));
+}
+
+void MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
+                                      double raw_rtt_ms, const Coordinate& src_app,
+                                      const Coordinate& dst_app,
+                                      const ObservationOutcome& outcome,
+                                      std::optional<double> oracle_rtt_ms) {
+  NC_CHECK_MSG(raw_rtt_ms > 0.0, "raw rtt must be positive");
+  ++observations_;
+  const auto s = static_cast<std::size_t>(src);
+  const bool eval = in_eval_window(t);
+
+  // Application-level relative error for this observation.
+  const double predicted = src_app.distance_to(dst_app);
+  const double err = std::fabs(predicted - raw_rtt_ms) / raw_rtt_ms;
+  if (eval) node_errors_[s].push_back(err);
+  if (ts_errors_) ts_errors_->add(t, err);
+
+  if (config_.collect_oracle && oracle_rtt_ms.has_value() && eval) {
+    const double oerr = std::fabs(predicted - *oracle_rtt_ms) / *oracle_rtt_ms;
+    node_oracle_median_[s].add(oerr);
+    ++node_oracle_count_[s];
+  }
+
+  // Movement accounting (whole run, per second).
+  const std::size_t sec = second_index(t);
+  app_move_per_sec_[sec] += outcome.app_displacement_ms;
+  sys_move_per_sec_[sec] += outcome.system_displacement_ms;
+
+  if (eval) {
+    // Per-node movement per second: flush when the node's second rolls over.
+    NodeSecond& cur = node_current_second_[s];
+    const auto this_sec = static_cast<std::int64_t>(sec);
+    if (cur.second != this_sec) {
+      if (cur.second >= 0) node_second_movements_[s].push_back(cur.movement);
+      cur.second = this_sec;
+      cur.movement = 0.0;
+    }
+    cur.movement += outcome.app_displacement_ms;
+
+    if (outcome.app_updated) {
+      ++app_updates_;
+      if (node_last_update_sec_[s] != this_sec) {
+        node_last_update_sec_[s] = this_sec;
+        const auto start_sec =
+            static_cast<std::size_t>(std::floor(config_.measure_start_s));
+        const std::size_t rel = sec - start_sec;
+        if (rel < updating_nodes_per_sec_.size()) ++updating_nodes_per_sec_[rel];
+      }
+    }
+  }
+}
+
+void MetricsCollector::track_coordinate(double t, NodeId node, const Coordinate& coord) {
+  drift_[node].push_back(DriftPoint{t, coord.position()});
+}
+
+stats::Ecdf MetricsCollector::per_node_median_error() const {
+  stats::Ecdf out;
+  for (const auto& errs : node_errors_) {
+    if (static_cast<int>(errs.size()) >= config_.min_node_samples)
+      out.add(stats::percentile(errs, 50.0));
+  }
+  return out;
+}
+
+stats::Ecdf MetricsCollector::per_node_p95_error() const {
+  stats::Ecdf out;
+  for (const auto& errs : node_errors_) {
+    if (static_cast<int>(errs.size()) >= config_.min_node_samples)
+      out.add(stats::percentile(errs, 95.0));
+  }
+  return out;
+}
+
+double MetricsCollector::median_relative_error() const {
+  const stats::Ecdf cdf = per_node_median_error();
+  NC_CHECK_MSG(!cdf.empty(), "no nodes with enough samples");
+  return cdf.median();
+}
+
+stats::Ecdf MetricsCollector::oracle_per_node_median_error() const {
+  NC_CHECK_MSG(config_.collect_oracle, "oracle metrics not enabled");
+  stats::Ecdf out;
+  for (std::size_t n = 0; n < node_oracle_median_.size(); ++n) {
+    if (static_cast<int>(node_oracle_count_[n]) >= config_.min_node_samples)
+      out.add(node_oracle_median_[n].value());
+  }
+  return out;
+}
+
+double MetricsCollector::oracle_median_error_of(NodeId node) const {
+  NC_CHECK_MSG(config_.collect_oracle, "oracle metrics not enabled");
+  const auto n = static_cast<std::size_t>(node);
+  NC_CHECK_MSG(n < node_oracle_median_.size(), "node out of range");
+  NC_CHECK_MSG(static_cast<int>(node_oracle_count_[n]) >= config_.min_node_samples,
+               "too few oracle samples for node");
+  return node_oracle_median_[n].value();
+}
+
+stats::Ecdf MetricsCollector::instability() const {
+  stats::Ecdf out;
+  const auto start = static_cast<std::size_t>(std::floor(config_.measure_start_s));
+  const auto end = std::min(app_move_per_sec_.size(),
+                            static_cast<std::size_t>(std::ceil(config_.duration_s)));
+  for (std::size_t sec = start; sec < end; ++sec) out.add(app_move_per_sec_[sec]);
+  return out;
+}
+
+stats::Ecdf MetricsCollector::system_instability() const {
+  stats::Ecdf out;
+  const auto start = static_cast<std::size_t>(std::floor(config_.measure_start_s));
+  const auto end = std::min(sys_move_per_sec_.size(),
+                            static_cast<std::size_t>(std::ceil(config_.duration_s)));
+  for (std::size_t sec = start; sec < end; ++sec) out.add(sys_move_per_sec_[sec]);
+  return out;
+}
+
+double MetricsCollector::median_instability_ms_per_s() const {
+  const stats::Ecdf cdf = instability();
+  NC_CHECK_MSG(!cdf.empty(), "empty instability window");
+  return cdf.median();
+}
+
+double MetricsCollector::mean_instability_ms_per_s() const {
+  const auto start = static_cast<std::size_t>(std::floor(config_.measure_start_s));
+  const auto end = std::min(app_move_per_sec_.size(),
+                            static_cast<std::size_t>(std::ceil(config_.duration_s)));
+  NC_CHECK_MSG(end > start, "empty instability window");
+  double total = 0.0;
+  for (std::size_t sec = start; sec < end; ++sec) total += app_move_per_sec_[sec];
+  return total / static_cast<double>(end - start);
+}
+
+stats::Ecdf MetricsCollector::per_node_p95_movement() const {
+  stats::Ecdf out;
+  const double window = static_cast<double>(eval_window_seconds());
+  for (std::size_t n = 0; n < node_second_movements_.size(); ++n) {
+    std::vector<double> secs = node_second_movements_[n];
+    if (secs.empty()) continue;
+    // Seconds without any observation contributed no movement: pad zeros so
+    // percentiles are over the full window.
+    const auto missing = static_cast<std::size_t>(
+        std::max(0.0, window - static_cast<double>(secs.size())));
+    secs.insert(secs.end(), missing, 0.0);
+    out.add(stats::percentile(std::move(secs), 95.0));
+  }
+  return out;
+}
+
+double MetricsCollector::mean_pct_nodes_updating_per_s() const {
+  if (updating_nodes_per_sec_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t c : updating_nodes_per_sec_) sum += c;
+  return 100.0 * sum /
+         (static_cast<double>(updating_nodes_per_sec_.size()) *
+          static_cast<double>(config_.num_nodes));
+}
+
+std::vector<stats::SeriesPoint> MetricsCollector::error_timeseries_median() const {
+  NC_CHECK_MSG(ts_errors_.has_value(), "time series not enabled");
+  return ts_errors_->medians();
+}
+
+std::vector<stats::SeriesPoint> MetricsCollector::error_timeseries_p95() const {
+  NC_CHECK_MSG(ts_errors_.has_value(), "time series not enabled");
+  return ts_errors_->quantiles(0.95);
+}
+
+std::vector<stats::SeriesPoint> MetricsCollector::instability_timeseries() const {
+  stats::BucketedSum buckets(config_.timeseries_bucket_s);
+  for (std::size_t sec = 0; sec < app_move_per_sec_.size(); ++sec) {
+    if (static_cast<double>(sec) >= config_.duration_s) break;
+    buckets.add(static_cast<double>(sec), app_move_per_sec_[sec]);
+  }
+  return buckets.means();  // mean ms/s within each bucket
+}
+
+const std::vector<DriftPoint>& MetricsCollector::drift(NodeId node) const {
+  const auto it = drift_.find(node);
+  NC_CHECK_MSG(it != drift_.end(), "node was not tracked");
+  return it->second;
+}
+
+}  // namespace nc::sim

@@ -1,0 +1,156 @@
+// Metrics collection shared by the trace-replay and online simulators.
+//
+// Implements the paper's two figures of merit (Sec. II-A) plus the
+// application-update rate of Sec. V-D:
+//
+//  * Accuracy — per-node relative error: for every observation,
+//    eps = | ||c_i - c_j|| - l_ij | / l_ij measured with the APPLICATION
+//    coordinates of both endpoints against the raw observed latency. Per-node
+//    distributions feed the median / 95th-percentile CDFs.
+//  * Stability — coordinate movement per second (ms/s). Aggregate instability
+//    sums all nodes' application-coordinate displacement per second of
+//    simulated time; its distribution over seconds is the paper's
+//    "Instability" CDF, and its median the sweep-figure scalar.
+//  * Update rate — percentage of nodes whose application coordinate changed
+//    in each second (Fig. 9 bottom).
+//
+// Because this reproduction owns the ground truth (a real deployment does
+// not), an optional oracle metric also compares coordinate distances against
+// the quiescent route-adjusted RTT — useful for validating the substitution.
+//
+// Accuracy/stability are collected inside [measure_start_s, duration_s) to
+// exclude start-up transients (the paper reports the second half of each
+// run); time series span the whole run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/coordinate.hpp"
+#include "core/nc_client.hpp"
+#include "core/node_id.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/timeseries.hpp"
+
+namespace nc::sim {
+
+struct MetricsConfig {
+  int num_nodes = 0;
+  double duration_s = 0.0;
+  double measure_start_s = 0.0;
+
+  bool collect_timeseries = false;
+  double timeseries_bucket_s = 600.0;
+
+  bool collect_oracle = false;
+
+  /// Nodes whose coordinate trajectory is recorded (Fig. 7 drift plots).
+  std::vector<NodeId> tracked_nodes;
+
+  /// Per-node error distributions need at least this many samples to count.
+  int min_node_samples = 8;
+};
+
+struct DriftPoint {
+  double t = 0.0;
+  Vec position;
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(const MetricsConfig& config);
+
+  /// Records one observation: `src` observed `dst` with raw RTT `raw_rtt_ms`;
+  /// `src_app`/`dst_app` are both endpoints' application coordinates after
+  /// the update; `outcome` is what the observation did to `src`.
+  void on_observation(double t, NodeId src, NodeId dst, double raw_rtt_ms,
+                      const Coordinate& src_app, const Coordinate& dst_app,
+                      const ObservationOutcome& outcome,
+                      std::optional<double> oracle_rtt_ms = std::nullopt);
+
+  /// Appends a drift snapshot for a tracked node (driver decides cadence).
+  void track_coordinate(double t, NodeId node, const Coordinate& coord);
+
+  // ---- accuracy ----
+  [[nodiscard]] stats::Ecdf per_node_median_error() const;
+  [[nodiscard]] stats::Ecdf per_node_p95_error() const;
+  /// Median over nodes of each node's median relative error.
+  [[nodiscard]] double median_relative_error() const;
+  [[nodiscard]] stats::Ecdf oracle_per_node_median_error() const;
+  /// Ground-truth median error of one node (e.g. the node whose links an
+  /// adaptation experiment perturbed). Requires enough samples.
+  [[nodiscard]] double oracle_median_error_of(NodeId node) const;
+
+  // ---- stability ----
+  /// CDF over eval-window seconds of aggregate app-coordinate movement (ms/s).
+  [[nodiscard]] stats::Ecdf instability() const;
+  /// Same, for system coordinates.
+  [[nodiscard]] stats::Ecdf system_instability() const;
+  [[nodiscard]] double median_instability_ms_per_s() const;
+  /// The paper's stability definition s = sum(dx)/t over the eval window:
+  /// total application-coordinate movement divided by elapsed seconds.
+  [[nodiscard]] double mean_instability_ms_per_s() const;
+  /// CDF over nodes of the 95th percentile of per-second movement.
+  [[nodiscard]] stats::Ecdf per_node_p95_movement() const;
+
+  // ---- application updates ----
+  /// Mean over eval seconds of (distinct nodes updating / num_nodes * 100).
+  [[nodiscard]] double mean_pct_nodes_updating_per_s() const;
+  [[nodiscard]] std::uint64_t total_app_updates() const noexcept { return app_updates_; }
+
+  // ---- time series (whole run) ----
+  [[nodiscard]] std::vector<stats::SeriesPoint> error_timeseries_median() const;
+  [[nodiscard]] std::vector<stats::SeriesPoint> error_timeseries_p95() const;
+  /// Mean per-second aggregate movement within each bucket (ms/s).
+  [[nodiscard]] std::vector<stats::SeriesPoint> instability_timeseries() const;
+
+  // ---- drift ----
+  [[nodiscard]] const std::vector<DriftPoint>& drift(NodeId node) const;
+
+  [[nodiscard]] std::uint64_t observation_count() const noexcept { return observations_; }
+  [[nodiscard]] const MetricsConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] bool in_eval_window(double t) const noexcept {
+    return t >= config_.measure_start_s && t < config_.duration_s;
+  }
+  [[nodiscard]] std::size_t second_index(double t) const noexcept;
+  [[nodiscard]] std::size_t eval_window_seconds() const noexcept;
+
+  MetricsConfig config_;
+
+  // Accuracy (eval window).
+  std::vector<std::vector<double>> node_errors_;
+  std::vector<stats::P2Quantile> node_oracle_median_;
+  std::vector<std::uint64_t> node_oracle_count_;
+
+  // Whole-run per-second aggregate movement (app and system coordinates).
+  std::vector<double> app_move_per_sec_;
+  std::vector<double> sys_move_per_sec_;
+
+  // Per-node movement per second (eval window): flushed sums.
+  struct NodeSecond {
+    std::int64_t second = -1;
+    double movement = 0.0;
+  };
+  std::vector<NodeSecond> node_current_second_;
+  std::vector<std::vector<double>> node_second_movements_;
+
+  // Distinct nodes with app updates per eval second.
+  std::vector<std::uint32_t> updating_nodes_per_sec_;
+  std::vector<std::int64_t> node_last_update_sec_;
+
+  // Time series.
+  std::optional<stats::BucketedValues> ts_errors_;
+
+  // Drift.
+  std::map<NodeId, std::vector<DriftPoint>> drift_;
+
+  std::uint64_t observations_ = 0;
+  std::uint64_t app_updates_ = 0;
+};
+
+}  // namespace nc::sim

@@ -1,0 +1,141 @@
+#include "sim/online_sim.hpp"
+
+#include "common/check.hpp"
+
+namespace nc::sim {
+
+namespace {
+
+MetricsConfig make_metrics_config(const OnlineSimConfig& config, int num_nodes) {
+  MetricsConfig m;
+  m.num_nodes = num_nodes;
+  m.duration_s = config.duration_s;
+  m.measure_start_s = config.measure_start_s;
+  m.collect_timeseries = config.collect_timeseries;
+  m.timeseries_bucket_s = config.timeseries_bucket_s;
+  m.collect_oracle = config.collect_oracle;
+  m.tracked_nodes = config.tracked_nodes;
+  return m;
+}
+
+}  // namespace
+
+OnlineSimulator::OnlineSimulator(const OnlineSimConfig& config,
+                                 lat::LatencyNetwork& network)
+    : config_(config),
+      network_(network),
+      metrics_(make_metrics_config(config, network.topology().size())),
+      rng_(Rng::derived(config.seed, 0x6f6e6c696eULL /* "onlin" */)) {
+  const int n = network.topology().size();
+  NC_CHECK_MSG(config.bootstrap_degree >= 1, "need at least one bootstrap peer");
+  NC_CHECK_MSG(config.ping_interval_s > 0.0, "ping interval must be positive");
+
+  clients_.reserve(static_cast<std::size_t>(n));
+  neighbors_.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    clients_.push_back(std::make_unique<NCClient>(id, config.client));
+    neighbors_.emplace_back(
+        config.neighbor_capacity,
+        hash_combine(config.seed, static_cast<std::uint64_t>(id)));
+  }
+  // Bootstrap membership: every node knows a few random peers.
+  for (NodeId id = 0; id < n; ++id) {
+    int added = 0;
+    while (added < config.bootstrap_degree) {
+      const auto peer = static_cast<NodeId>(rng_.uniform_int(static_cast<std::uint64_t>(n)));
+      if (peer == id) continue;
+      neighbors_[static_cast<std::size_t>(id)].add(peer);
+      ++added;
+    }
+  }
+  // Staggered first pings.
+  for (NodeId id = 0; id < n; ++id) {
+    queue_.schedule(rng_.uniform(0.0, config.ping_interval_s),
+                    Payload{EventKind::kPingTimer, id});
+  }
+  next_track_t_ = config.track_interval_s;
+}
+
+void OnlineSimulator::run() {
+  NC_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+  while (auto ev = queue_.pop()) {
+    const double t = ev->t;
+    if (t >= config_.duration_s) break;
+    maybe_track(t);
+    switch (ev->payload.kind) {
+      case EventKind::kPingTimer:
+        on_ping_timer(t, ev->payload.a);
+        break;
+      case EventKind::kPongArrival:
+        on_pong(t, ev->payload);
+        break;
+    }
+  }
+}
+
+void OnlineSimulator::on_ping_timer(double t, NodeId node) {
+  // Re-arm the timer first so churned/idle nodes keep their cadence.
+  const double jitter = rng_.uniform(-config_.ping_jitter_s, config_.ping_jitter_s);
+  queue_.schedule(t + std::max(0.1, config_.ping_interval_s + jitter),
+                  Payload{EventKind::kPingTimer, node});
+
+  if (!network_.node_up(node, t)) return;  // down nodes neither ping nor respond
+
+  auto& nbrs = neighbors_[static_cast<std::size_t>(node)];
+  const auto target = nbrs.next_round_robin();
+  if (!target.has_value()) return;
+
+  ++pings_sent_;
+  const auto rtt = network_.sample_rtt(node, *target, t);
+  if (!rtt.has_value()) {
+    ++pings_lost_;
+    return;  // timeout: no observation
+  }
+
+  // The ping itself gossips one of the sender's neighbors to the target and
+  // introduces the sender (paper: nodes learn neighbors via sampling
+  // messages). The target learns both immediately in wall-clock terms; the
+  // one-way skew is far below membership time-scales.
+  auto& target_nbrs = neighbors_[static_cast<std::size_t>(*target)];
+  target_nbrs.add(node);
+  if (const auto g = nbrs.random_neighbor(); g.has_value() && *g != *target)
+    target_nbrs.add(*g);
+
+  // The pong returns the target's state; it is observed on arrival.
+  Payload pong{EventKind::kPongArrival, node, *target,
+               static_cast<float>(*rtt), kInvalidNode};
+  if (const auto g = target_nbrs.random_neighbor(); g.has_value() && *g != node)
+    pong.gossip = *g;
+  queue_.schedule(t + *rtt / 1000.0, pong);
+}
+
+void OnlineSimulator::on_pong(double t, const Payload& p) {
+  NCClient& observer = *clients_[static_cast<std::size_t>(p.a)];
+  NCClient& remote = *clients_[static_cast<std::size_t>(p.b)];
+
+  if (p.gossip != kInvalidNode && p.gossip != p.a)
+    neighbors_[static_cast<std::size_t>(p.a)].add(p.gossip);
+
+  const ObservationOutcome outcome =
+      observer.observe(p.b, remote.system_coordinate(), remote.error_estimate(),
+                       static_cast<double>(p.rtt_ms), t);
+
+  std::optional<double> truth;
+  if (metrics_.config().collect_oracle)
+    truth = network_.ground_truth_rtt(p.a, p.b, t);
+
+  metrics_.on_observation(t, p.a, p.b, static_cast<double>(p.rtt_ms),
+                          observer.application_coordinate(),
+                          remote.application_coordinate(), outcome, truth);
+}
+
+void OnlineSimulator::maybe_track(double t) {
+  while (!metrics_.config().tracked_nodes.empty() && t >= next_track_t_) {
+    for (NodeId id : metrics_.config().tracked_nodes)
+      metrics_.track_coordinate(next_track_t_, id, client(id).system_coordinate());
+    next_track_t_ += config_.track_interval_s;
+  }
+}
+
+}  // namespace nc::sim

@@ -1,0 +1,96 @@
+// Online deployment simulator: the paper's PlanetLab experiment (Sec. VI).
+//
+// Unlike trace replay, nodes here run the full protocol concurrently as
+// discrete events over the stochastic latency network:
+//
+//  * every node samples one neighbor from its NeighborSet in round-robin
+//    order every `ping_interval_s` (paper: 5 s), with a small deterministic
+//    phase jitter;
+//  * each ping/pong carries the sender's coordinate state plus one gossiped
+//    neighbor address, so membership spreads epidemically from a small
+//    bootstrap set;
+//  * the response arrives after the sampled RTT; the observation applies the
+//    remote state as of arrival time;
+//  * lost pings and down nodes produce timeouts (no observation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/nc_client.hpp"
+#include "core/neighbor_set.hpp"
+#include "latency/link_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace nc::sim {
+
+struct OnlineSimConfig {
+  NCClientConfig client;
+
+  double duration_s = 4.0 * 3600.0;
+  double measure_start_s = 2.0 * 3600.0;
+  double ping_interval_s = 5.0;   // paper Sec. VI
+  double ping_jitter_s = 0.25;    // deterministic phase jitter per ping
+
+  /// Each node bootstraps with this many random known peers (>= 1).
+  int bootstrap_degree = 3;
+  std::size_t neighbor_capacity = 512;
+
+  bool collect_timeseries = false;
+  double timeseries_bucket_s = 600.0;
+  bool collect_oracle = false;
+  std::vector<NodeId> tracked_nodes;
+  double track_interval_s = 600.0;
+
+  std::uint64_t seed = 7;
+};
+
+class OnlineSimulator {
+ public:
+  /// The simulator does not own the network; the caller can share one
+  /// network across configurations (paper Sec. VI runs filtered and
+  /// unfiltered systems side by side on the same nodes).
+  OnlineSimulator(const OnlineSimConfig& config, lat::LatencyNetwork& network);
+
+  /// Runs the full simulation. Call once.
+  void run();
+
+  [[nodiscard]] MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] NCClient& client(NodeId id) { return *clients_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] NeighborSet& neighbors(NodeId id) { return neighbors_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(clients_.size()); }
+
+  [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
+  [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
+
+ private:
+  enum class EventKind : std::uint8_t { kPingTimer, kPongArrival };
+  struct Payload {
+    EventKind kind;
+    NodeId a = kInvalidNode;  // timer owner / observer
+    NodeId b = kInvalidNode;  // pong: remote node
+    float rtt_ms = 0.0f;      // pong: measured RTT
+    NodeId gossip = kInvalidNode;  // pong: neighbor advertised by remote
+  };
+
+  void on_ping_timer(double t, NodeId node);
+  void on_pong(double t, const Payload& p);
+  void maybe_track(double t);
+
+  OnlineSimConfig config_;
+  lat::LatencyNetwork& network_;
+  std::vector<std::unique_ptr<NCClient>> clients_;
+  std::vector<NeighborSet> neighbors_;
+  EventQueue<Payload> queue_;
+  MetricsCollector metrics_;
+  Rng rng_;
+  double next_track_t_ = 0.0;
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t pings_lost_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace nc::sim

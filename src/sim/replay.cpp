@@ -1,0 +1,66 @@
+#include "sim/replay.hpp"
+
+#include "common/check.hpp"
+
+namespace nc::sim {
+
+namespace {
+
+MetricsConfig make_metrics_config(const ReplayConfig& config, int num_nodes) {
+  MetricsConfig m;
+  m.num_nodes = num_nodes;
+  m.duration_s = config.duration_s;
+  m.measure_start_s = config.measure_start_s;
+  m.collect_timeseries = config.collect_timeseries;
+  m.timeseries_bucket_s = config.timeseries_bucket_s;
+  m.collect_oracle = config.collect_oracle;
+  m.tracked_nodes = config.tracked_nodes;
+  return m;
+}
+
+}  // namespace
+
+ReplayDriver::ReplayDriver(const ReplayConfig& config, int num_nodes)
+    : config_(config), metrics_(make_metrics_config(config, num_nodes)) {
+  clients_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId id = 0; id < num_nodes; ++id)
+    clients_.push_back(std::make_unique<NCClient>(id, config.client));
+  next_track_t_ = config.track_interval_s;
+}
+
+void ReplayDriver::run(lat::TraceSource& source, lat::LatencyNetwork* oracle) {
+  NC_CHECK_MSG(source.num_nodes() <= num_nodes(), "trace has more nodes than driver");
+  while (auto rec = source.next()) {
+    if (rec->t_s >= config_.duration_s) break;
+    NC_CHECK_MSG(rec->src >= 0 && rec->src < num_nodes(), "bad src id");
+    NC_CHECK_MSG(rec->dst >= 0 && rec->dst < num_nodes(), "bad dst id");
+    NC_CHECK_MSG(rec->rtt_ms > 0.0f, "non-positive rtt in trace");
+
+    NCClient& src = *clients_[static_cast<std::size_t>(rec->src)];
+    NCClient& dst = *clients_[static_cast<std::size_t>(rec->dst)];
+
+    // The protocol exchanges the remote node's *system* coordinate and error
+    // estimate; application coordinates are what the app consumes locally.
+    const ObservationOutcome outcome =
+        src.observe(rec->dst, dst.system_coordinate(), dst.error_estimate(),
+                    static_cast<double>(rec->rtt_ms), rec->t_s);
+
+    std::optional<double> truth;
+    if (oracle != nullptr && metrics_.config().collect_oracle)
+      truth = oracle->ground_truth_rtt(rec->src, rec->dst, rec->t_s);
+
+    metrics_.on_observation(rec->t_s, rec->src, rec->dst,
+                            static_cast<double>(rec->rtt_ms),
+                            src.application_coordinate(),
+                            dst.application_coordinate(), outcome, truth);
+
+    while (!metrics_.config().tracked_nodes.empty() && rec->t_s >= next_track_t_) {
+      for (NodeId id : metrics_.config().tracked_nodes)
+        metrics_.track_coordinate(next_track_t_, id,
+                                  client(id).system_coordinate());
+      next_track_t_ += config_.track_interval_s;
+    }
+  }
+}
+
+}  // namespace nc::sim

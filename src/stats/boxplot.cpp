@@ -1,0 +1,43 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/percentile.hpp"
+
+namespace nc::stats {
+
+BoxplotStats boxplot(std::vector<double> values) {
+  NC_CHECK_MSG(!values.empty(), "boxplot of empty sample");
+  std::sort(values.begin(), values.end());
+
+  BoxplotStats s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = percentile_sorted(values, 25.0);
+  s.median = percentile_sorted(values, 50.0);
+  s.q3 = percentile_sorted(values, 75.0);
+
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+
+  s.whisker_lo = s.max;
+  s.whisker_hi = s.min;
+  for (double v : values) {
+    if (v >= lo_fence && v <= hi_fence) {
+      s.whisker_lo = std::min(s.whisker_lo, v);
+      s.whisker_hi = std::max(s.whisker_hi, v);
+    } else {
+      ++s.outliers;
+    }
+  }
+  if (s.outliers == s.count) {  // degenerate: everything outside fences
+    s.whisker_lo = s.min;
+    s.whisker_hi = s.max;
+  }
+  return s;
+}
+
+}  // namespace nc::stats

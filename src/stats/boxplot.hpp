@@ -1,0 +1,26 @@
+// Five-number boxplot summary with Tukey whiskers (Fig. 4 reports MP filter
+// prediction error as boxplots over links).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nc::stats {
+
+struct BoxplotStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  /// Whiskers: most extreme sample within 1.5*IQR of the box.
+  double whisker_lo = 0.0;
+  double whisker_hi = 0.0;
+  std::uint64_t outliers = 0;  // samples outside the whiskers
+  std::uint64_t count = 0;
+};
+
+/// Computes boxplot statistics (sorts a copy). Requires non-empty input.
+[[nodiscard]] BoxplotStats boxplot(std::vector<double> values);
+
+}  // namespace nc::stats

@@ -1,0 +1,36 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/percentile.hpp"
+
+namespace nc::stats {
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::quantile(double q) const {
+  NC_CHECK_MSG(!values_.empty(), "quantile of empty ECDF");
+  ensure_sorted();
+  return percentile_sorted(values_, q * 100.0);
+}
+
+double Ecdf::fraction_at_or_below(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+std::span<const double> Ecdf::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+}  // namespace nc::stats

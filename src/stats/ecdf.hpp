@@ -1,0 +1,52 @@
+// Empirical cumulative distribution over a collected sample.
+//
+// Collect values with add(), then query quantiles / CDF points. The paper's
+// evaluation reports most results as CDFs over nodes or over seconds
+// (Figs. 5, 11, 13); benches print these at fixed probability grid points.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nc::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> values) : values_(std::move(values)) {
+    sorted_ = false;
+  }
+
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Interpolated quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fraction of the sample <= x.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+  /// Fraction of the sample > x.
+  [[nodiscard]] double fraction_above(double x) const {
+    return 1.0 - fraction_at_or_below(x);
+  }
+
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  /// Sorted sample (ascending); valid until the next add().
+  [[nodiscard]] std::span<const double> sorted_values() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace nc::stats

@@ -1,0 +1,57 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  NC_CHECK_MSG(edges_.size() >= 2, "need at least two edges");
+  NC_CHECK_MSG(std::is_sorted(edges_.begin(), edges_.end()),
+               "edges must be ascending");
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram Histogram::uniform(double lo, double hi, int n) {
+  NC_CHECK_MSG(n > 0 && hi > lo, "bad uniform histogram spec");
+  std::vector<double> edges(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i)
+    edges[static_cast<std::size_t>(i)] = lo + (hi - lo) * i / n;
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  // upper_bound finds the first edge > x; its predecessor opens the bucket.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[idx] += weight;
+}
+
+std::string Histogram::bucket_label(int bucket) const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f-%.0f", bucket_lo(bucket),
+                bucket_hi(bucket) - 1);
+  return buf;
+}
+
+double Histogram::fraction_at_or_above(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t at_or_above = overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (edges_[i] >= x) at_or_above += counts_[i];
+  }
+  return static_cast<double>(at_or_above) / static_cast<double>(total_);
+}
+
+}  // namespace nc::stats

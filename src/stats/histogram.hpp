@@ -1,0 +1,53 @@
+// Frequency histograms over explicit bucket edges.
+//
+// The paper's latency histograms (Figs. 2, 3, 5-bottom) use irregular
+// buckets (0-99, ..., 900-999, 1000-1999, 2000-2999, >=3000), so buckets are
+// defined by an arbitrary ascending edge vector; values below the first edge
+// land in an underflow bucket and values at/above the last edge in an
+// overflow bucket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nc::stats {
+
+class Histogram {
+ public:
+  /// Buckets are [edges[i], edges[i+1]); edges must be ascending, size >= 2.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Uniform buckets: n buckets spanning [lo, hi).
+  static Histogram uniform(double lo, double hi, int n);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] int bucket_count() const noexcept {
+    return static_cast<int>(counts_.size());
+  }
+  [[nodiscard]] std::uint64_t count(int bucket) const { return counts_.at(static_cast<std::size_t>(bucket)); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] double bucket_lo(int bucket) const { return edges_.at(static_cast<std::size_t>(bucket)); }
+  [[nodiscard]] double bucket_hi(int bucket) const { return edges_.at(static_cast<std::size_t>(bucket) + 1); }
+  /// "lo-hi" label, e.g. "100-199" for [100, 200).
+  [[nodiscard]] std::string bucket_label(int bucket) const;
+
+  /// Fraction of all added values that are >= x (computed from bucket
+  /// boundaries; x should coincide with an edge for an exact answer).
+  [[nodiscard]] double fraction_at_or_above(double x) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& edges() const noexcept { return edges_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nc::stats

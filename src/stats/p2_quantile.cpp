@@ -1,0 +1,93 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  NC_CHECK_MSG(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x and update extreme markers.
+  int k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    for (k = 0; k < 4; ++k)
+      if (x < heights_[k + 1]) break;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  adjust_markers();
+}
+
+void P2Quantile::adjust_markers() noexcept {
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool move_right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!move_right && !move_left) continue;
+    const double dir = d >= 0 ? 1.0 : -1.0;
+    double h = parabolic(i, dir);
+    if (!(heights_[i - 1] < h && h < heights_[i + 1])) h = linear(i, dir);
+    heights_[i] = h;
+    positions_[i] += dir;
+  }
+}
+
+double P2Quantile::parabolic(int i, double d) const noexcept {
+  const double np = positions_[i + 1];
+  const double n = positions_[i];
+  const double nm = positions_[i - 1];
+  const double hp = heights_[i + 1];
+  const double h = heights_[i];
+  const double hm = heights_[i - 1];
+  return h + d / (np - nm) *
+                 ((n - nm + d) * (hp - h) / (np - n) +
+                  (np - n - d) * (h - hm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, double d) const noexcept {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact while the sample is tiny.
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<long>(count_));
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q_ * static_cast<double>(count_))) -
+        1;
+    return tmp[std::min<std::size_t>(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace nc::stats

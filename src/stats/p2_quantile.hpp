@@ -1,0 +1,39 @@
+// P² streaming quantile estimator (Jain & Chlamtac, CACM 1985).
+//
+// Estimates a single quantile of an unbounded stream with five markers and
+// O(1) memory. Used by long-running metrics collection where storing every
+// observation would be wasteful; accuracy is within a few percent on smooth
+// distributions (tests compare it against exact percentiles).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace nc::stats {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x) noexcept;
+
+  /// Current estimate; exact while fewer than 5 samples have been seen.
+  [[nodiscard]] double value() const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  void adjust_markers() noexcept;
+  [[nodiscard]] double parabolic(int i, double d) const noexcept;
+  [[nodiscard]] double linear(int i, double d) const noexcept;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (values)
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{}; // desired position increments
+};
+
+}  // namespace nc::stats

@@ -1,0 +1,44 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+
+double percentile_nearest_rank_sorted(std::span<const double> sorted, double p) {
+  NC_CHECK_MSG(!sorted.empty(), "percentile of empty sample");
+  NC_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of [0,100]");
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, n - 1)];
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  NC_CHECK_MSG(!sorted.empty(), "percentile of empty sample");
+  NC_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of [0,100]");
+  const auto n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double h = p / 100.0 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+double percentile_nearest_rank(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_nearest_rank_sorted(values, p);
+}
+
+double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }
+
+}  // namespace nc::stats

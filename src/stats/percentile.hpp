@@ -1,0 +1,33 @@
+// Exact percentile computation on finite samples.
+//
+// Two conventions are provided because the paper relies on nearest-rank
+// semantics for the MP filter ("p = 25, the minimum with a history of four")
+// while figures of merit (medians, 95th percentiles) conventionally use
+// linear interpolation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nc::stats {
+
+/// Nearest-rank percentile of an ascending-sorted sample:
+/// the ceil(p/100 * n)-th smallest element (1-based), so p=0 is the minimum
+/// and p=100 the maximum. Requires non-empty input and p in [0, 100].
+[[nodiscard]] double percentile_nearest_rank_sorted(std::span<const double> sorted,
+                                                    double p);
+
+/// Linearly interpolated percentile of an ascending-sorted sample
+/// (the common "exclusive of extremes" R-7 definition used by numpy).
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Convenience: sorts a copy, then interpolated percentile.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Convenience: sorts a copy, then nearest-rank percentile.
+[[nodiscard]] double percentile_nearest_rank(std::vector<double> values, double p);
+
+/// Interpolated median of an unsorted sample (sorts a copy).
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace nc::stats

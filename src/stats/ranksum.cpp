@@ -1,0 +1,67 @@
+#include "stats/ranksum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+RankSumResult rank_sum_test(std::span<const double> a, std::span<const double> b) {
+  NC_CHECK_MSG(!a.empty() && !b.empty(), "rank-sum of empty sample");
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(n1 + n2);
+  for (double v : a) all.push_back({v, true});
+  for (double v : b) all.push_back({v, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  // Average ranks across ties; accumulate tie-group sizes for the variance
+  // correction.
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].value == all[i].value) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    const auto t = static_cast<double>(j - i);
+    if (j - i > 1) tie_term += t * t * t - t;
+    for (std::size_t k = i; k < j; ++k)
+      if (all[k].from_a) rank_sum_a += avg_rank;
+    i = j;
+  }
+
+  const double dn1 = static_cast<double>(n1);
+  const double dn2 = static_cast<double>(n2);
+  const double n = dn1 + dn2;
+
+  RankSumResult r;
+  r.u = rank_sum_a - dn1 * (dn1 + 1.0) / 2.0;
+  const double mean_u = dn1 * dn2 / 2.0;
+  const double var_u =
+      dn1 * dn2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {  // all values identical
+    r.z = 0.0;
+    r.p_two_sided = 1.0;
+    return r;
+  }
+  // Continuity correction.
+  const double diff = r.u - mean_u;
+  const double cc = diff > 0 ? -0.5 : (diff < 0 ? 0.5 : 0.0);
+  r.z = (diff + cc) / std::sqrt(var_u);
+  r.p_two_sided = 2.0 * (1.0 - normal_cdf(std::fabs(r.z)));
+  return r;
+}
+
+}  // namespace nc::stats

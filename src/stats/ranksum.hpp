@@ -1,0 +1,29 @@
+// Wilcoxon-Mann-Whitney rank-sum test.
+//
+// Kifer, Ben-David & Gehrke's change-detection framework (which the paper's
+// windowed heuristics adapt) compares the start/current windows with a
+// standard two-sample test; rank-sum is their one-dimensional workhorse. We
+// provide it for scalar streams (e.g. per-link latency change detection) —
+// the coordinate heuristics use RELATIVE/ENERGY instead because coordinates
+// are multi-dimensional.
+#pragma once
+
+#include <span>
+
+namespace nc::stats {
+
+struct RankSumResult {
+  double u = 0.0;        // Mann-Whitney U statistic (for the first sample)
+  double z = 0.0;        // normal approximation z-score (tie-corrected)
+  double p_two_sided = 0.0;
+};
+
+/// Requires both samples non-empty. Uses the normal approximation with tie
+/// correction; accurate for window sizes >= ~8 as used in change detection.
+[[nodiscard]] RankSumResult rank_sum_test(std::span<const double> a,
+                                          std::span<const double> b);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+}  // namespace nc::stats

@@ -1,0 +1,9 @@
+#include "stats/running_stats.hpp"
+
+#include <cmath>
+
+namespace nc::stats {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace nc::stats

@@ -1,0 +1,86 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EmptyHasDefaults) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("nodes", 42), 42);
+  EXPECT_EQ(f.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("name", "d"), "d");
+  EXPECT_FALSE(f.get_bool("full", false));
+  EXPECT_FALSE(f.has("nodes"));
+  EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = make({"--nodes=10", "--rate=0.5", "--name=abc"});
+  EXPECT_EQ(f.get_int("nodes", 0), 10);
+  EXPECT_EQ(f.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(f.get_string("name", ""), "abc");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = make({"--nodes", "10", "--name", "abc"});
+  EXPECT_EQ(f.get_int("nodes", 0), 10);
+  EXPECT_EQ(f.get_string("name", ""), "abc");
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  const Flags f = make({"--full"});
+  EXPECT_TRUE(f.get_bool("full", false));
+  EXPECT_TRUE(f.has("full"));
+}
+
+TEST(Flags, ExplicitBooleans) {
+  const Flags f = make({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, DoubleList) {
+  const Flags f = make({"--taus=1,2,4.5,8"});
+  const auto xs = f.get_double_list("taus", {});
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_EQ(xs[0], 1.0);
+  EXPECT_EQ(xs[3], 8.0);
+  const auto dflt = f.get_double_list("other", {9.0});
+  ASSERT_EQ(dflt.size(), 1u);
+  EXPECT_EQ(dflt[0], 9.0);
+}
+
+TEST(Flags, NegativeNumberAsValue) {
+  const Flags f = make({"--offset=-3"});
+  EXPECT_EQ(f.get_int("offset", 0), -3);
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  EXPECT_THROW(make({"positional"}), CheckError);
+}
+
+TEST(Flags, MalformedNumbersRejected) {
+  const Flags f = make({"--x=abc"});
+  EXPECT_THROW((void)f.get_int("x", 0), CheckError);
+  EXPECT_THROW((void)f.get_double("x", 0.0), CheckError);
+  EXPECT_THROW((void)f.get_bool("x", false), CheckError);
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags f = make({"--n=1", "--n=2"});
+  EXPECT_EQ(f.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,132 @@
+#include "common/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace nc {
+namespace {
+
+TEST(Vec, DefaultIsEmpty) {
+  Vec v;
+  EXPECT_EQ(v.dim(), 0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vec, ZeroConstruction) {
+  const Vec v = Vec::zero(3);
+  EXPECT_EQ(v.dim(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vec, InitializerList) {
+  const Vec v{1.0, -2.0, 3.5};
+  EXPECT_EQ(v.dim(), 3);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], -2.0);
+  EXPECT_EQ(v[2], 3.5);
+}
+
+TEST(Vec, DimensionOutOfRangeThrows) {
+  EXPECT_THROW(Vec(kMaxDim + 1), CheckError);
+  EXPECT_THROW(Vec(-1), CheckError);
+}
+
+TEST(Vec, MaxDimAccepted) {
+  const Vec v(kMaxDim);
+  EXPECT_EQ(v.dim(), kMaxDim);
+}
+
+TEST(Vec, AdditionSubtraction) {
+  const Vec a{1.0, 2.0};
+  const Vec b{0.5, -1.0};
+  const Vec sum = a + b;
+  EXPECT_EQ(sum[0], 1.5);
+  EXPECT_EQ(sum[1], 1.0);
+  const Vec diff = a - b;
+  EXPECT_EQ(diff[0], 0.5);
+  EXPECT_EQ(diff[1], 3.0);
+}
+
+TEST(Vec, ScalarOps) {
+  const Vec a{2.0, -4.0};
+  EXPECT_EQ((a * 0.5)[0], 1.0);
+  EXPECT_EQ((0.5 * a)[1], -2.0);
+  EXPECT_EQ((a / 2.0)[1], -2.0);
+  EXPECT_EQ((-a)[0], -2.0);
+}
+
+TEST(Vec, DivisionByZeroThrows) {
+  Vec a{1.0};
+  EXPECT_THROW(a /= 0.0, CheckError);
+}
+
+TEST(Vec, MixedDimensionThrows) {
+  const Vec a{1.0, 2.0};
+  const Vec b{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)(a + b), CheckError);
+  EXPECT_THROW((void)a.dot(b), CheckError);
+  EXPECT_THROW((void)a.distance_to(b), CheckError);
+}
+
+TEST(Vec, DotAndNorm) {
+  const Vec a{3.0, 4.0};
+  EXPECT_EQ(a.dot(a), 25.0);
+  EXPECT_EQ(a.norm_squared(), 25.0);
+  EXPECT_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec, Distance) {
+  const Vec a{0.0, 0.0};
+  const Vec b{3.0, 4.0};
+  EXPECT_EQ(a.distance_to(b), 5.0);
+  EXPECT_EQ(b.distance_to(a), 5.0);
+  EXPECT_EQ(a.distance_to(a), 0.0);
+}
+
+TEST(Vec, Unit) {
+  const Vec a{3.0, 4.0};
+  const Vec u = a.unit();
+  EXPECT_DOUBLE_EQ(u.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(u[0], 0.6);
+  EXPECT_DOUBLE_EQ(u[1], 0.8);
+}
+
+TEST(Vec, UnitOfZeroIsZero) {
+  const Vec z = Vec::zero(3);
+  EXPECT_EQ(z.unit(), z);
+}
+
+TEST(Vec, Equality) {
+  EXPECT_EQ((Vec{1.0, 2.0}), (Vec{1.0, 2.0}));
+  EXPECT_FALSE((Vec{1.0, 2.0}) == (Vec{1.0, 2.1}));
+  EXPECT_FALSE((Vec{1.0, 2.0}) == (Vec{1.0, 2.0, 0.0}));  // dims differ
+}
+
+TEST(Vec, AllFinite) {
+  Vec a{1.0, 2.0};
+  EXPECT_TRUE(a.all_finite());
+  a[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(a.all_finite());
+  a[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(a.all_finite());
+}
+
+TEST(Vec, StreamOutput) {
+  std::ostringstream os;
+  os << Vec{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(Vec, CompoundAssignment) {
+  Vec a{1.0, 1.0};
+  a += Vec{1.0, 2.0};
+  a -= Vec{0.5, 0.5};
+  a *= 2.0;
+  EXPECT_EQ(a[0], 3.0);
+  EXPECT_EQ(a[1], 5.0);
+}
+
+}  // namespace
+}  // namespace nc

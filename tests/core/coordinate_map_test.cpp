@@ -1,0 +1,117 @@
+#include "core/coordinate_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc {
+namespace {
+
+Coordinate at(double x, double y) { return Coordinate{Vec{x, y}}; }
+
+TEST(CoordinateMap, EmptyBehaviour) {
+  const CoordinateMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.get(1, 0.0), std::nullopt);
+  EXPECT_EQ(m.estimate_rtt(1, 2, 0.0), std::nullopt);
+  EXPECT_TRUE(m.nearest(at(0, 0), 3, 0.0).empty());
+}
+
+TEST(CoordinateMap, UpdateAndGet) {
+  CoordinateMap m;
+  m.update(7, at(1, 2), 10.0);
+  EXPECT_EQ(m.size(), 1u);
+  const auto c = m.get(7, 11.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, at(1, 2));
+  m.update(7, at(3, 4), 12.0);  // refresh overwrites
+  EXPECT_EQ(*m.get(7, 12.0), at(3, 4));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(CoordinateMap, RejectsBadInputs) {
+  CoordinateMap m;
+  EXPECT_THROW(m.update(kInvalidNode, at(0, 0), 0.0), CheckError);
+  EXPECT_THROW(m.update(1, Coordinate{}, 0.0), CheckError);
+  EXPECT_THROW((void)m.nearest(at(0, 0), 0, 0.0), CheckError);
+}
+
+TEST(CoordinateMap, StalenessFiltersGets) {
+  CoordinateMap m;
+  m.update(1, at(0, 0), 100.0);
+  EXPECT_TRUE(m.get(1, 130.0, 30.0).has_value());
+  EXPECT_FALSE(m.get(1, 131.0, 30.0).has_value());
+}
+
+TEST(CoordinateMap, EstimateRtt) {
+  CoordinateMap m;
+  m.update(1, at(0, 0), 0.0);
+  m.update(2, at(3, 4), 0.0);
+  const auto rtt = m.estimate_rtt(1, 2, 1.0);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_EQ(*rtt, 5.0);
+  EXPECT_EQ(m.estimate_rtt(1, 9, 1.0), std::nullopt);
+}
+
+TEST(CoordinateMap, NearestOrdersAscending) {
+  CoordinateMap m;
+  m.update(1, at(10, 0), 0.0);
+  m.update(2, at(1, 0), 0.0);
+  m.update(3, at(5, 0), 0.0);
+  const auto nn = m.nearest(at(0, 0), 2, 1.0);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].id, 2);
+  EXPECT_EQ(nn[0].distance_ms, 1.0);
+  EXPECT_EQ(nn[1].id, 3);
+}
+
+TEST(CoordinateMap, NearestRespectsExcludeAndAge) {
+  CoordinateMap m;
+  m.update(1, at(1, 0), 0.0);
+  m.update(2, at(2, 0), 100.0);
+  const auto nn = m.nearest(at(0, 0), 5, 101.0, /*max_age_s=*/50.0);
+  ASSERT_EQ(nn.size(), 1u);  // node 1 is stale
+  EXPECT_EQ(nn[0].id, 2);
+  const auto excl = m.nearest(at(0, 0), 5, 101.0, 1e18, /*exclude=*/2);
+  ASSERT_EQ(excl.size(), 1u);
+  EXPECT_EQ(excl[0].id, 1);
+}
+
+TEST(CoordinateMap, NearestKLargerThanMap) {
+  CoordinateMap m;
+  m.update(1, at(1, 0), 0.0);
+  EXPECT_EQ(m.nearest(at(0, 0), 10, 1.0).size(), 1u);
+}
+
+TEST(CoordinateMap, NearestDeterministicTieBreak) {
+  CoordinateMap m;
+  m.update(5, at(1, 0), 0.0);
+  m.update(3, at(-1, 0), 0.0);  // same distance from origin
+  const auto nn = m.nearest(at(0, 0), 2, 1.0);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].id, 3);  // lower id wins ties
+}
+
+TEST(CoordinateMap, RemoveAndExpire) {
+  CoordinateMap m;
+  m.update(1, at(0, 0), 10.0);
+  m.update(2, at(0, 0), 20.0);
+  m.update(3, at(0, 0), 30.0);
+  m.remove(2);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.expire_older_than(25.0), 1u);  // drops node 1
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.get(3, 31.0).has_value());
+}
+
+TEST(CoordinateMap, WorksWithHeightCoordinates) {
+  CoordinateMap m;
+  m.update(1, Coordinate{Vec{0.0, 0.0}, 2.0}, 0.0);
+  m.update(2, Coordinate{Vec{3.0, 4.0}, 1.0}, 0.0);
+  const auto rtt = m.estimate_rtt(1, 2, 1.0);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_EQ(*rtt, 8.0);  // 5 + 2 + 1
+}
+
+}  // namespace
+}  // namespace nc

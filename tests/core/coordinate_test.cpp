@@ -1,0 +1,129 @@
+#include "core/coordinate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nc {
+namespace {
+
+TEST(Coordinate, DefaultUninitialized) {
+  const Coordinate c;
+  EXPECT_FALSE(c.initialized());
+  EXPECT_EQ(c.dim(), 0);
+}
+
+TEST(Coordinate, OriginFactory) {
+  const Coordinate c = Coordinate::origin(3);
+  EXPECT_TRUE(c.initialized());
+  EXPECT_EQ(c.dim(), 3);
+  EXPECT_FALSE(c.has_height());
+  EXPECT_EQ(c.position().norm(), 0.0);
+
+  const Coordinate h = Coordinate::origin(2, /*with_height=*/true);
+  EXPECT_TRUE(h.has_height());
+  EXPECT_EQ(h.height(), 0.0);
+}
+
+TEST(Coordinate, NegativeHeightRejected) {
+  EXPECT_THROW(Coordinate(Vec{0.0, 0.0}, -1.0), CheckError);
+}
+
+TEST(Coordinate, EuclideanDistance) {
+  const Coordinate a{Vec{0.0, 0.0}};
+  const Coordinate b{Vec{3.0, 4.0}};
+  EXPECT_EQ(a.distance_to(b), 5.0);
+  EXPECT_EQ(b.distance_to(a), 5.0);
+}
+
+TEST(Coordinate, HeightAddsToDistanceBothWays) {
+  const Coordinate a{Vec{0.0, 0.0}, 2.0};
+  const Coordinate b{Vec{3.0, 4.0}, 1.5};
+  EXPECT_EQ(a.distance_to(b), 5.0 + 2.0 + 1.5);
+  EXPECT_EQ(b.distance_to(a), 8.5);
+}
+
+TEST(Coordinate, MixedHeightModelsRejected) {
+  const Coordinate plain{Vec{0.0, 0.0}};
+  const Coordinate tall{Vec{0.0, 0.0}, 1.0};
+  EXPECT_THROW((void)plain.distance_to(tall), CheckError);
+}
+
+TEST(Coordinate, DimensionMismatchRejected) {
+  const Coordinate a{Vec{0.0, 0.0}};
+  const Coordinate b{Vec{0.0, 0.0, 0.0}};
+  EXPECT_THROW((void)a.distance_to(b), CheckError);
+}
+
+TEST(Coordinate, DisplacementIgnoresHeightSum) {
+  // Displacement measures movement, so heights difference — not sum.
+  const Coordinate a{Vec{0.0, 0.0}, 5.0};
+  const Coordinate b{Vec{3.0, 4.0}, 7.0};
+  EXPECT_EQ(b.displacement_from(a), 5.0 + 2.0);
+  EXPECT_EQ(a.displacement_from(b), 7.0);
+  EXPECT_EQ(a.displacement_from(a), 0.0);
+}
+
+TEST(Coordinate, AsVecRoundTripNoHeight) {
+  const Coordinate a{Vec{1.0, -2.0, 3.0}};
+  const Vec v = a.as_vec();
+  EXPECT_EQ(v.dim(), 3);
+  const Coordinate back = Coordinate::from_vec(v, false);
+  EXPECT_EQ(back, a);
+}
+
+TEST(Coordinate, AsVecRoundTripWithHeight) {
+  const Coordinate a{Vec{1.0, -2.0}, 4.5};
+  const Vec v = a.as_vec();
+  EXPECT_EQ(v.dim(), 3);
+  EXPECT_EQ(v[2], 4.5);
+  const Coordinate back = Coordinate::from_vec(v, true);
+  EXPECT_EQ(back, a);
+}
+
+TEST(Coordinate, FromVecClampsNegativeHeight) {
+  const Coordinate c = Coordinate::from_vec(Vec{1.0, 2.0, -3.0}, true);
+  EXPECT_EQ(c.height(), 0.0);
+  EXPECT_EQ(c.position()[0], 1.0);
+}
+
+TEST(Coordinate, ApplyDisplacementMovesPosition) {
+  Coordinate c{Vec{1.0, 1.0}};
+  c.apply_displacement(Vec{0.5, -1.0}, 0.0);
+  EXPECT_EQ(c.position()[0], 1.5);
+  EXPECT_EQ(c.position()[1], 0.0);
+}
+
+TEST(Coordinate, ApplyDisplacementClampsHeight) {
+  Coordinate c{Vec{0.0}, 1.0};
+  c.apply_displacement(Vec{0.0}, -5.0, /*min_height=*/0.25);
+  EXPECT_EQ(c.height(), 0.25);
+  c.apply_displacement(Vec{0.0}, 2.0, 0.25);
+  EXPECT_EQ(c.height(), 2.25);
+}
+
+TEST(Coordinate, HeightIgnoredWithoutHeightModel) {
+  Coordinate c{Vec{0.0}};
+  c.apply_displacement(Vec{1.0}, 99.0);
+  EXPECT_EQ(c.height(), 0.0);
+  EXPECT_FALSE(c.has_height());
+}
+
+TEST(Coordinate, Equality) {
+  const Coordinate a{Vec{1.0, 2.0}};
+  const Coordinate b{Vec{1.0, 2.0}};
+  const Coordinate c{Vec{1.0, 2.0}, 0.0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);  // height model differs
+}
+
+TEST(Coordinate, StreamOutput) {
+  std::ostringstream os;
+  os << Coordinate{Vec{1.0, 2.0}, 3.0};
+  EXPECT_EQ(os.str(), "(1, 2)+h3");
+}
+
+}  // namespace
+}  // namespace nc

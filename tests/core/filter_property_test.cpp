@@ -1,0 +1,93 @@
+// Cross-cutting filter properties that every LatencyFilter implementation
+// must satisfy, parameterized over the configured kinds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/filters/filter_config.hpp"
+
+namespace nc {
+namespace {
+
+std::vector<FilterConfig> all_configs() {
+  return {
+      FilterConfig::none(),
+      FilterConfig::moving_percentile(4, 25),
+      FilterConfig::moving_percentile(16, 50, 2),
+      FilterConfig::ewma(0.1),
+      FilterConfig::threshold(1000.0),
+  };
+}
+
+class FilterContract : public ::testing::TestWithParam<int> {
+ protected:
+  FilterConfig config() const {
+    return all_configs()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(FilterContract, CloneReplaysIdentically) {
+  // A clone must be parameter-identical and history-free: feeding the same
+  // stream to the original (after reset) and the clone yields identical
+  // outputs.
+  auto original = config().make();
+  Rng warm(1);
+  for (int i = 0; i < 50; ++i) original->update(warm.lognormal(4.0, 1.0));
+  auto clone = original->clone();
+  original->reset();
+
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.lognormal(4.0, 1.2);
+    ASSERT_EQ(original->update(x), clone->update(x)) << config().name() << " @" << i;
+  }
+}
+
+TEST_P(FilterContract, ResetForgetsEverything) {
+  auto f = config().make();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) f->update(rng.lognormal(4.0, 1.0));
+  f->reset();
+  EXPECT_EQ(f->estimate(), std::nullopt) << config().name();
+}
+
+TEST_P(FilterContract, EstimateIsStableWithoutUpdates) {
+  auto f = config().make();
+  f->update(50.0);
+  f->update(60.0);
+  const auto e1 = f->estimate();
+  const auto e2 = f->estimate();
+  EXPECT_EQ(e1, e2) << config().name();
+}
+
+TEST_P(FilterContract, OutputWithinObservedRange) {
+  // No filter may extrapolate beyond the values it has seen.
+  auto f = config().make();
+  Rng rng(4);
+  double lo = 1e18, hi = -1e18;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.lognormal(4.0, 1.5);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    const auto out = f->update(x);
+    if (out.has_value()) {
+      ASSERT_GE(*out, lo) << config().name();
+      ASSERT_LE(*out, hi) << config().name();
+    }
+  }
+}
+
+TEST_P(FilterContract, ConstantInputIsFixedPoint) {
+  auto f = config().make();
+  std::optional<double> out;
+  for (int i = 0; i < 50; ++i) out = f->update(123.0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(*out, 123.0) << config().name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FilterContract, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace nc

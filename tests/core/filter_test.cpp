@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/filters/ewma_filter.hpp"
+#include "core/filters/filter_config.hpp"
+#include "core/filters/identity_filter.hpp"
+#include "core/filters/mp_filter.hpp"
+#include "core/filters/threshold_filter.hpp"
+#include "stats/percentile.hpp"
+
+namespace nc {
+namespace {
+
+// ------------------------------------------------------------------- MP --
+
+TEST(MpFilter, RejectsBadParameters) {
+  EXPECT_THROW(MovingPercentileFilter(0, 25.0), CheckError);
+  EXPECT_THROW(MovingPercentileFilter(4, 101.0), CheckError);
+  EXPECT_THROW(MovingPercentileFilter(4, 25.0, 0), CheckError);
+  EXPECT_THROW(MovingPercentileFilter(4, 25.0, 5), CheckError);
+}
+
+TEST(MpFilter, PaperParametersReturnWindowMinimum) {
+  // MP(4, 25): "taking the 25th percentile (minimum) of the previous four".
+  MovingPercentileFilter f(4, 25.0);
+  EXPECT_EQ(f.update(100.0), 100.0);
+  EXPECT_EQ(f.update(50.0), 50.0);
+  EXPECT_EQ(f.update(200.0), 50.0);
+  EXPECT_EQ(f.update(80.0), 50.0);
+  // Window is now {100,50,200,80}; adding evicts 100.
+  EXPECT_EQ(f.update(300.0), 50.0);   // {50,200,80,300}
+  EXPECT_EQ(f.update(400.0), 80.0);   // {200,80,300,400}
+}
+
+TEST(MpFilter, SpikeIsAbsorbed) {
+  MovingPercentileFilter f(4, 25.0);
+  for (double v : {30.0, 31.0, 29.0, 30.0}) f.update(v);
+  // A 3-orders-of-magnitude spike must not surface.
+  EXPECT_EQ(f.update(30000.0), 29.0);
+}
+
+TEST(MpFilter, TracksGenuineLatencyShift) {
+  // After a route change, the output converges within `history` samples.
+  MovingPercentileFilter f(4, 25.0);
+  for (int i = 0; i < 8; ++i) f.update(30.0);
+  std::optional<double> out;
+  for (int i = 0; i < 4; ++i) out = f.update(90.0);
+  EXPECT_EQ(out, 90.0);
+}
+
+TEST(MpFilter, MinSamplesWithholdsOutput) {
+  // Sec. VI first-sample pathology: a filter primed with min_samples = 2
+  // absorbs an extreme first observation.
+  MovingPercentileFilter f(4, 25.0, 2);
+  EXPECT_EQ(f.update(25000.0), std::nullopt);
+  EXPECT_EQ(f.estimate(), std::nullopt);
+  EXPECT_EQ(f.update(40.0), 40.0);
+}
+
+TEST(MpFilter, MedianPercentile) {
+  MovingPercentileFilter f(5, 50.0);
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) f.update(v);
+  EXPECT_EQ(f.estimate(), 30.0);
+}
+
+TEST(MpFilter, HistoryOneIsPassThrough) {
+  MovingPercentileFilter f(1, 25.0);
+  EXPECT_EQ(f.update(5.0), 5.0);
+  EXPECT_EQ(f.update(7.0), 7.0);
+}
+
+TEST(MpFilter, ResetClearsWindow) {
+  MovingPercentileFilter f(4, 25.0, 2);
+  f.update(1.0);
+  f.update(2.0);
+  f.reset();
+  EXPECT_EQ(f.estimate(), std::nullopt);
+  EXPECT_EQ(f.size(), 0);
+}
+
+TEST(MpFilter, CloneIsFreshWithSameParameters) {
+  MovingPercentileFilter f(8, 30.0, 3);
+  f.update(1.0);
+  const auto c = f.clone();
+  auto* mp = dynamic_cast<MovingPercentileFilter*>(c.get());
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->history(), 8);
+  EXPECT_EQ(mp->percentile(), 30.0);
+  EXPECT_EQ(mp->min_samples(), 3);
+  EXPECT_EQ(mp->size(), 0);  // fresh history
+}
+
+TEST(MpFilter, DuplicateValuesEvictCorrectly) {
+  MovingPercentileFilter f(3, 0.0);  // minimum of last 3
+  f.update(5.0);
+  f.update(5.0);
+  f.update(5.0);
+  EXPECT_EQ(f.update(9.0), 5.0);  // {5,5,9}
+  EXPECT_EQ(f.update(9.0), 5.0);  // {5,9,9}
+  EXPECT_EQ(f.update(9.0), 9.0);  // {9,9,9}
+}
+
+// Property: against a brute-force sliding window for any (h, p).
+class MpFilterProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MpFilterProperty, MatchesBruteForceWindow) {
+  const auto [h, p] = GetParam();
+  Rng rng(hash_combine(static_cast<std::uint64_t>(h), static_cast<std::uint64_t>(p)));
+  MovingPercentileFilter f(h, p);
+  std::deque<double> window;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.lognormal(3.5, 1.0);
+    window.push_back(x);
+    if (static_cast<int>(window.size()) > h) window.pop_front();
+    std::vector<double> sorted(window.begin(), window.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double expected = stats::percentile_nearest_rank_sorted(sorted, p);
+    ASSERT_EQ(f.update(x), expected) << "h=" << h << " p=" << p << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MpFilterProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16, 64),
+                       ::testing::Values(0.0, 25.0, 50.0, 75.0, 100.0)));
+
+// ----------------------------------------------------------------- EWMA --
+
+TEST(EwmaFilter, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaFilter(0.0), CheckError);
+  EXPECT_THROW(EwmaFilter(1.5), CheckError);
+}
+
+TEST(EwmaFilter, FirstSamplePrimes) {
+  EwmaFilter f(0.1);
+  EXPECT_EQ(f.estimate(), std::nullopt);
+  EXPECT_EQ(f.update(50.0), 50.0);
+}
+
+TEST(EwmaFilter, ExponentialSmoothing) {
+  EwmaFilter f(0.25);
+  f.update(100.0);
+  EXPECT_EQ(f.update(200.0), 0.25 * 200.0 + 0.75 * 100.0);
+}
+
+TEST(EwmaFilter, OutlierPollutesForManySamples) {
+  // The paper's Table I pathology: one spike lifts the estimate for ~1/alpha
+  // samples.
+  EwmaFilter f(0.2);
+  for (int i = 0; i < 50; ++i) f.update(30.0);
+  f.update(3000.0);
+  EXPECT_GT(*f.estimate(), 600.0);
+  std::optional<double> v;
+  for (int i = 0; i < 5; ++i) v = f.update(30.0);
+  EXPECT_GT(*v, 200.0);  // still badly polluted five samples later
+}
+
+TEST(EwmaFilter, ResetAndClone) {
+  EwmaFilter f(0.3);
+  f.update(10.0);
+  f.reset();
+  EXPECT_EQ(f.estimate(), std::nullopt);
+  const auto c = f.clone();
+  EXPECT_EQ(dynamic_cast<EwmaFilter*>(c.get())->alpha(), 0.3);
+}
+
+// ------------------------------------------------------------ Threshold --
+
+TEST(ThresholdFilter, RejectsBadCutoff) {
+  EXPECT_THROW(ThresholdFilter(0.0), CheckError);
+}
+
+TEST(ThresholdFilter, DropsAboveCutoff) {
+  ThresholdFilter f(1000.0);
+  EXPECT_EQ(f.update(999.0), 999.0);
+  EXPECT_EQ(f.update(1000.0), 1000.0);  // at cutoff passes
+  EXPECT_EQ(f.update(1001.0), std::nullopt);
+  EXPECT_EQ(f.estimate(), 1000.0);  // last accepted
+}
+
+TEST(ThresholdFilter, CannotAdaptToLinkScale) {
+  // A global 1000 ms cutoff does nothing for a 30 ms link whose outliers
+  // are 300 ms (the paper's argument against thresholds).
+  ThresholdFilter f(1000.0);
+  EXPECT_EQ(f.update(30.0), 30.0);
+  EXPECT_EQ(f.update(300.0), 300.0);  // 10x outlier passes untouched
+}
+
+// ------------------------------------------------------------- Identity --
+
+TEST(IdentityFilter, PassThrough) {
+  IdentityFilter f;
+  EXPECT_EQ(f.estimate(), std::nullopt);
+  EXPECT_EQ(f.update(123.0), 123.0);
+  EXPECT_EQ(f.estimate(), 123.0);
+  f.reset();
+  EXPECT_EQ(f.estimate(), std::nullopt);
+}
+
+// --------------------------------------------------------------- Config --
+
+TEST(FilterConfig, FactoryProducesConfiguredKind) {
+  EXPECT_NE(dynamic_cast<IdentityFilter*>(FilterConfig::none().make().get()), nullptr);
+  EXPECT_NE(dynamic_cast<MovingPercentileFilter*>(
+                FilterConfig::moving_percentile(4, 25).make().get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<EwmaFilter*>(FilterConfig::ewma(0.1).make().get()), nullptr);
+  EXPECT_NE(dynamic_cast<ThresholdFilter*>(FilterConfig::threshold(500).make().get()),
+            nullptr);
+}
+
+TEST(FilterConfig, DefaultIsPaperMp425) {
+  const FilterConfig c;
+  auto f = c.make();
+  auto* mp = dynamic_cast<MovingPercentileFilter*>(f.get());
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->history(), 4);
+  EXPECT_EQ(mp->percentile(), 25.0);
+}
+
+TEST(FilterConfig, Names) {
+  EXPECT_EQ(FilterConfig::none().name(), "none");
+  EXPECT_EQ(FilterConfig::moving_percentile(4, 25).name(), "mp(h=4,p=25)");
+  EXPECT_EQ(FilterConfig::ewma(0.1).name(), "ewma(a=0.1)");
+  EXPECT_EQ(FilterConfig::threshold(1000).name(), "threshold(1000ms)");
+}
+
+}  // namespace
+}  // namespace nc

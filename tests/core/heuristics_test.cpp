@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/heuristics/heuristic_config.hpp"
+#include "core/heuristics/threshold_heuristics.hpp"
+
+namespace nc {
+namespace {
+
+Coordinate at(double x, double y) { return Coordinate{Vec{x, y}}; }
+
+UpdateContext ctx_of(const Coordinate& system, double now = 0.0) {
+  return UpdateContext{system, nullptr, now};
+}
+
+// ----------------------------------------------------------------- ALWAYS --
+
+TEST(AlwaysHeuristic, PublishesEveryChange) {
+  AlwaysUpdateHeuristic h;
+  Coordinate app = at(0, 0);
+  EXPECT_TRUE(h.on_system_update(ctx_of(at(1, 0)), app));
+  EXPECT_EQ(app, at(1, 0));
+  // Unchanged system coordinate: no app change reported.
+  EXPECT_FALSE(h.on_system_update(ctx_of(at(1, 0)), app));
+}
+
+// ----------------------------------------------------------------- SYSTEM --
+
+TEST(SystemHeuristic, RejectsBadThreshold) {
+  EXPECT_THROW(SystemHeuristic(0.0), CheckError);
+}
+
+TEST(SystemHeuristic, FiresOnLargeStep) {
+  SystemHeuristic h(5.0);
+  Coordinate app = at(0, 0);
+  EXPECT_FALSE(h.on_system_update(ctx_of(at(0, 0)), app));  // primes prev
+  EXPECT_FALSE(h.on_system_update(ctx_of(at(3, 0)), app));  // step 3 < 5
+  EXPECT_TRUE(h.on_system_update(ctx_of(at(20, 0)), app));  // step 17 > 5
+  EXPECT_EQ(app, at(20, 0));
+}
+
+TEST(SystemHeuristic, PathologicalSubThresholdDriftNeverFires) {
+  // The paper's criticism: many steps just under tau accumulate into a large
+  // total drift without a single update.
+  SystemHeuristic h(5.0);
+  Coordinate app = at(0, 0);
+  Coordinate sys = at(0, 0);
+  h.on_system_update(ctx_of(sys), app);
+  for (int i = 1; i <= 50; ++i) {
+    sys = at(4.0 * i, 0.0);  // each step 4 < 5
+    EXPECT_FALSE(h.on_system_update(ctx_of(sys), app));
+  }
+  EXPECT_EQ(app, at(0, 0));                      // app never updated...
+  EXPECT_GT(sys.displacement_from(app), 190.0);  // ...despite 200 ms drift
+}
+
+TEST(SystemHeuristic, ResetForgetsPrevious) {
+  SystemHeuristic h(5.0);
+  Coordinate app = at(0, 0);
+  h.on_system_update(ctx_of(at(0, 0)), app);
+  h.reset();
+  // First update after reset only primes again.
+  EXPECT_FALSE(h.on_system_update(ctx_of(at(100, 0)), app));
+}
+
+// ------------------------------------------------------------ APPLICATION --
+
+TEST(ApplicationHeuristic, FiresOnDriftFromApp) {
+  ApplicationHeuristic h(5.0);
+  Coordinate app = at(0, 0);
+  EXPECT_FALSE(h.on_system_update(ctx_of(at(4, 0)), app));
+  EXPECT_TRUE(h.on_system_update(ctx_of(at(6, 0)), app));
+  EXPECT_EQ(app, at(6, 0));
+}
+
+TEST(ApplicationHeuristic, CatchesSlowDriftUnlikeSystem) {
+  // Accumulated drift eventually exceeds tau relative to the app coordinate.
+  ApplicationHeuristic h(5.0);
+  Coordinate app = at(0, 0);
+  int updates = 0;
+  for (int i = 1; i <= 10; ++i)
+    if (h.on_system_update(ctx_of(at(1.0 * i, 0.0)), app)) ++updates;
+  EXPECT_EQ(updates, 1);
+  EXPECT_EQ(app, at(6, 0));
+}
+
+TEST(ApplicationHeuristic, OscillationBelowTauSuppressed) {
+  ApplicationHeuristic h(5.0);
+  Coordinate app = at(0, 0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(h.on_system_update(ctx_of(at(i % 2 ? 4.0 : -4.0, 0.0)), app));
+  }
+  EXPECT_EQ(app, at(0, 0));
+}
+
+// --------------------------------------------------- APPLICATION/CENTROID --
+
+TEST(ApplicationCentroidHeuristic, PublishesWindowCentroid) {
+  ApplicationCentroidHeuristic h(5.0, 4);
+  Coordinate app = at(0, 0);
+  EXPECT_FALSE(h.on_system_update(ctx_of(at(2, 0)), app));
+  EXPECT_FALSE(h.on_system_update(ctx_of(at(4, 0)), app));
+  EXPECT_TRUE(h.on_system_update(ctx_of(at(6, 0)), app));
+  // Centroid of {2, 4, 6} on the x axis.
+  EXPECT_NEAR(app.position()[0], 4.0, 1e-12);
+  EXPECT_EQ(app.position()[1], 0.0);
+}
+
+TEST(ApplicationCentroidHeuristic, WindowSlides) {
+  ApplicationCentroidHeuristic h(1.0, 2);
+  Coordinate app = at(0, 0);
+  h.on_system_update(ctx_of(at(10, 0)), app);  // fires; window {10}
+  h.on_system_update(ctx_of(at(20, 0)), app);  // window {10,20}
+  h.on_system_update(ctx_of(at(30, 0)), app);  // window {20,30}
+  EXPECT_NEAR(app.position()[0], 25.0, 1e-12);
+}
+
+TEST(ApplicationCentroidHeuristic, RejectsBadParams) {
+  EXPECT_THROW(ApplicationCentroidHeuristic(0.0, 4), CheckError);
+  EXPECT_THROW(ApplicationCentroidHeuristic(1.0, 0), CheckError);
+}
+
+// ----------------------------------------------------------------- Config --
+
+TEST(HeuristicConfig, FactoriesProduceConfiguredKinds) {
+  EXPECT_EQ(HeuristicConfig::always().kind, HeuristicKind::kAlways);
+  EXPECT_EQ(HeuristicConfig::system(4).kind, HeuristicKind::kSystem);
+  EXPECT_EQ(HeuristicConfig::application(4).kind, HeuristicKind::kApplication);
+  EXPECT_EQ(HeuristicConfig::application_centroid(4, 32).kind,
+            HeuristicKind::kApplicationCentroid);
+  EXPECT_EQ(HeuristicConfig::relative(0.3, 32).kind, HeuristicKind::kRelative);
+  EXPECT_EQ(HeuristicConfig::energy(8, 32).kind, HeuristicKind::kEnergy);
+  for (const auto& cfg :
+       {HeuristicConfig::always(), HeuristicConfig::system(4),
+        HeuristicConfig::application(4), HeuristicConfig::application_centroid(4, 8),
+        HeuristicConfig::relative(0.3, 8), HeuristicConfig::energy(8, 8)}) {
+    EXPECT_NE(cfg.make(), nullptr);
+  }
+}
+
+TEST(HeuristicConfig, Names) {
+  EXPECT_EQ(HeuristicConfig::always().name(), "always");
+  EXPECT_EQ(HeuristicConfig::system(4).name(), "system(tau=4)");
+  EXPECT_EQ(HeuristicConfig::energy(8, 32).name(), "energy(tau=8,k=32)");
+  EXPECT_EQ(HeuristicConfig::relative(0.3, 32).name(), "relative(eps=0.3,k=32)");
+}
+
+TEST(HeuristicConfig, DefaultIsPaperEnergy) {
+  const HeuristicConfig c;
+  EXPECT_EQ(c.kind, HeuristicKind::kEnergy);
+  EXPECT_EQ(c.threshold, 8.0);
+  EXPECT_EQ(c.window, 32);
+}
+
+TEST(Heuristics, CloneIsIndependent) {
+  SystemHeuristic h(5.0);
+  Coordinate app = at(0, 0);
+  h.on_system_update(ctx_of(at(0, 0)), app);  // primes prev
+  const auto c = h.clone();
+  Coordinate app2 = at(0, 0);
+  // The clone has no previous coordinate: first call only primes.
+  EXPECT_FALSE(c->on_system_update(ctx_of(at(100, 0)), app2));
+  // The original does fire on the same step.
+  EXPECT_TRUE(h.on_system_update(ctx_of(at(100, 0)), app));
+}
+
+}  // namespace
+}  // namespace nc

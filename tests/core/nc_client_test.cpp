@@ -1,0 +1,170 @@
+#include "core/nc_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nc {
+namespace {
+
+NCClientConfig basic_config() {
+  NCClientConfig c;
+  c.vivaldi.dim = 2;
+  c.filter = FilterConfig::moving_percentile(4, 25.0);
+  c.heuristic = HeuristicConfig::always();
+  return c;
+}
+
+TEST(NCClient, RejectsSelfObservation) {
+  NCClient c(1, basic_config());
+  EXPECT_THROW(c.observe(1, Coordinate::origin(2), 1.0, 10.0, 0.0), CheckError);
+}
+
+TEST(NCClient, RejectsNonPositiveRtt) {
+  NCClient c(1, basic_config());
+  EXPECT_THROW(c.observe(2, Coordinate::origin(2), 1.0, 0.0, 0.0), CheckError);
+}
+
+TEST(NCClient, AppCoordinateSeededOnFirstUsableSample) {
+  NCClient c(1, basic_config());
+  const auto out = c.observe(2, Coordinate{Vec{50.0, 0.0}}, 0.5, 48.0, 0.0);
+  EXPECT_TRUE(out.vivaldi_updated);
+  EXPECT_TRUE(out.app_updated);
+  EXPECT_EQ(c.application_coordinate(), c.system_coordinate());
+  EXPECT_EQ(c.app_update_count(), 1u);
+}
+
+TEST(NCClient, FilterAbsorbsSamplesWhenNotPrimed) {
+  NCClientConfig cfg = basic_config();
+  cfg.filter = FilterConfig::moving_percentile(4, 25.0, /*min_samples=*/2);
+  NCClient c(1, cfg);
+  const auto out = c.observe(2, Coordinate{Vec{50.0, 0.0}}, 0.5, 30000.0, 0.0);
+  EXPECT_FALSE(out.filtered_rtt_ms.has_value());
+  EXPECT_FALSE(out.vivaldi_updated);
+  EXPECT_FALSE(out.app_updated);
+  EXPECT_EQ(c.absorbed_sample_count(), 1u);
+  // Second sample primes the filter; MP(,25) of {30000, 40} is 40 — the
+  // spike never reaches Vivaldi.
+  const auto out2 = c.observe(2, Coordinate{Vec{50.0, 0.0}}, 0.5, 40.0, 1.0);
+  ASSERT_TRUE(out2.filtered_rtt_ms.has_value());
+  EXPECT_EQ(*out2.filtered_rtt_ms, 40.0);
+}
+
+TEST(NCClient, PerLinkFiltersAreIndependent) {
+  NCClient c(1, basic_config());
+  // Feed link 2 large values, link 3 small ones; each filter sees only its
+  // own link's history.
+  for (int i = 0; i < 4; ++i) {
+    c.observe(2, Coordinate{Vec{100.0, 0.0}}, 0.5, 200.0 + i, static_cast<double>(i));
+    c.observe(3, Coordinate{Vec{-10.0, 0.0}}, 0.5, 10.0 + i, static_cast<double>(i));
+  }
+  const auto out2 = c.observe(2, Coordinate{Vec{100.0, 0.0}}, 0.5, 500.0, 10.0);
+  const auto out3 = c.observe(3, Coordinate{Vec{-10.0, 0.0}}, 0.5, 500.0, 10.0);
+  EXPECT_EQ(*out2.filtered_rtt_ms, 201.0);  // min of {201,202,203,500}
+  EXPECT_EQ(*out3.filtered_rtt_ms, 11.0);   // min of {11,12,13,500}
+  EXPECT_EQ(c.tracked_link_count(), 2u);
+}
+
+TEST(NCClient, NearestNeighborTracksLowestFilteredRtt) {
+  NCClient c(1, basic_config());
+  c.observe(2, Coordinate{Vec{100.0, 0.0}}, 0.5, 100.0, 0.0);
+  EXPECT_EQ(c.nearest_neighbor(), 2);
+  c.observe(3, Coordinate{Vec{10.0, 0.0}}, 0.5, 12.0, 1.0);
+  EXPECT_EQ(c.nearest_neighbor(), 3);
+  EXPECT_EQ(c.nearest_rtt_ms(), 12.0);
+  // A slower link does not displace the nearest.
+  c.observe(4, Coordinate{Vec{50.0, 0.0}}, 0.5, 55.0, 2.0);
+  EXPECT_EQ(c.nearest_neighbor(), 3);
+}
+
+TEST(NCClient, NearestRefreshedWhenReobserved) {
+  NCClient c(1, basic_config());
+  c.observe(3, Coordinate{Vec{10.0, 0.0}}, 0.5, 12.0, 0.0);
+  // The nearest link got slower; re-observation refreshes its value.
+  for (int i = 0; i < 4; ++i)
+    c.observe(3, Coordinate{Vec{10.0, 0.0}}, 0.5, 80.0, 1.0 + i);
+  EXPECT_EQ(c.nearest_neighbor(), 3);
+  EXPECT_EQ(c.nearest_rtt_ms(), 80.0);
+}
+
+TEST(NCClient, LinkEvictionCapsState) {
+  NCClientConfig cfg = basic_config();
+  cfg.max_tracked_links = 8;
+  NCClient c(0, cfg);
+  for (NodeId id = 1; id <= 20; ++id)
+    c.observe(id, Coordinate{Vec{10.0, 0.0}}, 0.5, 10.0, static_cast<double>(id));
+  EXPECT_LE(c.tracked_link_count(), 8u);
+  EXPECT_EQ(c.evicted_link_count(), 12u);
+}
+
+TEST(NCClient, UnboundedWhenCapIsZero) {
+  NCClientConfig cfg = basic_config();
+  cfg.max_tracked_links = 0;
+  NCClient c(0, cfg);
+  for (NodeId id = 1; id <= 50; ++id)
+    c.observe(id, Coordinate{Vec{10.0, 0.0}}, 0.5, 10.0, static_cast<double>(id));
+  EXPECT_EQ(c.tracked_link_count(), 50u);
+  EXPECT_EQ(c.evicted_link_count(), 0u);
+}
+
+TEST(NCClient, CountersAdvance) {
+  NCClient c(1, basic_config());
+  for (int i = 0; i < 10; ++i)
+    c.observe(2, Coordinate{Vec{50.0, 0.0}}, 0.5, 50.0, static_cast<double>(i));
+  EXPECT_EQ(c.observation_count(), 10u);
+  EXPECT_GE(c.app_update_count(), 1u);
+}
+
+TEST(NCClient, TwoClientsConvergeThroughPublicApi) {
+  NCClientConfig cfg = basic_config();
+  NCClient a(1, cfg);
+  NCClient b(2, cfg);
+  for (int i = 0; i < 300; ++i) {
+    const double t = static_cast<double>(i);
+    a.observe(2, b.system_coordinate(), b.error_estimate(), 60.0, t);
+    b.observe(1, a.system_coordinate(), a.error_estimate(), 60.0, t);
+  }
+  EXPECT_NEAR(a.system_coordinate().distance_to(b.system_coordinate()), 60.0, 3.0);
+  EXPECT_GT(a.confidence(), 0.9);
+}
+
+TEST(NCClient, EnergyHeuristicSuppressesAppUpdatesOnStableStream) {
+  NCClientConfig cfg = basic_config();
+  cfg.heuristic = HeuristicConfig::energy(8.0, 16);
+  NCClient a(1, cfg);
+  NCClient b(2, cfg);
+  Rng rng(61);
+  for (int i = 0; i < 500; ++i) {
+    const double t = static_cast<double>(i);
+    const double rtt = 60.0 * rng.lognormal(0.0, 0.03);
+    a.observe(2, b.system_coordinate(), b.error_estimate(), rtt, t);
+    b.observe(1, a.system_coordinate(), a.error_estimate(), rtt, t);
+  }
+  // System coordinates keep jittering, application coordinates barely move.
+  EXPECT_LT(a.app_update_count(), 20u);
+  EXPECT_EQ(a.observation_count(), 500u);
+}
+
+TEST(NCClient, AppDisplacementReportedOnUpdate) {
+  NCClientConfig cfg = basic_config();
+  cfg.heuristic = HeuristicConfig::application(1.0);
+  NCClient a(1, cfg);
+  // The remote advertises (100, 0) but the measured RTT is only 50: the
+  // spring is over-stretched, so the system coordinate keeps moving toward
+  // the remote and the APPLICATION heuristic fires repeatedly.
+  a.observe(2, Coordinate{Vec{100.0, 0.0}}, 0.1, 50.0, 0.0);
+  double total_disp = 0.0;
+  for (int i = 1; i < 50; ++i) {
+    const auto out =
+        a.observe(2, Coordinate{Vec{100.0, 0.0}}, 0.1, 50.0, static_cast<double>(i));
+    if (out.app_updated) {
+      EXPECT_GT(out.app_displacement_ms, 1.0);  // tau
+      total_disp += out.app_displacement_ms;
+    }
+  }
+  EXPECT_GT(total_disp, 0.0);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,95 @@
+#include "core/neighbor_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace nc {
+namespace {
+
+TEST(NeighborSet, RejectsBadCapacity) { EXPECT_THROW(NeighborSet(0, 1), CheckError); }
+
+TEST(NeighborSet, RejectsInvalidId) {
+  NeighborSet s(4, 1);
+  EXPECT_THROW(s.add(kInvalidNode), CheckError);
+}
+
+TEST(NeighborSet, EmptyYieldsNothing) {
+  NeighborSet s(4, 1);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.next_round_robin(), std::nullopt);
+  EXPECT_EQ(s.random_neighbor(), std::nullopt);
+}
+
+TEST(NeighborSet, AddAndContains) {
+  NeighborSet s(4, 1);
+  EXPECT_TRUE(s.add(7));
+  EXPECT_FALSE(s.add(7));  // duplicate
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(NeighborSet, RoundRobinCyclesInOrder) {
+  NeighborSet s(8, 1);
+  for (NodeId id : {3, 1, 4}) s.add(id);
+  EXPECT_EQ(s.next_round_robin(), 3);
+  EXPECT_EQ(s.next_round_robin(), 1);
+  EXPECT_EQ(s.next_round_robin(), 4);
+  EXPECT_EQ(s.next_round_robin(), 3);  // wraps
+}
+
+TEST(NeighborSet, CapacityReplacementKeepsSizeBounded) {
+  NeighborSet s(4, 2);
+  for (NodeId id = 0; id < 20; ++id) s.add(id);
+  EXPECT_EQ(s.size(), 4u);
+  // The most recent addition is always present (it replaced someone).
+  EXPECT_TRUE(s.contains(19));
+}
+
+TEST(NeighborSet, RandomNeighborIsMember) {
+  NeighborSet s(8, 3);
+  for (NodeId id : {10, 20, 30}) s.add(id);
+  for (int i = 0; i < 50; ++i) {
+    const auto n = s.random_neighbor();
+    ASSERT_TRUE(n.has_value());
+    EXPECT_TRUE(s.contains(*n));
+  }
+}
+
+TEST(NeighborSet, RoundRobinCoversAllMembers) {
+  NeighborSet s(16, 4);
+  std::set<NodeId> expected;
+  for (NodeId id = 0; id < 10; ++id) {
+    s.add(id);
+    expected.insert(id);
+  }
+  std::set<NodeId> seen;
+  for (int i = 0; i < 10; ++i) seen.insert(*s.next_round_robin());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(NeighborSet, GrowthDuringIterationStaysConsistent) {
+  NeighborSet s(16, 5);
+  s.add(1);
+  s.add(2);
+  EXPECT_EQ(s.next_round_robin(), 1);
+  s.add(3);  // gossip arrives mid-cycle
+  EXPECT_EQ(s.next_round_robin(), 2);
+  EXPECT_EQ(s.next_round_robin(), 3);
+  EXPECT_EQ(s.next_round_robin(), 1);
+}
+
+TEST(NeighborSet, DeterministicReplacementBySeed) {
+  NeighborSet a(4, 42);
+  NeighborSet b(4, 42);
+  for (NodeId id = 0; id < 50; ++id) {
+    a.add(id);
+    b.add(id);
+  }
+  EXPECT_EQ(a.members(), b.members());
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/heuristics/heuristic_config.hpp"
+#include "core/heuristics/windowed_heuristics.hpp"
+
+namespace nc {
+namespace {
+
+Coordinate at(double x, double y) { return Coordinate{Vec{x, y}}; }
+
+TEST(RankSumHeuristic, RejectsBadAlpha) {
+  EXPECT_THROW(RankSumHeuristic(0.0, 16), CheckError);
+  EXPECT_THROW(RankSumHeuristic(1.0, 16), CheckError);
+}
+
+TEST(RankSumHeuristic, StableStreamRarelyFires) {
+  RankSumHeuristic h(0.01, 16);
+  Coordinate app = at(0, 0);
+  Rng rng(71);
+  int fires = 0;
+  for (int i = 0; i < 600; ++i) {
+    if (h.on_system_update(
+            {at(20.0 + rng.normal(0.0, 0.4), rng.normal(0.0, 0.4)), nullptr, 0.0},
+            app))
+      ++fires;
+  }
+  // At alpha = 1% a false positive every ~100 armed tests is expected noise;
+  // much more than that means the test statistic is broken.
+  EXPECT_LE(fires, 12);
+}
+
+TEST(RankSumHeuristic, DetectsRadialShift) {
+  RankSumHeuristic h(0.01, 16);
+  Coordinate app = at(0, 0);
+  Rng rng(72);
+  for (int i = 0; i < 48; ++i) {
+    h.on_system_update({at(rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)), nullptr, 0.0},
+                       app);
+  }
+  bool fired = false;
+  int steps = 0;
+  for (; steps < 40 && !fired; ++steps) {
+    fired = h.on_system_update(
+        {at(15.0 + rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)), nullptr, 0.0}, app);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_GT(app.position()[0], 1.0);  // centroid published
+}
+
+TEST(RankSumHeuristic, BlindSpotConstantDistanceRing) {
+  // Construct the exact blind spot: the start window alternates between
+  // (10, 0) and (-10, 0), so C(W_s) = (0, 0) and every element sits at
+  // distance 10. The stream then moves to alternating (0, 10) / (0, -10):
+  // still distance 10 from C(W_s) — rank-sum sees identical distributions
+  // while the energy distance between the windows is large.
+  const int k = 16;
+  RankSumHeuristic ranksum(0.05, k);
+  EnergyHeuristic energy(8.0, k);
+  Coordinate app_r = at(0, 0);
+  Coordinate app_e = at(0, 0);
+  int ranksum_fires = 0;
+  int energy_fires = 0;
+  for (int i = 0; i < k; ++i) {
+    const Coordinate c = at(i % 2 == 0 ? 10.0 : -10.0, 0.0);
+    ranksum.on_system_update({c, nullptr, 0.0}, app_r);
+    energy.on_system_update({c, nullptr, 0.0}, app_e);
+  }
+  for (int i = 0; i < 3 * k; ++i) {
+    const Coordinate c = at(0.0, i % 2 == 0 ? 10.0 : -10.0);
+    if (ranksum.on_system_update({c, nullptr, 0.0}, app_r)) ++ranksum_fires;
+    if (energy.on_system_update({c, nullptr, 0.0}, app_e)) ++energy_fires;
+  }
+  EXPECT_EQ(ranksum_fires, 0);  // blind: distances unchanged
+  EXPECT_GE(energy_fires, 1);   // energy sees the rotation
+}
+
+TEST(RankSumHeuristic, ConfigFactory) {
+  const auto cfg = HeuristicConfig::rank_sum(0.01, 32);
+  EXPECT_EQ(cfg.kind, HeuristicKind::kRankSum);
+  EXPECT_EQ(cfg.name(), "ranksum(a=0.01,k=32)");
+  EXPECT_NE(cfg.make(), nullptr);
+}
+
+TEST(RankSumHeuristic, CloneStartsFresh) {
+  RankSumHeuristic h(0.01, 8);
+  Coordinate app = at(0, 0);
+  for (int i = 0; i < 8; ++i) h.on_system_update({at(1, 1), nullptr, 0.0}, app);
+  EXPECT_TRUE(h.armed());
+  const auto c = h.clone();
+  EXPECT_FALSE(dynamic_cast<RankSumHeuristic*>(c.get())->armed());
+}
+
+}  // namespace
+}  // namespace nc

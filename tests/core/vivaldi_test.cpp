@@ -1,0 +1,315 @@
+#include "core/vivaldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nc {
+namespace {
+
+VivaldiConfig basic_config(int dim = 2) {
+  VivaldiConfig c;
+  c.dim = dim;
+  return c;
+}
+
+TEST(Vivaldi, StartsAtOriginWithInitialError) {
+  const Vivaldi v(basic_config());
+  EXPECT_EQ(v.coordinate().position().norm(), 0.0);
+  EXPECT_EQ(v.error_estimate(), 1.0);
+  EXPECT_EQ(v.confidence(), 0.0);
+  EXPECT_EQ(v.observation_count(), 0u);
+}
+
+TEST(Vivaldi, RejectsBadConfig) {
+  VivaldiConfig c = basic_config();
+  c.dim = 0;
+  EXPECT_THROW(Vivaldi{c}, CheckError);
+  c = basic_config();
+  c.cc = 0.0;
+  EXPECT_THROW(Vivaldi{c}, CheckError);
+  c = basic_config();
+  c.initial_error = 2.0;  // above max_error
+  EXPECT_THROW(Vivaldi{c}, CheckError);
+}
+
+TEST(Vivaldi, RejectsNonPositiveRtt) {
+  Vivaldi v(basic_config());
+  EXPECT_THROW(v.observe(Coordinate::origin(2), 1.0, 0.0), CheckError);
+  EXPECT_THROW(v.observe(Coordinate::origin(2), 1.0, -5.0), CheckError);
+}
+
+TEST(Vivaldi, RejectsDimensionMismatch) {
+  Vivaldi v(basic_config(2));
+  EXPECT_THROW(v.observe(Coordinate::origin(3), 1.0, 10.0), CheckError);
+}
+
+TEST(Vivaldi, SpringDirectionIsCorrect) {
+  // Remote sits at (100, 0); our coordinate is at the origin. The measured
+  // RTT (10 ms) is far below the coordinate distance (100 ms), so the spring
+  // is over-stretched and must pull us TOWARD the remote. This guards the
+  // sign typo in the TR's Figure 1 (see DESIGN.md).
+  Vivaldi v(basic_config());
+  Coordinate self_before = v.coordinate();
+  const Coordinate remote{Vec{100.0, 0.0}};
+  v.observe(remote, 0.5, 10.0);
+  EXPECT_LT(v.coordinate().distance_to(remote), self_before.distance_to(remote));
+
+  // And push apart when the RTT exceeds the coordinate distance.
+  Vivaldi w(basic_config());
+  w.observe(remote, 0.5, 10.0);  // move near remote first
+  const double before = w.coordinate().distance_to(remote);
+  w.observe(remote, 0.5, 500.0);
+  EXPECT_GT(w.coordinate().distance_to(remote), before);
+}
+
+TEST(Vivaldi, TwoNodesConvergeToTrueLatency) {
+  VivaldiConfig c = basic_config();
+  Vivaldi a(c, 1);
+  Vivaldi b(c, 2);
+  const double rtt = 42.0;
+  for (int i = 0; i < 400; ++i) {
+    a.observe(b.coordinate(), b.error_estimate(), rtt);
+    b.observe(a.coordinate(), a.error_estimate(), rtt);
+  }
+  EXPECT_NEAR(a.coordinate().distance_to(b.coordinate()), rtt, 1.0);
+  EXPECT_LT(a.error_estimate(), 0.05);
+  EXPECT_GT(a.confidence(), 0.95);
+}
+
+TEST(Vivaldi, SymmetryBreakingFromIdenticalCoordinates) {
+  // Both nodes start at the origin; random directions must separate them.
+  VivaldiConfig c = basic_config();
+  Vivaldi a(c, 1);
+  Vivaldi b(c, 2);
+  a.observe(b.coordinate(), 1.0, 50.0);
+  EXPECT_GT(a.coordinate().position().norm(), 0.0);
+}
+
+TEST(Vivaldi, ErrorEstimateStaysInBounds) {
+  VivaldiConfig c = basic_config();
+  Vivaldi v(c, 3);
+  Rng rng(99);
+  // Wildly inconsistent observations cannot push the error outside [0, 1].
+  for (int i = 0; i < 500; ++i) {
+    const Coordinate remote{Vec{rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)}};
+    v.observe(remote, rng.uniform(0.0, 1.0), rng.uniform(0.1, 10000.0));
+    ASSERT_GE(v.error_estimate(), 0.0);
+    ASSERT_LE(v.error_estimate(), 1.0);
+    ASSERT_TRUE(v.coordinate().position().all_finite());
+  }
+}
+
+TEST(Vivaldi, ConfidentRemoteTugsHarder) {
+  // Against a confident remote (low error), our move should be larger than
+  // against an unconfident one (w = e_i / (e_i + e_j)).
+  VivaldiConfig c = basic_config();
+  Vivaldi a(c, 1);
+  Vivaldi b(c, 1);  // identical twins
+  const Coordinate remote{Vec{100.0, 0.0}};
+  const auto move_confident = a.observe(remote, 0.01, 50.0).displacement_ms;
+  const auto move_unsure = b.observe(remote, 1.0, 50.0).displacement_ms;
+  EXPECT_GT(move_confident, move_unsure);
+}
+
+TEST(Vivaldi, ConfidenceBuildingTreatsMarginAsExact) {
+  VivaldiConfig c = basic_config();
+  c.confidence_margin_ms = 3.0;
+  Vivaldi v(c, 4);
+  // Put the node at a known spot first.
+  const Coordinate remote{Vec{10.0, 0.0}};
+  for (int i = 0; i < 200; ++i) v.observe(remote, 0.1, 10.0);
+  const double err_before = v.error_estimate();
+  const Coordinate pos_before = v.coordinate();
+
+  // A sample within 3 ms of the prediction is treated as exact: no movement,
+  // error improves.
+  const double predicted = v.coordinate().distance_to(remote);
+  const auto s = v.observe(remote, 0.1, predicted + 2.5);
+  EXPECT_TRUE(s.within_margin);
+  EXPECT_EQ(s.relative_error, 0.0);
+  EXPECT_EQ(s.displacement_ms, 0.0);
+  EXPECT_EQ(v.coordinate(), pos_before);
+  EXPECT_LE(v.error_estimate(), err_before);
+}
+
+TEST(Vivaldi, WithoutMarginJitterErodesConfidence) {
+  // The Fig. 6 cluster effect: 1 ms links with +/-2 ms jitter keep relative
+  // error high without confidence building.
+  VivaldiConfig plain = basic_config();
+  VivaldiConfig margin = basic_config();
+  margin.confidence_margin_ms = 3.0;
+  Vivaldi a(plain, 5);
+  Vivaldi b(margin, 5);
+  Rng rng(7);
+  const Coordinate remote{Vec{1.0, 0.0}};
+  for (int i = 0; i < 300; ++i) {
+    const double rtt = rng.uniform(0.4, 3.0);  // jitter >> true latency
+    a.observe(remote, 0.1, rtt);
+    b.observe(remote, 0.1, rtt);
+  }
+  EXPECT_GT(a.error_estimate(), 0.25);   // jitter keeps error high
+  EXPECT_LT(b.error_estimate(), 0.05);   // margin absorbs it
+  EXPECT_GT(b.confidence(), 0.95);
+}
+
+TEST(Vivaldi, DampingFreezesMovement) {
+  // de Launois damping: movement decays towards zero with observation count
+  // even when the network moves (the paper's criticism).
+  VivaldiConfig c = basic_config();
+  c.delaunois_damping = 5.0;
+  Vivaldi v(c, 6);
+  const Coordinate remote{Vec{80.0, 0.0}};
+  for (int i = 0; i < 500; ++i) v.observe(remote, 0.2, 80.0);
+  // Now the "network" changes: the same link is suddenly 400 ms.
+  double total_move = 0.0;
+  for (int i = 0; i < 50; ++i) total_move += v.observe(remote, 0.2, 400.0).displacement_ms;
+  EXPECT_LT(total_move, 40.0);  // moved a small fraction of the 320 ms shift
+
+  VivaldiConfig undamped = basic_config();
+  Vivaldi u(undamped, 6);
+  for (int i = 0; i < 500; ++i) u.observe(remote, 0.2, 80.0);
+  double total_move_u = 0.0;
+  for (int i = 0; i < 50; ++i)
+    total_move_u += u.observe(remote, 0.2, 400.0).displacement_ms;
+  EXPECT_GT(total_move_u, 8.0 * total_move);
+}
+
+TEST(Vivaldi, HeightsEvolveFromInitialValue) {
+  // Regression: heights start positive and must actually move. (A zero
+  // initial height would freeze the height component forever because the
+  // height force scales with h_i + h_j.)
+  VivaldiConfig c = basic_config();
+  c.use_height = true;
+  Vivaldi v(c, 9);
+  EXPECT_EQ(v.coordinate().height(), c.initial_height_ms);
+  // A remote with a big height and RTT far above the coordinate distance
+  // stretches the spring, pushing our height up.
+  const Coordinate remote{Vec{10.0, 0.0}, 20.0};
+  for (int i = 0; i < 50; ++i) v.observe(remote, 0.2, 300.0);
+  EXPECT_GT(v.coordinate().height(), c.initial_height_ms);
+}
+
+TEST(Vivaldi, HeightsParticipateInDistance) {
+  VivaldiConfig c = basic_config();
+  c.use_height = true;
+  Vivaldi a(c, 1);
+  Vivaldi b(c, 2);
+  // The true RTT (40) exceeds what a plane embedding of two mutually-pinging
+  // nodes needs; heights must stay non-negative throughout.
+  for (int i = 0; i < 300; ++i) {
+    a.observe(b.coordinate(), b.error_estimate(), 40.0);
+    b.observe(a.coordinate(), a.error_estimate(), 40.0);
+    ASSERT_GE(a.coordinate().height(), 0.0);
+    ASSERT_GE(b.coordinate().height(), 0.0);
+  }
+  EXPECT_NEAR(a.coordinate().distance_to(b.coordinate()), 40.0, 2.0);
+}
+
+TEST(Vivaldi, GravityBoundsDriftFromOrigin) {
+  // Two nodes whose only consistent observation keeps pushing them in one
+  // direction (a remote that always advertises a coordinate "behind" them)
+  // drift without bound; gravity anchors them near the origin.
+  const auto drift_with = [](double rho) {
+    VivaldiConfig c;
+    c.dim = 2;
+    c.gravity_rho = rho;
+    Vivaldi v(c, 3);
+    // The remote always claims to sit 100 ms behind us on the x axis while
+    // the measured RTT says we are 300 ms apart: a perpetual eastward push.
+    for (int i = 0; i < 3000; ++i) {
+      const Vec pos = v.coordinate().position();
+      const Coordinate remote{Vec{pos[0] - 100.0, pos[1]}};
+      v.observe(remote, 0.3, 300.0);
+    }
+    return v.coordinate().position().norm();
+  };
+  const double unanchored = drift_with(0.0);
+  const double anchored = drift_with(500.0);
+  EXPECT_GT(unanchored, 10.0 * anchored);
+  // Equilibrium where pull (r/rho)^2 balances the ~35 ms/update push:
+  // r = rho * sqrt(push) ~ 3000 ms.
+  EXPECT_LT(anchored, 4000.0);
+}
+
+TEST(Vivaldi, WeakGravityPreservesConvergence) {
+  // With rho far above the network diameter, gravity must not perturb
+  // pairwise accuracy.
+  VivaldiConfig c;
+  c.dim = 2;
+  c.gravity_rho = 10000.0;
+  Vivaldi a(c, 1);
+  Vivaldi b(c, 2);
+  for (int i = 0; i < 400; ++i) {
+    a.observe(b.coordinate(), b.error_estimate(), 42.0);
+    b.observe(a.coordinate(), a.error_estimate(), 42.0);
+  }
+  EXPECT_NEAR(a.coordinate().distance_to(b.coordinate()), 42.0, 1.5);
+}
+
+TEST(Vivaldi, ResetRestoresInitialState) {
+  Vivaldi v(basic_config(), 7);
+  v.observe(Coordinate{Vec{10.0, 0.0}}, 0.5, 25.0);
+  EXPECT_GT(v.observation_count(), 0u);
+  v.reset();
+  EXPECT_EQ(v.coordinate().position().norm(), 0.0);
+  EXPECT_EQ(v.error_estimate(), 1.0);
+  EXPECT_EQ(v.observation_count(), 0u);
+}
+
+// Property: a clique of nodes with a consistent Euclidean ground truth
+// converges to low error in any dimension >= the ground truth's.
+class ConvergenceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvergenceProperty, CliqueEmbedsGroundTruth) {
+  const auto [dim, n] = GetParam();
+  Rng rng(hash_combine(static_cast<std::uint64_t>(dim), static_cast<std::uint64_t>(n)));
+
+  // Ground-truth positions in the same dimension.
+  std::vector<Vec> truth;
+  for (int i = 0; i < n; ++i) truth.push_back(rng.unit_vector(dim) * rng.uniform(10.0, 120.0));
+
+  VivaldiConfig c = basic_config(dim);
+  std::vector<Vivaldi> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) nodes.emplace_back(c, static_cast<std::uint64_t>(i));
+
+  for (int round = 0; round < 120; ++round) {
+    for (int i = 0; i < n; ++i) {
+      const int j = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(n - 1)));
+      const int other = j >= i ? j + 1 : j;
+      const double rtt = std::max(
+          0.5, truth[static_cast<std::size_t>(i)].distance_to(
+                   truth[static_cast<std::size_t>(other)]));
+      nodes[static_cast<std::size_t>(i)].observe(
+          nodes[static_cast<std::size_t>(other)].coordinate(),
+          nodes[static_cast<std::size_t>(other)].error_estimate(), rtt);
+    }
+  }
+
+  // Median relative error over all pairs must be small.
+  std::vector<double> errs;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double rtt = std::max(0.5, truth[static_cast<std::size_t>(i)].distance_to(
+                                           truth[static_cast<std::size_t>(j)]));
+      const double d = nodes[static_cast<std::size_t>(i)].coordinate().distance_to(
+          nodes[static_cast<std::size_t>(j)].coordinate());
+      errs.push_back(std::fabs(d - rtt) / rtt);
+    }
+  std::sort(errs.begin(), errs.end());
+  EXPECT_LT(errs[errs.size() / 2], 0.12) << "dim=" << dim << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConvergenceProperty,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(8, 24)));
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,180 @@
+#include "core/heuristics/windowed_heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nc {
+namespace {
+
+Coordinate at(double x, double y) { return Coordinate{Vec{x, y}}; }
+
+TEST(WindowedHeuristic, RejectsBadParams) {
+  EXPECT_THROW(EnergyHeuristic(0.0, 8), CheckError);
+  EXPECT_THROW(EnergyHeuristic(8.0, 1), CheckError);
+  EXPECT_THROW(RelativeHeuristic(0.0, 8), CheckError);
+}
+
+TEST(EnergyHeuristic, NotArmedUntilWindowFills) {
+  EnergyHeuristic h(0.001, 4);
+  Coordinate app = at(0, 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(h.on_system_update({at(i * 10.0, 0), nullptr, 0.0}, app));
+    EXPECT_FALSE(h.armed());
+  }
+  h.on_system_update({at(30, 0), nullptr, 0.0}, app);
+  EXPECT_TRUE(h.armed());
+}
+
+TEST(EnergyHeuristic, StableStreamNeverFires) {
+  EnergyHeuristic h(8.0, 16);
+  Coordinate app = at(0, 0);
+  Rng rng(51);
+  for (int i = 0; i < 500; ++i) {
+    const Coordinate sys = at(50.0 + rng.normal(0.0, 0.5), rng.normal(0.0, 0.5));
+    ASSERT_FALSE(h.on_system_update({sys, nullptr, 0.0}, app));
+  }
+  EXPECT_EQ(h.change_points(), 0u);
+  EXPECT_EQ(app, at(0, 0));  // untouched
+}
+
+TEST(EnergyHeuristic, DetectsShiftAndPublishesCentroid) {
+  EnergyHeuristic h(8.0, 16);
+  Coordinate app = at(0, 0);
+  Rng rng(52);
+  // Phase 1: stable near (0, 0).
+  for (int i = 0; i < 64; ++i) {
+    h.on_system_update({at(rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)), nullptr, 0.0},
+                       app);
+  }
+  EXPECT_EQ(h.change_points(), 0u);
+  // Phase 2: jump to (100, 0): must fire within ~window observations.
+  bool fired = false;
+  int steps = 0;
+  for (; steps < 32 && !fired; ++steps) {
+    fired = h.on_system_update(
+        {at(100.0 + rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)), nullptr, 0.0}, app);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_LE(steps, 32);
+  EXPECT_EQ(h.change_points(), 1u);
+  // The published coordinate is the centroid of the current window — a mix
+  // of old and new positions. The statistic fires after only a few samples
+  // at the new location, so the centroid has moved off the old cluster but
+  // not yet reached the new one.
+  EXPECT_GT(app.position()[0], 5.0);
+  EXPECT_LT(app.position()[0], 100.0);
+  // After the change point the windows restart.
+  EXPECT_FALSE(h.armed());
+}
+
+TEST(EnergyHeuristic, HigherThresholdFiresLater) {
+  Rng rng(53);
+  std::vector<Coordinate> stream;
+  for (int i = 0; i < 32; ++i)
+    stream.push_back(at(rng.normal(0.0, 0.2), rng.normal(0.0, 0.2)));
+  for (int i = 0; i < 64; ++i)
+    stream.push_back(at(2.0 * i + rng.normal(0.0, 0.2), 0.0));  // ramp
+
+  const auto first_fire = [&](double tau) {
+    EnergyHeuristic h(tau, 16);
+    Coordinate app = at(0, 0);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+      if (h.on_system_update({stream[i], nullptr, 0.0}, app))
+        return static_cast<int>(i);
+    return -1;
+  };
+  const int lo = first_fire(2.0);
+  const int hi = first_fire(64.0);
+  ASSERT_NE(lo, -1);
+  ASSERT_NE(hi, -1);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(RelativeHeuristic, RequiresNearestNeighbor) {
+  RelativeHeuristic h(0.3, 4);
+  Coordinate app = at(0, 0);
+  // Without a nearest neighbor the test can never trigger.
+  for (int i = 0; i < 50; ++i)
+    ASSERT_FALSE(h.on_system_update({at(i * 50.0, 0), nullptr, 0.0}, app));
+}
+
+TEST(RelativeHeuristic, FiresWhenMovementExceedsLocalScale) {
+  RelativeHeuristic h(0.3, 8);
+  Coordinate app = at(0, 0);
+  const Coordinate nearest = at(0, 10);  // local scale ~10 ms
+  Rng rng(54);
+  // Stable phase.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_FALSE(h.on_system_update(
+        {at(rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)), &nearest, 0.0}, app));
+  }
+  // Move by ~8 ms: 8 / 10 > 0.3 once the current centroid reflects it.
+  bool fired = false;
+  for (int i = 0; i < 16 && !fired; ++i) {
+    fired = h.on_system_update(
+        {at(8.0 + rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)), &nearest, 0.0}, app);
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(h.change_points(), 1u);
+  EXPECT_GT(app.position()[0], 1.0);
+}
+
+TEST(RelativeHeuristic, SmallMovementRelativeToFarNeighborIgnored) {
+  RelativeHeuristic h(0.3, 8);
+  Coordinate app = at(0, 0);
+  const Coordinate nearest = at(0, 500.0);  // very distant nearest neighbor
+  Rng rng(55);
+  for (int i = 0; i < 16; ++i)
+    h.on_system_update({at(rng.normal(0.0, 0.1), 0), &nearest, 0.0}, app);
+  // An 8 ms move is tiny relative to a 500 ms local scale.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_FALSE(h.on_system_update(
+        {at(8.0 + rng.normal(0.0, 0.1), 0), &nearest, 0.0}, app));
+  }
+}
+
+TEST(WindowedHeuristic, ResetClearsState) {
+  EnergyHeuristic h(1.0, 4);
+  Coordinate app = at(0, 0);
+  // Stable stream: the windows fill and arm but never declare a change.
+  for (int i = 0; i < 6; ++i) h.on_system_update({at(5, 5), nullptr, 0.0}, app);
+  EXPECT_TRUE(h.armed());
+  h.reset();
+  EXPECT_FALSE(h.armed());
+  EXPECT_EQ(h.change_points(), 0u);
+}
+
+TEST(WindowedHeuristic, CloneStartsFresh) {
+  EnergyHeuristic h(8.0, 4);
+  Coordinate app = at(0, 0);
+  for (int i = 0; i < 4; ++i) h.on_system_update({at(0, 0), nullptr, 0.0}, app);
+  EXPECT_TRUE(h.armed());
+  const auto c = h.clone();
+  auto* e = dynamic_cast<EnergyHeuristic*>(c.get());
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->armed());
+  EXPECT_EQ(e->window(), 4);
+}
+
+TEST(WindowedHeuristic, HeightCoordinatesSupported) {
+  EnergyHeuristic h(4.0, 8);
+  Coordinate app = Coordinate{Vec{0.0, 0.0}, 1.0};
+  Rng rng(56);
+  for (int i = 0; i < 16; ++i) {
+    h.on_system_update(
+        {Coordinate{Vec{rng.normal(0.0, 0.1), 0.0}, 1.0}, nullptr, 0.0}, app);
+  }
+  bool fired = false;
+  for (int i = 0; i < 16 && !fired; ++i) {
+    fired = h.on_system_update(
+        {Coordinate{Vec{40.0 + rng.normal(0.0, 0.1), 0.0}, 5.0}, nullptr, 0.0}, app);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_TRUE(app.has_height());
+  EXPECT_GE(app.height(), 0.0);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,121 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace nc {
+namespace {
+
+TEST(Wire, RoundTripPlainCoordinate) {
+  const Coordinate c{Vec{10.5, -3.25, 99.0}};
+  const auto bytes = encode_state(c, 0.42);
+  EXPECT_EQ(bytes.size(), encoded_size(3, false));
+  const auto decoded = decode_state(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->coordinate, c);
+  EXPECT_NEAR(decoded->error_estimate, 0.42, 1e-7);
+}
+
+TEST(Wire, RoundTripWithHeight) {
+  const Coordinate c{Vec{1.0, 2.0}, 7.5};
+  const auto bytes = encode_state(c, 1.0);
+  EXPECT_EQ(bytes.size(), encoded_size(2, true));
+  const auto decoded = decode_state(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->coordinate.has_height());
+  EXPECT_EQ(decoded->coordinate.height(), 7.5);
+}
+
+TEST(Wire, RoundTripAllDimensions) {
+  for (int dim = 1; dim <= kMaxDim; ++dim) {
+    Vec v(dim);
+    for (int i = 0; i < dim; ++i) v[i] = static_cast<double>(i) - 2.5;
+    const auto bytes = encode_state(Coordinate{v}, 0.0);
+    const auto decoded = decode_state(bytes);
+    ASSERT_TRUE(decoded.has_value()) << "dim " << dim;
+    EXPECT_EQ(decoded->coordinate.dim(), dim);
+  }
+}
+
+TEST(Wire, PaperConfigurationIs19Bytes) {
+  // 3-D, no height: 3 header bytes + 3 * 4 position + 4 error.
+  EXPECT_EQ(encoded_size(3, false), 19u);
+}
+
+TEST(Wire, EncodeRejectsBadInputs) {
+  EXPECT_THROW((void)encode_state(Coordinate{}, 0.5), CheckError);
+  EXPECT_THROW((void)encode_state(Coordinate{Vec{1.0}}, 1.5), CheckError);
+  EXPECT_THROW((void)encode_state(Coordinate{Vec{1.0}}, -0.1), CheckError);
+}
+
+TEST(Wire, DecodeRejectsTruncation) {
+  const auto bytes = encode_state(Coordinate{Vec{1.0, 2.0, 3.0}}, 0.5);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_EQ(decode_state(std::span(bytes.data(), len)), std::nullopt)
+        << "length " << len;
+  }
+}
+
+TEST(Wire, DecodeRejectsTrailingGarbage) {
+  auto bytes = encode_state(Coordinate{Vec{1.0}}, 0.5);
+  bytes.push_back(0);
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+}
+
+TEST(Wire, DecodeRejectsWrongVersion) {
+  auto bytes = encode_state(Coordinate{Vec{1.0}}, 0.5);
+  bytes[0] = kWireVersion + 1;
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+}
+
+TEST(Wire, DecodeRejectsUnknownFlags) {
+  auto bytes = encode_state(Coordinate{Vec{1.0}}, 0.5);
+  bytes[1] = 0x80;
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+}
+
+TEST(Wire, DecodeRejectsBadDimension) {
+  auto bytes = encode_state(Coordinate{Vec{1.0}}, 0.5);
+  bytes[2] = 0;
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+  bytes[2] = kMaxDim + 1;
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+}
+
+TEST(Wire, DecodeRejectsNonFiniteComponents) {
+  auto bytes = encode_state(Coordinate{Vec{1.0, 2.0}}, 0.5);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::memcpy(bytes.data() + 3, &nan, 4);  // first component
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+
+  auto bytes2 = encode_state(Coordinate{Vec{1.0, 2.0}}, 0.5);
+  const float inf = std::numeric_limits<float>::infinity();
+  std::memcpy(bytes2.data() + 7, &inf, 4);  // second component
+  EXPECT_EQ(decode_state(bytes2), std::nullopt);
+}
+
+TEST(Wire, DecodeRejectsBadErrorEstimate) {
+  auto bytes = encode_state(Coordinate{Vec{1.0}}, 0.5);
+  const float bad = 1.5f;
+  std::memcpy(bytes.data() + bytes.size() - 4, &bad, 4);
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+}
+
+TEST(Wire, DecodeRejectsNegativeHeight) {
+  auto bytes = encode_state(Coordinate{Vec{1.0}, 2.0}, 0.5);
+  const float bad = -1.0f;
+  std::memcpy(bytes.data() + 3 + 4, &bad, 4);  // height slot
+  EXPECT_EQ(decode_state(bytes), std::nullopt);
+}
+
+TEST(Wire, EmptyInputRejected) {
+  EXPECT_EQ(decode_state({}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/experiment.hpp"
+#include "eval/report.hpp"
+
+namespace nc::eval {
+namespace {
+
+// ----------------------------------------------------------------- report --
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt(1000.0, 4), "1000");
+  EXPECT_EQ(fmt(0.000123, 2), "0.00012");
+}
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, TextTableRejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Report, CdfTablePrintsGrid) {
+  stats::Ecdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  std::ostringstream os;
+  print_cdf_table(os, "test cdf", {{"col", &cdf}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("test cdf"), std::string::npos);
+  EXPECT_NE(out.find("50%"), std::string::npos);
+  EXPECT_NE(out.find("95%"), std::string::npos);
+}
+
+TEST(Report, CdfTableRejectsEmptyCdf) {
+  stats::Ecdf empty;
+  std::ostringstream os;
+  EXPECT_THROW(print_cdf_table(os, "x", {{"col", &empty}}), CheckError);
+}
+
+TEST(Report, HistogramPrinting) {
+  stats::Histogram h(fig2_bucket_edges());
+  h.add(50.0);
+  h.add(150.0);
+  h.add(5000.0);  // overflow bucket (>= 3000)
+  std::ostringstream os;
+  print_histogram(os, "latencies", h);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("0-99"), std::string::npos);
+  EXPECT_NE(out.find("1000-1999"), std::string::npos);
+  EXPECT_NE(out.find(">=3000"), std::string::npos);
+}
+
+TEST(Report, PaperBucketEdges) {
+  const auto fig2 = fig2_bucket_edges();
+  EXPECT_EQ(fig2.front(), 0.0);
+  EXPECT_EQ(fig2.back(), 3000.0);
+  EXPECT_EQ(fig2.size(), 13u);  // 0..1000 by 100 (11 edges) + 2000 + 3000
+  const auto fig3 = fig3_bucket_edges();
+  EXPECT_EQ(fig3.back(), 2200.0);
+}
+
+TEST(Report, BoxplotRowContainsAllFields) {
+  const auto b = stats::boxplot({1, 2, 3, 4, 100});
+  const std::string row = boxplot_row(b);
+  EXPECT_NE(row.find("med="), std::string::npos);
+  EXPECT_NE(row.find("outliers=1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- experiment --
+
+TEST(Experiment, ResolveTraceConfigInheritsSpecFields) {
+  ReplaySpec s;
+  s.num_nodes = 33;
+  s.duration_s = 111.0;
+  s.ping_interval_s = 2.0;
+  s.seed = 99;
+  const auto cfg = resolve_trace_config(s);
+  EXPECT_EQ(cfg.topology.num_nodes, 33);
+  EXPECT_EQ(cfg.duration_s, 111.0);
+  EXPECT_EQ(cfg.ping_interval_s, 2.0);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.topology.seed, 99u);  // topology seed follows the spec seed
+}
+
+TEST(Experiment, ExplicitTopologySeedPreserved) {
+  ReplaySpec s;
+  lat::TopologyConfig topo;
+  topo.seed = 1234;
+  s.topology = topo;
+  const auto cfg = resolve_trace_config(s);
+  EXPECT_EQ(cfg.topology.seed, 1234u);
+}
+
+TEST(Experiment, ReplaySmokeRun) {
+  ReplaySpec s;
+  s.num_nodes = 10;
+  s.duration_s = 120.0;
+  s.seed = 5;
+  const auto out = run_replay(s);
+  EXPECT_GT(out.records, 500u);
+  EXPECT_GE(out.attempts, out.records);
+  EXPECT_GT(out.metrics.observation_count(), 0u);
+}
+
+TEST(Experiment, OnlineSmokeRun) {
+  OnlineSpec s;
+  s.num_nodes = 10;
+  s.duration_s = 120.0;
+  s.ping_interval_s = 2.0;
+  s.seed = 5;
+  const auto out = run_online(s);
+  EXPECT_GT(out.pings_sent, 300u);
+  EXPECT_GT(out.metrics.observation_count(), 0u);
+}
+
+TEST(Experiment, RouteChangeEventsReachTheNetwork) {
+  ReplaySpec s;
+  s.num_nodes = 6;
+  s.duration_s = 200.0;
+  s.seed = 7;
+  s.collect_oracle = true;
+  s.measure_start_s = 150.0;
+  s.route_changes.push_back({0, 1, 5.0, 100.0});
+  const auto out = run_replay(s);
+  EXPECT_GT(out.records, 0u);  // ran to completion with the injection
+}
+
+}  // namespace
+}  // namespace nc::eval

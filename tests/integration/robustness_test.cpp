@@ -1,0 +1,130 @@
+// Robustness under hostile inputs and protocol-path integration.
+//
+// A deployed coordinate subsystem ingests whatever the network hands it:
+// adversarially-timed spikes, peers with garbage state, decade-long runs.
+// These tests fuzz the full pipeline and check the invariants that must
+// survive: finite coordinates, bounded error estimates, and a wire codec
+// that never lets a malformed peer poison the spring computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/nc_client.hpp"
+#include "core/wire.hpp"
+
+namespace nc {
+namespace {
+
+// ----------------------------------------------------------------- fuzz --
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, InvariantsSurviveHostileObservations) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  NCClientConfig cfg;
+  cfg.vivaldi.dim = 3;
+  cfg.max_tracked_links = 32;  // force constant eviction
+  NCClient client(0, cfg);
+
+  for (int i = 0; i < 4000; ++i) {
+    const auto remote = static_cast<NodeId>(1 + rng.uniform_int(100));
+    // Remote coordinates anywhere from sane to absurd (but finite — the
+    // wire codec guards non-finite input; see below).
+    Vec pos(3);
+    for (int d = 0; d < 3; ++d) pos[d] = rng.normal(0.0, 1.0) * rng.pareto(1.0, 0.8);
+    const Coordinate rcoord{pos};
+    const double rerr = rng.uniform(0.0, 1.0);
+    // RTTs spanning nine orders of magnitude.
+    const double rtt = rng.pareto(1e-3, 0.5);
+    const auto out = client.observe(remote, rcoord, rerr, std::min(rtt, 1e6),
+                                    static_cast<double>(i));
+
+    ASSERT_TRUE(client.system_coordinate().position().all_finite());
+    ASSERT_TRUE(client.application_coordinate().position().all_finite());
+    ASSERT_GE(client.error_estimate(), 0.0);
+    ASSERT_LE(client.error_estimate(), 1.0);
+    ASSERT_GE(out.system_displacement_ms, 0.0);
+    ASSERT_LE(client.tracked_link_count(), 32u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(1, 7));
+
+TEST(PipelineFuzz, ExtremeButValidConfigStaysFinite) {
+  NCClientConfig cfg;
+  cfg.vivaldi.dim = 1;       // degenerate dimension
+  cfg.vivaldi.cc = 1.0;      // maximum gain
+  cfg.vivaldi.ce = 1.0;
+  cfg.vivaldi.use_height = true;
+  cfg.filter = FilterConfig::none();
+  NCClient client(0, cfg);
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const Coordinate remote{Vec{rng.uniform(-1e4, 1e4)}, rng.uniform(0.0, 100.0)};
+    client.observe(1, remote, rng.uniform(0.0, 1.0), rng.uniform(1e-3, 3e4),
+                   static_cast<double>(i));
+    ASSERT_TRUE(client.system_coordinate().position().all_finite());
+    ASSERT_GE(client.system_coordinate().height(), cfg.vivaldi.min_height_ms);
+  }
+}
+
+// ---------------------------------------------------------- wire + client --
+
+TEST(WireIntegration, ObservationsThroughTheCodecConverge) {
+  // Full protocol path: each node serializes its advertised state; the peer
+  // decodes and validates before observing. float32 truncation on the wire
+  // must not prevent convergence.
+  NCClientConfig cfg;
+  cfg.vivaldi.dim = 3;
+  NCClient a(1, cfg);
+  NCClient b(2, cfg);
+  for (int i = 0; i < 400; ++i) {
+    const double t = static_cast<double>(i);
+    const auto from_b = decode_state(
+        encode_state(b.system_coordinate(), b.error_estimate()));
+    ASSERT_TRUE(from_b.has_value());
+    a.observe(2, from_b->coordinate, from_b->error_estimate, 80.0, t);
+    const auto from_a = decode_state(
+        encode_state(a.system_coordinate(), a.error_estimate()));
+    ASSERT_TRUE(from_a.has_value());
+    b.observe(1, from_a->coordinate, from_a->error_estimate, 80.0, t);
+  }
+  EXPECT_NEAR(a.system_coordinate().distance_to(b.system_coordinate()), 80.0, 4.0);
+}
+
+TEST(WireIntegration, FuzzedBytesNeverDecodeToInvalidState) {
+  Rng rng(88);
+  int decoded = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint8_t> bytes(rng.uniform_int(40));
+    for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto state = decode_state(bytes);
+    if (!state.has_value()) continue;
+    ++decoded;
+    // Anything that decodes must satisfy every invariant observe() assumes.
+    ASSERT_TRUE(state->coordinate.initialized());
+    ASSERT_TRUE(state->coordinate.position().all_finite());
+    ASSERT_GE(state->coordinate.height(), 0.0);
+    ASSERT_GE(state->error_estimate, 0.0);
+    ASSERT_LE(state->error_estimate, 1.0);
+  }
+  // Random bytes occasionally parse (version+flags+dim+floats can align);
+  // the point is that whatever parses is safe to feed to Vivaldi.
+  EXPECT_LT(decoded, 200);
+}
+
+TEST(WireIntegration, RoundTripPreservesDistancesWithinFloat32) {
+  Rng rng(89);
+  for (int i = 0; i < 200; ++i) {
+    Vec p(3);
+    for (int d = 0; d < 3; ++d) p[d] = rng.uniform(-500.0, 500.0);
+    const Coordinate c{p};
+    const auto back = decode_state(encode_state(c, 0.5));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_NEAR(back->coordinate.distance_to(c), 0.0, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,159 @@
+#include "latency/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace nc::lat {
+namespace {
+
+TEST(Topology, RejectsBadConfig) {
+  TopologyConfig c;
+  c.num_nodes = 1;
+  EXPECT_THROW((void)Topology::make(c), CheckError);
+  c = TopologyConfig{};
+  c.dim = 0;
+  EXPECT_THROW((void)Topology::make(c), CheckError);
+}
+
+TEST(Topology, DefaultPlanetLabShape) {
+  TopologyConfig c;
+  c.num_nodes = 269;
+  const Topology t = Topology::make(c);
+  EXPECT_EQ(t.size(), 269);
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.region_count(), 6);
+}
+
+TEST(Topology, RegionApportionmentMatchesWeights) {
+  TopologyConfig c;
+  c.num_nodes = 100;
+  const Topology t = Topology::make(c);
+  std::map<int, int> counts;
+  for (NodeId id = 0; id < t.size(); ++id) ++counts[t.region_of(id)];
+  int total = 0;
+  for (const auto& [r, n] : counts) total += n;
+  EXPECT_EQ(total, 100);
+  // 30% us-east, 30% europe with the default mix.
+  EXPECT_EQ(counts[0], 30);
+  EXPECT_EQ(counts[2], 30);
+}
+
+TEST(Topology, BaseRttSymmetricPositiveAndFloored) {
+  TopologyConfig c;
+  c.num_nodes = 40;
+  const Topology t = Topology::make(c);
+  for (NodeId i = 0; i < 40; ++i) {
+    for (NodeId j = i + 1; j < 40; ++j) {
+      const double rtt = t.base_rtt_ms(i, j);
+      ASSERT_GT(rtt, 0.0);
+      ASSERT_GE(rtt, c.min_base_rtt_ms);
+      ASSERT_EQ(rtt, t.base_rtt_ms(j, i));
+    }
+  }
+}
+
+TEST(Topology, SelfRttRejected) {
+  const Topology t = Topology::make(TopologyConfig{.num_nodes = 4});
+  EXPECT_THROW((void)t.base_rtt_ms(2, 2), CheckError);
+}
+
+TEST(Topology, HeightsWithinConfiguredRange) {
+  TopologyConfig c;
+  c.num_nodes = 120;
+  const Topology t = Topology::make(c);
+  for (NodeId id = 0; id < t.size(); ++id) {
+    ASSERT_GE(t.height_ms(id), c.height_min_ms);
+    ASSERT_LE(t.height_ms(id), c.height_max_ms);
+  }
+}
+
+TEST(Topology, DeterministicBySeed) {
+  TopologyConfig c;
+  c.num_nodes = 30;
+  c.seed = 99;
+  const Topology a = Topology::make(c);
+  const Topology b = Topology::make(c);
+  for (NodeId id = 0; id < 30; ++id) {
+    ASSERT_EQ(a.position(id), b.position(id));
+    ASSERT_EQ(a.height_ms(id), b.height_ms(id));
+  }
+  c.seed = 100;
+  const Topology d = Topology::make(c);
+  EXPECT_FALSE(a.position(0) == d.position(0));
+}
+
+TEST(Topology, IntraRegionCloserThanInterRegion) {
+  TopologyConfig c;
+  c.num_nodes = 120;
+  const Topology t = Topology::make(c);
+  // Average intra-region RTT must be far below average inter-region RTT.
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (NodeId i = 0; i < t.size(); ++i)
+    for (NodeId j = i + 1; j < t.size(); ++j) {
+      if (t.region_of(i) == t.region_of(j)) {
+        intra += t.base_rtt_ms(i, j);
+        ++n_intra;
+      } else {
+        inter += t.base_rtt_ms(i, j);
+        ++n_inter;
+      }
+    }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_LT(intra / n_intra, 0.5 * inter / n_inter);
+}
+
+TEST(Topology, HeightsInduceTriangleInequalityViolations) {
+  // With access-link heights the base-RTT "metric" violates the triangle
+  // inequality relative to any Euclidean embedding: going through a
+  // low-height relay can beat the direct path. Verify at least one
+  // violation exists among sampled triples.
+  TopologyConfig c;
+  c.num_nodes = 60;
+  const Topology t = Topology::make(c);
+  int violations = 0;
+  for (NodeId i = 0; i < 20; ++i)
+    for (NodeId j = 20; j < 40; ++j)
+      for (NodeId k = 40; k < 60; ++k)
+        if (t.base_rtt_ms(i, k) > t.base_rtt_ms(i, j) + t.base_rtt_ms(j, k))
+          ++violations;
+  EXPECT_GT(violations, 0);
+}
+
+TEST(Topology, FirstNodeInRegionRoundTrips) {
+  const Topology t = Topology::make(TopologyConfig{.num_nodes = 50});
+  for (int r = 0; r < t.region_count(); ++r) {
+    const NodeId id = t.first_node_in_region(r);
+    if (id != kInvalidNode) EXPECT_EQ(t.region_of(id), r);
+  }
+}
+
+TEST(Topology, InterRegionDistancesApproximateContinentalRtts) {
+  // us-east <-> europe should sit near 90 ms + heights; us-east <-> us-west
+  // near 70 ms; europe <-> east-asia near 280 ms (DESIGN.md table).
+  TopologyConfig c;
+  c.num_nodes = 200;
+  const Topology t = Topology::make(c);
+  const auto region_center_rtt = [&](int ra, int rb) {
+    double sum = 0.0;
+    int n = 0;
+    for (NodeId i = 0; i < t.size(); ++i)
+      for (NodeId j = i + 1; j < t.size(); ++j)
+        if ((t.region_of(i) == ra && t.region_of(j) == rb) ||
+            (t.region_of(i) == rb && t.region_of(j) == ra)) {
+          sum += t.base_rtt_ms(i, j);
+          ++n;
+        }
+    return sum / n;
+  };
+  EXPECT_NEAR(region_center_rtt(0, 1), 78.0, 25.0);   // us-east <-> us-west
+  EXPECT_NEAR(region_center_rtt(0, 2), 98.0, 25.0);   // us-east <-> europe
+  EXPECT_NEAR(region_center_rtt(2, 3), 285.0, 40.0);  // europe <-> east-asia
+}
+
+}  // namespace
+}  // namespace nc::lat

@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::sim {
+namespace {
+
+struct Payload {
+  int id;
+};
+
+TEST(EventQueue, EmptyPopsNothing) {
+  EventQueue<Payload> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<Payload> q;
+  q.schedule(3.0, {3});
+  q.schedule(1.0, {1});
+  q.schedule(2.0, {2});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop()->payload.id, 1);
+  EXPECT_EQ(q.pop()->payload.id, 2);
+  EXPECT_EQ(q.pop()->payload.id, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue<Payload> q;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, {i});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop()->payload.id, i);
+}
+
+TEST(EventQueue, ClockAdvancesWithPops) {
+  EventQueue<Payload> q;
+  q.schedule(2.5, {1});
+  q.schedule(7.0, {2});
+  q.pop();
+  EXPECT_EQ(q.now(), 2.5);
+  q.pop();
+  EXPECT_EQ(q.now(), 7.0);
+}
+
+TEST(EventQueue, SchedulingInThePastRejected) {
+  EventQueue<Payload> q;
+  q.schedule(10.0, {1});
+  q.pop();
+  EXPECT_THROW(q.schedule(5.0, {2}), CheckError);
+  q.schedule(10.0, {3});  // same time as now is fine
+  EXPECT_EQ(q.pop()->payload.id, 3);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue<Payload> q;
+  q.schedule(1.0, {1});
+  const auto e1 = q.pop();
+  q.schedule(e1->t + 1.0, {2});
+  q.schedule(e1->t + 0.5, {3});
+  EXPECT_EQ(q.pop()->payload.id, 3);
+  EXPECT_EQ(q.pop()->payload.id, 2);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue<Payload> q;
+  // Deterministic pseudo-random times.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(static_cast<double>(x % 100000) / 10.0, {i});
+  }
+  double last = -1.0;
+  while (auto e = q.pop()) {
+    ASSERT_GE(e->t, last);
+    last = e->t;
+  }
+}
+
+}  // namespace
+}  // namespace nc::sim

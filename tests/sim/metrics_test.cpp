@@ -1,0 +1,205 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::sim {
+namespace {
+
+Coordinate at(double x, double y) { return Coordinate{Vec{x, y}}; }
+
+MetricsConfig small_config() {
+  MetricsConfig c;
+  c.num_nodes = 4;
+  c.duration_s = 100.0;
+  c.measure_start_s = 0.0;
+  c.min_node_samples = 1;
+  return c;
+}
+
+ObservationOutcome outcome(double sys_move, bool app_updated, double app_move) {
+  ObservationOutcome o;
+  o.filtered_rtt_ms = 1.0;
+  o.vivaldi_updated = true;
+  o.system_displacement_ms = sys_move;
+  o.app_updated = app_updated;
+  o.app_displacement_ms = app_move;
+  return o;
+}
+
+TEST(MetricsCollector, RejectsBadConfig) {
+  MetricsConfig c = small_config();
+  c.num_nodes = 1;
+  EXPECT_THROW(MetricsCollector{c}, CheckError);
+  c = small_config();
+  c.measure_start_s = 200.0;
+  EXPECT_THROW(MetricsCollector{c}, CheckError);
+}
+
+TEST(MetricsCollector, RelativeErrorPerNode) {
+  MetricsCollector m(small_config());
+  // Node 0 at (0,0), node 1 at (30,0): predicted 30. Observed 60 => err 0.5.
+  m.on_observation(1.0, 0, 1, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  // Observed 30 => err 0.
+  m.on_observation(2.0, 0, 1, 30.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  const auto cdf = m.per_node_median_error();
+  ASSERT_EQ(cdf.size(), 1u);  // only node 0 observed anything
+  EXPECT_DOUBLE_EQ(cdf.median(), 0.25);
+  EXPECT_EQ(m.observation_count(), 2u);
+}
+
+TEST(MetricsCollector, InstabilityAggregatesPerSecond) {
+  MetricsCollector m(small_config());
+  // Three observations in second 5 moving 2, 3, 5 ms; one in second 6.
+  m.on_observation(5.1, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(9, true, 2));
+  m.on_observation(5.5, 1, 2, 10.0, at(0, 0), at(10, 0), outcome(9, true, 3));
+  m.on_observation(5.9, 2, 3, 10.0, at(0, 0), at(10, 0), outcome(9, true, 5));
+  m.on_observation(6.5, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(9, true, 7));
+  const auto cdf = m.instability();
+  // 100 seconds window: 98 zero seconds, one 10, one 7.
+  EXPECT_EQ(cdf.size(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.max(), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  // System instability uses system displacements.
+  EXPECT_DOUBLE_EQ(m.system_instability().max(), 27.0);
+}
+
+TEST(MetricsCollector, EvalWindowExcludesWarmup) {
+  MetricsConfig c = small_config();
+  c.measure_start_s = 50.0;
+  MetricsCollector m(c);
+  m.on_observation(10.0, 0, 1, 10.0, at(0, 0), at(20, 0), outcome(5, true, 5));
+  m.on_observation(60.0, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(5, true, 5));
+  // Only the t=60 observation is inside the window: err |10-10|/10 = 0.
+  const auto cdf = m.per_node_median_error();
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf.median(), 0.0);
+  // Instability CDF spans [50, 100).
+  EXPECT_EQ(m.instability().size(), 50u);
+}
+
+TEST(MetricsCollector, PctNodesUpdatingCountsDistinctNodes) {
+  MetricsCollector m(small_config());
+  // Two updates by the same node in one second count once.
+  m.on_observation(3.1, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(1, true, 1));
+  m.on_observation(3.6, 0, 2, 10.0, at(0, 0), at(10, 0), outcome(1, true, 1));
+  m.on_observation(3.8, 1, 2, 10.0, at(0, 0), at(10, 0), outcome(1, true, 1));
+  // Second 3: 2 of 4 nodes updated => 50%; other 99 seconds 0%.
+  EXPECT_NEAR(m.mean_pct_nodes_updating_per_s(), 50.0 / 100.0, 1e-9);
+  EXPECT_EQ(m.total_app_updates(), 3u);
+}
+
+TEST(MetricsCollector, MinNodeSamplesFilters) {
+  MetricsConfig c = small_config();
+  c.min_node_samples = 3;
+  MetricsCollector m(c);
+  for (int i = 0; i < 3; ++i)
+    m.on_observation(i + 0.5, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, false, 0));
+  m.on_observation(0.5, 1, 0, 10.0, at(10, 0), at(0, 0), outcome(0, false, 0));
+  EXPECT_EQ(m.per_node_median_error().size(), 1u);  // node 1 has too few
+}
+
+TEST(MetricsCollector, TimeSeriesBucketsWholeRun) {
+  MetricsConfig c = small_config();
+  c.measure_start_s = 50.0;
+  c.collect_timeseries = true;
+  c.timeseries_bucket_s = 10.0;
+  MetricsCollector m(c);
+  // Time series include the warm-up (unlike accuracy CDFs).
+  m.on_observation(5.0, 0, 1, 10.0, at(0, 0), at(20, 0), outcome(0, false, 0));
+  m.on_observation(15.0, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, false, 0));
+  const auto med = m.error_timeseries_median();
+  ASSERT_EQ(med.size(), 2u);
+  EXPECT_DOUBLE_EQ(med[0].value, 1.0);  // |20-10|/10
+  EXPECT_DOUBLE_EQ(med[1].value, 0.0);
+  EXPECT_FALSE(m.error_timeseries_p95().empty());
+}
+
+TEST(MetricsCollector, TimeSeriesDisabledThrows) {
+  MetricsCollector m(small_config());
+  EXPECT_THROW((void)m.error_timeseries_median(), CheckError);
+}
+
+TEST(MetricsCollector, InstabilityTimeSeriesAveragesSeconds) {
+  MetricsConfig c = small_config();
+  c.timeseries_bucket_s = 10.0;
+  MetricsCollector m(c);
+  m.on_observation(0.5, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 20.0));
+  const auto ts = m.instability_timeseries();
+  ASSERT_FALSE(ts.empty());
+  // Bucket [0,10): one second with 20 ms, nine with 0 => mean 2 ms/s.
+  EXPECT_DOUBLE_EQ(ts[0].value, 2.0);
+}
+
+TEST(MetricsCollector, OracleMetrics) {
+  MetricsConfig c = small_config();
+  c.collect_oracle = true;
+  MetricsCollector m(c);
+  for (int i = 0; i < 5; ++i) {
+    // Predicted 10 vs ground truth 20 => oracle error 0.5 even though the
+    // raw observation (10) would give error 0.
+    m.on_observation(i + 0.5, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, false, 0),
+                     20.0);
+  }
+  const auto cdf = m.oracle_per_node_median_error();
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_NEAR(cdf.median(), 0.5, 1e-9);
+}
+
+TEST(MetricsCollector, OracleDisabledThrows) {
+  MetricsCollector m(small_config());
+  EXPECT_THROW((void)m.oracle_per_node_median_error(), CheckError);
+}
+
+TEST(MetricsCollector, DriftTracking) {
+  MetricsConfig c = small_config();
+  c.tracked_nodes = {2};
+  MetricsCollector m(c);
+  m.track_coordinate(10.0, 2, at(1, 2));
+  m.track_coordinate(20.0, 2, at(3, 4));
+  const auto& d = m.drift(2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].t, 10.0);
+  EXPECT_EQ(d[1].position[0], 3.0);
+  EXPECT_THROW((void)m.drift(0), CheckError);
+}
+
+TEST(MetricsCollector, MeanInstabilityIsTotalMovementOverTime) {
+  MetricsConfig c = small_config();
+  c.measure_start_s = 50.0;
+  MetricsCollector m(c);
+  // 10 + 30 = 40 ms of movement over a 50-second window => 0.8 ms/s.
+  m.on_observation(60.2, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 10.0));
+  m.on_observation(70.9, 1, 2, 10.0, at(0, 0), at(10, 0), outcome(0, true, 30.0));
+  // Movement before the window is excluded.
+  m.on_observation(10.0, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 99.0));
+  EXPECT_NEAR(m.mean_instability_ms_per_s(), 0.8, 1e-9);
+}
+
+TEST(MetricsCollector, OracleMedianOfSingleNode) {
+  MetricsConfig c = small_config();
+  c.collect_oracle = true;
+  c.min_node_samples = 3;
+  MetricsCollector m(c);
+  for (int i = 0; i < 5; ++i)
+    m.on_observation(i + 0.5, 2, 1, 10.0, at(0, 0), at(10, 0), outcome(0, false, 0),
+                     20.0);
+  EXPECT_NEAR(m.oracle_median_error_of(2), 0.5, 1e-9);
+  EXPECT_THROW((void)m.oracle_median_error_of(0), CheckError);  // no samples
+}
+
+TEST(MetricsCollector, PerNodeMovementPercentile) {
+  MetricsCollector m(small_config());
+  // Node 0 moves 10 ms in one second, then is quiet: its p95 per-second
+  // movement over the 100 s window is ~0 (padded zeros dominate).
+  m.on_observation(1.2, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 10.0));
+  for (int sec = 2; sec < 99; ++sec)
+    m.on_observation(sec + 0.1, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, false, 0));
+  const auto cdf = m.per_node_p95_movement();
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_LT(cdf.max(), 10.0);
+}
+
+}  // namespace
+}  // namespace nc::sim

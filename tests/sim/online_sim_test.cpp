@@ -1,0 +1,128 @@
+#include "sim/online_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::sim {
+namespace {
+
+lat::LatencyNetwork small_network(int nodes = 20, std::uint64_t seed = 81) {
+  lat::TopologyConfig tc;
+  tc.num_nodes = nodes;
+  tc.seed = seed;
+  lat::AvailabilityConfig av;
+  av.enabled = false;
+  return lat::LatencyNetwork(lat::Topology::make(tc), lat::LinkModelConfig{}, av, seed);
+}
+
+OnlineSimConfig small_config(double duration = 900.0) {
+  OnlineSimConfig c;
+  c.client.vivaldi.dim = 3;
+  c.client.heuristic = HeuristicConfig::always();
+  c.duration_s = duration;
+  c.measure_start_s = duration / 2.0;
+  c.ping_interval_s = 2.0;
+  return c;
+}
+
+TEST(OnlineSimulator, RunsAndConverges) {
+  auto net = small_network();
+  OnlineSimulator sim(small_config(), net);
+  sim.run();
+  EXPECT_GT(sim.pings_sent(), 1000u);
+  EXPECT_GT(sim.metrics().observation_count(), 500u);
+  EXPECT_LT(sim.metrics().median_relative_error(), 0.3);
+}
+
+TEST(OnlineSimulator, RunTwiceRejected) {
+  auto net = small_network();
+  OnlineSimulator sim(small_config(60.0), net);
+  sim.run();
+  EXPECT_THROW(sim.run(), CheckError);
+}
+
+TEST(OnlineSimulator, GossipSpreadsMembership) {
+  auto net = small_network(20);
+  OnlineSimConfig c = small_config(900.0);
+  c.bootstrap_degree = 1;  // minimal seed knowledge
+  OnlineSimulator sim(c, net);
+  sim.run();
+  // Every node should know far more peers than it was bootstrapped with.
+  int grew = 0;
+  for (NodeId id = 0; id < sim.num_nodes(); ++id)
+    if (sim.neighbors(id).size() >= 5) ++grew;
+  EXPECT_GT(grew, sim.num_nodes() * 3 / 4);
+}
+
+TEST(OnlineSimulator, DeterministicBySeed) {
+  const auto run_once = [] {
+    auto net = small_network(12, 83);
+    OnlineSimulator sim(small_config(300.0), net);
+    sim.run();
+    return std::tuple{sim.pings_sent(), sim.metrics().observation_count(),
+                      sim.metrics().median_relative_error()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(OnlineSimulator, IdenticalWorkloadAcrossClientConfigs) {
+  // The paper runs filtered and unfiltered coordinate systems side by side
+  // on the same hosts. Same seed + same network seed => identical pings and
+  // RTT streams regardless of the client configuration.
+  const auto pings_with = [](FilterConfig f) {
+    auto net = small_network(12, 85);
+    OnlineSimConfig c = small_config(300.0);
+    c.client.filter = f;
+    OnlineSimulator sim(c, net);
+    sim.run();
+    return std::pair{sim.pings_sent(), sim.pings_lost()};
+  };
+  EXPECT_EQ(pings_with(FilterConfig::moving_percentile(4, 25)),
+            pings_with(FilterConfig::none()));
+}
+
+TEST(OnlineSimulator, LossyNetworkStillConverges) {
+  lat::TopologyConfig tc;
+  tc.num_nodes = 16;
+  tc.seed = 87;
+  lat::LinkModelConfig lm;
+  lm.loss_prob = 0.15;
+  lat::AvailabilityConfig av;
+  av.enabled = false;
+  lat::LatencyNetwork net(lat::Topology::make(tc), lm, av, 87);
+  OnlineSimulator sim(small_config(900.0), net);
+  sim.run();
+  EXPECT_GT(sim.pings_lost(), 0u);
+  EXPECT_LT(sim.metrics().median_relative_error(), 0.4);
+}
+
+TEST(OnlineSimulator, ChurnedNodesDoNotPingWhileDown) {
+  lat::TopologyConfig tc;
+  tc.num_nodes = 10;
+  tc.seed = 89;
+  lat::AvailabilityConfig av;
+  av.enabled = true;
+  av.initial_up_prob = 0.5;
+  av.mean_up_s = 1e9;
+  av.mean_down_s = 1e9;
+  lat::LatencyNetwork net(lat::Topology::make(tc), lat::LinkModelConfig{}, av, 89);
+  OnlineSimulator sim(small_config(300.0), net);
+  sim.run();
+  // Roughly half the nodes are permanently down: ping volume is well below
+  // the all-up expectation of ~10 * 150.
+  EXPECT_LT(sim.pings_sent(), 10u * 150u * 3u / 4u);
+}
+
+TEST(OnlineSimulator, TracksDrift) {
+  auto net = small_network(8);
+  OnlineSimConfig c = small_config(600.0);
+  c.tracked_nodes = {1};
+  c.track_interval_s = 120.0;
+  OnlineSimulator sim(c, net);
+  sim.run();
+  EXPECT_GE(sim.metrics().drift(1).size(), 3u);
+}
+
+}  // namespace
+}  // namespace nc::sim

@@ -1,0 +1,59 @@
+#include "stats/boxplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+namespace {
+
+TEST(Boxplot, EmptyThrows) { EXPECT_THROW((void)boxplot({}), CheckError); }
+
+TEST(Boxplot, SingleValue) {
+  const BoxplotStats b = boxplot({5.0});
+  EXPECT_EQ(b.min, 5.0);
+  EXPECT_EQ(b.median, 5.0);
+  EXPECT_EQ(b.max, 5.0);
+  EXPECT_EQ(b.outliers, 0u);
+  EXPECT_EQ(b.count, 1u);
+}
+
+TEST(Boxplot, KnownQuartiles) {
+  const BoxplotStats b = boxplot({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(b.median, 5.0);
+  EXPECT_EQ(b.q1, 3.0);
+  EXPECT_EQ(b.q3, 7.0);
+  EXPECT_EQ(b.min, 1.0);
+  EXPECT_EQ(b.max, 9.0);
+  EXPECT_EQ(b.outliers, 0u);
+  EXPECT_EQ(b.whisker_lo, 1.0);
+  EXPECT_EQ(b.whisker_hi, 9.0);
+}
+
+TEST(Boxplot, DetectsOutliers) {
+  // IQR = 2 (q1=2, q3=4 over {1..5}); fences at -1 and 7; 100 is outside.
+  const BoxplotStats b = boxplot({1, 2, 3, 4, 5, 100});
+  EXPECT_EQ(b.outliers, 1u);
+  EXPECT_EQ(b.max, 100.0);
+  EXPECT_LT(b.whisker_hi, 100.0);
+}
+
+TEST(Boxplot, AllEqualDegenerate) {
+  const BoxplotStats b = boxplot({3.0, 3.0, 3.0, 3.0});
+  EXPECT_EQ(b.q1, 3.0);
+  EXPECT_EQ(b.q3, 3.0);
+  EXPECT_EQ(b.whisker_lo, 3.0);
+  EXPECT_EQ(b.whisker_hi, 3.0);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+TEST(Boxplot, WhiskersAtMostExtremeInliers) {
+  const BoxplotStats b = boxplot({0.0, 10.0, 11.0, 12.0, 13.0, 14.0, 30.0});
+  // q1=10.5, q3=13.5, iqr=3 => fences at 6 and 18.
+  EXPECT_EQ(b.whisker_lo, 10.0);
+  EXPECT_EQ(b.whisker_hi, 14.0);
+  EXPECT_EQ(b.outliers, 2u);
+}
+
+}  // namespace
+}  // namespace nc::stats

@@ -1,0 +1,65 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+namespace {
+
+TEST(Ecdf, EmptyQuantileThrows) {
+  const Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_THROW((void)e.quantile(0.5), CheckError);
+}
+
+TEST(Ecdf, FractionOnEmptyIsZero) {
+  const Ecdf e;
+  EXPECT_EQ(e.fraction_at_or_below(1.0), 0.0);
+}
+
+TEST(Ecdf, QuantilesOfSmallSample) {
+  Ecdf e;
+  for (double v : {3.0, 1.0, 2.0}) e.add(v);
+  EXPECT_EQ(e.quantile(0.0), 1.0);
+  EXPECT_EQ(e.quantile(0.5), 2.0);
+  EXPECT_EQ(e.quantile(1.0), 3.0);
+  EXPECT_EQ(e.min(), 1.0);
+  EXPECT_EQ(e.median(), 2.0);
+  EXPECT_EQ(e.max(), 3.0);
+}
+
+TEST(Ecdf, FractionAtOrBelow) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.fraction_above(2.5), 0.5);
+}
+
+TEST(Ecdf, AddAfterQueryResorts) {
+  Ecdf e;
+  e.add(5.0);
+  EXPECT_EQ(e.median(), 5.0);
+  e.add(1.0);
+  e.add(2.0);
+  EXPECT_EQ(e.median(), 2.0);
+}
+
+TEST(Ecdf, SortedValuesAscending) {
+  Ecdf e({3.0, 1.0, 2.0});
+  const auto vals = e.sorted_values();
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_EQ(vals[0], 1.0);
+  EXPECT_EQ(vals[2], 3.0);
+}
+
+TEST(Ecdf, DuplicatesCounted) {
+  Ecdf e({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(2.0), 0.75);
+  EXPECT_EQ(e.size(), 4u);
+}
+
+}  // namespace
+}  // namespace nc::stats

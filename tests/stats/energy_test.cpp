@@ -1,0 +1,150 @@
+#include "stats/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nc::stats {
+namespace {
+
+std::vector<Vec> random_sample(Rng& rng, int n, int dim, double spread,
+                               const Vec& center) {
+  std::vector<Vec> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Vec v = center;
+    for (int d = 0; d < dim; ++d) v[d] += rng.normal(0.0, spread);
+    out.push_back(v);
+  }
+  return out;
+}
+
+TEST(EnergyDistance, EmptyThrows) {
+  const std::vector<Vec> a = {Vec{0.0, 0.0}};
+  EXPECT_THROW((void)energy_distance(a, {}), CheckError);
+  EXPECT_THROW((void)energy_distance({}, a), CheckError);
+}
+
+TEST(EnergyDistance, IdenticalSamplesAreZero) {
+  Rng rng(31);
+  const auto a = random_sample(rng, 16, 3, 5.0, Vec::zero(3));
+  EXPECT_NEAR(energy_distance(a, a), 0.0, 1e-9);
+}
+
+TEST(EnergyDistance, Symmetric) {
+  Rng rng(32);
+  const auto a = random_sample(rng, 12, 3, 5.0, Vec::zero(3));
+  const auto b = random_sample(rng, 17, 3, 5.0, Vec{10.0, 0.0, 0.0});
+  EXPECT_NEAR(energy_distance(a, b), energy_distance(b, a), 1e-9);
+}
+
+TEST(EnergyDistance, NonNegativeAndGrowsWithSeparation) {
+  Rng rng(33);
+  const auto a = random_sample(rng, 16, 3, 2.0, Vec::zero(3));
+  const auto near = random_sample(rng, 16, 3, 2.0, Vec{1.0, 0.0, 0.0});
+  const auto far = random_sample(rng, 16, 3, 2.0, Vec{50.0, 0.0, 0.0});
+  const double e_near = energy_distance(a, near);
+  const double e_far = energy_distance(a, far);
+  EXPECT_GE(e_near, 0.0);
+  EXPECT_GT(e_far, e_near);
+  EXPECT_GT(e_far, 100.0);  // well-separated clusters have large energy
+}
+
+TEST(EnergyDistance, TwoPointsKnownValue) {
+  // A = {0}, B = {d} in 1-D: e = (1*1/2) * (2*d - 0 - 0) = d.
+  const std::vector<Vec> a = {Vec{0.0}};
+  const std::vector<Vec> b = {Vec{3.0}};
+  EXPECT_DOUBLE_EQ(energy_distance(a, b), 3.0);
+}
+
+TEST(IncrementalEnergy, MatchesNaiveAfterFill) {
+  Rng rng(34);
+  const auto base = random_sample(rng, 8, 3, 4.0, Vec::zero(3));
+  IncrementalEnergy inc;
+  for (const Vec& v : base) inc.push_current(v);
+  inc.set_base(base);
+  EXPECT_NEAR(inc.value(), energy_distance(base, base), 1e-9);
+}
+
+TEST(IncrementalEnergy, PopRequiresNonEmpty) {
+  IncrementalEnergy inc;
+  EXPECT_THROW(inc.pop_current(), CheckError);
+}
+
+TEST(IncrementalEnergy, ValueRequiresBothWindows) {
+  IncrementalEnergy inc;
+  EXPECT_THROW((void)inc.value(), CheckError);
+  inc.push_current(Vec{1.0});
+  EXPECT_THROW((void)inc.value(), CheckError);  // no base yet
+}
+
+TEST(IncrementalEnergy, ResetClearsEverything) {
+  Rng rng(35);
+  const auto base = random_sample(rng, 4, 2, 1.0, Vec::zero(2));
+  IncrementalEnergy inc;
+  for (const Vec& v : base) inc.push_current(v);
+  inc.set_base(base);
+  inc.reset();
+  EXPECT_FALSE(inc.has_base());
+  EXPECT_EQ(inc.current_size(), 0u);
+}
+
+// Property: after any sequence of slides, the incremental value matches a
+// naive recomputation over the live window contents.
+class IncrementalSlideProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalSlideProperty, MatchesNaiveUnderSliding) {
+  const int k = 16;
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+
+  IncrementalEnergy inc;
+  std::vector<Vec> base;
+  std::vector<Vec> window;  // mirror of the incremental current window
+
+  // Fill phase: base == current.
+  for (int i = 0; i < k; ++i) {
+    Vec v = rng.unit_vector(3) * rng.uniform(0.0, 20.0);
+    base.push_back(v);
+    window.push_back(v);
+    inc.push_current(v);
+  }
+  inc.set_base(base);
+
+  // Slide 200 elements with a drifting distribution.
+  Vec drift = Vec::zero(3);
+  for (int i = 0; i < 200; ++i) {
+    drift += rng.unit_vector(3) * 0.3;
+    Vec v = drift + rng.unit_vector(3) * rng.uniform(0.0, 5.0);
+    inc.push_current(v);
+    inc.pop_current();
+    window.push_back(v);
+    window.erase(window.begin());
+
+    if (i % 20 == 0) {
+      const double naive = energy_distance(base, window);
+      EXPECT_NEAR(inc.value(), naive, 1e-7 * std::max(1.0, naive)) << "slide " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSlideProperty, ::testing::Range(1, 11));
+
+TEST(IncrementalEnergy, RebaseRebuildsCrossTerms) {
+  Rng rng(36);
+  const auto a1 = random_sample(rng, 6, 3, 2.0, Vec::zero(3));
+  const auto a2 = random_sample(rng, 6, 3, 2.0, Vec{8.0, 0.0, 0.0});
+  const auto b = random_sample(rng, 6, 3, 2.0, Vec{4.0, 0.0, 0.0});
+
+  IncrementalEnergy inc;
+  for (const Vec& v : b) inc.push_current(v);
+  inc.set_base(a1);
+  EXPECT_NEAR(inc.value(), energy_distance(a1, b), 1e-9);
+  inc.set_base(a2);
+  EXPECT_NEAR(inc.value(), energy_distance(a2, b), 1e-9);
+}
+
+}  // namespace
+}  // namespace nc::stats

@@ -1,0 +1,92 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+namespace {
+
+TEST(Histogram, RejectsBadEdges) {
+  EXPECT_THROW(Histogram({1.0}), CheckError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), CheckError);
+}
+
+TEST(Histogram, BasicBucketing) {
+  Histogram h({0.0, 10.0, 20.0});
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h({0.0, 10.0});
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(100.0);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h({0.0, 1.0});
+  h.add(0.5, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, UniformFactory) {
+  Histogram h = Histogram::uniform(0.0, 100.0, 10);
+  EXPECT_EQ(h.bucket_count(), 10);
+  EXPECT_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_EQ(h.bucket_hi(9), 100.0);
+  h.add(55.0);
+  EXPECT_EQ(h.count(5), 1u);
+}
+
+TEST(Histogram, UniformFactoryRejectsBadSpec) {
+  EXPECT_THROW(Histogram::uniform(0.0, 1.0, 0), CheckError);
+  EXPECT_THROW(Histogram::uniform(1.0, 0.0, 4), CheckError);
+}
+
+TEST(Histogram, PaperStyleLabels) {
+  Histogram h({0.0, 100.0, 200.0});
+  EXPECT_EQ(h.bucket_label(0), "0-99");
+  EXPECT_EQ(h.bucket_label(1), "100-199");
+}
+
+TEST(Histogram, FractionAtOrAbove) {
+  Histogram h({0.0, 100.0, 1000.0, 3000.0});
+  for (int i = 0; i < 90; ++i) h.add(50.0);
+  for (int i = 0; i < 6; ++i) h.add(500.0);
+  for (int i = 0; i < 3; ++i) h.add(1500.0);
+  h.add(5000.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(1000.0), 0.04);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(100.0), 0.10);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(3000.0), 0.01);
+}
+
+TEST(Histogram, FractionOnEmptyIsZero) {
+  const Histogram h({0.0, 1.0});
+  EXPECT_EQ(h.fraction_at_or_above(0.5), 0.0);
+}
+
+TEST(Histogram, IrregularBuckets) {
+  // Fig. 2 style: fine buckets then coarse ones.
+  Histogram h({0.0, 100.0, 1000.0, 2000.0, 3000.0});
+  h.add(999.0);
+  h.add(1999.0);
+  h.add(2000.0);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+}  // namespace
+}  // namespace nc::stats

@@ -1,0 +1,91 @@
+#include "stats/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "stats/percentile.hpp"
+
+namespace nc::stats {
+namespace {
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), CheckError);
+  EXPECT_THROW(P2Quantile(1.0), CheckError);
+  EXPECT_THROW(P2Quantile(-0.5), CheckError);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(P2Quantile, ExactForTinySamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_EQ(q.value(), 3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_EQ(q.value(), 2.0);  // median of {1,2,3}
+  EXPECT_EQ(q.count(), 3u);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  Rng rng(21);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 50000; ++i) q.add(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(q.value(), 5.0, 0.1);
+}
+
+TEST(P2Quantile, TailQuantileOfExponential) {
+  Rng rng(22);
+  P2Quantile q(0.95);
+  for (int i = 0; i < 100000; ++i) q.add(rng.exponential(1.0));
+  // True 95th percentile of Exp(1) is -ln(0.05) = 2.996.
+  EXPECT_NEAR(q.value(), 2.996, 0.15);
+}
+
+// Property: across distributions and quantiles, the P² estimate stays close
+// to the exact percentile of the same stream.
+class P2Accuracy : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(P2Accuracy, TracksExactPercentile) {
+  const auto [quant, dist] = GetParam();
+  Rng rng(hash_combine(static_cast<std::uint64_t>(quant * 1000),
+                       static_cast<std::uint64_t>(dist)));
+  P2Quantile estimator(quant);
+  std::vector<double> all;
+  all.reserve(30000);
+  for (int i = 0; i < 30000; ++i) {
+    double x = 0.0;
+    switch (dist) {
+      case 0: x = rng.uniform(0.0, 1.0); break;
+      case 1: x = rng.normal(50.0, 10.0); break;
+      case 2: x = rng.lognormal(3.0, 0.6); break;
+    }
+    estimator.add(x);
+    all.push_back(x);
+  }
+  const double exact = percentile(all, quant * 100.0);
+  const double scale = std::max(1.0, std::fabs(exact));
+  EXPECT_NEAR(estimator.value() / scale, exact / scale, 0.05)
+      << "q=" << quant << " dist=" << dist;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, P2Accuracy,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 0.75, 0.95),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100; ++i) q.add(4.2);
+  EXPECT_DOUBLE_EQ(q.value(), 4.2);
+}
+
+}  // namespace
+}  // namespace nc::stats

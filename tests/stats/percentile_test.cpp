@@ -1,0 +1,121 @@
+#include "stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nc::stats {
+namespace {
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW((void)percentile({}, 50.0), CheckError);
+  EXPECT_THROW((void)percentile_nearest_rank({}, 50.0), CheckError);
+}
+
+TEST(Percentile, OutOfRangeThrows) {
+  EXPECT_THROW((void)percentile({1.0}, -1.0), CheckError);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), CheckError);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 100.0), 7.0);
+  EXPECT_EQ(percentile_nearest_rank({7.0}, 50.0), 7.0);
+}
+
+TEST(Percentile, NearestRankMinOfFourAt25) {
+  // The paper's MP(4, 25) semantics: 25th percentile of four samples is the
+  // minimum ("p = 25, the minimum with a history of four").
+  EXPECT_EQ(percentile_nearest_rank({4.0, 1.0, 3.0, 2.0}, 25.0), 1.0);
+}
+
+TEST(Percentile, NearestRankBounds) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(percentile_nearest_rank(v, 0.0), 1.0);
+  EXPECT_EQ(percentile_nearest_rank(v, 100.0), 5.0);
+  EXPECT_EQ(percentile_nearest_rank(v, 50.0), 3.0);
+  EXPECT_EQ(percentile_nearest_rank(v, 20.0), 1.0);   // ceil(1.0) = 1st
+  EXPECT_EQ(percentile_nearest_rank(v, 20.01), 2.0);  // ceil(1.0005) = 2nd
+}
+
+TEST(Percentile, InterpolatedMedian) {
+  EXPECT_EQ(median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Percentile, InterpolatedQuartiles) {
+  // numpy.percentile(range(1, 6), 25) == 2.0
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_EQ(percentile(v, 75.0), 4.0);
+  EXPECT_EQ(percentile(v, 10.0), 1.4);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+// Property: nearest-rank percentile equals the brute-force definition
+// "smallest value with at least p% of the sample at or below it".
+class NearestRankProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(NearestRankProperty, MatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  Rng rng(hash_combine(static_cast<std::uint64_t>(n),
+                       static_cast<std::uint64_t>(p * 100)));
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (auto& v : values) v = rng.uniform(0.0, 100.0);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double got = percentile_nearest_rank_sorted(sorted, p);
+
+  // Brute force over the sorted sample.
+  double expected = sorted.back();
+  for (double candidate : sorted) {
+    int at_or_below = 0;
+    for (double v : sorted)
+      if (v <= candidate) ++at_or_below;
+    if (100.0 * at_or_below / n >= p) {
+      expected = candidate;
+      break;
+    }
+  }
+  if (p == 0.0) expected = sorted.front();
+  EXPECT_EQ(got, expected) << "n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NearestRankProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 16, 33, 100),
+                       ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 95.0, 100.0)));
+
+// Property: interpolated percentile is monotone in p and bounded by extremes.
+class InterpolationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterpolationProperty, MonotoneAndBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> values(64);
+  for (auto& v : values) v = rng.lognormal(2.0, 1.0);
+  std::sort(values.begin(), values.end());
+  double prev = values.front();
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double q = percentile_sorted(values, p);
+    EXPECT_GE(q, prev);
+    EXPECT_GE(q, values.front());
+    EXPECT_LE(q, values.back());
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpolationProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace nc::stats

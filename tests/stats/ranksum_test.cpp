@@ -1,0 +1,80 @@
+#include "stats/ranksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nc::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(RankSum, EmptyThrows) {
+  const std::vector<double> a = {1.0};
+  EXPECT_THROW((void)rank_sum_test(a, {}), CheckError);
+  EXPECT_THROW((void)rank_sum_test({}, a), CheckError);
+}
+
+TEST(RankSum, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto r = rank_sum_test(a, a);
+  EXPECT_NEAR(r.z, 0.0, 1e-9);
+  EXPECT_GT(r.p_two_sided, 0.9);
+}
+
+TEST(RankSum, AllTiesNotSignificant) {
+  const std::vector<double> a(10, 3.0);
+  const auto r = rank_sum_test(a, a);
+  EXPECT_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(RankSum, ClearShiftIsSignificant) {
+  Rng rng(41);
+  std::vector<double> a(32), b(32);
+  for (auto& x : a) x = rng.normal(0.0, 1.0);
+  for (auto& x : b) x = rng.normal(3.0, 1.0);
+  const auto r = rank_sum_test(a, b);
+  EXPECT_LT(r.p_two_sided, 0.001);
+}
+
+TEST(RankSum, NoShiftUsuallyNotSignificant) {
+  Rng rng(42);
+  int significant = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a(24), b(24);
+    for (auto& x : a) x = rng.normal(5.0, 2.0);
+    for (auto& x : b) x = rng.normal(5.0, 2.0);
+    if (rank_sum_test(a, b).p_two_sided < 0.05) ++significant;
+  }
+  // False-positive rate should be near 5%.
+  EXPECT_LE(significant, 8);
+}
+
+TEST(RankSum, DirectionSymmetry) {
+  const std::vector<double> lo = {1, 2, 3, 4, 5};
+  const std::vector<double> hi = {6, 7, 8, 9, 10};
+  const auto r1 = rank_sum_test(lo, hi);
+  const auto r2 = rank_sum_test(hi, lo);
+  EXPECT_NEAR(r1.z, -r2.z, 1e-9);
+  EXPECT_NEAR(r1.p_two_sided, r2.p_two_sided, 1e-9);
+  EXPECT_LT(r1.z, 0.0);  // first sample ranks lower
+}
+
+TEST(RankSum, UStatisticRange) {
+  const std::vector<double> lo = {1, 2};
+  const std::vector<double> hi = {3, 4, 5};
+  const auto r = rank_sum_test(lo, hi);
+  EXPECT_EQ(r.u, 0.0);  // no lo element beats any hi element
+  const auto r2 = rank_sum_test(hi, lo);
+  EXPECT_EQ(r2.u, 6.0);  // all 3*2 pairs
+}
+
+}  // namespace
+}  // namespace nc::stats

@@ -1,0 +1,88 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::stats {
+namespace {
+
+TEST(BucketedSum, RejectsBadWidth) {
+  EXPECT_THROW(BucketedSum(0.0), CheckError);
+  EXPECT_THROW(BucketedSum(-1.0), CheckError);
+}
+
+TEST(BucketedSum, SumsPerBucket) {
+  BucketedSum s(10.0);
+  s.add(0.0, 1.0);
+  s.add(9.9, 2.0);
+  s.add(10.0, 5.0);
+  s.add(25.0, 7.0);
+  const auto sums = s.sums();
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_EQ(sums[0].t, 0.0);
+  EXPECT_EQ(sums[0].value, 3.0);
+  EXPECT_EQ(sums[1].t, 10.0);
+  EXPECT_EQ(sums[1].value, 5.0);
+  EXPECT_EQ(sums[2].t, 20.0);
+  EXPECT_EQ(sums[2].value, 7.0);
+}
+
+TEST(BucketedSum, Means) {
+  BucketedSum s(10.0);
+  s.add(1.0, 2.0);
+  s.add(2.0, 4.0);
+  const auto means = s.means();
+  ASSERT_EQ(means.size(), 1u);
+  EXPECT_EQ(means[0].value, 3.0);
+}
+
+TEST(BucketedSum, EmptyBucketsAbsent) {
+  BucketedSum s(1.0);
+  s.add(0.5, 1.0);
+  s.add(5.5, 1.0);
+  EXPECT_EQ(s.bucket_count(), 2u);
+}
+
+TEST(BucketedValues, MediansAndQuantiles) {
+  BucketedValues v(60.0);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 100.0}) v.add(30.0, x);
+  const auto med = v.medians();
+  ASSERT_EQ(med.size(), 1u);
+  EXPECT_EQ(med[0].value, 3.0);
+  const auto p95 = v.quantiles(0.95);
+  EXPECT_GT(p95[0].value, 50.0);
+}
+
+TEST(BucketedValues, MeansPerBucket) {
+  BucketedValues v(10.0);
+  v.add(0.0, 2.0);
+  v.add(5.0, 4.0);
+  v.add(15.0, 10.0);
+  const auto means = v.means();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_EQ(means[0].value, 3.0);
+  EXPECT_EQ(means[1].value, 10.0);
+}
+
+TEST(BucketedValues, TimeOrderOfBuckets) {
+  BucketedValues v(1.0);
+  v.add(5.0, 1.0);
+  v.add(1.0, 1.0);
+  v.add(3.0, 1.0);
+  const auto med = v.medians();
+  ASSERT_EQ(med.size(), 3u);
+  EXPECT_LT(med[0].t, med[1].t);
+  EXPECT_LT(med[1].t, med[2].t);
+}
+
+TEST(BucketedSum, NegativeTimesSupported) {
+  BucketedSum s(10.0);
+  s.add(-5.0, 1.0);  // bucket floor(-0.5) = -1 => t = -10
+  const auto sums = s.sums();
+  ASSERT_EQ(sums.size(), 1u);
+  EXPECT_EQ(sums[0].t, -10.0);
+}
+
+}  // namespace
+}  // namespace nc::stats
