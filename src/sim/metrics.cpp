@@ -43,7 +43,7 @@ std::size_t MetricsCollector::eval_window_seconds() const noexcept {
       std::ceil(config_.duration_s - config_.measure_start_s));
 }
 
-void MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
+void MetricsCollector::on_observation(double t, NodeId src, NodeId /*dst*/,
                                       double raw_rtt_ms, const Coordinate& src_app,
                                       const Coordinate& dst_app,
                                       const ObservationOutcome& outcome,

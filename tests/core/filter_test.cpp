@@ -96,6 +96,45 @@ TEST(MpFilter, CloneIsFreshWithSameParameters) {
   EXPECT_EQ(mp->size(), 0);  // fresh history
 }
 
+TEST(MpFilter, HistoryOneEvictionStaysConsistent) {
+  // With history == 1 every update after the first takes the eviction path
+  // with head_ == 0 and window_.size() == 1; the sorted view must track the
+  // single-element window exactly, including repeated values.
+  MovingPercentileFilter f(1, 50.0);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x = (i % 3 == 0) ? 42.0 : rng.lognormal(3.5, 1.0);
+    ASSERT_EQ(f.update(x), x) << "i=" << i;
+    ASSERT_EQ(f.size(), 1);
+    ASSERT_EQ(f.estimate(), x);
+  }
+}
+
+TEST(MpFilter, ResetAfterFullWindowRefillsFromScratch) {
+  // reset() must rewind the ring head as well as the contents: after a reset
+  // the refill goes through the append path again and percentiles are over
+  // the new samples only.
+  MovingPercentileFilter f(3, 0.0);
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) f.update(v);  // head_ != 0
+  f.reset();
+  EXPECT_EQ(f.size(), 0);
+  EXPECT_EQ(f.update(100.0), 100.0);  // old minimum must not resurface
+  EXPECT_EQ(f.update(200.0), 100.0);
+  EXPECT_EQ(f.update(90.0), 90.0);
+  EXPECT_EQ(f.update(300.0), 90.0);  // eviction path sound after refill
+}
+
+TEST(MpFilter, MinSamplesReArmsAfterReset) {
+  // The Sec. VI first-sample guard must apply again after reset(), not just
+  // on the first-ever sample.
+  MovingPercentileFilter f(4, 25.0, 2);
+  f.update(30.0);
+  f.update(31.0);
+  f.reset();
+  EXPECT_EQ(f.update(25000.0), std::nullopt);  // withheld again
+  EXPECT_EQ(f.update(40.0), 40.0);
+}
+
 TEST(MpFilter, DuplicateValuesEvictCorrectly) {
   MovingPercentileFilter f(3, 0.0);  // minimum of last 3
   f.update(5.0);

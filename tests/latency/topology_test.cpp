@@ -56,7 +56,9 @@ TEST(Topology, BaseRttSymmetricPositiveAndFloored) {
 }
 
 TEST(Topology, SelfRttRejected) {
-  const Topology t = Topology::make(TopologyConfig{.num_nodes = 4});
+  TopologyConfig c;
+  c.num_nodes = 4;
+  const Topology t = Topology::make(c);
   EXPECT_THROW((void)t.base_rtt_ms(2, 2), CheckError);
 }
 
@@ -125,10 +127,14 @@ TEST(Topology, HeightsInduceTriangleInequalityViolations) {
 }
 
 TEST(Topology, FirstNodeInRegionRoundTrips) {
-  const Topology t = Topology::make(TopologyConfig{.num_nodes = 50});
+  TopologyConfig c;
+  c.num_nodes = 50;
+  const Topology t = Topology::make(c);
   for (int r = 0; r < t.region_count(); ++r) {
     const NodeId id = t.first_node_in_region(r);
-    if (id != kInvalidNode) EXPECT_EQ(t.region_of(id), r);
+    if (id != kInvalidNode) {
+      EXPECT_EQ(t.region_of(id), r);
+    }
   }
 }
 

@@ -40,16 +40,16 @@ TEST(EventQueue, ClockAdvancesWithPops) {
   EventQueue<Payload> q;
   q.schedule(2.5, {1});
   q.schedule(7.0, {2});
-  q.pop();
+  EXPECT_EQ(q.pop()->payload.id, 1);
   EXPECT_EQ(q.now(), 2.5);
-  q.pop();
+  EXPECT_EQ(q.pop()->payload.id, 2);
   EXPECT_EQ(q.now(), 7.0);
 }
 
 TEST(EventQueue, SchedulingInThePastRejected) {
   EventQueue<Payload> q;
   q.schedule(10.0, {1});
-  q.pop();
+  EXPECT_EQ(q.pop()->payload.id, 1);
   EXPECT_THROW(q.schedule(5.0, {2}), CheckError);
   q.schedule(10.0, {3});  // same time as now is fine
   EXPECT_EQ(q.pop()->payload.id, 3);
