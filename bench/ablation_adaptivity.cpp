@@ -1,11 +1,12 @@
 // Ablation — adaptation to a route change (paper Sec. VII-B): de Launois et
 // al. stabilize Vivaldi by damping each new measurement's weight toward
 // zero, which "prevents the algorithm from adapting to changing network
-// conditions". Here every link of one node triples in latency mid-run; a
+// conditions". Here every link of one node multiplies in latency mid-run; a
 // healthy system re-embeds the node, the damped one cannot. Error is
 // measured against the ground-truth oracle before and after the shift.
 //
-// Flags: --nodes (80), --hours (1.5), --seed, --factor (3).
+// Flags: --scenario (planetlab), --nodes (80), --hours (1.5), --seed, --jobs,
+//        --factor (2).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -24,17 +25,20 @@ struct Phase {
   double median_err;
 };
 
-// Runs with measurement window [start, end); same seed => same workload.
-Phase run_phase(const nc::eval::ReplaySpec& base, const Config& cfg, double start,
-                double end) {
-  nc::eval::ReplaySpec spec = base;
-  spec.duration_s = end;
-  spec.measure_start_s = start;
-  spec.collect_oracle = true;
+// Measurement window [start, end); same seed => same workload.
+nc::eval::ScenarioSpec phase_spec(const nc::eval::ScenarioSpec& base,
+                                  const Config& cfg, double start, double end) {
+  nc::eval::ScenarioSpec spec = base;
+  spec.workload.duration_s = end;
+  spec.measurement.measure_start_s = start;
+  spec.measurement.collect_oracle = true;
   spec.client.filter = cfg.filter;
   spec.client.heuristic = cfg.heuristic;
   spec.client.vivaldi.delaunois_damping = cfg.damping;
-  const auto out = nc::eval::run_replay(spec);
+  return spec;
+}
+
+Phase to_phase(const nc::eval::ScenarioOutput& out) {
   return {out.metrics.oracle_median_error_of(0),
           out.metrics.oracle_per_node_median_error().median()};
 }
@@ -42,15 +46,15 @@ Phase run_phase(const nc::eval::ReplaySpec& base, const Config& cfg, double star
 }  // namespace
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec base = ncb::replay_spec(
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"factor"});
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags, {.nodes = 80, .hours = 1.5, .full_nodes = 269, .full_hours = 4.0});
   const double factor = flags.get_double("factor", 2.0);
   // Clean single-variable experiment: no churn, and node 0 stays up.
-  base.availability = nc::lat::AvailabilityConfig{.enabled = false};
-  const double change_t = base.duration_s / 2.0;
-  for (nc::NodeId j = 1; j < base.num_nodes; ++j)
-    base.route_changes.push_back({0, j, factor, change_t});
+  base.workload.availability = nc::lat::AvailabilityConfig{.enabled = false};
+  const double change_t = base.workload.duration_s / 2.0;
+  for (nc::NodeId j = 1; j < base.workload.num_nodes; ++j)
+    base.workload.route_changes.push_back({0, j, factor, change_t});
 
   ncb::print_header("Ablation: adaptation after a route change",
                     "de Launois damping stabilizes but freezes; the paper's "
@@ -71,16 +75,24 @@ int main(int argc, char** argv) {
   };
 
   // Phase A: the half hour before the change. Phase B: the final stretch
-  // after it, giving each system time to re-converge.
-  const double pre_start = change_t - 0.25 * base.duration_s;
-  const double post_start = change_t + 0.25 * base.duration_s;
+  // after it, giving each system time to re-converge. All (config, phase)
+  // points are independent: one grid pass over the 4x2 matrix.
+  const double pre_start = change_t - 0.25 * base.workload.duration_s;
+  const double post_start = change_t + 0.25 * base.workload.duration_s;
+
+  std::vector<nc::eval::ScenarioSpec> specs;
+  for (const Config& cfg : configs) {
+    specs.push_back(phase_spec(base, cfg, pre_start, change_t));
+    specs.push_back(phase_spec(base, cfg, post_start, base.workload.duration_s));
+  }
+  const auto outs = ncb::grid(flags).run(specs);
 
   nc::eval::TextTable t({"config", "node-0 err (before)", "node-0 err (after)",
                          "median err (after)"});
-  for (const Config& cfg : configs) {
-    const Phase before = run_phase(base, cfg, pre_start, change_t);
-    const Phase after = run_phase(base, cfg, post_start, base.duration_s);
-    t.add_row({cfg.name, nc::eval::fmt(before.changed_node_err, 3),
+  for (std::size_t i = 0; i < std::size(configs); ++i) {
+    const Phase before = to_phase(outs[2 * i]);
+    const Phase after = to_phase(outs[2 * i + 1]);
+    t.add_row({configs[i].name, nc::eval::fmt(before.changed_node_err, 3),
                nc::eval::fmt(after.changed_node_err, 3),
                nc::eval::fmt(after.median_err, 3)});
   }

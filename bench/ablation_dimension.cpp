@@ -3,14 +3,14 @@
 // metric space) but notes the techniques carry over to height vectors.
 // This sweep shows what that choice costs and buys on the same workload.
 //
-// Flags: --nodes (150), --hours (1.5), --seed.
+// Flags: --scenario (planetlab), --nodes (150), --hours (1.5), --seed, --jobs.
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec base = ncb::replay_spec(
+  const nc::Flags flags = ncb::parse_flags(argc, argv);
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags, {.nodes = 150, .hours = 1.5, .full_nodes = 269, .full_hours = 4.0});
   base.client.heuristic = nc::HeuristicConfig::energy(8.0, 32);
 
@@ -19,19 +19,27 @@ int main(int argc, char** argv) {
                     "access-link latency");
   ncb::print_workload(base);
 
-  nc::eval::TextTable t({"dim", "height", "median rel err", "p95 rel err (median node)",
-                         "instability"});
+  std::vector<nc::eval::ScenarioSpec> specs;
+  std::vector<std::pair<int, bool>> cells;
   for (int dim : {2, 3, 5}) {
     for (bool height : {false, true}) {
-      nc::eval::ReplaySpec spec = base;
+      nc::eval::ScenarioSpec spec = base;
       spec.client.vivaldi.dim = dim;
       spec.client.vivaldi.use_height = height;
-      const auto out = nc::eval::run_replay(spec);
-      t.add_row({std::to_string(dim), height ? "yes" : "no",
-                 nc::eval::fmt(out.metrics.median_relative_error(), 3),
-                 nc::eval::fmt(out.metrics.per_node_p95_error().median(), 3),
-                 nc::eval::fmt(out.metrics.mean_instability_ms_per_s(), 4)});
+      specs.push_back(std::move(spec));
+      cells.emplace_back(dim, height);
     }
+  }
+  const auto outs = ncb::grid(flags).run(specs);
+
+  nc::eval::TextTable t({"dim", "height", "median rel err", "p95 rel err (median node)",
+                         "instability"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& out = outs[i];
+    t.add_row({std::to_string(cells[i].first), cells[i].second ? "yes" : "no",
+               nc::eval::fmt(out.metrics.median_relative_error(), 3),
+               nc::eval::fmt(out.metrics.per_node_p95_error().median(), 3),
+               nc::eval::fmt(out.metrics.mean_instability_ms_per_s(), 4)});
   }
   t.print(std::cout);
   std::cout << "\nexpected shape: error falls from 2-D to 3-D and little further by\n"

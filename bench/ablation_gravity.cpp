@@ -5,20 +5,22 @@
 // no information. A weak gravity well (pull toward the origin of
 // (||x||/rho)^2 ms per update) anchors the space.
 //
-// Flags: --nodes (100), --hours (3), --seed, --rho list.
+// Flags: --scenario (planetlab), --nodes (100), --hours (3), --seed, --jobs,
+//        --rho list.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "sim/replay.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec base = ncb::replay_spec(
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"rho"});
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags, {.nodes = 100, .hours = 3.0, .full_nodes = 269, .full_hours = 4.0});
   base.client.heuristic = nc::HeuristicConfig::energy(8.0, 32);
-  base.track_interval_s = 600.0;
-  for (nc::NodeId id = 0; id < base.num_nodes; id += base.num_nodes / 8)
-    base.tracked_nodes.push_back(id);
+  base.measurement.track_interval_s = 600.0;
+  const int track_step = std::max(1, base.workload.num_nodes / 8);
+  for (nc::NodeId id = 0; id < base.workload.num_nodes; id += track_step)
+    base.measurement.tracked_nodes.push_back(id);
   const auto rhos = flags.get_double_list("rho", {0.0, 2000.0, 500.0});
 
   ncb::print_header("Ablation: gravity (Pyxida-style drift control)",
@@ -26,20 +28,24 @@ int main(int argc, char** argv) {
                     "itself translates (Fig. 7) unless anchored");
   ncb::print_workload(base);
 
+  std::vector<nc::eval::ScenarioSpec> specs(rhos.size(), base);
+  for (std::size_t i = 0; i < rhos.size(); ++i)
+    specs[i].client.vivaldi.gravity_rho = rhos[i];
+  const auto outs = ncb::grid(flags).run(specs);
+
   nc::eval::TextTable t({"gravity rho", "median rel err", "mean instab",
                          "centroid norm (ms)", "mean node drift (ms)"});
-  for (double rho : rhos) {
-    nc::eval::ReplaySpec spec = base;
-    spec.client.vivaldi.gravity_rho = rho;
-    const auto out = nc::eval::run_replay(spec);
+  for (std::size_t i = 0; i < rhos.size(); ++i) {
+    const double rho = rhos[i];
+    const auto& out = outs[i];
 
     // Global translation: how far off-origin the cloud of tracked nodes sits
     // at the end of the run. Gravity controls this; it cannot (and should
     // not) stop per-node movement that tracks genuine network change.
-    nc::Vec centroid = nc::Vec::zero(spec.client.vivaldi.dim);
+    nc::Vec centroid = nc::Vec::zero(specs[i].client.vivaldi.dim);
     double drift_sum = 0.0;
     int n = 0;
-    for (nc::NodeId id : spec.tracked_nodes) {
+    for (nc::NodeId id : base.measurement.tracked_nodes) {
       const auto& d = out.metrics.drift(id);
       if (d.size() < 2) continue;
       centroid += d.back().position;

@@ -1,9 +1,13 @@
 // Ablation — joint (history, percentile) grid for the MP filter, extending
 // Fig. 4's p = 25 slice (the paper notes p = 25 beat p = 50 slightly at
 // h = 4). Reports the median over links of the per-link 95th-percentile
-// prediction error.
+// prediction error. Each history row is an independent grid task (its own
+// trace pass evaluating all percentile cells), so --jobs parallelizes the
+// sweep; the run prints per-row and total wall-clock so the speedup is
+// visible.
 //
-// Flags: --nodes (60), --hours (6), --seed.
+// Flags: --scenario (planetlab), --nodes (60), --hours (6), --seed, --jobs.
+#include <chrono>
 #include <cstdio>
 #include <unordered_map>
 #include <vector>
@@ -14,34 +18,19 @@
 #include "stats/p2_quantile.hpp"
 #include "stats/percentile.hpp"
 
-int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  const int nodes = static_cast<int>(flags.get_int("nodes", 60));
-  const double hours = flags.get_double("hours", 6.0);
+namespace {
 
-  const std::vector<int> histories = {2, 4, 8, 16, 32};
-  const std::vector<double> percentiles = {0, 10, 25, 50, 75};
+const std::vector<int> kHistories = {2, 4, 8, 16, 32};
+const std::vector<double> kPercentiles = {0, 10, 25, 50, 75};
 
-  nc::lat::TraceGenConfig cfg;
-  cfg.topology.num_nodes = nodes;
-  cfg.duration_s = hours * 3600.0;
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  cfg.topology.seed = cfg.seed;
-
-  ncb::print_header("Ablation: MP filter (history x percentile) grid",
-                    "low percentiles of short windows predict best; p=25 "
-                    "slightly beats p=50 at h=4");
-  std::printf("workload: %d nodes, %.1f h trace; cells are the median over links\n"
-              "of per-link 95th-pctile prediction error\n",
-              nodes, hours);
-
+// One trace pass with history h: a filter per (link, percentile) cell;
+// returns the median-over-links p95 prediction error per percentile.
+std::vector<double> run_history_row(const nc::lat::TraceGenConfig& cfg, int h) {
   struct LinkState {
     std::vector<nc::MovingPercentileFilter> filters;
     std::vector<nc::stats::P2Quantile> p95;
   };
-  const std::size_t cells = histories.size() * percentiles.size();
   std::unordered_map<std::uint64_t, LinkState> links;
-
   nc::lat::TraceGenerator gen(cfg);
   while (auto rec = gen.next()) {
     const std::uint64_t key = (static_cast<std::uint64_t>(rec->src) << 32) |
@@ -49,36 +38,65 @@ int main(int argc, char** argv) {
     auto [it, inserted] = links.try_emplace(key);
     LinkState& link = it->second;
     if (inserted) {
-      link.filters.reserve(cells);
-      link.p95.assign(cells, nc::stats::P2Quantile(0.95));
-      for (int h : histories)
-        for (double p : percentiles) link.filters.emplace_back(h, p);
+      link.filters.reserve(kPercentiles.size());
+      link.p95.assign(kPercentiles.size(), nc::stats::P2Quantile(0.95));
+      for (double p : kPercentiles) link.filters.emplace_back(h, p);
     }
-    for (std::size_t c = 0; c < cells; ++c) {
+    for (std::size_t c = 0; c < kPercentiles.size(); ++c) {
       const auto pred = link.filters[c].estimate();
       if (pred.has_value())
         link.p95[c].add(std::fabs(*pred - rec->rtt_ms) / rec->rtt_ms);
       link.filters[c].update(rec->rtt_ms);
     }
   }
+  std::vector<double> row;
+  for (std::size_t c = 0; c < kPercentiles.size(); ++c) {
+    std::vector<double> per_link;
+    for (auto& [key, link] : links)
+      if (link.p95[c].count() >= 16) per_link.push_back(link.p95[c].value());
+    row.push_back(per_link.empty()
+                      ? -1.0
+                      : nc::stats::median(std::move(per_link)));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nc::Flags flags = ncb::parse_flags(argc, argv);
+  nc::eval::ScenarioSpec spec = ncb::scenario_spec(
+      flags, {.nodes = 60, .hours = 6.0, .full_nodes = 60, .full_hours = 6.0});
+  const nc::lat::TraceGenConfig cfg = nc::eval::resolve_trace_config(spec.workload);
+  const auto grid = ncb::grid(flags);
+
+  ncb::print_header("Ablation: MP filter (history x percentile) grid",
+                    "low percentiles of short windows predict best; p=25 "
+                    "slightly beats p=50 at h=4");
+  std::printf("workload: scenario=%s, %d nodes, %.1f h trace, %d jobs; cells are\n"
+              "the median over links of per-link 95th-pctile prediction error\n",
+              spec.scenario.c_str(), spec.workload.num_nodes,
+              spec.workload.duration_s / 3600.0, grid.jobs());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rows = grid.map(kHistories.size(), [&](std::size_t i) {
+    return run_history_row(cfg, kHistories[i]);
+  });
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   std::vector<std::string> headers = {"history"};
-  for (double p : percentiles) headers.push_back("p=" + nc::eval::fmt(p, 3));
+  for (double p : kPercentiles) headers.push_back("p=" + nc::eval::fmt(p, 3));
   nc::eval::TextTable table(std::move(headers));
-  for (std::size_t hi = 0; hi < histories.size(); ++hi) {
-    std::vector<std::string> row = {std::to_string(histories[hi])};
-    for (std::size_t pi = 0; pi < percentiles.size(); ++pi) {
-      const std::size_t c = hi * percentiles.size() + pi;
-      std::vector<double> per_link;
-      for (auto& [key, link] : links)
-        if (link.p95[c].count() >= 16) per_link.push_back(link.p95[c].value());
-      row.push_back(per_link.empty()
-                        ? "-"
-                        : nc::eval::fmt(nc::stats::median(std::move(per_link)), 3));
-    }
+  for (std::size_t hi = 0; hi < kHistories.size(); ++hi) {
+    std::vector<std::string> row = {std::to_string(kHistories[hi])};
+    for (double cell : rows[hi])
+      row.push_back(cell < 0.0 ? "-" : nc::eval::fmt(cell, 3));
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  std::printf("\nsweep wall-clock: %.2f s (%zu rows, %d jobs)\n", elapsed_s,
+              kHistories.size(), grid.jobs());
   std::cout << "\nexpected shape: a valley at moderate (h, p) — low percentiles of\n"
                "mid-size windows; p=75 admits tail samples and p=0 of long windows\n"
                "under-predicts. With our tight lognormal body p=25 and p=50 sit\n"

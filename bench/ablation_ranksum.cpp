@@ -8,14 +8,15 @@
 // C(W_s), and its p-value threshold is a much less intuitive tuning knob
 // than ENERGY's distance-scaled tau.
 //
-// Flags: --nodes (150), --hours (2), --seed, --window (32).
+// Flags: --scenario (planetlab), --nodes (150), --hours (2), --seed, --jobs,
+//        --window (32).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec spec = ncb::replay_spec(
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"window"});
+  nc::eval::ScenarioSpec spec = ncb::scenario_spec(
       flags, {.nodes = 150, .hours = 2.0, .full_nodes = 269, .full_hours = 4.0});
   const int window = static_cast<int>(flags.get_int("window", 32));
 
@@ -24,21 +25,27 @@ int main(int argc, char** argv) {
                     "paper's multivariate heuristics");
   ncb::print_workload(spec);
 
-  nc::eval::TextTable t(
-      {"heuristic", "param", "median rel err", "mean instab", "%nodes-upd/s"});
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<nc::HeuristicConfig> heuristics;
   for (double alpha : {0.05, 0.01, 0.001}) {
-    const auto p = ncb::run_point(spec, nc::HeuristicConfig::rank_sum(alpha, window));
-    t.add_row({"ranksum", nc::eval::fmt(alpha, 3), nc::eval::fmt(p.median_error, 3),
-               nc::eval::fmt(p.instability, 4), nc::eval::fmt(p.pct_updates, 3)});
+    labels.emplace_back("ranksum", nc::eval::fmt(alpha, 3));
+    heuristics.push_back(nc::HeuristicConfig::rank_sum(alpha, window));
   }
   for (double tau : {4.0, 8.0, 16.0}) {
-    const auto p = ncb::run_point(spec, nc::HeuristicConfig::energy(tau, window));
-    t.add_row({"energy", nc::eval::fmt(tau, 3), nc::eval::fmt(p.median_error, 3),
-               nc::eval::fmt(p.instability, 4), nc::eval::fmt(p.pct_updates, 3)});
+    labels.emplace_back("energy", nc::eval::fmt(tau, 3));
+    heuristics.push_back(nc::HeuristicConfig::energy(tau, window));
   }
   for (double eps : {0.2, 0.3, 0.4}) {
-    const auto p = ncb::run_point(spec, nc::HeuristicConfig::relative(eps, window));
-    t.add_row({"relative", nc::eval::fmt(eps, 3), nc::eval::fmt(p.median_error, 3),
+    labels.emplace_back("relative", nc::eval::fmt(eps, 3));
+    heuristics.push_back(nc::HeuristicConfig::relative(eps, window));
+  }
+  const auto points = ncb::run_points(spec, heuristics, ncb::grid(flags));
+
+  nc::eval::TextTable t(
+      {"heuristic", "param", "median rel err", "mean instab", "%nodes-upd/s"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ncb::SweepPoint& p = points[i];
+    t.add_row({labels[i].first, labels[i].second, nc::eval::fmt(p.median_error, 3),
                nc::eval::fmt(p.instability, 4), nc::eval::fmt(p.pct_updates, 3)});
   }
   t.print(std::cout);

@@ -8,14 +8,14 @@
 // apart, and the paper's MP filter restores it. This is the paper's core
 // observation (Sec. I and III) as a single table.
 //
-// Flags: --nodes (150), --hours (2), --seed.
+// Flags: --scenario (planetlab), --nodes (150), --hours (2), --seed, --jobs.
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec base = ncb::replay_spec(
+  const nc::Flags flags = ncb::parse_flags(argc, argv);
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags, {.nodes = 150, .hours = 2.0, .full_nodes = 269, .full_hours = 4.0});
   base.client.heuristic = nc::HeuristicConfig::always();
 
@@ -36,17 +36,23 @@ int main(int argc, char** argv) {
       {"live stream", "mp(4,25)", false, nc::FilterConfig::moving_percentile(4, 25)},
   };
 
-  nc::eval::TextTable t({"world", "filter", "median rel err", "mean instab (ms/s)",
-                         "instab p99"});
+  std::vector<nc::eval::ScenarioSpec> specs;
   for (const Row& row : rows) {
-    nc::eval::ReplaySpec spec = base;
+    nc::eval::ScenarioSpec spec = base;
     spec.client.filter = row.filter;
     if (row.noiseless) {
-      spec.link_model = nc::lat::LinkModelConfig::noiseless();
-      spec.availability = nc::lat::AvailabilityConfig{.enabled = false};
+      spec.workload.link_model = nc::lat::LinkModelConfig::noiseless();
+      spec.workload.availability = nc::lat::AvailabilityConfig{.enabled = false};
     }
-    const auto out = nc::eval::run_replay(spec);
-    t.add_row({row.world, row.filter_name,
+    specs.push_back(std::move(spec));
+  }
+  const auto outs = ncb::grid(flags).run(specs);
+
+  nc::eval::TextTable t({"world", "filter", "median rel err", "mean instab (ms/s)",
+                         "instab p99"});
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const auto& out = outs[i];
+    t.add_row({rows[i].world, rows[i].filter_name,
                nc::eval::fmt(out.metrics.median_relative_error(), 3),
                nc::eval::fmt(out.metrics.mean_instability_ms_per_s(), 4),
                nc::eval::fmt(out.metrics.instability().quantile(0.99), 4)});

@@ -4,32 +4,37 @@
 // five largest PlanetLab displacements to this case and suggests waiting for
 // a second sample. min_samples implements that delay.
 //
-// Flags: --nodes (100), --hours (1), --seed.
+// Flags: --scenario (planetlab), --nodes (100), --hours (1), --seed, --jobs.
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec base = ncb::replay_spec(
+  const nc::Flags flags = ncb::parse_flags(argc, argv);
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags, {.nodes = 100, .hours = 1.0, .full_nodes = 269, .full_hours = 4.0});
   base.client.heuristic = nc::HeuristicConfig::always();
-  base.measure_start_s = 0.0;  // include start-up: that is where the damage is
+  base.measurement.measure_start_s = 0.0;  // include start-up: that is where the damage is
 
   ncb::print_header("Ablation: filter warm-up delay (min_samples)",
                     "Sec. VI: extreme first samples caused the five largest "
                     "displacements; waiting for a 2nd sample removes them");
   ncb::print_workload(base);
 
+  const int min_samples_values[] = {1, 2, 4};
+  std::vector<nc::eval::ScenarioSpec> specs(std::size(min_samples_values), base);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    specs[i].client.filter =
+        nc::FilterConfig::moving_percentile(4, 25, min_samples_values[i]);
+  const auto outs = ncb::grid(flags).run(specs);
+
   nc::eval::TextTable t({"min_samples", "instability p99 (ms/s)", "instability max",
                          "median rel err", "absorbed samples"});
-  for (int min_samples : {1, 2, 4}) {
-    nc::eval::ReplaySpec spec = base;
-    spec.client.filter = nc::FilterConfig::moving_percentile(4, 25, min_samples);
-    const auto out = nc::eval::run_replay(spec);
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    const auto& out = outs[i];
     const auto inst = out.metrics.instability();
-    t.add_row({std::to_string(min_samples), nc::eval::fmt(inst.quantile(0.99), 4),
-               nc::eval::fmt(inst.max(), 4),
+    t.add_row({std::to_string(min_samples_values[i]),
+               nc::eval::fmt(inst.quantile(0.99), 4), nc::eval::fmt(inst.max(), 4),
                nc::eval::fmt(out.metrics.median_relative_error(), 3),
                std::to_string(out.absorbed)});
   }

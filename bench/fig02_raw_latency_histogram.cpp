@@ -2,7 +2,7 @@
 // network (paper: 269 PlanetLab nodes over 3 days, 43M samples, 0.4% of
 // samples above one second, tail reaching past 3 s on a log-scale axis).
 //
-// Flags: --nodes (269), --days (3), --seed.
+// Flags: --scenario (planetlab), --nodes (269), --days (3), --seed.
 #include <cinttypes>
 #include <cstdio>
 
@@ -11,19 +11,18 @@
 #include "stats/histogram.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  const int nodes = static_cast<int>(flags.get_int("nodes", 269));
+  const nc::Flags flags = ncb::parse_flags_exact(
+      argc, argv, {"scenario", "nodes", "days", "seed", "full"});
   const double days = flags.get_double("days", 3.0);
 
-  nc::lat::TraceGenConfig cfg;
-  cfg.topology.num_nodes = nodes;
-  cfg.duration_s = days * 24.0 * 3600.0;
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  cfg.topology.seed = cfg.seed;
+  nc::eval::ScenarioSpec spec = ncb::scenario_spec(flags);
+  spec.workload.duration_s = days * 24.0 * 3600.0;
+  const nc::lat::TraceGenConfig cfg = nc::eval::resolve_trace_config(spec.workload);
 
   ncb::print_header("Fig. 2: raw latency histogram",
                     "43M samples over 3 days; 0.4% above 1 s; heavy tail past 3 s");
-  std::printf("workload: %d nodes, %.1f days of 1 Hz pings, seed %llu\n", nodes, days,
+  std::printf("workload: scenario=%s, %d nodes, %.1f days of 1 Hz pings, seed %llu\n",
+              spec.scenario.c_str(), spec.workload.num_nodes, days,
               static_cast<unsigned long long>(cfg.seed));
 
   nc::lat::TraceGenerator gen(cfg);

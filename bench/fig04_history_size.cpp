@@ -6,9 +6,11 @@
 // For each link, the filter predicts the next observation; the relative
 // error |prediction - observation| / observation is accumulated per link,
 // and the distribution over links of the per-link 95th-percentile error is
-// reported as boxplot rows (one per history size).
+// reported as boxplot rows (one per history size). Each history size is an
+// independent grid task (its own trace pass), so --jobs parallelizes rows.
 //
-// Flags: --nodes (100; --full 269), --hours (12; --full 72), --seed.
+// Flags: --scenario (planetlab), --nodes (100; --full 269),
+//        --hours (12; --full 72), --seed, --jobs, --percentile (25).
 #include <cstdio>
 #include <unordered_map>
 #include <vector>
@@ -22,72 +24,61 @@
 namespace {
 
 constexpr int kHistories[] = {1, 2, 4, 8, 16, 32, 64, 128};
-constexpr int kNumHistories = 8;
 
-struct LinkState {
-  std::vector<nc::MovingPercentileFilter> filters;
-  std::vector<nc::stats::P2Quantile> p95;
-
-  LinkState(double percentile) {
-    filters.reserve(kNumHistories);
-    p95.reserve(kNumHistories);
-    for (int h : kHistories) {
-      filters.emplace_back(h, percentile);
-      p95.emplace_back(0.95);
-    }
+// One trace pass with history h on every link; returns per-link p95 errors.
+std::vector<double> run_history(const nc::lat::TraceGenConfig& cfg, int h,
+                                double percentile) {
+  struct LinkState {
+    nc::MovingPercentileFilter filter;
+    nc::stats::P2Quantile p95;
+    LinkState(int history, double p) : filter(history, p), p95(0.95) {}
+  };
+  std::unordered_map<std::uint64_t, LinkState> links;
+  nc::lat::TraceGenerator gen(cfg);
+  while (auto rec = gen.next()) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(rec->src) << 32) |
+                              static_cast<std::uint64_t>(rec->dst);
+    auto [it, inserted] = links.try_emplace(key, h, percentile);
+    LinkState& link = it->second;
+    const auto prediction = link.filter.estimate();
+    if (prediction.has_value())
+      link.p95.add(std::fabs(*prediction - rec->rtt_ms) / rec->rtt_ms);
+    link.filter.update(rec->rtt_ms);
   }
-};
+  std::vector<double> per_link;
+  per_link.reserve(links.size());
+  for (auto& [key, link] : links)
+    if (link.p95.count() >= 16) per_link.push_back(link.p95.value());
+  return per_link;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", false);
-  const int nodes = static_cast<int>(flags.get_int("nodes", full ? 269 : 100));
-  const double hours = flags.get_double("hours", full ? 72.0 : 12.0);
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"percentile"});
+  nc::eval::ScenarioSpec spec = ncb::scenario_spec(
+      flags, {.nodes = 100, .hours = 12.0, .full_nodes = 269, .full_hours = 72.0});
   const double percentile = flags.get_double("percentile", 25.0);
-
-  nc::lat::TraceGenConfig cfg;
-  cfg.topology.num_nodes = nodes;
-  cfg.duration_s = hours * 3600.0;
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  cfg.topology.seed = cfg.seed;
+  const nc::lat::TraceGenConfig cfg = nc::eval::resolve_trace_config(spec.workload);
 
   ncb::print_header("Fig. 4: MP filter prediction error vs history size",
                     "h = 4 predicts best (p = 25); h = 1 suffers huge outliers");
-  std::printf("workload: %d nodes, %.1f h trace, p = %g, seed %llu\n", nodes, hours,
-              percentile, static_cast<unsigned long long>(cfg.seed));
+  std::printf("workload: scenario=%s, %d nodes, %.1f h trace, p = %g, seed %llu\n",
+              spec.scenario.c_str(), spec.workload.num_nodes,
+              spec.workload.duration_s / 3600.0, percentile,
+              static_cast<unsigned long long>(cfg.seed));
 
-  nc::lat::TraceGenerator gen(cfg);
-  std::unordered_map<std::uint64_t, LinkState> links;
-  while (auto rec = gen.next()) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(rec->src) << 32) |
-                              static_cast<std::uint64_t>(rec->dst);
-    auto [it, inserted] = links.try_emplace(key, percentile);
-    LinkState& link = it->second;
-    for (int f = 0; f < kNumHistories; ++f) {
-      const auto prediction = link.filters[static_cast<std::size_t>(f)].estimate();
-      if (prediction.has_value()) {
-        const double err = std::fabs(*prediction - rec->rtt_ms) / rec->rtt_ms;
-        link.p95[static_cast<std::size_t>(f)].add(err);
-      }
-      link.filters[static_cast<std::size_t>(f)].update(rec->rtt_ms);
-    }
-  }
+  const auto rows = ncb::grid(flags).map(std::size(kHistories), [&](std::size_t i) {
+    return run_history(cfg, kHistories[i], percentile);
+  });
 
-  std::cout << "\nper-link 95th-percentile relative error, boxplot over "
-            << links.size() << " directed links:\n";
+  std::cout << "\nper-link 95th-percentile relative error, boxplot over the\n"
+               "directed links with >= 16 predictions at each history size:\n";
   nc::eval::TextTable table({"history", "q1", "median", "q3", "whisker-hi", "max",
                              "outlier-links"});
-  for (int f = 0; f < kNumHistories; ++f) {
-    std::vector<double> per_link;
-    per_link.reserve(links.size());
-    for (auto& [key, link] : links) {
-      if (link.p95[static_cast<std::size_t>(f)].count() >= 16)
-        per_link.push_back(link.p95[static_cast<std::size_t>(f)].value());
-    }
-    if (per_link.empty()) continue;
-    const auto b = nc::stats::boxplot(std::move(per_link));
+  for (std::size_t f = 0; f < std::size(kHistories); ++f) {
+    if (rows[f].empty()) continue;
+    const auto b = nc::stats::boxplot(rows[f]);
     table.add_row({std::to_string(kHistories[f]), nc::eval::fmt(b.q1, 3),
                    nc::eval::fmt(b.median, 3), nc::eval::fmt(b.q3, 3),
                    nc::eval::fmt(b.whisker_hi, 3), nc::eval::fmt(b.max, 3),

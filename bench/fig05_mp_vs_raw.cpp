@@ -3,7 +3,7 @@
 // orders-of-magnitude instability tail caused by spurious observations; the
 // trimmed histogram shows the filter only clips the heavy tail).
 //
-// Flags: --nodes (269), --hours (4), --seed.
+// Flags: --scenario (planetlab), --nodes (269), --hours (4), --seed, --jobs.
 #include <cstdio>
 #include <unordered_map>
 
@@ -13,8 +13,8 @@
 #include "stats/histogram.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec spec = ncb::replay_spec(flags, {});
+  const nc::Flags flags = ncb::parse_flags(argc, argv);
+  nc::eval::ScenarioSpec spec = ncb::scenario_spec(flags);
   spec.client.heuristic = nc::HeuristicConfig::always();
 
   ncb::print_header("Fig. 5: accuracy and stability, MP filter vs no filter",
@@ -22,10 +22,13 @@ int main(int argc, char** argv) {
                     "aggregate instability tail shrinks by ~3 orders of magnitude");
   ncb::print_workload(spec);
 
-  spec.client.filter = nc::FilterConfig::moving_percentile(4, 25);
-  const auto mp = nc::eval::run_replay(spec);
-  spec.client.filter = nc::FilterConfig::none();
-  const auto raw = nc::eval::run_replay(spec);
+  // Both systems on the same workload, one grid pass.
+  std::vector<nc::eval::ScenarioSpec> specs(2, spec);
+  specs[0].client.filter = nc::FilterConfig::moving_percentile(4, 25);
+  specs[1].client.filter = nc::FilterConfig::none();
+  auto outs = ncb::grid(flags).run(specs);
+  const nc::eval::ScenarioOutput& mp = outs[0];
+  const nc::eval::ScenarioOutput& raw = outs[1];
 
   const auto mp_med = mp.metrics.per_node_median_error();
   const auto raw_med = raw.metrics.per_node_median_error();
@@ -56,7 +59,7 @@ int main(int argc, char** argv) {
 
   // (e) What the filter feeds Vivaldi: per-link MP output vs the raw stream.
   {
-    nc::lat::TraceGenConfig cfg = nc::eval::resolve_trace_config(spec);
+    nc::lat::TraceGenConfig cfg = nc::eval::resolve_trace_config(spec.workload);
     nc::lat::TraceGenerator gen(cfg);
     nc::stats::Histogram raw_hist(nc::eval::fig2_bucket_edges());
     nc::stats::Histogram mp_hist(nc::eval::fig2_bucket_edges());
@@ -75,6 +78,15 @@ int main(int argc, char** argv) {
                 100.0 * raw_hist.fraction_at_or_above(1000.0),
                 100.0 * mp_hist.fraction_at_or_above(1000.0));
   }
+
+  // (f) Per-DESTINATION error: a node can predict well as an observer yet be
+  // a bad target (stale advertised coordinate); the filter tightens this
+  // view too.
+  const auto mp_dst = mp.metrics.per_dst_median_error();
+  const auto raw_dst = raw.metrics.per_dst_median_error();
+  nc::eval::print_cdf_table(
+      std::cout, "\n(f) per-destination MEDIAN relative error (CDF over targets)",
+      {{"mp(4,25)", &mp_dst}, {"no-filter", &raw_dst}});
 
   std::printf("\nsummary: median node error  mp=%.4f raw=%.4f (%+.0f%%)\n",
               mp.metrics.median_relative_error(), raw.metrics.median_relative_error(),

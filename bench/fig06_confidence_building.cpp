@@ -4,7 +4,8 @@
 // confidence hovers around 75% because timing jitter dominates the
 // sub-millisecond link latency).
 //
-// Flags: --minutes (10), --margin (3), --seed.
+// Flags: --scenario (lan-cluster), --nodes (3), --minutes (10), --margin (3),
+//        --seed, --jobs.
 #include <cstdio>
 #include <vector>
 
@@ -14,27 +15,9 @@
 
 namespace {
 
-// One 3-node cluster run; returns node 0's confidence sampled every 15 s.
-std::vector<double> run_cluster(double margin_ms, bool use_mp, double minutes,
-                                std::uint64_t seed) {
-  nc::lat::TraceGenConfig cfg;
-  cfg.topology.num_nodes = 3;
-  cfg.topology.seed = seed;
-  cfg.topology.regions = {{"cluster", nc::Vec{0.0, 0.0, 0.0}, 0.15, 1.0}};
-  cfg.topology.height_log_mu = -1.5;
-  cfg.topology.height_log_sigma = 0.2;
-  cfg.topology.height_min_ms = 0.1;
-  cfg.topology.height_max_ms = 0.3;
-  cfg.link_model.body_sigma = 0.35;      // jitter comparable to the latency
-  cfg.link_model.base_spike_prob = 0.05; // ~5% of samples above 1.2 ms
-  cfg.link_model.spike_xm_min_ms = 0.5;
-  cfg.link_model.spike_xm_max_ms = 1.5;
-  cfg.link_model.spike_alpha = 1.5;
-  cfg.link_model.loss_prob = 0.0;
-  cfg.availability.enabled = false;
-  cfg.duration_s = minutes * 60.0;
-  cfg.seed = seed;
-
+// One cluster run; returns node 0's confidence sampled every 15 s.
+std::vector<double> run_cluster(const nc::eval::WorkloadSpec& workload,
+                                double margin_ms, bool use_mp) {
   nc::NCClientConfig client_cfg;
   client_cfg.vivaldi.dim = 3;
   client_cfg.vivaldi.confidence_margin_ms = margin_ms;
@@ -43,9 +26,12 @@ std::vector<double> run_cluster(double margin_ms, bool use_mp, double minutes,
   client_cfg.heuristic = nc::HeuristicConfig::always();
 
   std::vector<nc::NCClient> nodes;
-  for (nc::NodeId id = 0; id < 3; ++id) nodes.emplace_back(id, client_cfg);
+  const auto n = static_cast<std::size_t>(workload.num_nodes);
+  nodes.reserve(n);
+  for (nc::NodeId id = 0; id < workload.num_nodes; ++id)
+    nodes.emplace_back(id, client_cfg);
 
-  nc::lat::TraceGenerator gen(cfg);
+  nc::lat::TraceGenerator gen(nc::eval::resolve_trace_config(workload));
   std::vector<double> series;
   double next_sample_t = 0.0;
   while (auto rec = gen.next()) {
@@ -64,20 +50,33 @@ std::vector<double> run_cluster(double margin_ms, bool use_mp, double minutes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
+  const nc::Flags flags = ncb::parse_flags_exact(
+      argc, argv, {"scenario", "nodes", "minutes", "margin", "seed", "jobs"});
   const double minutes = flags.get_double("minutes", 10.0);
   const double margin = flags.get_double("margin", 3.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  nc::eval::ScenarioSpec spec = ncb::scenario_spec(
+      flags, {.nodes = 3, .full_nodes = 3, .scenario = "lan-cluster"});
+  spec.workload.duration_s = minutes * 60.0;
 
   ncb::print_header("Fig. 6: confidence building on a 3-node cluster",
                     "with a 3 ms margin confidence holds ~1.0; without it "
                     "~0.75; the MP filter alone does not fix it");
-  std::printf("workload: 3 cluster nodes, 1 Hz sampling, %.0f min, margin %.1f ms\n",
-              minutes, margin);
+  std::printf("workload: scenario=%s, %d cluster nodes, 1 Hz sampling, %.0f min, "
+              "margin %.1f ms\n",
+              spec.scenario.c_str(), spec.workload.num_nodes, minutes, margin);
 
-  const auto with_margin = run_cluster(margin, false, minutes, seed);
-  const auto without = run_cluster(0.0, false, minutes, seed);
-  const auto mp_only = run_cluster(0.0, true, minutes, seed);
+  // (margin, mp) configurations, one grid task each.
+  const struct {
+    double margin;
+    bool mp;
+  } configs[] = {{margin, false}, {0.0, false}, {0.0, true}};
+  const auto series = ncb::grid(flags).map(std::size(configs), [&](std::size_t i) {
+    return run_cluster(spec.workload, configs[i].margin, configs[i].mp);
+  });
+  const std::vector<double>& with_margin = series[0];
+  const std::vector<double>& without = series[1];
+  const std::vector<double>& mp_only = series[2];
 
   nc::eval::TextTable t({"t(min)", "confidence-building", "none", "mp-only"});
   for (std::size_t i = 0; i < with_margin.size(); ++i) {

@@ -3,25 +3,28 @@
 // they neither rotate about the origin nor oscillate in place, so the
 // application coordinate must eventually be updated).
 //
-// Flags: --nodes (269), --hours (3), --seed, --interval-min (10).
+// Flags: --scenario (planetlab), --nodes (269), --hours (3), --seed,
+//        --interval-min (10). Single run: no --jobs.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "latency/topology.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec spec = ncb::replay_spec(flags, {.hours = 3.0, .full_hours = 3.0});
+  const nc::Flags flags = ncb::parse_flags_exact(
+      argc, argv, {"scenario", "nodes", "hours", "seed", "full", "interval-min"});
+  nc::eval::ScenarioSpec spec =
+      ncb::scenario_spec(flags, {.hours = 3.0, .full_hours = 3.0});
   spec.client.heuristic = nc::HeuristicConfig::always();
-  spec.measure_start_s = spec.duration_s / 2.0;
-  spec.track_interval_s = 60.0 * flags.get_double("interval-min", 10.0);
+  spec.measurement.measure_start_s = spec.workload.duration_s / 2.0;
+  spec.measurement.track_interval_s = 60.0 * flags.get_double("interval-min", 10.0);
   // Track live nodes: availability churn off so no tracked node is down.
-  spec.availability = nc::lat::AvailabilityConfig{.enabled = false};
+  spec.workload.availability = nc::lat::AvailabilityConfig{.enabled = false};
 
-  // One tracked node per region, like the paper's US-West/US-East/Europe/Asia.
-  nc::lat::TopologyConfig topo;
-  topo.num_nodes = spec.num_nodes;
-  topo.seed = spec.seed;
-  const auto t = nc::lat::Topology::make(topo);
+  // One tracked node per region, like the paper's US-West/US-East/Europe/Asia
+  // (scenarios with other region mixes fall back to their first four regions).
+  const auto t = nc::lat::Topology::make(
+      nc::eval::resolve_trace_config(spec.workload).topology);
   const char* wanted[] = {"us-east", "us-west", "europe", "east-asia"};
   std::vector<std::pair<std::string, nc::NodeId>> tracked;
   for (int r = 0; r < t.region_count(); ++r) {
@@ -30,8 +33,17 @@ int main(int argc, char** argv) {
         const nc::NodeId id = t.first_node_in_region(r);
         if (id != nc::kInvalidNode) {
           tracked.emplace_back(name, id);
-          spec.tracked_nodes.push_back(id);
+          spec.measurement.tracked_nodes.push_back(id);
         }
+      }
+    }
+  }
+  if (tracked.empty()) {
+    for (int r = 0; r < t.region_count() && tracked.size() < 4; ++r) {
+      const nc::NodeId id = t.first_node_in_region(r);
+      if (id != nc::kInvalidNode) {
+        tracked.emplace_back(t.region_name(r), id);
+        spec.measurement.tracked_nodes.push_back(id);
       }
     }
   }
@@ -41,12 +53,12 @@ int main(int argc, char** argv) {
                     "rotation or oscillation");
   ncb::print_workload(spec);
 
-  const auto out = nc::eval::run_replay(spec);
+  const auto out = nc::eval::run_scenario(spec);
 
   for (const auto& [name, id] : tracked) {
     const auto& drift = out.metrics.drift(id);
     std::printf("\nnode %d (%s): trajectory every %.0f min\n", id, name.c_str(),
-                spec.track_interval_s / 60.0);
+                spec.measurement.track_interval_s / 60.0);
     nc::eval::TextTable table({"t(h)", "x", "y", "z", "step(ms)"});
     for (std::size_t i = 0; i < drift.size(); ++i) {
       const double step =

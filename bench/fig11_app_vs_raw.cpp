@@ -3,14 +3,15 @@
 // unchanged while shifting the whole instability distribution into a far
 // more stable regime).
 //
-// Flags: --nodes (269), --hours (4), --seed, --window (32).
+// Flags: --scenario (planetlab), --nodes (269), --hours (4), --seed, --jobs,
+//        --window (32).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec spec = ncb::replay_spec(flags, {});
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"window"});
+  nc::eval::ScenarioSpec spec = ncb::scenario_spec(flags);
   const int window = static_cast<int>(flags.get_int("window", 32));
 
   ncb::print_header("Fig. 11: RELATIVE/ENERGY vs raw MP filter",
@@ -18,12 +19,14 @@ int main(int argc, char** argv) {
                     "orders of magnitude");
   ncb::print_workload(spec);
 
-  spec.client.heuristic = nc::HeuristicConfig::always();
-  const auto raw = nc::eval::run_replay(spec);
-  spec.client.heuristic = nc::HeuristicConfig::energy(8.0, window);
-  const auto energy = nc::eval::run_replay(spec);
-  spec.client.heuristic = nc::HeuristicConfig::relative(0.3, window);
-  const auto relative = nc::eval::run_replay(spec);
+  std::vector<nc::eval::ScenarioSpec> specs(3, spec);
+  specs[0].client.heuristic = nc::HeuristicConfig::always();
+  specs[1].client.heuristic = nc::HeuristicConfig::energy(8.0, window);
+  specs[2].client.heuristic = nc::HeuristicConfig::relative(0.3, window);
+  auto outs = ncb::grid(flags).run(specs);
+  const nc::eval::ScenarioOutput& raw = outs[0];
+  const nc::eval::ScenarioOutput& energy = outs[1];
+  const nc::eval::ScenarioOutput& relative = outs[2];
 
   const auto raw_err = raw.metrics.per_node_median_error();
   const auto en_err = energy.metrics.per_node_median_error();

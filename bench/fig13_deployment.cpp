@@ -9,43 +9,40 @@
 // share one seed, so they see identical ping schedules, losses and RTT
 // streams (the analogue of running on the same hosts at the same time).
 //
-// Flags: --nodes (270), --hours (4), --seed, --interval (5).
+// Flags: --scenario (planetlab), --nodes (270), --hours (4), --seed (7),
+//        --jobs, --interval (5).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
-namespace {
-
-nc::eval::OnlineOutput run_config(const nc::Flags& flags, bool mp, bool energy) {
-  nc::eval::OnlineSpec spec;
-  spec.num_nodes = static_cast<int>(flags.get_int("nodes", 270));
-  spec.duration_s = 3600.0 * flags.get_double("hours", 4.0);
-  spec.ping_interval_s = flags.get_double("interval", 5.0);
-  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
-  spec.client.filter =
-      mp ? nc::FilterConfig::moving_percentile(4, 25) : nc::FilterConfig::none();
-  spec.client.heuristic =
-      energy ? nc::HeuristicConfig::energy(8.0, 32) : nc::HeuristicConfig::always();
-  return nc::eval::run_online(spec);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"interval"});
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
+      flags,
+      {.nodes = 270, .full_nodes = 270, .seed = 7, .mode = nc::eval::SimMode::kOnline});
+  base.workload.ping_interval_s = flags.get_double("interval", 5.0);
 
   ncb::print_header("Fig. 13: deployment, 2x2 {MP filter} x {ENERGY}",
                     "median 95th-pct error -54%, instability -96%; 14% vs 62% "
                     "of nodes with 95th-pct error > 1");
-  std::printf("workload: %lld nodes, %.1f h online simulation, %g s sampling, "
-              "gossip membership\n",
-              static_cast<long long>(flags.get_int("nodes", 270)),
-              flags.get_double("hours", 4.0), flags.get_double("interval", 5.0));
+  ncb::print_workload(base);
 
-  const auto em = run_config(flags, true, true);    // Energy + MP
-  const auto rm = run_config(flags, true, false);   // Raw MP
-  const auto en = run_config(flags, false, true);   // Energy + No filter
-  const auto rn = run_config(flags, false, false);  // Raw, no filter
+  // 2x2 {MP, none} x {ENERGY, always}: em, rm, en, rn — one grid pass.
+  std::vector<nc::eval::ScenarioSpec> specs;
+  for (const bool mp : {true, false})
+    for (const bool energy : {true, false}) {
+      nc::eval::ScenarioSpec spec = base;
+      spec.client.filter = mp ? nc::FilterConfig::moving_percentile(4, 25)
+                              : nc::FilterConfig::none();
+      spec.client.heuristic = energy ? nc::HeuristicConfig::energy(8.0, 32)
+                                     : nc::HeuristicConfig::always();
+      specs.push_back(std::move(spec));
+    }
+  auto outs = ncb::grid(flags).run(specs);
+  const nc::eval::ScenarioOutput& em = outs[0];  // Energy + MP
+  const nc::eval::ScenarioOutput& rm = outs[1];  // Raw MP
+  const nc::eval::ScenarioOutput& en = outs[2];  // Energy + No filter
+  const nc::eval::ScenarioOutput& rn = outs[3];  // Raw, no filter
 
   const auto em_err = em.metrics.per_node_p95_error();
   const auto rm_err = rm.metrics.per_node_p95_error();
@@ -88,9 +85,5 @@ int main(int argc, char** argv) {
               100.0 * (em.metrics.mean_instability_ms_per_s() /
                            rn.metrics.mean_instability_ms_per_s() -
                        1.0));
-  std::printf("\npings sent per config: %llu (lost %.1f%%)\n",
-              static_cast<unsigned long long>(em.pings_sent),
-              100.0 * static_cast<double>(em.pings_lost) /
-                  static_cast<double>(em.pings_sent));
   return 0;
 }

@@ -3,27 +3,13 @@
 // the MP+ENERGY system is smooth and accurate while the raw system stays
 // noisy for the whole four hours).
 //
-// Flags: --nodes (270), --hours (4), --seed, --interval (5), --bucket-min (10).
+// Flags: --scenario (planetlab), --nodes (270), --hours (4), --seed (7),
+//        --jobs, --interval (5), --bucket-min (10).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 namespace {
-
-nc::eval::OnlineOutput run_config(const nc::Flags& flags, bool mp, bool energy) {
-  nc::eval::OnlineSpec spec;
-  spec.num_nodes = static_cast<int>(flags.get_int("nodes", 270));
-  spec.duration_s = 3600.0 * flags.get_double("hours", 4.0);
-  spec.ping_interval_s = flags.get_double("interval", 5.0);
-  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
-  spec.collect_timeseries = true;
-  spec.timeseries_bucket_s = 60.0 * flags.get_double("bucket-min", 10.0);
-  spec.client.filter =
-      mp ? nc::FilterConfig::moving_percentile(4, 25) : nc::FilterConfig::none();
-  spec.client.heuristic =
-      energy ? nc::HeuristicConfig::energy(8.0, 32) : nc::HeuristicConfig::always();
-  return nc::eval::run_online(spec);
-}
 
 void print_series(const char* title,
                   const std::vector<std::pair<std::string,
@@ -47,16 +33,34 @@ void print_series(const char* title,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"interval", "bucket-min"});
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
+      flags,
+      {.nodes = 270, .full_nodes = 270, .seed = 7, .mode = nc::eval::SimMode::kOnline});
+  base.workload.ping_interval_s = flags.get_double("interval", 5.0);
+  base.measurement.collect_timeseries = true;
+  base.measurement.timeseries_bucket_s = 60.0 * flags.get_double("bucket-min", 10.0);
 
   ncb::print_header("Fig. 14: error and instability over time (10-min buckets)",
                     "half-hour convergence, then MP+ENERGY smooth and accurate; "
                     "raw stays noisy");
+  ncb::print_workload(base);
 
-  const auto em = run_config(flags, true, true);
-  const auto rm = run_config(flags, true, false);
-  const auto en = run_config(flags, false, true);
-  const auto rn = run_config(flags, false, false);
+  std::vector<nc::eval::ScenarioSpec> specs;
+  for (const bool mp : {true, false})
+    for (const bool energy : {true, false}) {
+      nc::eval::ScenarioSpec spec = base;
+      spec.client.filter = mp ? nc::FilterConfig::moving_percentile(4, 25)
+                              : nc::FilterConfig::none();
+      spec.client.heuristic = energy ? nc::HeuristicConfig::energy(8.0, 32)
+                                     : nc::HeuristicConfig::always();
+      specs.push_back(std::move(spec));
+    }
+  auto outs = ncb::grid(flags).run(specs);
+  const nc::eval::ScenarioOutput& em = outs[0];
+  const nc::eval::ScenarioOutput& rm = outs[1];
+  const nc::eval::ScenarioOutput& en = outs[2];
+  const nc::eval::ScenarioOutput& rn = outs[3];
 
   print_series("95th-percentile relative error per bucket",
                {{"energy+mp", em.metrics.error_timeseries_p95()},

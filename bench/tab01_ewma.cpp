@@ -3,14 +3,14 @@
 // EWMA smoothing makes accuracy WORSE than no filter at every alpha —
 // outliers are impulses to discard, not a trend to track).
 //
-// Flags: --nodes (269), --hours (4), --seed.
+// Flags: --scenario (planetlab), --nodes (269), --hours (4), --seed, --jobs.
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags(argc, argv);
-  nc::eval::ReplaySpec base = ncb::replay_spec(flags, {});
+  const nc::Flags flags = ncb::parse_flags(argc, argv);
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(flags);
   base.client.heuristic = nc::HeuristicConfig::always();
 
   ncb::print_header("Table I: exponentially-weighted histories",
@@ -30,36 +30,34 @@ int main(int argc, char** argv) {
       {"EWMA a=0.20", nc::FilterConfig::ewma(0.20)},
   };
 
+  std::vector<nc::eval::ScenarioSpec> specs(std::size(rows), base);
+  for (std::size_t i = 0; i < std::size(rows); ++i)
+    specs[i].client.filter = rows[i].filter;
+  const auto outs = ncb::grid(flags).run(specs);
+
   double baseline_err = 0.0;
   double baseline_inst = 0.0;
-  nc::eval::TextTable table(
-      {"filter", "median rel. error", "vs no-filter", "instability", "vs no-filter"});
-  // First pass: run everything (the no-filter row defines the baseline).
-  struct Result {
-    double err, inst;
-  };
-  std::vector<Result> results;
-  for (const Row& row : rows) {
-    nc::eval::ReplaySpec spec = base;
-    spec.client.filter = row.filter;
-    const auto out = nc::eval::run_replay(spec);
-    results.push_back({out.metrics.median_relative_error(),
-                       out.metrics.mean_instability_ms_per_s()});
-    if (std::string(row.name) == "No Filter") {
-      baseline_err = results.back().err;
-      baseline_inst = results.back().inst;
+  std::vector<ncb::SweepPoint> results;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    results.push_back(ncb::sweep_point(outs[i]));
+    if (std::string(rows[i].name) == "No Filter") {
+      baseline_err = results.back().median_error;
+      baseline_inst = results.back().instability;
     }
   }
+
+  nc::eval::TextTable table(
+      {"filter", "median rel. error", "vs no-filter", "instability", "vs no-filter"});
   for (std::size_t i = 0; i < std::size(rows); ++i) {
     const auto pct = [](double v, double base) {
       char buf[32];
       std::snprintf(buf, sizeof buf, "%+.0f%%", 100.0 * (v / base - 1.0));
       return std::string(buf);
     };
-    table.add_row({rows[i].name, nc::eval::fmt(results[i].err, 3),
-                   pct(results[i].err, baseline_err),
-                   nc::eval::fmt(results[i].inst, 4),
-                   pct(results[i].inst, baseline_inst)});
+    table.add_row({rows[i].name, nc::eval::fmt(results[i].median_error, 3),
+                   pct(results[i].median_error, baseline_err),
+                   nc::eval::fmt(results[i].instability, 4),
+                   pct(results[i].instability, baseline_inst)});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: MP improves both columns; every EWMA row has\n"

@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "common/flags.hpp"
-#include "eval/experiment.hpp"
 #include "latency/trace_generator.hpp"
 #include "sim/replay.hpp"
 

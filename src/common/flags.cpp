@@ -1,6 +1,8 @@
 #include "common/flags.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -84,6 +86,44 @@ std::vector<double> Flags::get_double_list(
     out.push_back(v);
   }
   return out;
+}
+
+std::vector<std::string> Flags::unknown_flags(
+    const std::vector<std::string>& allowed) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_)  // map order => sorted
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end())
+      out.push_back(name);
+  return out;
+}
+
+void Flags::check_known(const std::vector<std::string>& allowed) const {
+  const std::vector<std::string> unknown = unknown_flags(allowed);
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag";
+  if (unknown.size() > 1) msg += 's';
+  for (const std::string& name : unknown) msg += " --" + name;
+  throw CheckError(msg);
+}
+
+std::string Flags::usage(const std::string& program,
+                         const std::vector<std::string>& allowed) {
+  std::string out = "usage: " + program;
+  for (const std::string& name : allowed) out += " [--" + name + "=<value>]";
+  return out;
+}
+
+Flags Flags::parse_or_exit(int argc, const char* const* argv,
+                           const std::vector<std::string>& allowed) {
+  const std::string program = argc >= 1 ? argv[0] : "prog";
+  try {
+    Flags flags(argc, argv);
+    flags.check_known(allowed);
+    return flags;
+  } catch (const CheckError& e) {
+    std::cerr << e.what() << '\n' << usage(program, allowed) << '\n';
+    std::exit(2);
+  }
 }
 
 }  // namespace nc

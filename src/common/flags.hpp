@@ -3,6 +3,11 @@
 // Supports --name=value, --name value, and bare boolean switches (--full).
 // Unrecognized positional arguments are an error: bench binaries take flags
 // only, so typos fail loudly instead of silently running the default workload.
+// Binaries that declare their flag vocabulary up front should use
+// parse_or_exit(), which turns bad positional arguments and unknown --flags
+// into a usage message on stderr plus exit(2) instead of an uncaught throw.
+// Value TYPE errors (--nodes=abc) surface later, at the get_int/get_double
+// call, and still throw nc::CheckError.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +38,23 @@ class Flags {
 
   /// Name of the program (argv[0]).
   [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Parsed flag names not present in `allowed`, in sorted order.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& allowed) const;
+
+  /// Throws nc::CheckError naming every parsed flag not in `allowed`.
+  void check_known(const std::vector<std::string>& allowed) const;
+
+  /// One-line usage message listing the allowed flags.
+  [[nodiscard]] static std::string usage(const std::string& program,
+                                         const std::vector<std::string>& allowed);
+
+  /// Parses argv and validates every flag against `allowed`. On malformed
+  /// input (e.g. a bare positional argument) or an unknown flag, prints the
+  /// error plus a usage message to stderr and exits with status 2.
+  [[nodiscard]] static Flags parse_or_exit(int argc, const char* const* argv,
+                                           const std::vector<std::string>& allowed);
 
  private:
   std::string program_;

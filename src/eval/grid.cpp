@@ -1,0 +1,11 @@
+#include "eval/grid.hpp"
+
+namespace nc::eval {
+
+std::vector<ScenarioOutput> ExperimentGrid::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  return map(specs.size(),
+             [&specs](std::size_t i) { return run_scenario(specs[i]); });
+}
+
+}  // namespace nc::eval

@@ -1,0 +1,161 @@
+#include "eval/registry.hpp"
+
+#include <functional>
+
+#include "common/check.hpp"
+#include "latency/topology.hpp"
+
+namespace nc::eval {
+
+namespace {
+
+struct Preset {
+  ScenarioInfo info;
+  std::function<ScenarioSpec()> make;
+};
+
+ScenarioSpec named(const char* name) {
+  ScenarioSpec spec;
+  spec.scenario = name;
+  return spec;
+}
+
+ScenarioSpec make_planetlab() { return named("planetlab"); }
+
+ScenarioSpec make_intercontinental() {
+  ScenarioSpec spec = named("intercontinental");
+  lat::TopologyConfig topo;
+  topo.regions = lat::intercontinental_regions();
+  topo.inefficiency_max = 0.5;   // more indirect routing across oceans
+  topo.height_log_mu = 1.4;      // fatter access links outside NA/EU
+  topo.height_log_sigma = 1.0;
+  spec.workload.topology = topo;
+  lat::LinkModelConfig link;
+  link.spike_xm_min_ms = 150.0;  // spikes scale with the longer base RTTs
+  link.spike_xm_max_ms = 900.0;
+  spec.workload.link_model = link;
+  return spec;
+}
+
+ScenarioSpec make_churn() {
+  ScenarioSpec spec = named("churn");
+  lat::AvailabilityConfig avail;
+  avail.mean_up_s = 45.0 * 60.0;
+  avail.mean_down_s = 15.0 * 60.0;
+  avail.initial_up_prob = 0.7;
+  spec.workload.availability = avail;
+  lat::LinkModelConfig link;
+  link.loss_prob = 0.06;  // flapping hosts also drop more pings
+  spec.workload.link_model = link;
+  return spec;
+}
+
+ScenarioSpec make_flash_crowd() {
+  ScenarioSpec spec = named("flash-crowd");
+  // The surge: most nodes start offline, come up after ~20 min on average
+  // and then stay up (long mean_up), so the live population multiplies
+  // mid-run and coordinate systems must absorb a wave of cold joiners.
+  lat::AvailabilityConfig avail;
+  avail.initial_up_prob = 0.25;
+  avail.mean_down_s = 20.0 * 60.0;
+  avail.mean_up_s = 36.0 * 3600.0;
+  spec.workload.availability = avail;
+  // Crowded links burst far more often while the crowd arrives.
+  lat::LinkModelConfig link;
+  link.link_burst_rate_hz = 1.0 / 600.0;
+  link.link_burst_mean_duration_s = 60.0;
+  link.node_burst_rate_hz = 1.0 / 900.0;
+  spec.workload.link_model = link;
+  return spec;
+}
+
+ScenarioSpec make_drift_heavy() {
+  ScenarioSpec spec = named("drift-heavy");
+  lat::LinkModelConfig link;
+  link.route_change_rate_hz = 1.0 / 1800.0;  // ~16x the default rate
+  link.route_factor_min = 0.4;
+  link.route_factor_max = 2.5;
+  spec.workload.link_model = link;
+  return spec;
+}
+
+ScenarioSpec make_lan_cluster() {
+  ScenarioSpec spec = named("lan-cluster");
+  lat::TopologyConfig topo;
+  topo.regions = lat::lan_cluster_regions();
+  topo.height_log_mu = -1.5;  // tiny access heights (median ~0.22 ms)
+  topo.height_log_sigma = 0.2;
+  topo.height_min_ms = 0.1;
+  topo.height_max_ms = 0.3;
+  spec.workload.topology = topo;
+  lat::LinkModelConfig link;
+  link.body_sigma = 0.35;       // jitter comparable to the latency itself
+  link.base_spike_prob = 0.05;  // ~5% of samples above ~1.2 ms
+  link.spike_xm_min_ms = 0.5;
+  link.spike_xm_max_ms = 1.5;
+  link.spike_alpha = 1.5;
+  link.loss_prob = 0.0;
+  spec.workload.link_model = link;
+  spec.workload.availability = lat::AvailabilityConfig{.enabled = false};
+  return spec;
+}
+
+const std::vector<Preset>& presets() {
+  static const std::vector<Preset> all = {
+      {{"planetlab", "the paper's default PlanetLab-like workload"},
+       make_planetlab},
+      {{"intercontinental", "balanced global regions, heavy-tail ~300 ms RTTs"},
+       make_intercontinental},
+      {{"churn", "aggressive availability flapping (~45 min up / ~15 min down)"},
+       make_churn},
+      {{"flash-crowd", "mid-run population surge; links burst under load"},
+       make_flash_crowd},
+      {{"drift-heavy", "route changes every ~30 min per link, wide swings"},
+       make_drift_heavy},
+      {{"lan-cluster", "one machine room; jitter dominates latency (Fig. 6)"},
+       make_lan_cluster},
+  };
+  return all;
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& scenario_catalog() {
+  static const std::vector<ScenarioInfo> catalog = [] {
+    std::vector<ScenarioInfo> out;
+    for (const Preset& p : presets()) out.push_back(p.info);
+    return out;
+  }();
+  return catalog;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> out;
+  for (const Preset& p : presets()) out.push_back(p.info.name);
+  return out;
+}
+
+bool scenario_exists(const std::string& name) {
+  for (const Preset& p : presets())
+    if (p.info.name == name) return true;
+  return false;
+}
+
+ScenarioSpec make_scenario(const std::string& name) {
+  for (const Preset& p : presets())
+    if (p.info.name == name) return p.make();
+  NC_CHECK_MSG(false, "unknown scenario '" + name +
+                          "' (registered: " + scenario_names_joined() + ")");
+  return ScenarioSpec{};  // unreachable
+}
+
+std::string scenario_names_joined(char sep) {
+  std::string out;
+  for (const Preset& p : presets()) {
+    if (!out.empty()) out += sep;
+    out += p.info.name;
+  }
+  return out;
+}
+
+}  // namespace nc::eval

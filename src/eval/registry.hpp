@@ -1,0 +1,55 @@
+// Named workload presets: the scenario registry.
+//
+// The paper evaluates one workload — a 269-node PlanetLab-like network —
+// but the techniques are workload-sensitive (the MP filter's percentile
+// assumes a tight body with a detached tail; the heuristics' windows assume
+// a particular change rate). The registry pins down a family of named,
+// reproducible workloads so every bench can run any of them via
+// `--scenario=<name>` and regressions can be tracked per scenario:
+//
+//   planetlab        the paper's world (default): NA/EU-heavy region mix,
+//                    moderate churn, heavy-tailed spikes.
+//   intercontinental balanced global region mix with heavy-tail inter-region
+//                    RTTs (~300 ms band) and more indirect routing.
+//   churn            aggressive availability flapping: nodes bounce on
+//                    ~45 min up / ~15 min down cycles with elevated loss.
+//   flash-crowd      mid-run population surge: most nodes start offline and
+//                    stream in during the run while links burst under load.
+//   drift-heavy      LinkModel drift-regime dominated: route changes every
+//                    ~30 min per link with wide factor swings.
+//   lan-cluster      one machine room where jitter dominates latency (the
+//                    Fig. 6 confidence-building regime).
+//
+// Every preset is a complete replay-mode ScenarioSpec; callers override
+// node count, duration, seed or mode afterwards (presets scale to any
+// num_nodes — they never reference concrete node ids).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/scenario.hpp"
+
+namespace nc::eval {
+
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;  // one line for --help style listings
+};
+
+/// All registered presets, in registration order (planetlab first).
+[[nodiscard]] const std::vector<ScenarioInfo>& scenario_catalog();
+
+/// Names only, registration order.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+[[nodiscard]] bool scenario_exists(const std::string& name);
+
+/// Builds the named preset. Throws nc::CheckError for unknown names,
+/// listing the registered ones.
+[[nodiscard]] ScenarioSpec make_scenario(const std::string& name);
+
+/// "planetlab|intercontinental|..." — for usage messages.
+[[nodiscard]] std::string scenario_names_joined(char sep = '|');
+
+}  // namespace nc::eval

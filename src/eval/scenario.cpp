@@ -1,0 +1,97 @@
+#include "eval/scenario.hpp"
+
+#include "common/check.hpp"
+#include "sim/online_sim.hpp"
+#include "sim/replay.hpp"
+
+namespace nc::eval {
+
+namespace {
+
+ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
+  lat::TraceGenerator gen(resolve_trace_config(spec.workload));
+  for (const RouteChangeEvent& rc : spec.workload.route_changes)
+    gen.network().schedule_route_change(rc.i, rc.j, rc.factor, rc.at_t);
+
+  sim::ReplayConfig rc;
+  rc.client = spec.client;
+  rc.duration_s = spec.workload.duration_s;
+  rc.measure_start_s = resolved_measure_start_s(spec);
+  rc.collect_timeseries = spec.measurement.collect_timeseries;
+  rc.timeseries_bucket_s = spec.measurement.timeseries_bucket_s;
+  rc.collect_oracle = spec.measurement.collect_oracle;
+  rc.tracked_nodes = spec.measurement.tracked_nodes;
+  rc.track_interval_s = spec.measurement.track_interval_s;
+
+  sim::ReplayDriver driver(rc, gen.num_nodes());
+  driver.run(gen, spec.measurement.collect_oracle ? &gen.network() : nullptr);
+
+  std::uint64_t absorbed = 0;
+  for (NodeId id = 0; id < driver.num_nodes(); ++id)
+    absorbed += driver.client(id).absorbed_sample_count();
+  return ScenarioOutput{std::move(driver.metrics()), gen.produced(),
+                        gen.attempts(), absorbed, 0, 0};
+}
+
+ScenarioOutput run_online_mode(const ScenarioSpec& spec) {
+  const WorkloadSpec& w = spec.workload;
+  lat::TopologyConfig topo = w.topology.value_or(lat::TopologyConfig{});
+  topo.num_nodes = w.num_nodes;
+  if (topo.seed == lat::TopologyConfig{}.seed) topo.seed = w.seed;
+
+  lat::LatencyNetwork network(lat::Topology::make(topo),
+                              w.link_model.value_or(lat::LinkModelConfig{}),
+                              w.availability.value_or(lat::AvailabilityConfig{}),
+                              w.seed);
+  for (const RouteChangeEvent& rc : w.route_changes)
+    network.schedule_route_change(rc.i, rc.j, rc.factor, rc.at_t);
+
+  sim::OnlineSimConfig oc;
+  oc.client = spec.client;
+  oc.duration_s = w.duration_s;
+  oc.measure_start_s = resolved_measure_start_s(spec);
+  oc.ping_interval_s = w.ping_interval_s;
+  oc.bootstrap_degree = w.bootstrap_degree;
+  oc.collect_timeseries = spec.measurement.collect_timeseries;
+  oc.timeseries_bucket_s = spec.measurement.timeseries_bucket_s;
+  oc.collect_oracle = spec.measurement.collect_oracle;
+  oc.tracked_nodes = spec.measurement.tracked_nodes;
+  oc.track_interval_s = spec.measurement.track_interval_s;
+  oc.seed = w.seed;
+
+  sim::OnlineSimulator simulator(oc, network);
+  simulator.run();
+
+  return ScenarioOutput{std::move(simulator.metrics()), 0, 0, 0,
+                        simulator.pings_sent(), simulator.pings_lost()};
+}
+
+}  // namespace
+
+lat::TraceGenConfig resolve_trace_config(const WorkloadSpec& workload) {
+  lat::TraceGenConfig cfg;
+  cfg.topology = workload.topology.value_or(lat::TopologyConfig{});
+  cfg.topology.num_nodes = workload.num_nodes;
+  if (cfg.topology.seed == lat::TopologyConfig{}.seed)
+    cfg.topology.seed = workload.seed;
+  cfg.link_model = workload.link_model.value_or(lat::LinkModelConfig{});
+  cfg.availability = workload.availability.value_or(lat::AvailabilityConfig{});
+  cfg.duration_s = workload.duration_s;
+  cfg.ping_interval_s = workload.ping_interval_s;
+  cfg.seed = workload.seed;
+  return cfg;
+}
+
+double resolved_measure_start_s(const ScenarioSpec& spec) {
+  return spec.measurement.measure_start_s >= 0.0
+             ? spec.measurement.measure_start_s
+             : spec.workload.duration_s / 2.0;
+}
+
+ScenarioOutput run_scenario(const ScenarioSpec& spec) {
+  NC_CHECK_MSG(spec.workload.num_nodes >= 2, "need at least two nodes");
+  return spec.mode == SimMode::kReplay ? run_replay_mode(spec)
+                                       : run_online_mode(spec);
+}
+
+}  // namespace nc::eval

@@ -20,6 +20,26 @@ std::vector<RegionSpec> planetlab_regions() {
   };
 }
 
+std::vector<RegionSpec> intercontinental_regions() {
+  // Same latency-space embedding idea as planetlab_regions(), but with every
+  // continent populated, balanced weights and wider in-region spreads, so a
+  // large fraction of links sit in the 150-350 ms band.
+  return {
+      {"us-east", Vec{0.0, 0.0, 0.0}, 12.0, 0.16},
+      {"us-west", Vec{70.0, 0.0, 5.0}, 12.0, 0.12},
+      {"europe", Vec{-90.0, 35.0, -5.0}, 14.0, 0.18},
+      {"east-asia", Vec{190.0, -45.0, 0.0}, 14.0, 0.16},
+      {"south-asia", Vec{235.0, 60.0, -10.0}, 16.0, 0.12},
+      {"oceania", Vec{175.0, -165.0, 10.0}, 12.0, 0.09},
+      {"s-america", Vec{45.0, 150.0, 0.0}, 14.0, 0.09},
+      {"africa", Vec{-60.0, 160.0, 5.0}, 16.0, 0.08},
+  };
+}
+
+std::vector<RegionSpec> lan_cluster_regions() {
+  return {{"lan", Vec{0.0, 0.0, 0.0}, 0.15, 1.0}};
+}
+
 Topology Topology::make(const TopologyConfig& config) {
   NC_CHECK_MSG(config.num_nodes >= 2, "need at least two nodes");
   NC_CHECK_MSG(config.dim >= 1 && config.dim <= kMaxDim, "bad dimension");

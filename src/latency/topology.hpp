@@ -65,6 +65,15 @@ struct TopologyConfig {
 /// The PlanetLab-like default region mix.
 [[nodiscard]] std::vector<RegionSpec> planetlab_regions();
 
+/// Every continent hosts nodes and no region dominates: inter-region RTTs
+/// reach the ~300 ms intercontinental band far more often than on the
+/// NA/EU-heavy PlanetLab mix (the `intercontinental` scenario preset).
+[[nodiscard]] std::vector<RegionSpec> intercontinental_regions();
+
+/// One machine room: sub-millisecond geographic spread, so measured latency
+/// is dominated by jitter and access heights (the `lan-cluster` preset).
+[[nodiscard]] std::vector<RegionSpec> lan_cluster_regions();
+
 class Topology {
  public:
   [[nodiscard]] static Topology make(const TopologyConfig& config);

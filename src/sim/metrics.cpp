@@ -19,6 +19,8 @@ MetricsCollector::MetricsCollector(const MetricsConfig& config) : config_(config
   node_current_second_.resize(n);
   node_second_movements_.resize(n);
   node_last_update_sec_.assign(n, -1);
+  dst_median_.assign(n, stats::P2Quantile(0.5));
+  dst_count_.assign(n, 0);
   if (config.collect_oracle) {
     node_oracle_median_.assign(n, stats::P2Quantile(0.5));
     node_oracle_count_.assign(n, 0);
@@ -43,7 +45,7 @@ std::size_t MetricsCollector::eval_window_seconds() const noexcept {
       std::ceil(config_.duration_s - config_.measure_start_s));
 }
 
-void MetricsCollector::on_observation(double t, NodeId src, NodeId /*dst*/,
+void MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
                                       double raw_rtt_ms, const Coordinate& src_app,
                                       const Coordinate& dst_app,
                                       const ObservationOutcome& outcome,
@@ -51,12 +53,18 @@ void MetricsCollector::on_observation(double t, NodeId src, NodeId /*dst*/,
   NC_CHECK_MSG(raw_rtt_ms > 0.0, "raw rtt must be positive");
   ++observations_;
   const auto s = static_cast<std::size_t>(src);
+  const auto d = static_cast<std::size_t>(dst);
+  NC_CHECK_MSG(d < dst_median_.size(), "dst out of range");
   const bool eval = in_eval_window(t);
 
   // Application-level relative error for this observation.
   const double predicted = src_app.distance_to(dst_app);
   const double err = std::fabs(predicted - raw_rtt_ms) / raw_rtt_ms;
-  if (eval) node_errors_[s].push_back(err);
+  if (eval) {
+    node_errors_[s].push_back(err);
+    dst_median_[d].add(err);
+    ++dst_count_[d];
+  }
   if (ts_errors_) ts_errors_->add(t, err);
 
   if (config_.collect_oracle && oracle_rtt_ms.has_value() && eval) {
@@ -120,6 +128,29 @@ double MetricsCollector::median_relative_error() const {
   const stats::Ecdf cdf = per_node_median_error();
   NC_CHECK_MSG(!cdf.empty(), "no nodes with enough samples");
   return cdf.median();
+}
+
+stats::Ecdf MetricsCollector::per_dst_median_error() const {
+  stats::Ecdf out;
+  for (std::size_t d = 0; d < dst_median_.size(); ++d) {
+    if (static_cast<int>(dst_count_[d]) >= config_.min_node_samples)
+      out.add(dst_median_[d].value());
+  }
+  return out;
+}
+
+double MetricsCollector::median_error_to(NodeId dst) const {
+  const auto d = static_cast<std::size_t>(dst);
+  NC_CHECK_MSG(d < dst_median_.size(), "dst out of range");
+  NC_CHECK_MSG(static_cast<int>(dst_count_[d]) >= config_.min_node_samples,
+               "too few samples aimed at dst");
+  return dst_median_[d].value();
+}
+
+std::uint64_t MetricsCollector::dst_observation_count(NodeId dst) const {
+  const auto d = static_cast<std::size_t>(dst);
+  NC_CHECK_MSG(d < dst_count_.size(), "dst out of range");
+  return dst_count_[d];
 }
 
 stats::Ecdf MetricsCollector::oracle_per_node_median_error() const {

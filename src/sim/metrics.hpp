@@ -79,6 +79,17 @@ class MetricsCollector {
   [[nodiscard]] stats::Ecdf per_node_p95_error() const;
   /// Median over nodes of each node's median relative error.
   [[nodiscard]] double median_relative_error() const;
+  /// CDF over DESTINATIONS of the median error of all observations aimed at
+  /// each destination. A node can predict well as an observer yet be badly
+  /// placed as a target (stale advertised coordinate, overloaded host); this
+  /// view exposes those nodes, which per_node_* (keyed by observer) averages
+  /// away.
+  [[nodiscard]] stats::Ecdf per_dst_median_error() const;
+  /// Median error of observations aimed at one destination (needs enough
+  /// samples).
+  [[nodiscard]] double median_error_to(NodeId dst) const;
+  /// Eval-window observations aimed at `dst`.
+  [[nodiscard]] std::uint64_t dst_observation_count(NodeId dst) const;
   [[nodiscard]] stats::Ecdf oracle_per_node_median_error() const;
   /// Ground-truth median error of one node (e.g. the node whose links an
   /// adaptation experiment perturbed). Requires enough samples.
@@ -126,6 +137,11 @@ class MetricsCollector {
   std::vector<std::vector<double>> node_errors_;
   std::vector<stats::P2Quantile> node_oracle_median_;
   std::vector<std::uint64_t> node_oracle_count_;
+
+  // Per-destination accuracy (eval window): streaming medians keyed by the
+  // observed node, aggregated over all observers.
+  std::vector<stats::P2Quantile> dst_median_;
+  std::vector<std::uint64_t> dst_count_;
 
   // Whole-run per-second aggregate movement (app and system coordinates).
   std::vector<double> app_move_per_sec_;

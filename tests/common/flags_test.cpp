@@ -82,5 +82,52 @@ TEST(Flags, LastValueWins) {
   EXPECT_EQ(f.get_int("n", 0), 2);
 }
 
+TEST(Flags, UnknownFlagsListsOnlyUnrecognizedNames) {
+  const Flags f = make({"--nodes=10", "--typo=1", "--zz"});
+  const auto unknown = f.unknown_flags({"nodes", "hours"});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "typo");  // sorted
+  EXPECT_EQ(unknown[1], "zz");
+  EXPECT_TRUE(f.unknown_flags({"nodes", "typo", "zz"}).empty());
+}
+
+TEST(Flags, CheckKnownThrowsNamingTheFlag) {
+  const Flags f = make({"--nodes=10", "--typo=1"});
+  EXPECT_NO_THROW(f.check_known({"nodes", "typo"}));
+  try {
+    f.check_known({"nodes"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("--typo"), std::string::npos);
+  }
+}
+
+TEST(Flags, UsageListsAllowedFlags) {
+  const std::string u = Flags::usage("prog", {"nodes", "hours"});
+  EXPECT_NE(u.find("usage: prog"), std::string::npos);
+  EXPECT_NE(u.find("--nodes"), std::string::npos);
+  EXPECT_NE(u.find("--hours"), std::string::npos);
+}
+
+using FlagsDeathTest = ::testing::Test;
+
+TEST(FlagsDeathTest, ParseOrExitRejectsUnknownFlagWithUsage) {
+  const char* argv[] = {"prog", "--typo=1"};
+  EXPECT_EXIT((void)Flags::parse_or_exit(2, argv, {"nodes"}),
+              ::testing::ExitedWithCode(2), "usage: prog");
+}
+
+TEST(FlagsDeathTest, ParseOrExitRejectsPositionalWithUsage) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_EXIT((void)Flags::parse_or_exit(2, argv, {"nodes"}),
+              ::testing::ExitedWithCode(2), "usage: prog");
+}
+
+TEST(FlagsDeathTest, ParseOrExitAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--nodes=12"};
+  const Flags f = Flags::parse_or_exit(2, argv, {"nodes"});
+  EXPECT_EQ(f.get_int("nodes", 0), 12);
+}
+
 }  // namespace
 }  // namespace nc

@@ -1,0 +1,116 @@
+#include "eval/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace nc::eval {
+namespace {
+
+ScenarioSpec small_spec(std::uint64_t seed) {
+  ScenarioSpec s;
+  s.workload.num_nodes = 10;
+  s.workload.duration_s = 600.0;
+  s.workload.seed = seed;
+  return s;
+}
+
+// The acceptance property of the grid: results are a pure function of the
+// spec vector, independent of the worker count.
+TEST(ExperimentGrid, JobsOneAndFourAreBitIdentical) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(small_spec(31));
+  specs[0].client.filter = FilterConfig::moving_percentile(4, 25);
+  specs.push_back(small_spec(31));
+  specs[1].client.filter = FilterConfig::none();
+  specs.push_back(small_spec(32));
+  specs[2].client.heuristic = HeuristicConfig::energy(8.0, 32);
+  specs.push_back(small_spec(33));
+  specs[3].mode = SimMode::kOnline;
+  specs[3].workload.ping_interval_s = 2.0;
+
+  const auto serial = ExperimentGrid(1).run(specs);
+  const auto parallel = ExperimentGrid(4).run(specs);
+
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = parallel[i];
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.absorbed, b.absorbed);
+    EXPECT_EQ(a.pings_sent, b.pings_sent);
+    EXPECT_EQ(a.pings_lost, b.pings_lost);
+    EXPECT_EQ(a.metrics.observation_count(), b.metrics.observation_count());
+    EXPECT_EQ(a.metrics.total_app_updates(), b.metrics.total_app_updates());
+    // Bit-identical summary statistics (exact double equality intended).
+    EXPECT_EQ(a.metrics.median_relative_error(), b.metrics.median_relative_error());
+    EXPECT_EQ(a.metrics.mean_instability_ms_per_s(),
+              b.metrics.mean_instability_ms_per_s());
+    EXPECT_EQ(a.metrics.median_instability_ms_per_s(),
+              b.metrics.median_instability_ms_per_s());
+    EXPECT_EQ(a.metrics.per_node_median_error().median(),
+              b.metrics.per_node_median_error().median());
+    EXPECT_EQ(a.metrics.per_dst_median_error().median(),
+              b.metrics.per_dst_median_error().median());
+    EXPECT_EQ(a.metrics.instability().quantile(0.99),
+              b.metrics.instability().quantile(0.99));
+  }
+}
+
+TEST(ExperimentGrid, ResultsInSubmissionOrder) {
+  // Distinguishable specs: node counts differ, so each output is traceable
+  // to its spec via the metrics config.
+  std::vector<ScenarioSpec> specs;
+  for (int n : {4, 7, 11, 5, 9}) {
+    ScenarioSpec s = small_spec(7);
+    s.workload.num_nodes = n;
+    s.workload.duration_s = 120.0;
+    specs.push_back(std::move(s));
+  }
+  const auto outs = ExperimentGrid(4).run(specs);
+  ASSERT_EQ(outs.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(outs[i].metrics.config().num_nodes, specs[i].workload.num_nodes);
+}
+
+TEST(ExperimentGrid, MapRunsEveryTaskExactlyOnce) {
+  std::atomic<int> calls{0};
+  const auto out = ExperimentGrid(3).map(17, [&](std::size_t i) {
+    calls.fetch_add(1);
+    return static_cast<int>(i) * 2;
+  });
+  EXPECT_EQ(calls.load(), 17);
+  ASSERT_EQ(out.size(), 17u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+}
+
+TEST(ExperimentGrid, MapEmptyIsEmpty) {
+  const auto out = ExperimentGrid(4).map(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExperimentGrid, MapPropagatesLowestIndexException) {
+  EXPECT_THROW(
+      (void)ExperimentGrid(4).map(8,
+                                  [](std::size_t i) {
+                                    if (i % 2 == 1)
+                                      throw std::runtime_error("task failed");
+                                    return i;
+                                  }),
+      std::runtime_error);
+}
+
+TEST(ExperimentGrid, JobsClampedToAtLeastOne) {
+  EXPECT_EQ(ExperimentGrid(0).jobs(), 1);
+  EXPECT_EQ(ExperimentGrid(-3).jobs(), 1);
+  EXPECT_EQ(ExperimentGrid(8).jobs(), 8);
+}
+
+}  // namespace
+}  // namespace nc::eval

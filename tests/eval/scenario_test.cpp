@@ -1,0 +1,91 @@
+#include "eval/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "eval/scenario.hpp"
+
+namespace nc::eval {
+namespace {
+
+TEST(ScenarioRegistry, CatalogHasTheDocumentedPresets) {
+  const auto names = scenario_names();
+  ASSERT_GE(names.size(), 5u);
+  EXPECT_EQ(names.front(), "planetlab");  // the paper's default comes first
+  for (const char* expected : {"planetlab", "intercontinental", "churn",
+                               "flash-crowd", "drift-heavy", "lan-cluster"}) {
+    EXPECT_TRUE(scenario_exists(expected)) << expected;
+  }
+  EXPECT_FALSE(scenario_exists("no-such-workload"));
+  EXPECT_EQ(scenario_catalog().size(), names.size());
+  for (const auto& info : scenario_catalog())
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsWithTheRegisteredList) {
+  try {
+    (void)make_scenario("bogus");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("planetlab"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, PresetsCarryTheirName) {
+  for (const std::string& name : scenario_names())
+    EXPECT_EQ(make_scenario(name).scenario, name);
+}
+
+// Every preset must construct at any scale and survive a short replay with
+// finite, sane headline metrics — the smoke contract behind `--scenario=`.
+TEST(ScenarioRegistry, EveryPresetRunsAShortReplay) {
+  for (const std::string& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    ScenarioSpec spec = make_scenario(name);
+    spec.workload.num_nodes = 16;
+    spec.workload.duration_s = 900.0;
+    spec.workload.seed = 3;
+    const auto out = run_scenario(spec);
+    EXPECT_GT(out.records, 0u);
+    EXPECT_GT(out.metrics.observation_count(), 0u);
+    const double err = out.metrics.median_relative_error();
+    EXPECT_TRUE(std::isfinite(err));
+    EXPECT_GE(err, 0.0);
+    const double instab = out.metrics.mean_instability_ms_per_s();
+    EXPECT_TRUE(std::isfinite(instab));
+    EXPECT_GE(instab, 0.0);
+  }
+}
+
+// The registry's workloads genuinely differ: the lan-cluster world is sub-
+// millisecond while intercontinental links reach hundreds of ms.
+TEST(ScenarioRegistry, PresetTopologiesDiffer) {
+  const auto lan = resolve_trace_config(
+      [] {
+        ScenarioSpec s = make_scenario("lan-cluster");
+        s.workload.num_nodes = 8;
+        return s.workload;
+      }());
+  const auto inter = resolve_trace_config(
+      [] {
+        ScenarioSpec s = make_scenario("intercontinental");
+        s.workload.num_nodes = 8;
+        return s.workload;
+      }());
+  const auto lan_topo = lat::Topology::make(lan.topology);
+  const auto inter_topo = lat::Topology::make(inter.topology);
+  double lan_max = 0.0, inter_max = 0.0;
+  for (NodeId i = 0; i < 8; ++i)
+    for (NodeId j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      lan_max = std::max(lan_max, lan_topo.base_rtt_ms(i, j));
+      inter_max = std::max(inter_max, inter_topo.base_rtt_ms(i, j));
+    }
+  EXPECT_LT(lan_max, 5.0);
+  EXPECT_GT(inter_max, 100.0);
+}
+
+}  // namespace
+}  // namespace nc::eval

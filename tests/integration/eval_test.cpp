@@ -2,8 +2,8 @@
 
 #include <sstream>
 
-#include "eval/experiment.hpp"
 #include "eval/report.hpp"
+#include "eval/scenario.hpp"
 
 namespace nc::eval {
 namespace {
@@ -82,60 +82,61 @@ TEST(Report, BoxplotRowContainsAllFields) {
 
 // ------------------------------------------------------------- experiment --
 
-TEST(Experiment, ResolveTraceConfigInheritsSpecFields) {
-  ReplaySpec s;
-  s.num_nodes = 33;
-  s.duration_s = 111.0;
-  s.ping_interval_s = 2.0;
-  s.seed = 99;
-  const auto cfg = resolve_trace_config(s);
+TEST(Experiment, ResolveTraceConfigInheritsWorkloadFields) {
+  WorkloadSpec w;
+  w.num_nodes = 33;
+  w.duration_s = 111.0;
+  w.ping_interval_s = 2.0;
+  w.seed = 99;
+  const auto cfg = resolve_trace_config(w);
   EXPECT_EQ(cfg.topology.num_nodes, 33);
   EXPECT_EQ(cfg.duration_s, 111.0);
   EXPECT_EQ(cfg.ping_interval_s, 2.0);
   EXPECT_EQ(cfg.seed, 99u);
-  EXPECT_EQ(cfg.topology.seed, 99u);  // topology seed follows the spec seed
+  EXPECT_EQ(cfg.topology.seed, 99u);  // topology seed follows the workload seed
 }
 
 TEST(Experiment, ExplicitTopologySeedPreserved) {
-  ReplaySpec s;
+  WorkloadSpec w;
   lat::TopologyConfig topo;
   topo.seed = 1234;
-  s.topology = topo;
-  const auto cfg = resolve_trace_config(s);
+  w.topology = topo;
+  const auto cfg = resolve_trace_config(w);
   EXPECT_EQ(cfg.topology.seed, 1234u);
 }
 
 TEST(Experiment, ReplaySmokeRun) {
-  ReplaySpec s;
-  s.num_nodes = 10;
-  s.duration_s = 120.0;
-  s.seed = 5;
-  const auto out = run_replay(s);
+  ScenarioSpec s;
+  s.workload.num_nodes = 10;
+  s.workload.duration_s = 120.0;
+  s.workload.seed = 5;
+  const auto out = run_scenario(s);
   EXPECT_GT(out.records, 500u);
   EXPECT_GE(out.attempts, out.records);
   EXPECT_GT(out.metrics.observation_count(), 0u);
 }
 
 TEST(Experiment, OnlineSmokeRun) {
-  OnlineSpec s;
-  s.num_nodes = 10;
-  s.duration_s = 120.0;
-  s.ping_interval_s = 2.0;
-  s.seed = 5;
-  const auto out = run_online(s);
+  ScenarioSpec s;
+  s.mode = SimMode::kOnline;
+  s.workload.num_nodes = 10;
+  s.workload.duration_s = 120.0;
+  s.workload.ping_interval_s = 2.0;
+  s.workload.seed = 5;
+  const auto out = run_scenario(s);
   EXPECT_GT(out.pings_sent, 300u);
   EXPECT_GT(out.metrics.observation_count(), 0u);
 }
 
 TEST(Experiment, RouteChangeEventsReachTheNetwork) {
-  ReplaySpec s;
-  s.num_nodes = 6;
-  s.duration_s = 200.0;
-  s.seed = 7;
-  s.collect_oracle = true;
-  s.measure_start_s = 150.0;
-  s.route_changes.push_back({0, 1, 5.0, 100.0});
-  const auto out = run_replay(s);
+  ScenarioSpec s;
+  s.workload.num_nodes = 6;
+  s.workload.duration_s = 200.0;
+  s.workload.seed = 7;
+  s.measurement.collect_oracle = true;
+  s.measurement.measure_start_s = 150.0;
+  s.workload.route_changes.push_back({0, 1, 5.0, 100.0});
+  const auto out = run_scenario(s);
   EXPECT_GT(out.records, 0u);  // ran to completion with the injection
 }
 

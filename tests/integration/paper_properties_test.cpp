@@ -4,35 +4,35 @@
 // so regressions are caught by ctest.
 #include <gtest/gtest.h>
 
-#include "eval/experiment.hpp"
+#include "eval/scenario.hpp"
 #include "sim/replay.hpp"
 
 namespace nc::eval {
 namespace {
 
-ReplaySpec base_spec(std::uint64_t seed = 201) {
-  ReplaySpec s;
-  s.num_nodes = 48;
-  s.duration_s = 1800.0;
-  s.seed = seed;
+ScenarioSpec base_spec(std::uint64_t seed = 201) {
+  ScenarioSpec s;
+  s.workload.num_nodes = 48;
+  s.workload.duration_s = 1800.0;
+  s.workload.seed = seed;
   s.client.heuristic = HeuristicConfig::always();
   return s;
 }
 
-double median_err(const ReplaySpec& s) {
-  return run_replay(s).metrics.median_relative_error();
+double median_err(const ScenarioSpec& s) {
+  return run_scenario(s).metrics.median_relative_error();
 }
 
 // --- Sec. IV / Fig. 5: the MP filter improves accuracy AND stability. -----
 
 TEST(PaperProperties, MpFilterBeatsRawOnBothMetrics) {
-  ReplaySpec mp = base_spec();
+  ScenarioSpec mp = base_spec();
   mp.client.filter = FilterConfig::moving_percentile(4, 25);
-  ReplaySpec raw = base_spec();
+  ScenarioSpec raw = base_spec();
   raw.client.filter = FilterConfig::none();
 
-  const auto mp_out = run_replay(mp);
-  const auto raw_out = run_replay(raw);
+  const auto mp_out = run_scenario(mp);
+  const auto raw_out = run_scenario(raw);
 
   EXPECT_LT(mp_out.metrics.median_relative_error(),
             raw_out.metrics.median_relative_error() * 0.75);
@@ -46,9 +46,9 @@ TEST(PaperProperties, MpFilterBeatsRawOnBothMetrics) {
 // --- Sec. IV-B / Table I: EWMA smoothing is WORSE than no filter. ---------
 
 TEST(PaperProperties, EwmaWorseThanNoFilterOnAccuracy) {
-  ReplaySpec raw = base_spec();
+  ScenarioSpec raw = base_spec();
   raw.client.filter = FilterConfig::none();
-  ReplaySpec ewma = base_spec();
+  ScenarioSpec ewma = base_spec();
   ewma.client.filter = FilterConfig::ewma(0.20);
 
   // Outliers are impulses to discard, not trends to track: the EWMA smears
@@ -59,8 +59,8 @@ TEST(PaperProperties, EwmaWorseThanNoFilterOnAccuracy) {
 }
 
 TEST(PaperProperties, LowAlphaEwmaStillLosesToMp) {
-  ReplaySpec mp = base_spec();
-  ReplaySpec ewma = base_spec();
+  ScenarioSpec mp = base_spec();
+  ScenarioSpec ewma = base_spec();
   ewma.client.filter = FilterConfig::ewma(0.02);
   EXPECT_GT(median_err(ewma), median_err(mp) * 1.3);
 }
@@ -68,12 +68,12 @@ TEST(PaperProperties, LowAlphaEwmaStillLosesToMp) {
 // --- Sec. V / Figs. 8-11: windowed heuristics keep accuracy, add stability.
 
 TEST(PaperProperties, EnergyKeepsAccuracyAndCutsInstability) {
-  ReplaySpec raw_mp = base_spec();
-  ReplaySpec energy = base_spec();
+  ScenarioSpec raw_mp = base_spec();
+  ScenarioSpec energy = base_spec();
   energy.client.heuristic = HeuristicConfig::energy(8.0, 32);
 
-  const auto a = run_replay(raw_mp);
-  const auto b = run_replay(energy);
+  const auto a = run_scenario(raw_mp);
+  const auto b = run_scenario(energy);
 
   EXPECT_LT(b.metrics.median_instability_ms_per_s(),
             a.metrics.median_instability_ms_per_s() / 5.0);
@@ -83,12 +83,12 @@ TEST(PaperProperties, EnergyKeepsAccuracyAndCutsInstability) {
 }
 
 TEST(PaperProperties, RelativeKeepsAccuracyAndCutsInstability) {
-  ReplaySpec raw_mp = base_spec();
-  ReplaySpec rel = base_spec();
+  ScenarioSpec raw_mp = base_spec();
+  ScenarioSpec rel = base_spec();
   rel.client.heuristic = HeuristicConfig::relative(0.3, 32);
 
-  const auto a = run_replay(raw_mp);
-  const auto b = run_replay(rel);
+  const auto a = run_scenario(raw_mp);
+  const auto b = run_scenario(rel);
 
   EXPECT_LT(b.metrics.median_instability_ms_per_s(),
             a.metrics.median_instability_ms_per_s() / 3.0);
@@ -99,12 +99,12 @@ TEST(PaperProperties, RelativeKeepsAccuracyAndCutsInstability) {
 // --- Fig. 8: raising the update threshold monotonically adds stability. ---
 
 TEST(PaperProperties, HigherEnergyThresholdMoreStable) {
-  ReplaySpec lo = base_spec();
+  ScenarioSpec lo = base_spec();
   lo.client.heuristic = HeuristicConfig::energy(1.0, 32);
-  ReplaySpec hi = base_spec();
+  ScenarioSpec hi = base_spec();
   hi.client.heuristic = HeuristicConfig::energy(64.0, 32);
-  const auto out_lo = run_replay(lo);
-  const auto out_hi = run_replay(hi);
+  const auto out_lo = run_scenario(lo);
+  const auto out_hi = run_scenario(hi);
   EXPECT_LE(out_hi.metrics.total_app_updates(), out_lo.metrics.total_app_updates());
   EXPECT_LE(out_hi.metrics.median_instability_ms_per_s(),
             out_lo.metrics.median_instability_ms_per_s() + 1e-9);
@@ -113,13 +113,13 @@ TEST(PaperProperties, HigherEnergyThresholdMoreStable) {
 // --- Fig. 10: windowless heuristics trade accuracy for stability. ---------
 
 TEST(PaperProperties, WindowlessLargeTauLosesAccuracy) {
-  ReplaySpec small_tau = base_spec();
+  ScenarioSpec small_tau = base_spec();
   small_tau.client.heuristic = HeuristicConfig::application(2.0);
-  ReplaySpec large_tau = base_spec();
+  ScenarioSpec large_tau = base_spec();
   large_tau.client.heuristic = HeuristicConfig::application(256.0);
 
-  const auto a = run_replay(small_tau);
-  const auto b = run_replay(large_tau);
+  const auto a = run_scenario(small_tau);
+  const auto b = run_scenario(large_tau);
   // A huge tau rarely updates: stable but inaccurate.
   EXPECT_LT(b.metrics.median_instability_ms_per_s(),
             a.metrics.median_instability_ms_per_s());
@@ -133,15 +133,15 @@ TEST(PaperProperties, MinSamplesReducesEarlyInstability) {
   // Early in a run, links whose FIRST observation is an extreme outlier
   // distort the space (Sec. VI). Waiting for the second sample removes the
   // worst of it. Measure instability over the whole run including start-up.
-  ReplaySpec eager = base_spec(207);
-  eager.measure_start_s = 0.0;
+  ScenarioSpec eager = base_spec(207);
+  eager.measurement.measure_start_s = 0.0;
   eager.client.filter = FilterConfig::moving_percentile(4, 25, 1);
-  ReplaySpec delayed = base_spec(207);
-  delayed.measure_start_s = 0.0;
+  ScenarioSpec delayed = base_spec(207);
+  delayed.measurement.measure_start_s = 0.0;
   delayed.client.filter = FilterConfig::moving_percentile(4, 25, 2);
 
-  const auto a = run_replay(eager);
-  const auto b = run_replay(delayed);
+  const auto a = run_scenario(eager);
+  const auto b = run_scenario(delayed);
   EXPECT_LT(b.metrics.instability().quantile(0.99),
             a.metrics.instability().quantile(0.99));
 }
@@ -151,14 +151,14 @@ TEST(PaperProperties, MinSamplesReducesEarlyInstability) {
 TEST(PaperProperties, DampingFailsToAdaptAfterRouteChange) {
   // Shift every link of node 0 by 3x halfway through; measure only after.
   const auto with_damping = [](double damping) {
-    ReplaySpec s = base_spec(209);
-    s.duration_s = 2400.0;
-    s.measure_start_s = 2000.0;
+    ScenarioSpec s = base_spec(209);
+    s.workload.duration_s = 2400.0;
+    s.measurement.measure_start_s = 2000.0;
     s.client.vivaldi.delaunois_damping = damping;
-    s.collect_oracle = true;
-    for (NodeId j = 1; j < s.num_nodes; ++j)
-      s.route_changes.push_back({0, j, 3.0, 1200.0});
-    return run_replay(s);
+    s.measurement.collect_oracle = true;
+    for (NodeId j = 1; j < s.workload.num_nodes; ++j)
+      s.workload.route_changes.push_back({0, j, 3.0, 1200.0});
+    return run_scenario(s);
   };
   const auto adaptive = with_damping(0.0);
   const auto damped = with_damping(10.0);
@@ -174,10 +174,10 @@ TEST(PaperProperties, DampingFailsToAdaptAfterRouteChange) {
 
 TEST(PaperProperties, ConfidenceBuildingHelpsOnCluster) {
   const auto cluster_confidence = [](double margin) {
-    ReplaySpec s;
-    s.num_nodes = 3;
-    s.duration_s = 600.0;
-    s.seed = 211;
+    ScenarioSpec s;
+    s.workload.num_nodes = 3;
+    s.workload.duration_s = 600.0;
+    s.workload.seed = 211;
     lat::TopologyConfig topo;
     topo.num_nodes = 3;
     topo.regions = {{"cluster", Vec{0.0, 0.0, 0.0}, 0.15, 1.0}};
@@ -185,7 +185,7 @@ TEST(PaperProperties, ConfidenceBuildingHelpsOnCluster) {
     topo.height_log_sigma = 0.2;
     topo.height_min_ms = 0.1;
     topo.height_max_ms = 0.3;
-    s.topology = topo;
+    s.workload.topology = topo;
     lat::LinkModelConfig lm;
     lm.body_sigma = 0.35;          // jitter comparable to the latency itself
     lm.base_spike_prob = 0.05;     // 5% of observations above 1.2 ms
@@ -193,17 +193,17 @@ TEST(PaperProperties, ConfidenceBuildingHelpsOnCluster) {
     lm.spike_xm_max_ms = 1.5;
     lm.spike_alpha = 1.5;
     lm.loss_prob = 0.0;
-    s.link_model = lm;
-    s.availability = lat::AvailabilityConfig{.enabled = false};
+    s.workload.link_model = lm;
+    s.workload.availability = lat::AvailabilityConfig{.enabled = false};
     s.client.filter = FilterConfig::none();
     s.client.heuristic = HeuristicConfig::always();
     s.client.vivaldi.confidence_margin_ms = margin;
 
     // Run manually to read final confidences.
-    lat::TraceGenerator gen(resolve_trace_config(s));
+    lat::TraceGenerator gen(resolve_trace_config(s.workload));
     sim::ReplayConfig rc;
     rc.client = s.client;
-    rc.duration_s = s.duration_s;
+    rc.duration_s = s.workload.duration_s;
     rc.measure_start_s = 300.0;
     sim::ReplayDriver driver(rc, gen.num_nodes());
     driver.run(gen);
@@ -221,12 +221,12 @@ TEST(PaperProperties, ConfidenceBuildingHelpsOnCluster) {
 // --- Determinism: a full experiment is a pure function of its spec. -------
 
 TEST(PaperProperties, ExperimentsAreDeterministic) {
-  ReplaySpec s = base_spec(213);
-  s.num_nodes = 24;
-  s.duration_s = 600.0;
+  ScenarioSpec s = base_spec(213);
+  s.workload.num_nodes = 24;
+  s.workload.duration_s = 600.0;
   s.client.heuristic = HeuristicConfig::energy(8.0, 32);
-  const auto a = run_replay(s);
-  const auto b = run_replay(s);
+  const auto a = run_scenario(s);
+  const auto b = run_scenario(s);
   EXPECT_EQ(a.records, b.records);
   EXPECT_EQ(a.metrics.median_relative_error(), b.metrics.median_relative_error());
   EXPECT_EQ(a.metrics.total_app_updates(), b.metrics.total_app_updates());

@@ -189,6 +189,39 @@ TEST(MetricsCollector, OracleMedianOfSingleNode) {
   EXPECT_THROW((void)m.oracle_median_error_of(0), CheckError);  // no samples
 }
 
+TEST(MetricsCollector, PerDstMedianErrorKeyedByObservedNode) {
+  MetricsCollector m(small_config());
+  // Three observers aim at node 3; their errors are 0.5, 0.25 and 0.0, so
+  // node 3's per-destination median is 0.25. Node 1 is observed once with
+  // error 1.0.
+  m.on_observation(1.0, 0, 3, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  m.on_observation(2.0, 1, 3, 40.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  m.on_observation(3.0, 2, 3, 30.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  m.on_observation(4.0, 0, 1, 20.0, at(0, 0), at(40, 0), outcome(0, false, 0));
+  EXPECT_DOUBLE_EQ(m.median_error_to(3), 0.25);
+  EXPECT_DOUBLE_EQ(m.median_error_to(1), 1.0);
+  EXPECT_EQ(m.dst_observation_count(3), 3u);
+  EXPECT_EQ(m.dst_observation_count(2), 0u);
+  const auto cdf = m.per_dst_median_error();
+  ASSERT_EQ(cdf.size(), 2u);  // only nodes 1 and 3 were observed
+  EXPECT_DOUBLE_EQ(cdf.max(), 1.0);
+}
+
+TEST(MetricsCollector, PerDstExcludesWarmupAndEnforcesMinSamples) {
+  MetricsConfig c = small_config();
+  c.measure_start_s = 50.0;
+  c.min_node_samples = 2;
+  MetricsCollector m(c);
+  m.on_observation(10.0, 0, 3, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  EXPECT_EQ(m.dst_observation_count(3), 0u);  // warm-up excluded
+  m.on_observation(60.0, 0, 3, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  EXPECT_EQ(m.dst_observation_count(3), 1u);
+  EXPECT_THROW((void)m.median_error_to(3), CheckError);  // below min samples
+  EXPECT_TRUE(m.per_dst_median_error().empty());
+  m.on_observation(61.0, 1, 3, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  EXPECT_EQ(m.per_dst_median_error().size(), 1u);
+}
+
 TEST(MetricsCollector, PerNodeMovementPercentile) {
   MetricsCollector m(small_config());
   // Node 0 moves 10 ms in one second, then is quiet: its p95 per-second
