@@ -9,6 +9,8 @@
 //   --hours=H        simulated duration (some benches use --days/--minutes)
 //   --seed=S         master seed
 //   --jobs=N         worker threads for independent experiment points
+//   --shards=N       online benches that opt in: worker shards WITHIN one
+//                    run (0 = classic single-thread online simulator)
 //   --full           paper-scale workload (overrides the laptop defaults)
 // Unknown flags and bad positional arguments print a usage message and
 // exit 2 (malformed VALUES like --nodes=abc still abort via nc::CheckError).
@@ -55,6 +57,7 @@ struct WorkloadDefaults {
   std::int64_t seed = 1;
   const char* scenario = "planetlab";
   nc::eval::SimMode mode = nc::eval::SimMode::kReplay;
+  int shards = 0;  // online mode: 0 = classic engine, >=1 = sharded engine
 };
 
 /// Builds the bench's base spec: the --scenario registry preset with the
@@ -77,6 +80,9 @@ inline nc::eval::ScenarioSpec scenario_spec(const nc::Flags& flags,
       3600.0 * flags.get_double("hours", full ? d.full_hours : d.hours);
   spec.workload.seed =
       static_cast<std::uint64_t>(flags.get_int("seed", d.seed));
+  // Only benches that list "shards" in their vocabulary can receive the
+  // flag; for the rest this reads the default.
+  spec.shards = static_cast<int>(flags.get_int("shards", d.shards));
   return spec;
 }
 

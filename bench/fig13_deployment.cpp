@@ -10,13 +10,14 @@
 // streams (the analogue of running on the same hosts at the same time).
 //
 // Flags: --scenario (planetlab), --nodes (270), --hours (4), --seed (7),
-//        --jobs, --interval (5).
+//        --jobs, --interval (5), --shards (0 = classic online engine;
+//        >= 1 runs each configuration on the epoch-sharded engine).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags = ncb::parse_flags(argc, argv, {"interval"});
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"interval", "shards"});
   nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags,
       {.nodes = 270, .full_nodes = 270, .seed = 7, .mode = nc::eval::SimMode::kOnline});

@@ -4,7 +4,8 @@
 // noisy for the whole four hours).
 //
 // Flags: --scenario (planetlab), --nodes (270), --hours (4), --seed (7),
-//        --jobs, --interval (5), --bucket-min (10).
+//        --jobs, --interval (5), --bucket-min (10), --shards (0 = classic
+//        online engine; >= 1 runs on the epoch-sharded engine).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -33,7 +34,8 @@ void print_series(const char* title,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const nc::Flags flags = ncb::parse_flags(argc, argv, {"interval", "bucket-min"});
+  const nc::Flags flags =
+      ncb::parse_flags(argc, argv, {"interval", "bucket-min", "shards"});
   nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags,
       {.nodes = 270, .full_nodes = 270, .seed = 7, .mode = nc::eval::SimMode::kOnline});

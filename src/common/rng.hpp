@@ -29,6 +29,28 @@ namespace nc {
   return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+/// Registry of stream-domain tags for Rng::derived(seed, domain, key).
+///
+/// Every independently-evolving entity in a simulation (a link, a node's
+/// availability process, a node's ping timer, ...) owns a stream derived
+/// from (master seed, domain tag, entity key). Collecting the tags in one
+/// place guarantees two different subsystems never collide on the same
+/// derivation and — because streams depend only on (seed, domain, key),
+/// never on global draw order — lets a sharded simulator evolve entities on
+/// different threads with bit-identical results. Tags are the ASCII names
+/// they spell; existing values must never change (they define the
+/// reproducible trace a seed maps to).
+namespace rngstream {
+inline constexpr std::uint64_t kLink = 0x6c696e6bULL;          // "link"
+inline constexpr std::uint64_t kNode = 0x6e6f6465ULL;          // "node"
+inline constexpr std::uint64_t kTopology = 0x746f706fULL;      // "topo"
+inline constexpr std::uint64_t kOnline = 0x6f6e6c696eULL;      // "onlin"
+inline constexpr std::uint64_t kNeighbor = 0x6e65696768626f72ULL;  // "neighbor"
+inline constexpr std::uint64_t kPingTimer = 0x74696d6572ULL;   // "timer"
+inline constexpr std::uint64_t kBootstrap = 0x626f6f74ULL;     // "boot"
+inline constexpr std::uint64_t kDirectedLink = 0x646c696e6bULL;  // "dlink"
+}  // namespace rngstream
+
 /// xoshiro256++ pseudo-random engine with distribution helpers.
 class Rng {
  public:

@@ -5,7 +5,7 @@
 namespace nc {
 
 NeighborSet::NeighborSet(std::size_t capacity, std::uint64_t seed)
-    : capacity_(capacity), rng_(Rng::derived(seed, 0x6e65696768626f72ULL)) {
+    : capacity_(capacity), rng_(Rng::derived(seed, rngstream::kNeighbor)) {
   NC_CHECK_MSG(capacity >= 1, "capacity must be >= 1");
 }
 

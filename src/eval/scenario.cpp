@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "sim/online_sim.hpp"
 #include "sim/replay.hpp"
+#include "sim/sharded_sim.hpp"
 
 namespace nc::eval {
 
@@ -35,17 +36,39 @@ ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
 
 ScenarioOutput run_online_mode(const ScenarioSpec& spec) {
   const WorkloadSpec& w = spec.workload;
-  lat::TopologyConfig topo = w.topology.value_or(lat::TopologyConfig{});
-  topo.num_nodes = w.num_nodes;
-  if (topo.seed == lat::TopologyConfig{}.seed) topo.seed = w.seed;
 
-  lat::LatencyNetwork network(lat::Topology::make(topo),
+  if (spec.shards >= 1) {
+    // Epoch-sharded engine: one run across spec.shards worker threads; it
+    // derives all link/node stochastic state itself from w.seed.
+    sim::ShardedOnlineSimulator simulator(
+        resolve_online_config(spec), spec.shards,
+        lat::Topology::make(resolve_topology_config(w)),
+        w.link_model.value_or(lat::LinkModelConfig{}),
+        w.availability.value_or(lat::AvailabilityConfig{}),
+        resolve_route_changes(w));
+    simulator.run();
+    return ScenarioOutput{std::move(simulator.metrics()), 0, 0, 0,
+                          simulator.pings_sent(), simulator.pings_lost()};
+  }
+
+  lat::LatencyNetwork network(lat::Topology::make(resolve_topology_config(w)),
                               w.link_model.value_or(lat::LinkModelConfig{}),
                               w.availability.value_or(lat::AvailabilityConfig{}),
                               w.seed);
   for (const RouteChangeEvent& rc : w.route_changes)
     network.schedule_route_change(rc.i, rc.j, rc.factor, rc.at_t);
 
+  sim::OnlineSimulator simulator(resolve_online_config(spec), network);
+  simulator.run();
+
+  return ScenarioOutput{std::move(simulator.metrics()), 0, 0, 0,
+                        simulator.pings_sent(), simulator.pings_lost()};
+}
+
+}  // namespace
+
+sim::OnlineSimConfig resolve_online_config(const ScenarioSpec& spec) {
+  const WorkloadSpec& w = spec.workload;
   sim::OnlineSimConfig oc;
   oc.client = spec.client;
   oc.duration_s = w.duration_s;
@@ -58,22 +81,28 @@ ScenarioOutput run_online_mode(const ScenarioSpec& spec) {
   oc.tracked_nodes = spec.measurement.tracked_nodes;
   oc.track_interval_s = spec.measurement.track_interval_s;
   oc.seed = w.seed;
-
-  sim::OnlineSimulator simulator(oc, network);
-  simulator.run();
-
-  return ScenarioOutput{std::move(simulator.metrics()), 0, 0, 0,
-                        simulator.pings_sent(), simulator.pings_lost()};
+  return oc;
 }
 
-}  // namespace
+lat::TopologyConfig resolve_topology_config(const WorkloadSpec& workload) {
+  lat::TopologyConfig topo = workload.topology.value_or(lat::TopologyConfig{});
+  topo.num_nodes = workload.num_nodes;
+  if (topo.seed == lat::TopologyConfig{}.seed) topo.seed = workload.seed;
+  return topo;
+}
+
+std::vector<sim::ShardedRouteChange> resolve_route_changes(
+    const WorkloadSpec& workload) {
+  std::vector<sim::ShardedRouteChange> rcs;
+  rcs.reserve(workload.route_changes.size());
+  for (const RouteChangeEvent& rc : workload.route_changes)
+    rcs.push_back({rc.i, rc.j, rc.factor, rc.at_t});
+  return rcs;
+}
 
 lat::TraceGenConfig resolve_trace_config(const WorkloadSpec& workload) {
   lat::TraceGenConfig cfg;
-  cfg.topology = workload.topology.value_or(lat::TopologyConfig{});
-  cfg.topology.num_nodes = workload.num_nodes;
-  if (cfg.topology.seed == lat::TopologyConfig{}.seed)
-    cfg.topology.seed = workload.seed;
+  cfg.topology = resolve_topology_config(workload);
   cfg.link_model = workload.link_model.value_or(lat::LinkModelConfig{});
   cfg.availability = workload.availability.value_or(lat::AvailabilityConfig{});
   cfg.duration_s = workload.duration_s;
@@ -90,6 +119,9 @@ double resolved_measure_start_s(const ScenarioSpec& spec) {
 
 ScenarioOutput run_scenario(const ScenarioSpec& spec) {
   NC_CHECK_MSG(spec.workload.num_nodes >= 2, "need at least two nodes");
+  NC_CHECK_MSG(spec.shards >= 0, "shards must be >= 0 (0 = classic engine)");
+  NC_CHECK_MSG(spec.shards == 0 || spec.mode == SimMode::kOnline,
+               "shards apply to online mode only");
   return spec.mode == SimMode::kReplay ? run_replay_mode(spec)
                                        : run_online_mode(spec);
 }

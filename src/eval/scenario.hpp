@@ -32,6 +32,8 @@
 #include "latency/link_model.hpp"
 #include "latency/trace_generator.hpp"
 #include "sim/metrics.hpp"
+#include "sim/online_sim.hpp"
+#include "sim/sharded_route_change.hpp"
 
 namespace nc::eval {
 
@@ -74,6 +76,13 @@ struct ScenarioSpec {
   std::string scenario = "custom";
   SimMode mode = SimMode::kReplay;
 
+  /// Online mode only. 0 (default): the classic single-thread
+  /// OnlineSimulator. >= 1: the epoch-sharded engine with that many worker
+  /// shards — one run spread across cores, bit-identical for any shard
+  /// count (shards=1 is the reference; its epoch-exchange semantics differ
+  /// from the classic simulator's, see sim/sharded_sim.hpp).
+  int shards = 0;
+
   WorkloadSpec workload;
   NCClientConfig client;  // identical configuration on every node
   MeasurementSpec measurement;
@@ -98,6 +107,19 @@ struct ScenarioOutput {
 /// The trace-generator configuration a workload resolves to (exposed so
 /// benches can build matching TraceGenerators, e.g. for filter-only studies).
 [[nodiscard]] lat::TraceGenConfig resolve_trace_config(const WorkloadSpec& workload);
+
+/// The online-simulator configuration a spec resolves to (exposed so benches
+/// that drive a simulator directly — e.g. bench_shard_scaling reading
+/// events_processed() — assemble exactly what run_scenario would).
+[[nodiscard]] sim::OnlineSimConfig resolve_online_config(const ScenarioSpec& spec);
+
+/// The topology configuration a workload resolves to (node count and seed
+/// fallbacks applied).
+[[nodiscard]] lat::TopologyConfig resolve_topology_config(const WorkloadSpec& workload);
+
+/// workload.route_changes in the sharded simulator's vocabulary.
+[[nodiscard]] std::vector<sim::ShardedRouteChange> resolve_route_changes(
+    const WorkloadSpec& workload);
 
 /// The effective measurement-window start (resolves the < 0 default).
 [[nodiscard]] double resolved_measure_start_s(const ScenarioSpec& spec);

@@ -7,14 +7,80 @@
 
 namespace nc::lat {
 
-namespace {
-
-// Next Poisson event; rate 0 means "never".
-double next_event_after(Rng& rng, double t, double rate_hz) {
+double next_poisson_event_after(Rng& rng, double t, double rate_hz) {
   return rate_hz > 0.0 ? t + rng.exponential(rate_hz) : 1e18;
 }
 
-}  // namespace
+void LinkDynamics::init(Rng& rng, double t, const LinkModelConfig& config) {
+  next_route_change_t =
+      next_poisson_event_after(rng, t, config.route_change_rate_hz);
+  next_burst_t = next_poisson_event_after(rng, t, config.link_burst_rate_hz);
+}
+
+void LinkDynamics::advance(Rng& rng, double t, const LinkModelConfig& config) {
+  if (!route_changes_frozen) {
+    while (next_route_change_t <= t) {
+      route_factor = rng.uniform(config.route_factor_min, config.route_factor_max);
+      next_route_change_t += rng.exponential(config.route_change_rate_hz);
+    }
+  }
+  while (!scheduled.empty() && scheduled.front().first <= t) {
+    route_factor = scheduled.front().second;
+    scheduled.erase(scheduled.begin());
+  }
+  while (next_burst_t <= t) {
+    burst_end_t =
+        next_burst_t + rng.exponential(1.0 / config.link_burst_mean_duration_s);
+    next_burst_t =
+        next_poisson_event_after(rng, burst_end_t, config.link_burst_rate_hz);
+  }
+}
+
+void NodeDynamics::init(Rng& rng, double t, const LinkModelConfig& config,
+                        const AvailabilityConfig& availability) {
+  up = !availability.enabled || rng.bernoulli(availability.initial_up_prob);
+  next_toggle_t =
+      availability.enabled
+          ? t + rng.exponential(1.0 / (up ? availability.mean_up_s
+                                          : availability.mean_down_s))
+          : 1e18;
+  next_burst_t = next_poisson_event_after(rng, t, config.node_burst_rate_hz);
+}
+
+void NodeDynamics::advance(Rng& rng, double t, const LinkModelConfig& config,
+                           const AvailabilityConfig& availability) {
+  while (next_toggle_t <= t) {
+    up = !up;
+    next_toggle_t += rng.exponential(
+        1.0 / (up ? availability.mean_up_s : availability.mean_down_s));
+  }
+  while (next_burst_t <= t) {
+    burst_end_t =
+        next_burst_t + rng.exponential(1.0 / config.node_burst_mean_duration_s);
+    next_burst_t =
+        next_poisson_event_after(rng, burst_end_t, config.node_burst_rate_hz);
+  }
+}
+
+double sample_noisy_rtt(Rng& rng, double base_rtt_ms, bool overload,
+                        bool in_link_burst, const LinkModelConfig& config) {
+  const double sigma = config.body_sigma;
+  double rtt = base_rtt_ms * rng.lognormal(-0.5 * sigma * sigma, sigma);
+
+  if (overload) {
+    rtt += rng.uniform(config.node_overload_extra_min_ms,
+                       config.node_overload_extra_max_ms);
+  }
+
+  const double spike_prob = in_link_burst ? config.burst_spike_prob
+                            : overload    ? config.node_overload_spike_prob
+                                          : config.base_spike_prob;
+  if (rng.bernoulli(spike_prob)) {
+    const double xm = rng.uniform(config.spike_xm_min_ms, config.spike_xm_max_ms);
+    rtt += rng.pareto(xm, config.spike_alpha);
+  }
+  return std::min(rtt, config.rtt_cap_ms);
+}
 
 LinkModelConfig LinkModelConfig::noiseless() {
   LinkModelConfig c;
@@ -55,30 +121,13 @@ LatencyNetwork::LinkState& LatencyNetwork::link_at(NodeId i, NodeId j, double t)
   auto [it, inserted] = links_.try_emplace(key);
   LinkState& s = it->second;
   if (inserted) {
-    s.rng = Rng::derived(seed_, 0x6c696e6bULL /* "link" */, key);
-    s.next_route_change_t = next_event_after(s.rng, t, config_.route_change_rate_hz);
-    s.next_burst_t = next_event_after(s.rng, t, config_.link_burst_rate_hz);
+    s.rng = Rng::derived(seed_, rngstream::kLink, key);
+    s.dyn.init(s.rng, t, config_);
     s.last_t = t;
   }
   NC_CHECK_MSG(t >= s.last_t - 1e-9, "link time went backwards");
   s.last_t = t;
-
-  if (!s.route_changes_frozen) {
-    while (s.next_route_change_t <= t) {
-      s.route_factor = s.rng.uniform(config_.route_factor_min, config_.route_factor_max);
-      s.next_route_change_t += s.rng.exponential(config_.route_change_rate_hz);
-    }
-  }
-  while (!s.scheduled.empty() && s.scheduled.front().first <= t) {
-    s.route_factor = s.scheduled.front().second;
-    s.scheduled.erase(s.scheduled.begin());
-  }
-  while (s.next_burst_t <= t) {
-    s.burst_end_t =
-        s.next_burst_t + s.rng.exponential(1.0 / config_.link_burst_mean_duration_s);
-    s.next_burst_t =
-        next_event_after(s.rng, s.burst_end_t, config_.link_burst_rate_hz);
-  }
+  s.dyn.advance(s.rng, t, config_);
   return s;
 }
 
@@ -86,30 +135,13 @@ LatencyNetwork::NodeState& LatencyNetwork::node_at(NodeId i, double t) {
   auto& s = nodes_.at(static_cast<std::size_t>(i));
   if (!node_init_[static_cast<std::size_t>(i)]) {
     node_init_[static_cast<std::size_t>(i)] = true;
-    s.rng = Rng::derived(seed_, 0x6e6f6465ULL /* "node" */, static_cast<std::uint64_t>(i));
-    s.up = !availability_.enabled || s.rng.bernoulli(availability_.initial_up_prob);
-    s.next_toggle_t =
-        availability_.enabled
-            ? t + s.rng.exponential(1.0 / (s.up ? availability_.mean_up_s
-                                               : availability_.mean_down_s))
-            : 1e18;
-    s.next_burst_t = next_event_after(s.rng, t, config_.node_burst_rate_hz);
+    s.rng = Rng::derived(seed_, rngstream::kNode, static_cast<std::uint64_t>(i));
+    s.dyn.init(s.rng, t, config_, availability_);
     s.last_t = t;
   }
   NC_CHECK_MSG(t >= s.last_t - 1e-9, "node time went backwards");
   s.last_t = t;
-
-  while (s.next_toggle_t <= t) {
-    s.up = !s.up;
-    s.next_toggle_t += s.rng.exponential(
-        1.0 / (s.up ? availability_.mean_up_s : availability_.mean_down_s));
-  }
-  while (s.next_burst_t <= t) {
-    s.burst_end_t =
-        s.next_burst_t + s.rng.exponential(1.0 / config_.node_burst_mean_duration_s);
-    s.next_burst_t =
-        next_event_after(s.rng, s.burst_end_t, config_.node_burst_rate_hz);
-  }
+  s.dyn.advance(s.rng, t, config_, availability_);
   return s;
 }
 
@@ -119,11 +151,11 @@ std::optional<double> LatencyNetwork::sample_rtt(NodeId i, NodeId j, double t) {
 
   NodeState& ni = node_at(i, t);
   NodeState& nj = node_at(j, t);
-  if (!nj.up) {  // target down: the ping times out
+  if (!nj.dyn.up) {  // target down: the ping times out
     ++losses_;
     return std::nullopt;
   }
-  const bool overload = t < ni.burst_end_t || t < nj.burst_end_t;
+  const bool overload = t < ni.dyn.burst_end_t || t < nj.dyn.burst_end_t;
 
   LinkState& link = link_at(i, j, t);
   if (link.rng.bernoulli(config_.loss_prob)) {
@@ -131,38 +163,22 @@ std::optional<double> LatencyNetwork::sample_rtt(NodeId i, NodeId j, double t) {
     return std::nullopt;
   }
 
-  const double base = topology_.base_rtt_ms(i, j) * link.route_factor;
-  const double sigma = config_.body_sigma;
-  double rtt = base * link.rng.lognormal(-0.5 * sigma * sigma, sigma);
-
-  if (overload) {
-    rtt += link.rng.uniform(config_.node_overload_extra_min_ms,
-                            config_.node_overload_extra_max_ms);
-  }
-
-  const bool in_link_burst = t < link.burst_end_t;
-  const double spike_prob = in_link_burst   ? config_.burst_spike_prob
-                            : overload      ? config_.node_overload_spike_prob
-                                            : config_.base_spike_prob;
-  if (link.rng.bernoulli(spike_prob)) {
-    const double xm = link.rng.uniform(config_.spike_xm_min_ms, config_.spike_xm_max_ms);
-    rtt += link.rng.pareto(xm, config_.spike_alpha);
-  }
-
-  return std::min(rtt, config_.rtt_cap_ms);
+  const double base = topology_.base_rtt_ms(i, j) * link.dyn.route_factor;
+  return sample_noisy_rtt(link.rng, base, overload, t < link.dyn.burst_end_t,
+                          config_);
 }
 
 double LatencyNetwork::ground_truth_rtt(NodeId i, NodeId j, double t) {
-  return topology_.base_rtt_ms(i, j) * link_at(i, j, t).route_factor;
+  return topology_.base_rtt_ms(i, j) * link_at(i, j, t).dyn.route_factor;
 }
 
-bool LatencyNetwork::node_up(NodeId i, double t) { return node_at(i, t).up; }
+bool LatencyNetwork::node_up(NodeId i, double t) { return node_at(i, t).dyn.up; }
 
 void LatencyNetwork::force_route_change(NodeId i, NodeId j, double factor, double t) {
   NC_CHECK_MSG(factor > 0.0, "route factor must be positive");
   LinkState& s = link_at(i, j, t);
-  s.route_factor = factor;
-  s.route_changes_frozen = true;
+  s.dyn.route_factor = factor;
+  s.dyn.route_changes_frozen = true;
 }
 
 void LatencyNetwork::schedule_route_change(NodeId i, NodeId j, double factor,
@@ -174,15 +190,14 @@ void LatencyNetwork::schedule_route_change(NodeId i, NodeId j, double factor,
   if (inserted) {
     // Initialize exactly as link_at would at first sample time; the first
     // real sample will advance from here.
-    s.rng = Rng::derived(seed_, 0x6c696e6bULL, key);
-    s.next_route_change_t = next_event_after(s.rng, 0.0, config_.route_change_rate_hz);
-    s.next_burst_t = next_event_after(s.rng, 0.0, config_.link_burst_rate_hz);
+    s.rng = Rng::derived(seed_, rngstream::kLink, key);
+    s.dyn.init(s.rng, 0.0, config_);
     s.last_t = 0.0;
   }
   NC_CHECK_MSG(s.last_t <= at_t, "link already advanced past at_t");
-  s.route_changes_frozen = true;
-  s.scheduled.emplace_back(at_t, factor);
-  std::sort(s.scheduled.begin(), s.scheduled.end());
+  s.dyn.route_changes_frozen = true;
+  s.dyn.scheduled.emplace_back(at_t, factor);
+  std::sort(s.dyn.scheduled.begin(), s.dyn.scheduled.end());
 }
 
 }  // namespace nc::lat

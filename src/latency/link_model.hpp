@@ -72,6 +72,56 @@ struct LinkModelConfig {
   [[nodiscard]] static LinkModelConfig noiseless();
 };
 
+struct AvailabilityConfig;
+
+/// Next Poisson event time after `t`; rate 0 means "never" (1e18).
+[[nodiscard]] double next_poisson_event_after(Rng& rng, double t, double rate_hz);
+
+/// The stochastic processes of one link (route factor + delay bursts),
+/// shared by LatencyNetwork's undirected links and the sharded engine's
+/// directed links so the two engines can never drift apart. The draw ORDER
+/// on `rng` (init: route change then burst; advance: random route changes,
+/// scheduled steps, bursts) is part of every seed's defined trace — never
+/// reorder it.
+struct LinkDynamics {
+  double route_factor = 1.0;
+  double next_route_change_t = 0.0;
+  double burst_end_t = -1.0;
+  double next_burst_t = 0.0;
+  bool route_changes_frozen = false;
+  std::vector<std::pair<double, double>> scheduled;  // (at_t, factor), sorted
+
+  /// First-touch initialization at time t (draws the first event times).
+  void init(Rng& rng, double t, const LinkModelConfig& config);
+  /// Advances route-factor/burst state to time t (t non-decreasing).
+  void advance(Rng& rng, double t, const LinkModelConfig& config);
+};
+
+/// One node's availability (up/down churn) and overload-burst processes,
+/// shared by both engines. Same draw-order contract as LinkDynamics
+/// (init: initial up, first toggle, first burst; advance: toggles then
+/// bursts).
+struct NodeDynamics {
+  bool up = true;
+  double next_toggle_t = 0.0;
+  double burst_end_t = -1.0;
+  double next_burst_t = 0.0;
+
+  void init(Rng& rng, double t, const LinkModelConfig& config,
+            const AvailabilityConfig& availability);
+  void advance(Rng& rng, double t, const LinkModelConfig& config,
+               const AvailabilityConfig& availability);
+};
+
+/// The post-loss RTT observation pipeline shared by LatencyNetwork and the
+/// sharded engine's directed links: lognormal body jitter on base_rtt_ms,
+/// overload extra delay, burst/overload/base spike-probability selection
+/// with a Pareto spike, then the timeout cap. The draw ORDER on `rng` is
+/// part of every seed's defined trace — never reorder it.
+[[nodiscard]] double sample_noisy_rtt(Rng& rng, double base_rtt_ms, bool overload,
+                                      bool in_link_burst,
+                                      const LinkModelConfig& config);
+
 struct AvailabilityConfig {
   bool enabled = true;
   double mean_up_s = 18.0 * 3600.0;
@@ -115,20 +165,12 @@ class LatencyNetwork {
   struct LinkState {
     Rng rng;
     double last_t = -1e18;
-    double route_factor = 1.0;
-    double next_route_change_t = 0.0;
-    double burst_end_t = -1.0;
-    double next_burst_t = 0.0;
-    bool route_changes_frozen = false;
-    std::vector<std::pair<double, double>> scheduled;  // (at_t, factor), sorted
+    LinkDynamics dyn;
   };
   struct NodeState {
     Rng rng;
     double last_t = -1e18;
-    bool up = true;
-    double next_toggle_t = 0.0;
-    double burst_end_t = -1.0;
-    double next_burst_t = 0.0;
+    NodeDynamics dyn;
   };
 
   [[nodiscard]] static std::uint64_t link_key(NodeId i, NodeId j) noexcept;

@@ -65,7 +65,7 @@ Topology Topology::make(const TopologyConfig& config) {
   t.region_.reserve(static_cast<std::size_t>(config.num_nodes));
   for (const auto& r : regions) t.region_names_.push_back(r.name);
 
-  Rng rng = Rng::derived(config.seed, 0x746f706fULL /* "topo" */);
+  Rng rng = Rng::derived(config.seed, rngstream::kTopology);
 
   // Largest-remainder apportionment of nodes to regions keeps the mix exact.
   std::vector<int> counts(regions.size(), 0);

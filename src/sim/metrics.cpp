@@ -14,6 +14,10 @@ MetricsCollector::MetricsCollector(const MetricsConfig& config) : config_(config
   NC_CHECK_MSG(config.measure_start_s >= 0.0 &&
                    config.measure_start_s < config.duration_s,
                "bad measurement window");
+  NC_CHECK_MSG(eval_window_seconds() >= 1,
+               "measurement window must span at least one full second "
+               "(per-second stability metrics cover [ceil(measure_start_s), "
+               "ceil(duration_s)))");
   const auto n = static_cast<std::size_t>(config.num_nodes);
   node_errors_.resize(n);
   node_current_second_.resize(n);
@@ -26,8 +30,8 @@ MetricsCollector::MetricsCollector(const MetricsConfig& config) : config_(config
     node_oracle_count_.assign(n, 0);
   }
   const auto total_secs = static_cast<std::size_t>(std::ceil(config.duration_s)) + 1;
-  app_move_per_sec_.assign(total_secs, 0.0);
-  sys_move_per_sec_.assign(total_secs, 0.0);
+  app_move_per_sec_.assign(total_secs, 0);
+  sys_move_per_sec_.assign(total_secs, 0);
   updating_nodes_per_sec_.assign(eval_window_seconds(), 0);
   if (config.collect_timeseries) {
     ts_errors_.emplace(config.timeseries_bucket_s);
@@ -40,16 +44,27 @@ std::size_t MetricsCollector::second_index(double t) const noexcept {
   return std::min(idx, app_move_per_sec_.size() - 1);
 }
 
-std::size_t MetricsCollector::eval_window_seconds() const noexcept {
-  return static_cast<std::size_t>(
-      std::ceil(config_.duration_s - config_.measure_start_s));
+std::size_t MetricsCollector::eval_start_sec() const noexcept {
+  return static_cast<std::size_t>(std::ceil(config_.measure_start_s));
 }
 
-void MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
-                                      double raw_rtt_ms, const Coordinate& src_app,
-                                      const Coordinate& dst_app,
-                                      const ObservationOutcome& outcome,
-                                      std::optional<double> oracle_rtt_ms) {
+std::size_t MetricsCollector::eval_end_sec() const noexcept {
+  return std::min(app_move_per_sec_.size(),
+                  static_cast<std::size_t>(std::ceil(config_.duration_s)));
+}
+
+std::size_t MetricsCollector::eval_window_seconds() const noexcept {
+  const std::size_t start = eval_start_sec();
+  const std::size_t end =
+      static_cast<std::size_t>(std::ceil(config_.duration_s));
+  return end > start ? end - start : 0;
+}
+
+double MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
+                                        double raw_rtt_ms, const Coordinate& src_app,
+                                        const Coordinate& dst_app,
+                                        const ObservationOutcome& outcome,
+                                        std::optional<double> oracle_rtt_ms) {
   NC_CHECK_MSG(raw_rtt_ms > 0.0, "raw rtt must be positive");
   ++observations_;
   const auto s = static_cast<std::size_t>(src);
@@ -62,8 +77,10 @@ void MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
   const double err = std::fabs(predicted - raw_rtt_ms) / raw_rtt_ms;
   if (eval) {
     node_errors_[s].push_back(err);
-    dst_median_[d].add(err);
-    ++dst_count_[d];
+    if (config_.inline_dst_errors) {
+      dst_median_[d].add(err);
+      ++dst_count_[d];
+    }
   }
   if (ts_errors_) ts_errors_->add(t, err);
 
@@ -73,12 +90,14 @@ void MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
     ++node_oracle_count_[s];
   }
 
-  // Movement accounting (whole run, per second).
+  // Movement accounting (whole run, per second, fixed-point).
   const std::size_t sec = second_index(t);
-  app_move_per_sec_[sec] += outcome.app_displacement_ms;
-  sys_move_per_sec_[sec] += outcome.system_displacement_ms;
+  app_move_per_sec_[sec] += to_ticks(outcome.app_displacement_ms);
+  sys_move_per_sec_[sec] += to_ticks(outcome.system_displacement_ms);
 
-  if (eval) {
+  // Per-second stability metrics cover only full eval seconds: a fractional
+  // measure_start_s must not leak the partial warm-up second into them.
+  if (eval && sec >= eval_start_sec()) {
     // Per-node movement per second: flush when the node's second rolls over.
     NodeSecond& cur = node_current_second_[s];
     const auto this_sec = static_cast<std::int64_t>(sec);
@@ -93,13 +112,94 @@ void MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
       ++app_updates_;
       if (node_last_update_sec_[s] != this_sec) {
         node_last_update_sec_[s] = this_sec;
-        const auto start_sec =
-            static_cast<std::size_t>(std::floor(config_.measure_start_s));
-        const std::size_t rel = sec - start_sec;
+        const std::size_t rel = sec - eval_start_sec();
         if (rel < updating_nodes_per_sec_.size()) ++updating_nodes_per_sec_[rel];
       }
     }
   }
+  return err;
+}
+
+void MetricsCollector::record_dst_error(double t, NodeId dst, double err) {
+  NC_CHECK_MSG(!config_.inline_dst_errors,
+               "record_dst_error requires inline_dst_errors=false");
+  if (!in_eval_window(t)) return;
+  const auto d = static_cast<std::size_t>(dst);
+  NC_CHECK_MSG(d < dst_median_.size(), "dst out of range");
+  dst_median_[d].add(err);
+  ++dst_count_[d];
+}
+
+void MetricsCollector::finalize() {
+  for (std::size_t s = 0; s < node_current_second_.size(); ++s) {
+    NodeSecond& cur = node_current_second_[s];
+    if (cur.second >= 0) {
+      node_second_movements_[s].push_back(cur.movement);
+      cur.second = -1;
+      cur.movement = 0.0;
+    }
+  }
+}
+
+void MetricsCollector::merge(MetricsCollector& other) {
+  const MetricsConfig& oc = other.config_;
+  NC_CHECK_MSG(config_.num_nodes == oc.num_nodes &&
+                   config_.duration_s == oc.duration_s &&
+                   config_.measure_start_s == oc.measure_start_s &&
+                   config_.collect_timeseries == oc.collect_timeseries &&
+                   config_.timeseries_bucket_s == oc.timeseries_bucket_s &&
+                   config_.collect_oracle == oc.collect_oracle &&
+                   config_.min_node_samples == oc.min_node_samples &&
+                   config_.inline_dst_errors == oc.inline_dst_errors,
+               "cannot merge collectors with different configurations");
+  finalize();
+  other.finalize();
+
+  const std::size_t n = node_errors_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!other.node_errors_[i].empty()) {
+      NC_CHECK_MSG(node_errors_[i].empty(), "node error data on both sides");
+      node_errors_[i] = std::move(other.node_errors_[i]);
+    }
+    if (!other.node_second_movements_[i].empty()) {
+      NC_CHECK_MSG(node_second_movements_[i].empty(),
+                   "node movement data on both sides");
+      node_second_movements_[i] = std::move(other.node_second_movements_[i]);
+    }
+    if (other.dst_count_[i] > 0) {
+      NC_CHECK_MSG(dst_count_[i] == 0, "dst error data on both sides");
+      dst_median_[i] = other.dst_median_[i];
+      dst_count_[i] = other.dst_count_[i];
+    }
+    if (config_.collect_oracle && other.node_oracle_count_[i] > 0) {
+      NC_CHECK_MSG(node_oracle_count_[i] == 0, "oracle data on both sides");
+      node_oracle_median_[i] = other.node_oracle_median_[i];
+      node_oracle_count_[i] = other.node_oracle_count_[i];
+    }
+    node_last_update_sec_[i] =
+        std::max(node_last_update_sec_[i], other.node_last_update_sec_[i]);
+  }
+
+  for (std::size_t sec = 0; sec < app_move_per_sec_.size(); ++sec) {
+    app_move_per_sec_[sec] += other.app_move_per_sec_[sec];
+    sys_move_per_sec_[sec] += other.sys_move_per_sec_[sec];
+  }
+  for (std::size_t sec = 0; sec < updating_nodes_per_sec_.size(); ++sec)
+    updating_nodes_per_sec_[sec] += other.updating_nodes_per_sec_[sec];
+
+  if (ts_errors_) ts_errors_->merge(*other.ts_errors_);
+
+  for (auto& [id, points] : other.drift_) {
+    auto [it, inserted] = drift_.try_emplace(id);
+    if (!points.empty()) {
+      NC_CHECK_MSG(it->second.empty(), "drift data on both sides");
+      it->second = std::move(points);
+    }
+    if (inserted) config_.tracked_nodes.push_back(id);
+  }
+
+  observations_ += other.observations_;
+  app_updates_ += other.app_updates_;
 }
 
 void MetricsCollector::track_coordinate(double t, NodeId node, const Coordinate& coord) {
@@ -174,19 +274,18 @@ double MetricsCollector::oracle_median_error_of(NodeId node) const {
 
 stats::Ecdf MetricsCollector::instability() const {
   stats::Ecdf out;
-  const auto start = static_cast<std::size_t>(std::floor(config_.measure_start_s));
-  const auto end = std::min(app_move_per_sec_.size(),
-                            static_cast<std::size_t>(std::ceil(config_.duration_s)));
-  for (std::size_t sec = start; sec < end; ++sec) out.add(app_move_per_sec_[sec]);
+  // Full eval seconds only: the same ceil(measure_start_s) boundary that
+  // gates the per-node movement accounting, so a fractional warm-up second
+  // never contributes eval movement.
+  for (std::size_t sec = eval_start_sec(); sec < eval_end_sec(); ++sec)
+    out.add(from_ticks(app_move_per_sec_[sec]));
   return out;
 }
 
 stats::Ecdf MetricsCollector::system_instability() const {
   stats::Ecdf out;
-  const auto start = static_cast<std::size_t>(std::floor(config_.measure_start_s));
-  const auto end = std::min(sys_move_per_sec_.size(),
-                            static_cast<std::size_t>(std::ceil(config_.duration_s)));
-  for (std::size_t sec = start; sec < end; ++sec) out.add(sys_move_per_sec_[sec]);
+  for (std::size_t sec = eval_start_sec(); sec < eval_end_sec(); ++sec)
+    out.add(from_ticks(sys_move_per_sec_[sec]));
   return out;
 }
 
@@ -197,13 +296,12 @@ double MetricsCollector::median_instability_ms_per_s() const {
 }
 
 double MetricsCollector::mean_instability_ms_per_s() const {
-  const auto start = static_cast<std::size_t>(std::floor(config_.measure_start_s));
-  const auto end = std::min(app_move_per_sec_.size(),
-                            static_cast<std::size_t>(std::ceil(config_.duration_s)));
+  const std::size_t start = eval_start_sec();
+  const std::size_t end = eval_end_sec();
   NC_CHECK_MSG(end > start, "empty instability window");
-  double total = 0.0;
+  std::int64_t total = 0;
   for (std::size_t sec = start; sec < end; ++sec) total += app_move_per_sec_[sec];
-  return total / static_cast<double>(end - start);
+  return from_ticks(total) / static_cast<double>(end - start);
 }
 
 stats::Ecdf MetricsCollector::per_node_p95_movement() const {
@@ -245,7 +343,7 @@ std::vector<stats::SeriesPoint> MetricsCollector::instability_timeseries() const
   stats::BucketedSum buckets(config_.timeseries_bucket_s);
   for (std::size_t sec = 0; sec < app_move_per_sec_.size(); ++sec) {
     if (static_cast<double>(sec) >= config_.duration_s) break;
-    buckets.add(static_cast<double>(sec), app_move_per_sec_[sec]);
+    buckets.add(static_cast<double>(sec), from_ticks(app_move_per_sec_[sec]));
   }
   return buckets.means();  // mean ms/s within each bucket
 }

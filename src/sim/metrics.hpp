@@ -20,9 +20,22 @@
 //
 // Accuracy/stability are collected inside [measure_start_s, duration_s) to
 // exclude start-up transients (the paper reports the second half of each
-// run); time series span the whole run.
+// run); time series span the whole run. Per-observation accuracy gates on
+// t >= measure_start_s; per-second stability metrics cover only FULL eval
+// seconds, [ceil(measure_start_s), ceil(duration_s)), so a fractional
+// measure_start never leaks warm-up movement into the instability window.
+//
+// Collectors are mergeable: a sharded simulator gives each worker shard its
+// own collector (same config, disjoint node ownership) and combines them
+// with merge(). Cross-node per-second movement sums are accumulated in
+// fixed-point ticks (2^-20 ms) so that addition is associative and the
+// merged totals are bit-identical for any shard count; everything else is
+// keyed by node and merged disjointly. Call finalize() at end of run (both
+// simulators do) to flush each node's in-flight second into the per-node
+// movement distributions.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -52,6 +65,13 @@ struct MetricsConfig {
 
   /// Per-node error distributions need at least this many samples to count.
   int min_node_samples = 8;
+
+  /// When false, on_observation() skips the per-destination error accounting
+  /// and the caller feeds it through record_dst_error() instead. The sharded
+  /// simulator uses this to route each destination's error stream to the
+  /// shard that owns the destination, keeping the streaming median's input
+  /// order canonical for any shard count.
+  bool inline_dst_errors = true;
 };
 
 struct DriftPoint {
@@ -65,14 +85,35 @@ class MetricsCollector {
 
   /// Records one observation: `src` observed `dst` with raw RTT `raw_rtt_ms`;
   /// `src_app`/`dst_app` are both endpoints' application coordinates after
-  /// the update; `outcome` is what the observation did to `src`.
-  void on_observation(double t, NodeId src, NodeId dst, double raw_rtt_ms,
-                      const Coordinate& src_app, const Coordinate& dst_app,
-                      const ObservationOutcome& outcome,
-                      std::optional<double> oracle_rtt_ms = std::nullopt);
+  /// the update; `outcome` is what the observation did to `src`. Returns the
+  /// application-level relative error of the observation (callers that defer
+  /// destination accounting feed it to the destination owner's
+  /// record_dst_error()).
+  double on_observation(double t, NodeId src, NodeId dst, double raw_rtt_ms,
+                        const Coordinate& src_app, const Coordinate& dst_app,
+                        const ObservationOutcome& outcome,
+                        std::optional<double> oracle_rtt_ms = std::nullopt);
 
   /// Appends a drift snapshot for a tracked node (driver decides cadence).
   void track_coordinate(double t, NodeId node, const Coordinate& coord);
+
+  /// Per-destination error accounting for one observation aimed at `dst`
+  /// (same eval-window gating as on_observation). Only valid when the
+  /// config disabled inline_dst_errors — the two paths never mix.
+  void record_dst_error(double t, NodeId dst, double err);
+
+  /// Flushes every node's in-flight second into the per-node movement
+  /// distributions. Call once at end of run (further observations would
+  /// start fresh seconds); idempotent.
+  void finalize();
+
+  /// Absorbs a collector covering a disjoint set of nodes (same num_nodes,
+  /// window and collection flags). Both sides must be finalized. Cross-node
+  /// per-second sums add in fixed point (associative, so any merge order
+  /// yields bit-identical totals); per-node state moves over — a node with
+  /// data on both sides is a contract violation and throws. tracked_nodes
+  /// are unioned.
+  void merge(MetricsCollector& other);
 
   // ---- accuracy ----
   [[nodiscard]] stats::Ecdf per_node_median_error() const;
@@ -125,10 +166,27 @@ class MetricsCollector {
   [[nodiscard]] const MetricsConfig& config() const noexcept { return config_; }
 
  private:
+  /// Movement sums that cross node boundaries are accumulated in integer
+  /// ticks of 2^-20 ms: integer addition is associative and commutative, so
+  /// per-shard partial sums merge to bit-identical totals in any order. The
+  /// quantization (~1e-6 ms per observation) is part of the metric's
+  /// definition, applied identically in serial and sharded runs.
+  static constexpr double kTicksPerMs = 1048576.0;  // 2^20
+  [[nodiscard]] static std::int64_t to_ticks(double ms) noexcept {
+    return static_cast<std::int64_t>(std::llround(ms * kTicksPerMs));
+  }
+  [[nodiscard]] static double from_ticks(std::int64_t ticks) noexcept {
+    return static_cast<double>(ticks) / kTicksPerMs;
+  }
+
   [[nodiscard]] bool in_eval_window(double t) const noexcept {
     return t >= config_.measure_start_s && t < config_.duration_s;
   }
   [[nodiscard]] std::size_t second_index(double t) const noexcept;
+  /// First FULL second of the eval window: ceil(measure_start_s).
+  [[nodiscard]] std::size_t eval_start_sec() const noexcept;
+  /// One past the last eval second: ceil(duration_s), clamped to the arrays.
+  [[nodiscard]] std::size_t eval_end_sec() const noexcept;
   [[nodiscard]] std::size_t eval_window_seconds() const noexcept;
 
   MetricsConfig config_;
@@ -143,9 +201,10 @@ class MetricsCollector {
   std::vector<stats::P2Quantile> dst_median_;
   std::vector<std::uint64_t> dst_count_;
 
-  // Whole-run per-second aggregate movement (app and system coordinates).
-  std::vector<double> app_move_per_sec_;
-  std::vector<double> sys_move_per_sec_;
+  // Whole-run per-second aggregate movement (app and system coordinates),
+  // in fixed-point ticks (see kTicksPerMs).
+  std::vector<std::int64_t> app_move_per_sec_;
+  std::vector<std::int64_t> sys_move_per_sec_;
 
   // Per-node movement per second (eval window): flushed sums.
   struct NodeSecond {

@@ -20,38 +20,60 @@ MetricsConfig make_metrics_config(const OnlineSimConfig& config, int num_nodes) 
 
 }  // namespace
 
+OnlineNodeRuntime make_online_node_runtime(const OnlineSimConfig& config,
+                                           int num_nodes) {
+  const int n = num_nodes;
+  NC_CHECK_MSG(config.bootstrap_degree >= 1, "need at least one bootstrap peer");
+  NC_CHECK_MSG(config.bootstrap_degree < n,
+               "bootstrap_degree must leave at least one non-peer "
+               "(fewer distinct peers than requested exist)");
+  NC_CHECK_MSG(config.ping_interval_s > 0.0, "ping interval must be positive");
+  NC_CHECK_MSG(config.tracked_nodes.empty() || config.track_interval_s > 0.0,
+               "tracking requires a positive track interval");
+
+  OnlineNodeRuntime rt;
+  rt.clients.reserve(static_cast<std::size_t>(n));
+  rt.neighbors.reserve(static_cast<std::size_t>(n));
+  rt.timer_rngs.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    rt.clients.push_back(std::make_unique<NCClient>(id, config.client));
+    rt.neighbors.emplace_back(
+        config.neighbor_capacity,
+        hash_combine(config.seed, static_cast<std::uint64_t>(id)));
+    rt.timer_rngs.push_back(Rng::derived(config.seed, rngstream::kPingTimer,
+                                         static_cast<std::uint64_t>(id)));
+  }
+  // Bootstrap membership: every node knows `bootstrap_degree` DISTINCT live
+  // random peers, drawn from its own kBootstrap stream.
+  for (NodeId id = 0; id < n; ++id) {
+    Rng boot = Rng::derived(config.seed, rngstream::kBootstrap,
+                            static_cast<std::uint64_t>(id));
+    int added = 0;
+    while (added < config.bootstrap_degree) {
+      const auto peer = static_cast<NodeId>(boot.uniform_int(static_cast<std::uint64_t>(n)));
+      if (peer == id) continue;
+      if (rt.neighbors[static_cast<std::size_t>(id)].add(peer)) ++added;
+    }
+  }
+  return rt;
+}
+
 OnlineSimulator::OnlineSimulator(const OnlineSimConfig& config,
                                  lat::LatencyNetwork& network)
     : config_(config),
       network_(network),
-      metrics_(make_metrics_config(config, network.topology().size())),
-      rng_(Rng::derived(config.seed, 0x6f6e6c696eULL /* "onlin" */)) {
+      metrics_(make_metrics_config(config, network.topology().size())) {
   const int n = network.topology().size();
-  NC_CHECK_MSG(config.bootstrap_degree >= 1, "need at least one bootstrap peer");
-  NC_CHECK_MSG(config.ping_interval_s > 0.0, "ping interval must be positive");
+  OnlineNodeRuntime rt = make_online_node_runtime(config, n);
+  clients_ = std::move(rt.clients);
+  neighbors_ = std::move(rt.neighbors);
+  timer_rngs_ = std::move(rt.timer_rngs);
 
-  clients_.reserve(static_cast<std::size_t>(n));
-  neighbors_.reserve(static_cast<std::size_t>(n));
+  // Staggered first pings, one phase draw per node from its own stream.
   for (NodeId id = 0; id < n; ++id) {
-    clients_.push_back(std::make_unique<NCClient>(id, config.client));
-    neighbors_.emplace_back(
-        config.neighbor_capacity,
-        hash_combine(config.seed, static_cast<std::uint64_t>(id)));
-  }
-  // Bootstrap membership: every node knows a few random peers.
-  for (NodeId id = 0; id < n; ++id) {
-    int added = 0;
-    while (added < config.bootstrap_degree) {
-      const auto peer = static_cast<NodeId>(rng_.uniform_int(static_cast<std::uint64_t>(n)));
-      if (peer == id) continue;
-      neighbors_[static_cast<std::size_t>(id)].add(peer);
-      ++added;
-    }
-  }
-  // Staggered first pings.
-  for (NodeId id = 0; id < n; ++id) {
-    queue_.schedule(rng_.uniform(0.0, config.ping_interval_s),
-                    Payload{EventKind::kPingTimer, id});
+    queue_.schedule(
+        timer_rngs_[static_cast<std::size_t>(id)].uniform(0.0, config.ping_interval_s),
+        Payload{EventKind::kPingTimer, id});
   }
   next_track_t_ = config.track_interval_s;
 }
@@ -72,11 +94,18 @@ void OnlineSimulator::run() {
         break;
     }
   }
+  // Close out the run: a final drift sample at duration_s so tracked series
+  // cover the whole run, and flush each node's in-flight second into the
+  // per-node movement distributions.
+  for (NodeId id : metrics_.config().tracked_nodes)
+    metrics_.track_coordinate(config_.duration_s, id, client(id).system_coordinate());
+  metrics_.finalize();
 }
 
 void OnlineSimulator::on_ping_timer(double t, NodeId node) {
   // Re-arm the timer first so churned/idle nodes keep their cadence.
-  const double jitter = rng_.uniform(-config_.ping_jitter_s, config_.ping_jitter_s);
+  const double jitter = timer_rngs_[static_cast<std::size_t>(node)].uniform(
+      -config_.ping_jitter_s, config_.ping_jitter_s);
   queue_.schedule(t + std::max(0.1, config_.ping_interval_s + jitter),
                   Payload{EventKind::kPingTimer, node});
 

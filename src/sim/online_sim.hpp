@@ -47,6 +47,25 @@ struct OnlineSimConfig {
   std::uint64_t seed = 7;
 };
 
+/// Per-node runtime shared by both online engines (OnlineSimulator and
+/// ShardedOnlineSimulator): clients, neighbor sets with bootstrap
+/// membership, and per-node ping-timer streams, all derived from
+/// config.seed. Building both engines from this one helper is what keeps
+/// their starting membership provably identical.
+struct OnlineNodeRuntime {
+  std::vector<std::unique_ptr<NCClient>> clients;
+  std::vector<NeighborSet> neighbors;
+  std::vector<Rng> timer_rngs;
+};
+
+/// Validates the config fields common to both engines (bootstrap degree in
+/// [1, n), positive ping interval, positive track interval when tracking)
+/// and builds the runtime. Bootstrap counts only DISTINCT peers — a
+/// duplicate random draw must not eat a slot, or nodes silently start
+/// under-connected.
+[[nodiscard]] OnlineNodeRuntime make_online_node_runtime(
+    const OnlineSimConfig& config, int num_nodes);
+
 class OnlineSimulator {
  public:
   /// The simulator does not own the network; the caller can share one
@@ -86,7 +105,11 @@ class OnlineSimulator {
   std::vector<NeighborSet> neighbors_;
   EventQueue<Payload> queue_;
   MetricsCollector metrics_;
-  Rng rng_;
+  /// One timer stream per node, derived from (seed, kPingTimer, id). No
+  /// global draw order exists: every stochastic choice belongs to exactly
+  /// one node's stream, which is what lets ShardedOnlineSimulator evolve
+  /// nodes on different threads deterministically.
+  std::vector<Rng> timer_rngs_;
   double next_track_t_ = 0.0;
   std::uint64_t pings_sent_ = 0;
   std::uint64_t pings_lost_ = 0;

@@ -22,6 +22,8 @@ MetricsConfig make_metrics_config(const ReplayConfig& config, int num_nodes) {
 
 ReplayDriver::ReplayDriver(const ReplayConfig& config, int num_nodes)
     : config_(config), metrics_(make_metrics_config(config, num_nodes)) {
+  NC_CHECK_MSG(config.tracked_nodes.empty() || config.track_interval_s > 0.0,
+               "tracking requires a positive track interval");
   clients_.reserve(static_cast<std::size_t>(num_nodes));
   for (NodeId id = 0; id < num_nodes; ++id)
     clients_.push_back(std::make_unique<NCClient>(id, config.client));
@@ -61,6 +63,9 @@ void ReplayDriver::run(lat::TraceSource& source, lat::LatencyNetwork* oracle) {
       next_track_t_ += config_.track_interval_s;
     }
   }
+  for (NodeId id : metrics_.config().tracked_nodes)
+    metrics_.track_coordinate(config_.duration_s, id, client(id).system_coordinate());
+  metrics_.finalize();
 }
 
 }  // namespace nc::sim

@@ -1,0 +1,153 @@
+// Epoch-boundary message exchange for the sharded online simulator.
+//
+// Shards interact only through messages handed over at epoch boundaries.
+// During an epoch each shard appends to one outbox per destination shard
+// (no other thread touches that cell); at the next boundary the RECEIVING
+// shard drains its column and sorts the batch by a canonical key that is
+// intrinsic to the message — (time, kind, sender, receiver, per-sender
+// sequence number) — so the delivery order every entity observes is a pure
+// function of the traffic, never of the shard count or thread timing. That
+// canonical order is the heart of the engine's determinism argument (see
+// DESIGN.md "Epoch-sharded online simulation").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/coordinate.hpp"
+#include "core/node_id.hpp"
+
+namespace nc::sim {
+
+enum class ShardMsgKind : std::uint8_t {
+  kPing = 0,     // ping i -> j: membership introduction + gossip + echo data
+  kPong = 1,     // reply j -> i: remote coordinate state as of reply time
+  kDstError = 2  // metrics routing: observation error keyed by destination
+};
+
+struct ShardMessage {
+  ShardMsgKind kind = ShardMsgKind::kPing;
+  double t = 0.0;  // event time: ping send / pong arrival / observation time
+  NodeId from = kInvalidNode;  // sending entity
+  NodeId to = kInvalidNode;    // entity owned by the receiving shard
+  std::uint64_t seq = 0;       // per-sender-node message counter (tiebreak)
+
+  float rtt_ms = 0.0f;           // kPing: sampled RTT; kPong: echoed
+  NodeId gossip = kInvalidNode;  // one advertised neighbor address
+  double gt_rtt_ms = 0.0;        // quiescent ground truth at ping time (oracle)
+  double err = 0.0;              // kDstError: app-level relative error
+  Coordinate sys_coord;          // kPong: remote system coordinate
+  Coordinate app_coord;          // kPong: remote application coordinate
+  double coord_err = 0.0;        // kPong: remote error estimate
+};
+
+/// Canonical message order. Every field compared is decided by the sending
+/// entity alone, so any shard layout sorts a delivery batch identically.
+[[nodiscard]] inline bool shard_msg_less(const ShardMessage& a,
+                                         const ShardMessage& b) noexcept {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.from != b.from) return a.from < b.from;
+  if (a.to != b.to) return a.to < b.to;
+  return a.seq < b.seq;
+}
+
+/// The W x W grid of outboxes. Cell (sender, receiver) is written only by
+/// `sender` during processing phases and drained only by `receiver` during
+/// delivery phases; the two phases are separated by a barrier, so no cell is
+/// ever touched from two threads concurrently.
+class EpochMailbox {
+ public:
+  explicit EpochMailbox(int shards) : shards_(shards) {
+    NC_CHECK_MSG(shards >= 1, "need at least one shard");
+    cells_.resize(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards));
+  }
+
+  [[nodiscard]] std::vector<ShardMessage>& outbox(int sender, int receiver) {
+    return cells_[static_cast<std::size_t>(sender) * static_cast<std::size_t>(shards_) +
+                  static_cast<std::size_t>(receiver)];
+  }
+
+  /// Moves every message destined to `receiver` into one canonically sorted
+  /// batch. Sender order feeding the sort is irrelevant — the comparator is
+  /// total on distinct messages.
+  [[nodiscard]] std::vector<ShardMessage> collect(int receiver) {
+    std::vector<ShardMessage> batch;
+    for (int s = 0; s < shards_; ++s) {
+      auto& cell = outbox(s, receiver);
+      batch.insert(batch.end(), std::make_move_iterator(cell.begin()),
+                   std::make_move_iterator(cell.end()));
+      cell.clear();
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const ShardMessage& a, const ShardMessage& b) {
+                return shard_msg_less(a, b);
+              });
+    return batch;
+  }
+
+ private:
+  int shards_;
+  std::vector<std::vector<ShardMessage>> cells_;
+};
+
+/// One shard's event loop entries: local ping timers, delivered messages and
+/// drift-tracking ticks, ordered by the canonical key (processing time,
+/// kind, owner, sender, sequence). Delivered messages keep their original
+/// event time in `t_orig`; the processing time is clamped up to the epoch
+/// that delivers them so per-entity time never runs backwards.
+enum class ShardEventKind : std::uint8_t {
+  kTrack = 0,      // record tracked nodes' coordinates (exact multiples of
+                   // the track interval, before same-time observations)
+  kPingTimer = 1,  // local: node samples its next round-robin neighbor
+  kPing = 2,       // delivered: answer a ping (membership, gossip, pong)
+  kPong = 3        // delivered: observe the remote's echoed state
+};
+
+struct ShardEvent {
+  double t = 0.0;  // processing time (canonical heap key)
+  ShardEventKind kind = ShardEventKind::kPingTimer;
+  NodeId a = kInvalidNode;  // owning node (timer owner / message receiver)
+  NodeId b = kInvalidNode;  // message sender
+  std::uint64_t seq = 0;
+
+  double t_orig = 0.0;  // message event time before clamping
+  float rtt_ms = 0.0f;
+  NodeId gossip = kInvalidNode;
+  double gt_rtt_ms = 0.0;
+  Coordinate sys_coord;
+  Coordinate app_coord;
+  double coord_err = 0.0;
+};
+
+class ShardEventQueue {
+ public:
+  void push(ShardEvent ev) { heap_.push(std::move(ev)); }
+
+  [[nodiscard]] bool has_event_before(double t_end) const {
+    return !heap_.empty() && heap_.top().t < t_end;
+  }
+
+  [[nodiscard]] ShardEvent pop() {
+    ShardEvent ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const ShardEvent& x, const ShardEvent& y) const noexcept {
+      if (x.t != y.t) return x.t > y.t;
+      if (x.kind != y.kind) return x.kind > y.kind;
+      if (x.a != y.a) return x.a > y.a;
+      if (x.b != y.b) return x.b > y.b;
+      return x.seq > y.seq;
+    }
+  };
+  std::priority_queue<ShardEvent, std::vector<ShardEvent>, Later> heap_;
+};
+
+}  // namespace nc::sim

@@ -1,0 +1,20 @@
+// A controlled route-change step in the sharded engine's vocabulary
+// (mirrors eval's RouteChangeEvent; the sim layer cannot depend on eval).
+// Lives in its own header so eval/scenario.hpp can name it without pulling
+// the whole sharded-simulator header stack into every bench translation
+// unit. Applied to both directions of the link and freezes its random
+// route changes, like LatencyNetwork's scheduled steps.
+#pragma once
+
+#include "core/node_id.hpp"
+
+namespace nc::sim {
+
+struct ShardedRouteChange {
+  NodeId i = kInvalidNode;
+  NodeId j = kInvalidNode;
+  double factor = 1.0;
+  double at_t = 0.0;
+};
+
+}  // namespace nc::sim

@@ -1,0 +1,396 @@
+#include "sim/sharded_sim.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace nc::sim {
+
+namespace {
+
+MetricsConfig make_shard_metrics_config(const OnlineSimConfig& config,
+                                        int num_nodes,
+                                        std::vector<NodeId> tracked_subset) {
+  MetricsConfig m;
+  m.num_nodes = num_nodes;
+  m.duration_s = config.duration_s;
+  m.measure_start_s = config.measure_start_s;
+  m.collect_timeseries = config.collect_timeseries;
+  m.timeseries_bucket_s = config.timeseries_bucket_s;
+  m.collect_oracle = config.collect_oracle;
+  m.tracked_nodes = std::move(tracked_subset);
+  // Destination error streams are routed to the destination's owner shard
+  // so each stream keeps one canonical input order at any shard count.
+  m.inline_dst_errors = false;
+  return m;
+}
+
+std::uint64_t directed_key(NodeId src, NodeId dst) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+}
+
+ShardEvent make_event(double t, ShardEventKind kind, NodeId a = kInvalidNode) {
+  ShardEvent ev;
+  ev.t = t;
+  ev.kind = kind;
+  ev.a = a;
+  return ev;
+}
+
+}  // namespace
+
+ShardedOnlineSimulator::ShardedOnlineSimulator(
+    const OnlineSimConfig& config, int shards, lat::Topology topology,
+    const lat::LinkModelConfig& link_config,
+    const lat::AvailabilityConfig& availability,
+    std::vector<ShardedRouteChange> route_changes)
+    : config_(config),
+      topology_(std::move(topology)),
+      link_config_(link_config),
+      availability_(availability),
+      route_changes_(std::move(route_changes)),
+      mailbox_(shards) {
+  const int n = topology_.size();
+  NC_CHECK_MSG(shards >= 1, "need at least one shard");
+  // Same validation the classic path gets from schedule_route_change: fail
+  // the bad spec up front, not deep inside a worker thread mid-run.
+  for (const ShardedRouteChange& rc : route_changes_) {
+    NC_CHECK_MSG(rc.factor > 0.0, "route factor must be positive");
+    NC_CHECK_MSG(rc.i >= 0 && rc.i < n && rc.j >= 0 && rc.j < n && rc.i != rc.j,
+                 "bad route-change link");
+  }
+
+  // One shared builder with the serial engine: same validations, same
+  // per-node streams, same bootstrap membership (identical at any shard
+  // count — every draw comes from a node's own stream).
+  OnlineNodeRuntime rt = make_online_node_runtime(config, n);
+  clients_ = std::move(rt.clients);
+  neighbors_ = std::move(rt.neighbors);
+  timer_rngs_ = std::move(rt.timer_rngs);
+  msg_seq_.assign(static_cast<std::size_t>(n), 0);
+  node_dyn_.resize(static_cast<std::size_t>(n));
+  snapshots_.resize(static_cast<std::size_t>(n));
+
+  shards_.resize(static_cast<std::size_t>(shards));
+  for (NodeId id = 0; id < n; ++id)
+    shards_[static_cast<std::size_t>(shard_of(id))].owned.push_back(id);
+
+  for (auto& shard : shards_) {
+    std::vector<NodeId> tracked;
+    for (NodeId id : config.tracked_nodes) {
+      NC_CHECK_MSG(id >= 0 && id < n, "tracked node out of range");
+      if (shard_of(id) == static_cast<int>(&shard - shards_.data()))
+        tracked.push_back(id);
+    }
+    shard.collector = std::make_unique<MetricsCollector>(
+        make_shard_metrics_config(config, n, std::move(tracked)));
+    // Staggered first pings for the shard's nodes, one phase draw per node
+    // from its own stream.
+    for (NodeId id : shard.owned)
+      shard.queue.push(make_event(
+          timer_rngs_[static_cast<std::size_t>(id)].uniform(0.0, config.ping_interval_s),
+          ShardEventKind::kPingTimer, id));
+    // Drift-tracking ticks at exact multiples of the interval, plus the
+    // final duration_s sample recorded after the last epoch.
+    if (!shard.collector->config().tracked_nodes.empty()) {
+      for (double t = config.track_interval_s; t < config.duration_s;
+           t += config.track_interval_s)
+        shard.queue.push(make_event(t, ShardEventKind::kTrack));
+    }
+  }
+}
+
+int ShardedOnlineSimulator::shard_of(NodeId id) const noexcept {
+  // Block partition: contiguous id ranges per shard (better locality than
+  // round-robin; any fixed map works — results never depend on placement).
+  const auto n = static_cast<std::int64_t>(topology_.size());
+  const auto w = static_cast<std::int64_t>(shards_.size());
+  return static_cast<int>(std::min<std::int64_t>(
+      w - 1, static_cast<std::int64_t>(id) * w / std::max<std::int64_t>(1, n)));
+}
+
+void ShardedOnlineSimulator::advance_node_dyn(NodeId id, double t) {
+  NodeDyn& s = node_dyn_[static_cast<std::size_t>(id)];
+  if (!s.initialized) {
+    s.initialized = true;
+    s.rng = Rng::derived(config_.seed, rngstream::kNode,
+                         static_cast<std::uint64_t>(id));
+    s.dyn.init(s.rng, t, link_config_, availability_);
+  }
+  s.dyn.advance(s.rng, t, link_config_, availability_);
+  snapshots_[static_cast<std::size_t>(id)] =
+      NodeSnapshot{static_cast<std::uint8_t>(s.dyn.up ? 1 : 0), s.dyn.burst_end_t};
+}
+
+ShardedOnlineSimulator::DirLink& ShardedOnlineSimulator::link_at(Shard& shard,
+                                                                 NodeId src,
+                                                                 NodeId dst,
+                                                                 double t) {
+  const std::uint64_t key = directed_key(src, dst);
+  auto [it, inserted] = shard.links.try_emplace(key);
+  DirLink& s = it->second;
+  if (inserted) {
+    s.rng = Rng::derived(config_.seed, rngstream::kDirectedLink, key);
+    s.dyn.init(s.rng, t, link_config_);
+    for (const ShardedRouteChange& rc : route_changes_) {
+      if ((rc.i == src && rc.j == dst) || (rc.i == dst && rc.j == src))
+        s.dyn.scheduled.emplace_back(rc.at_t, rc.factor);
+    }
+    if (!s.dyn.scheduled.empty()) {
+      std::sort(s.dyn.scheduled.begin(), s.dyn.scheduled.end());
+      s.dyn.route_changes_frozen = true;  // controlled steps stay clean
+    }
+  }
+  s.dyn.advance(s.rng, t, link_config_);
+  return s;
+}
+
+void ShardedOnlineSimulator::deliver_batch(Shard& shard, int shard_idx,
+                                           double epoch_start) {
+  const std::vector<ShardMessage> batch = mailbox_.collect(shard_idx);
+  for (const ShardMessage& msg : batch) {
+    if (msg.kind == ShardMsgKind::kDstError) {
+      // Commutes with everything in the epoch: only the per-destination
+      // order matters, and the canonical batch sort fixed it.
+      shard.collector->record_dst_error(msg.t, msg.to, msg.err);
+      continue;
+    }
+    // Processing time is clamped up to this epoch's start so per-entity
+    // time never runs backwards; the batch sort already put clamped
+    // messages in canonical order, and the queue's (kind, sender, seq)
+    // tiebreaks preserve it among equal processing times.
+    ShardEvent ev;
+    ev.t = std::max(msg.t, epoch_start);
+    ev.kind = msg.kind == ShardMsgKind::kPing ? ShardEventKind::kPing
+                                              : ShardEventKind::kPong;
+    ev.a = msg.to;
+    ev.b = msg.from;
+    ev.seq = msg.seq;
+    ev.t_orig = msg.t;
+    ev.rtt_ms = msg.rtt_ms;
+    ev.gossip = msg.gossip;
+    ev.gt_rtt_ms = msg.gt_rtt_ms;
+    ev.sys_coord = msg.sys_coord;
+    ev.app_coord = msg.app_coord;
+    ev.coord_err = msg.coord_err;
+    shard.queue.push(std::move(ev));
+  }
+}
+
+void ShardedOnlineSimulator::process_epoch(Shard& shard, double epoch_end) {
+  while (shard.queue.has_event_before(epoch_end)) {
+    const ShardEvent ev = shard.queue.pop();
+    if (ev.t >= config_.duration_s) continue;  // final partial epoch
+    // Track ticks are bookkeeping, not simulation events: every shard that
+    // owns a tracked node carries its own copy of the tick series, so
+    // counting them would make events_processed() depend on the partition.
+    if (ev.kind != ShardEventKind::kTrack) ++shard.events;
+    switch (ev.kind) {
+      case ShardEventKind::kTrack:
+        for (NodeId id : shard.collector->config().tracked_nodes)
+          shard.collector->track_coordinate(ev.t, id,
+                                            client(id).system_coordinate());
+        break;
+      case ShardEventKind::kPingTimer:
+        on_ping_timer(shard, ev.t, ev.a);
+        break;
+      case ShardEventKind::kPing:
+        on_delivered_ping(shard, ev.t, ev);
+        break;
+      case ShardEventKind::kPong:
+        on_delivered_pong(shard, ev.t, ev);
+        break;
+    }
+  }
+}
+
+void ShardedOnlineSimulator::on_ping_timer(Shard& shard, double t, NodeId node) {
+  // Re-arm first so churned/idle nodes keep their cadence.
+  const double jitter = timer_rngs_[static_cast<std::size_t>(node)].uniform(
+      -config_.ping_jitter_s, config_.ping_jitter_s);
+  shard.queue.push(make_event(t + std::max(0.1, config_.ping_interval_s + jitter),
+                              ShardEventKind::kPingTimer, node));
+
+  if (!snapshots_[static_cast<std::size_t>(node)].up) return;
+
+  auto& nbrs = neighbors_[static_cast<std::size_t>(node)];
+  const auto target = nbrs.next_round_robin();
+  if (!target.has_value()) return;
+
+  ++shard.pings_sent;
+  if (!snapshots_[static_cast<std::size_t>(*target)].up) {
+    ++shard.pings_lost;  // target down: the ping times out
+    return;
+  }
+
+  DirLink& link = link_at(shard, node, *target, t);
+  if (link.rng.bernoulli(link_config_.loss_prob)) {
+    ++shard.pings_lost;
+    return;
+  }
+
+  // Same observation model as LatencyNetwork::sample_rtt (shared pipeline),
+  // on the directed link's own stream; overload windows come from the epoch
+  // snapshots.
+  const bool overload =
+      t < snapshots_[static_cast<std::size_t>(node)].burst_end_t ||
+      t < snapshots_[static_cast<std::size_t>(*target)].burst_end_t;
+  const double base = topology_.base_rtt_ms(node, *target) * link.dyn.route_factor;
+  const double rtt = lat::sample_noisy_rtt(link.rng, base, overload,
+                                           t < link.dyn.burst_end_t, link_config_);
+
+  ShardMessage msg;
+  msg.kind = ShardMsgKind::kPing;
+  msg.t = t;
+  msg.from = node;
+  msg.to = *target;
+  msg.seq = msg_seq_[static_cast<std::size_t>(node)]++;
+  msg.rtt_ms = static_cast<float>(rtt);
+  if (config_.collect_oracle) msg.gt_rtt_ms = base;
+  // The ping gossips one of the sender's neighbors (never the target
+  // itself) and introduces the sender.
+  if (const auto g = nbrs.random_neighbor(); g.has_value() && *g != *target)
+    msg.gossip = *g;
+  mailbox_.outbox(shard_idx_of(shard), shard_of(*target)).push_back(std::move(msg));
+}
+
+void ShardedOnlineSimulator::on_delivered_ping(Shard& shard, double t_proc,
+                                               const ShardEvent& ev) {
+  const NodeId receiver = ev.a;   // the pinged node
+  const NodeId pinger = ev.b;
+  auto& nbrs = neighbors_[static_cast<std::size_t>(receiver)];
+  nbrs.add(pinger);
+  if (ev.gossip != kInvalidNode && ev.gossip != receiver) nbrs.add(ev.gossip);
+
+  NCClient& cl = *clients_[static_cast<std::size_t>(receiver)];
+  ShardMessage pong;
+  pong.kind = ShardMsgKind::kPong;
+  pong.t = ev.t_orig + static_cast<double>(ev.rtt_ms) / 1000.0;
+  pong.from = receiver;
+  pong.to = pinger;
+  pong.seq = msg_seq_[static_cast<std::size_t>(receiver)]++;
+  pong.rtt_ms = ev.rtt_ms;
+  pong.gt_rtt_ms = ev.gt_rtt_ms;
+  if (const auto g = nbrs.random_neighbor(); g.has_value() && *g != pinger)
+    pong.gossip = *g;
+  // The remote's state as of reply time; the observer applies it on arrival.
+  pong.sys_coord = cl.system_coordinate();
+  pong.app_coord = cl.application_coordinate();
+  pong.coord_err = cl.error_estimate();
+  mailbox_.outbox(shard_idx_of(shard), shard_of(pinger)).push_back(std::move(pong));
+  (void)t_proc;
+}
+
+void ShardedOnlineSimulator::on_delivered_pong(Shard& shard, double t_proc,
+                                               const ShardEvent& ev) {
+  const NodeId observer = ev.a;
+  const NodeId remote = ev.b;
+  if (ev.gossip != kInvalidNode && ev.gossip != observer)
+    neighbors_[static_cast<std::size_t>(observer)].add(ev.gossip);
+
+  NCClient& cl = *clients_[static_cast<std::size_t>(observer)];
+  const ObservationOutcome outcome =
+      cl.observe(remote, ev.sys_coord, ev.coord_err,
+                 static_cast<double>(ev.rtt_ms), t_proc);
+
+  std::optional<double> truth;
+  if (config_.collect_oracle) truth = ev.gt_rtt_ms;
+
+  const double err = shard.collector->on_observation(
+      t_proc, observer, remote, static_cast<double>(ev.rtt_ms),
+      cl.application_coordinate(), ev.app_coord, outcome, truth);
+
+  // Route the destination-keyed error record to the destination's owner so
+  // its streaming median sees one canonical input order.
+  if (t_proc >= config_.measure_start_s && t_proc < config_.duration_s) {
+    ShardMessage rec;
+    rec.kind = ShardMsgKind::kDstError;
+    rec.t = t_proc;
+    rec.from = observer;
+    rec.to = remote;
+    rec.seq = msg_seq_[static_cast<std::size_t>(observer)]++;
+    rec.err = err;
+    mailbox_.outbox(shard_idx_of(shard), shard_of(remote)).push_back(std::move(rec));
+  }
+}
+
+void ShardedOnlineSimulator::run() {
+  NC_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+
+  const double interval = config_.ping_interval_s;
+  const auto epochs = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(config_.duration_s / interval)));
+  const auto W = static_cast<int>(shards_.size());
+
+  std::barrier<> sync(static_cast<std::ptrdiff_t>(W));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(W));
+
+  const auto work = [&](int s) noexcept {
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    try {
+      for (std::int64_t k = 0; k < epochs; ++k) {
+        const double epoch_start = static_cast<double>(k) * interval;
+        // Delivery phase: own node dynamics + own inbox only.
+        for (NodeId id : shard.owned) advance_node_dyn(id, epoch_start);
+        deliver_batch(shard, s, epoch_start);
+        sync.arrive_and_wait();
+        // Processing phase: own entities; cross-shard state only via the
+        // read-only snapshots and the outboxes.
+        process_epoch(shard, static_cast<double>(k + 1) * interval);
+        sync.arrive_and_wait();
+      }
+      // Destination error records emitted in the final epoch still count:
+      // one last drain, applying only metric records (any in-flight
+      // pings/pongs are past end-of-run, like the serial simulator's).
+      for (const ShardMessage& msg : mailbox_.collect(s)) {
+        if (msg.kind == ShardMsgKind::kDstError)
+          shard.collector->record_dst_error(msg.t, msg.to, msg.err);
+      }
+      // Close out the run exactly like OnlineSimulator::run().
+      for (NodeId id : shard.collector->config().tracked_nodes)
+        shard.collector->track_coordinate(config_.duration_s, id,
+                                          client(id).system_coordinate());
+      shard.collector->finalize();
+    } catch (...) {
+      errors[static_cast<std::size_t>(s)] = std::current_exception();
+      sync.arrive_and_drop();  // release peers for all remaining phases
+    }
+  };
+
+  if (W == 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(W));
+    for (int s = 0; s < W; ++s) threads.emplace_back(work, s);
+    for (std::thread& t : threads) t.join();
+  }
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  // Merge shard collectors in shard order; fixed-point sums make the merged
+  // totals independent of this order anyway.
+  for (std::size_t s = 1; s < shards_.size(); ++s)
+    shards_[0].collector->merge(*shards_[s].collector);
+  for (const Shard& shard : shards_) {
+    pings_sent_ += shard.pings_sent;
+    pings_lost_ += shard.pings_lost;
+    events_ += shard.events;
+  }
+}
+
+MetricsCollector& ShardedOnlineSimulator::metrics() noexcept {
+  return *shards_[0].collector;
+}
+
+const MetricsCollector& ShardedOnlineSimulator::metrics() const noexcept {
+  return *shards_[0].collector;
+}
+
+}  // namespace nc::sim

@@ -1,0 +1,154 @@
+// Epoch-sharded online simulator: one big run across all cores.
+//
+// ExperimentGrid parallelizes across independent runs; this engine
+// parallelizes WITHIN one online run. Nodes are block-partitioned over W
+// worker shards. Each shard owns everything its nodes touch — NCClient,
+// NeighborSet, per-node RNG streams, the availability/overload process of
+// its nodes and the latency state of every DIRECTED link its nodes ping —
+// and advances in lock-step epochs of `ping_interval_s`. Within an epoch a
+// shard processes only its own entities; all cross-node interaction
+// (ping delivery, pong observation, per-destination metric records) travels
+// as messages handed over at epoch boundaries and sorted by a canonical,
+// message-intrinsic key (shard_mailbox.hpp).
+//
+// Determinism: results are bit-identical for ANY shard count, because
+//  * every stochastic draw belongs to exactly one entity's derived stream
+//    (rngstream::k{PingTimer,Bootstrap,Node,DirectedLink,Neighbor}, plus
+//    Vivaldi's per-node stream), so no global draw order exists;
+//  * each entity consumes its events in a canonical order: local timers are
+//    totally ordered by time per node, and delivered batches are sorted by
+//    the canonical message key before entering the shard's queue;
+//  * cross-node per-second metric sums are accumulated in fixed-point by
+//    MetricsCollector and merged associatively (MetricsCollector::merge).
+//
+// Protocol semantics differ from OnlineSimulator in one declared way:
+// messages cross the network at epoch granularity (a ping sent in epoch k
+// is answered in epoch k+1 and observed one delivery later, each step
+// clamped up to the delivering epoch's start), and node up/down/overload
+// state advances at epoch starts instead of per query. Both engines
+// implement the same paper protocol; shards=1 is the reference semantics
+// for sharded runs — compare sharded runs against each other, not against
+// OnlineSimulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/nc_client.hpp"
+#include "core/neighbor_set.hpp"
+#include "latency/link_model.hpp"
+#include "latency/topology.hpp"
+#include "sim/metrics.hpp"
+#include "sim/online_sim.hpp"
+#include "sim/shard_mailbox.hpp"
+#include "sim/sharded_route_change.hpp"
+
+namespace nc::sim {
+
+class ShardedOnlineSimulator {
+ public:
+  /// `shards` >= 1 worker threads; the topology/link/availability configs
+  /// play the role of OnlineSimulator's shared LatencyNetwork (the sharded
+  /// engine derives all link/node stochastic state itself, from
+  /// config.seed, so it owns the network model rather than borrowing one).
+  ShardedOnlineSimulator(const OnlineSimConfig& config, int shards,
+                         lat::Topology topology,
+                         const lat::LinkModelConfig& link_config = {},
+                         const lat::AvailabilityConfig& availability = {},
+                         std::vector<ShardedRouteChange> route_changes = {});
+
+  /// Runs the full simulation across `shards` threads. Call once.
+  void run();
+
+  /// Merged metrics over all shards; valid after run().
+  [[nodiscard]] MetricsCollector& metrics() noexcept;
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept;
+
+  [[nodiscard]] NCClient& client(NodeId id) { return *clients_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] NeighborSet& neighbors(NodeId id) { return neighbors_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(clients_.size()); }
+  [[nodiscard]] int shards() const noexcept { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] int shard_of(NodeId id) const noexcept;
+
+  [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
+  [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
+  /// Queue events processed across all shards (timers + deliveries), the
+  /// unit bench_shard_scaling reports per second.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_; }
+
+ private:
+  /// Availability/overload process of one node, advanced at epoch starts by
+  /// the owning shard (epoch-granular analogue of LatencyNetwork::node_at;
+  /// the state machine itself is the shared lat::NodeDynamics).
+  struct NodeDyn {
+    Rng rng;
+    bool initialized = false;
+    lat::NodeDynamics dyn;
+  };
+
+  /// Epoch-wide view of a node, written by its owner in the delivery phase
+  /// and read by every shard in the processing phase (barrier-separated).
+  struct NodeSnapshot {
+    std::uint8_t up = 1;
+    double burst_end_t = -1.0;
+  };
+
+  /// Latency state of one DIRECTED link, owned by the source node's shard.
+  /// Streams are per direction (route factor, bursts, jitter draws evolve
+  /// independently for i->j and j->i); controlled route changes apply to
+  /// both directions. The state machine is the shared lat::LinkDynamics.
+  struct DirLink {
+    Rng rng;
+    lat::LinkDynamics dyn;
+  };
+
+  struct Shard {
+    std::vector<NodeId> owned;
+    ShardEventQueue queue;
+    std::unordered_map<std::uint64_t, DirLink> links;
+    std::unique_ptr<MetricsCollector> collector;
+    std::uint64_t pings_sent = 0;
+    std::uint64_t pings_lost = 0;
+    std::uint64_t events = 0;
+  };
+
+  [[nodiscard]] int shard_idx_of(const Shard& s) const noexcept {
+    return static_cast<int>(&s - shards_.data());
+  }
+  void advance_node_dyn(NodeId id, double t);
+  void deliver_batch(Shard& shard, int shard_idx, double epoch_start);
+  void process_epoch(Shard& shard, double epoch_end);
+  void on_ping_timer(Shard& shard, double t, NodeId node);
+  void on_delivered_ping(Shard& shard, double t_proc, const ShardEvent& ev);
+  void on_delivered_pong(Shard& shard, double t_proc, const ShardEvent& ev);
+  DirLink& link_at(Shard& shard, NodeId src, NodeId dst, double t);
+
+  OnlineSimConfig config_;
+  lat::Topology topology_;
+  lat::LinkModelConfig link_config_;
+  lat::AvailabilityConfig availability_;
+  std::vector<ShardedRouteChange> route_changes_;
+
+  // Node-indexed state; each element is touched only by its owner shard
+  // during parallel phases (snapshots_ additionally read by all shards in
+  // processing phases, barrier-separated from the owner's writes).
+  std::vector<std::unique_ptr<NCClient>> clients_;
+  std::vector<NeighborSet> neighbors_;
+  std::vector<Rng> timer_rngs_;
+  std::vector<std::uint64_t> msg_seq_;
+  std::vector<NodeDyn> node_dyn_;
+  std::vector<NodeSnapshot> snapshots_;
+
+  std::vector<Shard> shards_;
+  EpochMailbox mailbox_;
+
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t pings_lost_ = 0;
+  std::uint64_t events_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace nc::sim

@@ -48,6 +48,14 @@ void BucketedValues::add(double t, double v) {
   buckets_[bucket_of(t, width_)].push_back(v);
 }
 
+void BucketedValues::merge(const BucketedValues& other) {
+  NC_CHECK_MSG(width_ == other.width_, "bucket width mismatch");
+  for (const auto& [b, vs] : other.buckets_) {
+    auto& mine = buckets_[b];
+    mine.insert(mine.end(), vs.begin(), vs.end());
+  }
+}
+
 std::vector<SeriesPoint> BucketedValues::medians() const { return quantiles(0.5); }
 
 std::vector<SeriesPoint> BucketedValues::means() const {

@@ -47,6 +47,12 @@ class BucketedValues {
 
   void add(double t, double v);
 
+  /// Absorbs another collection with the same bucket width. Bucket contents
+  /// are concatenated; medians/quantiles sort per bucket, so those queries
+  /// are independent of merge order (means() sums in stored order and may
+  /// differ in the last ulp across orders).
+  void merge(const BucketedValues& other);
+
   [[nodiscard]] std::vector<SeriesPoint> medians() const;
   [[nodiscard]] std::vector<SeriesPoint> means() const;
   [[nodiscard]] std::vector<SeriesPoint> quantiles(double q) const;

@@ -35,6 +35,12 @@ TEST(MetricsCollector, RejectsBadConfig) {
   c = small_config();
   c.measure_start_s = 200.0;
   EXPECT_THROW(MetricsCollector{c}, CheckError);
+  // A window that contains no FULL second (stability metrics cover
+  // [ceil(start), ceil(duration))) is rejected up front, not at query time.
+  c = small_config();
+  c.duration_s = 60.0;
+  c.measure_start_s = 59.5;
+  EXPECT_THROW(MetricsCollector{c}, CheckError);
 }
 
 TEST(MetricsCollector, RelativeErrorPerNode) {
@@ -220,6 +226,131 @@ TEST(MetricsCollector, PerDstExcludesWarmupAndEnforcesMinSamples) {
   EXPECT_TRUE(m.per_dst_median_error().empty());
   m.on_observation(61.0, 1, 3, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
   EXPECT_EQ(m.per_dst_median_error().size(), 1u);
+}
+
+TEST(MetricsCollector, FinalizeFlushesTheLastInFlightSecond) {
+  MetricsCollector m(small_config());
+  // One burst of movement inside a single second, never rolled over: before
+  // finalize() the per-node movement distribution has no flushed seconds at
+  // all, so the node is invisible and its p95 silently truncated.
+  m.on_observation(5.2, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 40.0));
+  m.on_observation(5.7, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 2.0));
+  EXPECT_TRUE(m.per_node_p95_movement().empty());
+  m.finalize();
+  const auto cdf = m.per_node_p95_movement();
+  ASSERT_EQ(cdf.size(), 1u);
+  // finalize() is idempotent: a second call must not duplicate the second.
+  m.finalize();
+  EXPECT_EQ(m.per_node_p95_movement().size(), 1u);
+}
+
+TEST(MetricsCollector, InstabilityWindowExcludesPartialWarmupSecond) {
+  MetricsConfig c = small_config();
+  c.measure_start_s = 50.5;  // second 50 straddles the warm-up boundary
+  MetricsCollector m(c);
+  // In the eval window by the accuracy gate (t >= 50.5), but inside the
+  // partial second 50 — its movement must not appear in any per-second
+  // stability metric.
+  m.on_observation(50.7, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(9, true, 99.0));
+  m.on_observation(51.5, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(9, true, 10.0));
+  m.finalize();
+  // Full seconds 51..99 only: 49 of them, and the 99 ms never leaks in.
+  const auto cdf = m.instability();
+  EXPECT_EQ(cdf.size(), 49u);
+  EXPECT_DOUBLE_EQ(cdf.max(), 10.0);
+  EXPECT_NEAR(m.mean_instability_ms_per_s(), 10.0 / 49.0, 1e-9);
+  // Accuracy still counts both observations (it gates per observation).
+  EXPECT_EQ(m.per_node_median_error().size(), 1u);
+  // Per-node movement seconds follow the same full-second boundary.
+  const auto p95 = m.per_node_p95_movement();
+  ASSERT_EQ(p95.size(), 1u);
+  EXPECT_LT(p95.max(), 99.0);
+}
+
+TEST(MetricsCollector, DeferredDstAccountingRoutesThroughRecordDstError) {
+  MetricsConfig c = small_config();
+  c.inline_dst_errors = false;
+  MetricsCollector m(c);
+  m.on_observation(1.0, 0, 3, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  EXPECT_EQ(m.dst_observation_count(3), 0u);  // inline path disabled
+  m.record_dst_error(1.0, 3, 0.5);
+  m.record_dst_error(2.0, 3, 0.25);
+  m.record_dst_error(3.0, 3, 0.0);
+  EXPECT_EQ(m.dst_observation_count(3), 3u);
+  EXPECT_DOUBLE_EQ(m.median_error_to(3), 0.25);
+}
+
+TEST(MetricsCollector, RecordDstErrorRespectsEvalWindowAndInlineFlag) {
+  MetricsConfig c = small_config();
+  c.measure_start_s = 50.0;
+  c.inline_dst_errors = false;
+  MetricsCollector m(c);
+  m.record_dst_error(10.0, 2, 1.0);  // warm-up: ignored
+  EXPECT_EQ(m.dst_observation_count(2), 0u);
+  m.record_dst_error(60.0, 2, 1.0);
+  EXPECT_EQ(m.dst_observation_count(2), 1u);
+  // The inline-accounting collector rejects the deferred path outright.
+  MetricsCollector inline_m(small_config());
+  EXPECT_THROW(inline_m.record_dst_error(60.0, 2, 1.0), CheckError);
+}
+
+TEST(MetricsCollector, MergeCombinesDisjointNodeSets) {
+  MetricsCollector a(small_config());
+  MetricsCollector b(small_config());
+  // Shard A owns nodes 0-1, shard B owns 2-3; same second, both shards.
+  a.on_observation(5.1, 0, 1, 60.0, at(0, 0), at(30, 0), outcome(1, true, 2.0));
+  a.on_observation(5.9, 1, 0, 30.0, at(0, 0), at(30, 0), outcome(1, true, 3.0));
+  b.on_observation(5.5, 2, 3, 40.0, at(0, 0), at(30, 0), outcome(1, true, 5.0));
+  b.on_observation(7.5, 3, 2, 30.0, at(0, 0), at(30, 0), outcome(1, true, 7.0));
+  a.merge(b);
+
+  EXPECT_EQ(a.observation_count(), 4u);
+  EXPECT_EQ(a.total_app_updates(), 4u);
+  EXPECT_EQ(a.per_node_median_error().size(), 4u);
+  EXPECT_EQ(a.per_dst_median_error().size(), 4u);
+  // Second 5 sums movement across shards: 2 + 3 + 5 = 10; second 7 has 7.
+  EXPECT_DOUBLE_EQ(a.instability().max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.system_instability().max(), 3.0);
+  // Distinct updating nodes in second 5: three of four nodes => mean over
+  // the 100 s window = (3 + 1) / 100 nodes-seconds of 4 nodes.
+  EXPECT_NEAR(a.mean_pct_nodes_updating_per_s(), 100.0 * 4.0 / 400.0, 1e-9);
+}
+
+TEST(MetricsCollector, MergeRejectsOverlapAndConfigMismatch) {
+  MetricsCollector a(small_config());
+  MetricsCollector b(small_config());
+  a.on_observation(1.0, 0, 1, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  b.on_observation(2.0, 0, 1, 60.0, at(0, 0), at(30, 0), outcome(0, false, 0));
+  EXPECT_THROW(a.merge(b), CheckError);  // node 0 observed on both sides
+
+  MetricsConfig other = small_config();
+  other.duration_s = 200.0;
+  MetricsCollector c(other);
+  EXPECT_THROW(a.merge(c), CheckError);
+}
+
+TEST(MetricsCollector, MergeUnionsDriftAndTimeseries) {
+  MetricsConfig ca = small_config();
+  ca.tracked_nodes = {0};
+  ca.collect_timeseries = true;
+  ca.timeseries_bucket_s = 10.0;
+  MetricsConfig cb = small_config();
+  cb.tracked_nodes = {2};
+  cb.collect_timeseries = true;
+  cb.timeseries_bucket_s = 10.0;
+  MetricsCollector a(ca);
+  MetricsCollector b(cb);
+  a.track_coordinate(10.0, 0, at(1, 1));
+  b.track_coordinate(10.0, 2, at(2, 2));
+  a.on_observation(5.0, 0, 1, 10.0, at(0, 0), at(20, 0), outcome(0, false, 0));
+  b.on_observation(15.0, 2, 3, 10.0, at(0, 0), at(10, 0), outcome(0, false, 0));
+  a.merge(b);
+  EXPECT_EQ(a.drift(0).size(), 1u);
+  EXPECT_EQ(a.drift(2).size(), 1u);
+  const auto med = a.error_timeseries_median();
+  ASSERT_EQ(med.size(), 2u);
+  EXPECT_DOUBLE_EQ(med[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(med[1].value, 0.0);
 }
 
 TEST(MetricsCollector, PerNodeMovementPercentile) {

@@ -124,5 +124,50 @@ TEST(OnlineSimulator, TracksDrift) {
   EXPECT_GE(sim.metrics().drift(1).size(), 3u);
 }
 
+TEST(OnlineSimulator, DriftSeriesCoversTheWholeRun) {
+  auto net = small_network(8);
+  OnlineSimConfig c = small_config(600.0);
+  c.tracked_nodes = {1};
+  c.track_interval_s = 250.0;
+  OnlineSimulator sim(c, net);
+  sim.run();
+  // Interior samples at 250 and 500 plus the final flush at duration_s.
+  const auto& d = sim.metrics().drift(1);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.back().t, 600.0);
+}
+
+TEST(OnlineSimulator, NonPositiveTrackIntervalRejected) {
+  // Used to spin forever inside maybe_track (next_track_t_ += 0).
+  auto net = small_network(8);
+  OnlineSimConfig c = small_config(300.0);
+  c.tracked_nodes = {1};
+  c.track_interval_s = 0.0;
+  EXPECT_THROW(OnlineSimulator(c, net), CheckError);
+}
+
+TEST(OnlineSimulator, BootstrapDegreeCountsDistinctPeers) {
+  // With 8 nodes and degree 5 duplicate draws are near-certain; every node
+  // must still start with exactly 5 DISTINCT live peers (the constructor
+  // used to count duplicates toward the degree and under-connect).
+  auto net = small_network(8);
+  OnlineSimConfig c = small_config(60.0);
+  c.bootstrap_degree = 5;
+  OnlineSimulator sim(c, net);
+  for (NodeId id = 0; id < sim.num_nodes(); ++id) {
+    EXPECT_EQ(sim.neighbors(id).size(), 5u) << "node " << id;
+    EXPECT_FALSE(sim.neighbors(id).contains(id)) << "node " << id;
+  }
+}
+
+TEST(OnlineSimulator, BootstrapDegreeMustLeaveANonPeer) {
+  // degree >= n can never find enough distinct peers: reject instead of
+  // looping forever in the constructor.
+  auto net = small_network(8);
+  OnlineSimConfig c = small_config(60.0);
+  c.bootstrap_degree = 8;
+  EXPECT_THROW(OnlineSimulator(c, net), CheckError);
+}
+
 }  // namespace
 }  // namespace nc::sim
