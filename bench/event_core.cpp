@@ -1,0 +1,134 @@
+// Event-core kernel suite: events/sec of the serial and epoch-sharded
+// online engines across deployment sizes.
+//
+// PR 4 rebuilt the hot event-dispatch structures (calendar-queue scheduler,
+// merge-based mailboxes, dense link/membership state); this bench is the
+// kernel's scorecard. For each n in --sizes (default 256, 1k, 4k) it runs
+// the same named scenario through
+//   * the serial OnlineSimulator (immediate-delivery semantics), and
+//   * the ShardedOnlineSimulator at --shards = 1, 2, 4, ... (powers of two
+//     up to --max-shards),
+// reports events/sec, and cross-checks that every shard count produced
+// bit-identical metrics (the sharded engine's core guarantee; the run
+// aborts loudly if not). Each row is also printed as a JSON object for
+// BENCH_pr4.json-style records; scripts/bench_diff.py compares such records
+// across PRs.
+//
+// Flags: --scenario (planetlab), --nodes (0 = the full 256/1k/4k suite,
+//        otherwise one size), --hours (1), --seed (7), --max-shards (4),
+//        --serial (1: include the serial engine).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/online_sim.hpp"
+#include "sim/sharded_sim.hpp"
+
+namespace {
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_row(const char* engine, int nodes, int shards, double wall,
+               std::uint64_t events, double err) {
+  const double rate = static_cast<double>(events) / wall;
+  std::printf("%8s %6d %7d %10.2f %14llu %12.0f %12.4f\n", engine, nodes,
+              shards, wall, static_cast<unsigned long long>(events), rate, err);
+  std::printf("  json: {\"engine\": \"%s\", \"nodes\": %d, \"shards\": %d, "
+              "\"wall_s\": %.2f, \"events\": %llu, \"events_per_s\": %.0f, "
+              "\"median_err\": %.4f}\n",
+              engine, nodes, shards, wall,
+              static_cast<unsigned long long>(events), rate, err);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nc::Flags flags = ncb::parse_flags_exact(
+      argc, argv,
+      {"scenario", "nodes", "hours", "seed", "max-shards", "serial", "full"});
+  nc::eval::ScenarioSpec base = ncb::scenario_spec(
+      flags, {.nodes = 0, .hours = 1.0, .full_nodes = 0, .full_hours = 1.0,
+              .seed = 7, .mode = nc::eval::SimMode::kOnline});
+  const int max_shards = static_cast<int>(flags.get_int("max-shards", 4));
+  const bool run_serial = flags.get_int("serial", 1) != 0;
+
+  std::vector<int> sizes;
+  if (base.workload.num_nodes > 0) {
+    sizes.push_back(base.workload.num_nodes);
+  } else {
+    sizes = {256, 1024, 4096};
+  }
+
+  ncb::print_header(
+      "event core: events/sec of the online engines vs deployment size", "");
+  std::printf("scenario=%s, %.2f h online, seed %llu, hardware threads: %u\n",
+              flags.get_string("scenario", "planetlab").c_str(),
+              base.workload.duration_s / 3600.0,
+              static_cast<unsigned long long>(base.workload.seed),
+              std::thread::hardware_concurrency());
+  std::printf("\n%8s %6s %7s %10s %14s %12s %12s\n", "engine", "nodes",
+              "shards", "wall(s)", "events", "events/s", "median-err");
+
+  for (const int n : sizes) {
+    nc::eval::ScenarioSpec spec = base;
+    spec.workload.num_nodes = n;
+
+    if (run_serial) {
+      // The serial engine owns nothing the sharded engine shares at runtime;
+      // resolve_* assembles exactly what run_scenario would. Wall time
+      // covers construction + run (dense state trades setup for per-event
+      // speed; the trade must show in the number).
+      const auto t0 = std::chrono::steady_clock::now();
+      nc::lat::LatencyNetwork network(
+          nc::lat::Topology::make(
+              nc::eval::resolve_topology_config(spec.workload)),
+          spec.workload.link_model.value_or(nc::lat::LinkModelConfig{}),
+          spec.workload.availability.value_or(nc::lat::AvailabilityConfig{}),
+          spec.workload.seed);
+      nc::sim::OnlineSimulator sim(nc::eval::resolve_online_config(spec),
+                                   network);
+      sim.run();
+      print_row("serial", n, 0, wall_seconds_since(t0), sim.events_processed(),
+                sim.metrics().median_relative_error());
+    }
+
+    double ref_err = 0.0, ref_inst = 0.0;
+    std::uint64_t ref_obs = 0;
+    for (int w = 1; w <= max_shards; w *= 2) {
+      spec.shards = w;
+      const auto t0 = std::chrono::steady_clock::now();
+      nc::sim::ShardedOnlineSimulator sim(
+          nc::eval::resolve_online_config(spec), w,
+          nc::lat::Topology::make(
+              nc::eval::resolve_topology_config(spec.workload)),
+          spec.workload.link_model.value_or(nc::lat::LinkModelConfig{}),
+          spec.workload.availability.value_or(nc::lat::AvailabilityConfig{}),
+          nc::eval::resolve_route_changes(spec.workload));
+      sim.run();
+      const double wall = wall_seconds_since(t0);
+
+      const double err = sim.metrics().median_relative_error();
+      const double inst = sim.metrics().mean_instability_ms_per_s();
+      if (w == 1) {
+        ref_err = err;
+        ref_inst = inst;
+        ref_obs = sim.metrics().observation_count();
+      } else {
+        NC_CHECK_MSG(err == ref_err && inst == ref_inst &&
+                         sim.metrics().observation_count() == ref_obs,
+                     "sharded run diverged from shards=1 (determinism bug)");
+      }
+      print_row("sharded", n, w, wall, sim.events_processed(), err);
+    }
+  }
+  std::printf("\nnote: shard speedup needs real cores; on a 1-core host all\n"
+              "shard counts serialize. The serial and sharded engines differ\n"
+              "in declared delivery semantics, so compare events/sec, not\n"
+              "metrics, across engines.\n");
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "core/vivaldi.hpp"
 #include "latency/trace_generator.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard_mailbox.hpp"
 #include "stats/energy.hpp"
 #include "stats/p2_quantile.hpp"
 
@@ -140,6 +141,52 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+// The sharded engine's epoch rhythm on its calendar queue: one bulk batch
+// of epoch-clamped deliveries, then drain the epoch while re-arming one
+// timer per pop. Reported per processed event.
+void BM_ShardEventQueueEpochBatch(benchmark::State& state) {
+  const int kTimers = 256;
+  const int kBatch = 512;
+  sim::ShardEventQueue q;
+  Rng rng(9);
+  double epoch = 0.0;
+  const double interval = 5.0;
+  for (int i = 0; i < kTimers; ++i) {
+    sim::ShardEvent ev;
+    ev.t = rng.uniform(0.0, interval);
+    ev.kind = sim::ShardEventKind::kPingTimer;
+    ev.a = i;
+    q.push(ev);
+  }
+  std::vector<sim::ShardEvent> batch;
+  std::uint64_t processed = 0;
+  while (state.KeepRunningBatch(kTimers + kBatch)) {
+    batch.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      sim::ShardEvent ev;
+      ev.t = epoch;  // clamped delivery: all at the epoch start
+      ev.kind = (i & 1) != 0 ? sim::ShardEventKind::kPong
+                             : sim::ShardEventKind::kPing;
+      ev.a = static_cast<NodeId>(rng.uniform_int(kTimers));
+      ev.b = static_cast<NodeId>(rng.uniform_int(kTimers));
+      ev.seq = processed + static_cast<std::uint64_t>(i);
+      batch.push_back(ev);
+    }
+    q.push_batch(batch);
+    epoch += interval;
+    while (q.has_event_before(epoch)) {
+      sim::ShardEvent ev = q.pop();
+      ++processed;
+      if (ev.kind == sim::ShardEventKind::kPingTimer) {
+        ev.t += interval;
+        q.push(ev);
+      }
+      benchmark::DoNotOptimize(ev);
+    }
+  }
+}
+BENCHMARK(BM_ShardEventQueueEpochBatch);
 
 }  // namespace
 

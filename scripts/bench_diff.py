@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json records and fail on kernel regressions.
+
+Usage: bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Two kinds of entries are compared, matched by name across the files:
+
+  * google-benchmark micro kernels (the "benchmarks" array): cpu_time,
+    lower is better;
+  * online-engine kernel rates (the "event_core" section, or PR 3's
+    "shard_scaling" section, whose rows are normalized to the same keys):
+    events_per_s, higher is better.
+
+Entries present in only one file are reported but never fail the check
+(benches come and go across PRs); a matched entry that regressed by more
+than --threshold percent (default 25) fails with exit code 1. Records are
+expected to come from comparable runs (same host class, same build type) —
+this guards against collateral kernel damage, not micro-noise, hence the
+generous default threshold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def micro_kernels(record):
+    """name -> cpu_time (ns, lower is better) from the benchmarks array."""
+    out = {}
+    for b in record.get("benchmarks", []):
+        if b.get("run_type", "iteration") == "iteration":
+            out[b["name"]] = float(b["cpu_time"])
+    return out
+
+
+def engine_rates(record):
+    """name -> events/s (higher is better) from event_core/shard_scaling."""
+    out = {}
+    for row in record.get("event_core", {}).get("results", []):
+        name = "online_events_per_s[engine=%s,nodes=%d,shards=%d]" % (
+            row.get("engine", "sharded"),
+            int(row["nodes"]),
+            int(row.get("shards", 0)),
+        )
+        out[name] = float(row["events_per_s"])
+    # PR 3's bench_shard_scaling section: always the sharded engine at 1000
+    # nodes (the workload string pins it); normalize to the same key space.
+    for row in record.get("shard_scaling", {}).get("results", []):
+        name = "online_events_per_s[engine=sharded,nodes=1000,shards=%d]" % int(
+            row["shards"]
+        )
+        out[name] = float(row["events_per_s"])
+    return out
+
+
+def compare(name, old, new, lower_is_better, threshold_pct):
+    # improvement_pct is signed in the direction of goodness: positive means
+    # the new record is better, negative means it regressed.
+    if lower_is_better:
+        improvement_pct = (old - new) / old * 100.0
+    else:
+        improvement_pct = (new - old) / old * 100.0 if old > 0 else float("inf")
+    regressed = improvement_pct < -threshold_pct
+    better = "lower" if lower_is_better else "higher"
+    marker = "REGRESSION" if regressed else "ok"
+    print(
+        "  %-58s old=%12.1f new=%12.1f (%s is better, %+6.1f%%) %s"
+        % (name, old, new, better, improvement_pct, marker)
+    )
+    return regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="max tolerated regression in percent (default 25)")
+    args = ap.parse_args()
+
+    with open(args.old) as f:
+        old = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    failures = 0
+    for title, extract, lower in (
+        ("micro kernels (cpu_time)", micro_kernels, True),
+        ("online engine (events/s)", engine_rates, False),
+    ):
+        a, b = extract(old), extract(new)
+        shared = sorted(set(a) & set(b))
+        only_old = sorted(set(a) - set(b))
+        only_new = sorted(set(b) - set(a))
+        print("%s: %d compared" % (title, len(shared)))
+        for name in shared:
+            if compare(name, a[name], b[name], lower, args.threshold):
+                failures += 1
+        for name in only_old:
+            print("  %-58s only in %s (skipped)" % (name, args.old))
+        for name in only_new:
+            print("  %-58s only in %s (skipped)" % (name, args.new))
+
+    if failures:
+        print("FAIL: %d kernel(s) regressed more than %.0f%%"
+              % (failures, args.threshold))
+        return 1
+    print("OK: no kernel regressed more than %.0f%%" % args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,8 @@ LatencyNetwork::LatencyNetwork(Topology topology, LinkModelConfig link_config,
       config_(link_config),
       availability_(availability),
       seed_(seed),
+      links_(static_cast<std::size_t>(topology_.size()) *
+             static_cast<std::size_t>(std::max(0, topology_.size() - 1)) / 2),
       nodes_(static_cast<std::size_t>(topology_.size())),
       node_init_(static_cast<std::size_t>(topology_.size()), false) {
   NC_CHECK_MSG(config_.body_sigma >= 0.0, "negative jitter sigma");
@@ -116,12 +118,27 @@ std::uint64_t LatencyNetwork::link_key(NodeId i, NodeId j) noexcept {
   return (lo << 32) | hi;
 }
 
+std::size_t LatencyNetwork::link_index(NodeId i, NodeId j) const {
+  // The sparse map this replaced tolerated any key as an inert entry; a
+  // dense index must reject bad endpoints or write out of bounds.
+  NC_CHECK_MSG(i >= 0 && j >= 0 && i != j && i < topology_.size() &&
+                   j < topology_.size(),
+               "bad link endpoints");
+  const auto n = static_cast<std::size_t>(topology_.size());
+  const auto lo = static_cast<std::size_t>(std::min(i, j));
+  const auto hi = static_cast<std::size_t>(std::max(i, j));
+  // Row-major upper triangle: row lo starts after the first lo rows, whose
+  // lengths are (n-1), (n-2), ..., (n-lo).
+  return lo * (2 * n - lo - 1) / 2 + (hi - lo - 1);
+}
+
 LatencyNetwork::LinkState& LatencyNetwork::link_at(NodeId i, NodeId j, double t) {
-  const std::uint64_t key = link_key(i, j);
-  auto [it, inserted] = links_.try_emplace(key);
-  LinkState& s = it->second;
-  if (inserted) {
-    s.rng = Rng::derived(seed_, rngstream::kLink, key);
+  LinkState& s = links_[link_index(i, j)];
+  if (!s.initialized) {
+    // Lazy stream seeding at first-touch time; the derivation key is the
+    // same (lo, hi) pair as always, so every seed maps to the same trace.
+    s.initialized = true;
+    s.rng = Rng::derived(seed_, rngstream::kLink, link_key(i, j));
     s.dyn.init(s.rng, t, config_);
     s.last_t = t;
   }
@@ -184,13 +201,12 @@ void LatencyNetwork::force_route_change(NodeId i, NodeId j, double factor, doubl
 void LatencyNetwork::schedule_route_change(NodeId i, NodeId j, double factor,
                                            double at_t) {
   NC_CHECK_MSG(factor > 0.0, "route factor must be positive");
-  const std::uint64_t key = link_key(i, j);
-  auto [it, inserted] = links_.try_emplace(key);
-  LinkState& s = it->second;
-  if (inserted) {
+  LinkState& s = links_[link_index(i, j)];
+  if (!s.initialized) {
     // Initialize exactly as link_at would at first sample time; the first
     // real sample will advance from here.
-    s.rng = Rng::derived(seed_, rngstream::kLink, key);
+    s.initialized = true;
+    s.rng = Rng::derived(seed_, rngstream::kLink, link_key(i, j));
     s.dyn.init(s.rng, 0.0, config_);
     s.last_t = 0.0;
   }

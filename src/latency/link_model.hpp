@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -166,6 +165,7 @@ class LatencyNetwork {
     Rng rng;
     double last_t = -1e18;
     LinkDynamics dyn;
+    bool initialized = false;
   };
   struct NodeState {
     Rng rng;
@@ -174,6 +174,9 @@ class LatencyNetwork {
   };
 
   [[nodiscard]] static std::uint64_t link_key(NodeId i, NodeId j) noexcept;
+  /// Dense triangular index of the undirected link {i, j}. Throws on
+  /// out-of-range ids or i == j (a dense array has no inert slot for them).
+  [[nodiscard]] std::size_t link_index(NodeId i, NodeId j) const;
   LinkState& link_at(NodeId i, NodeId j, double t);
   NodeState& node_at(NodeId i, double t);
 
@@ -181,7 +184,12 @@ class LatencyNetwork {
   LinkModelConfig config_;
   AvailabilityConfig availability_;
   std::uint64_t seed_;
-  std::unordered_map<std::uint64_t, LinkState> links_;
+  /// Per-link stochastic state, dense over the n*(n-1)/2 undirected links
+  /// (triangular index). Slots stay lazily stream-seeded at first-touch
+  /// time, exactly like the hash-map entries this replaced — the map cost
+  /// (hash + probe per sample, rehash allocations) is gone from the
+  /// simulator hot path.
+  std::vector<LinkState> links_;
   std::vector<NodeState> nodes_;
   std::vector<bool> node_init_;
   std::uint64_t samples_ = 0;

@@ -1,17 +1,21 @@
 // Deterministic discrete-event queue.
 //
-// A min-heap ordered by (time, insertion sequence): events at equal times
+// Events are ordered by (time, insertion sequence): events at equal times
 // fire in insertion order, which keeps simulations bit-reproducible across
 // runs and platforms. Payloads are plain structs (no std::function) so a
-// multi-million-event run does not allocate per event.
+// multi-million-event run does not allocate per event. Storage is a bucketed
+// calendar queue (calendar_queue.hpp): the periodic timer traffic of the
+// simulators makes insert and pop O(1) amortized with no per-event heap
+// sift, and the (t, seq) key is a total order, so the pop sequence is
+// bit-identical to the binary heap this replaced.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "common/check.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace nc::sim {
 
@@ -26,33 +30,33 @@ class EventQueue {
 
   void schedule(double t, Payload payload) {
     NC_CHECK_MSG(t >= now_, "cannot schedule in the past");
-    heap_.push(Event{t, next_seq_++, std::move(payload)});
+    calendar_.push(Event{t, next_seq_++, std::move(payload)});
   }
 
   /// Pops the earliest event and advances the simulated clock to it.
   [[nodiscard]] std::optional<Event> pop() {
-    if (heap_.empty()) return std::nullopt;
-    Event e = heap_.top();
-    heap_.pop();
+    if (calendar_.empty()) return std::nullopt;
+    Event e = calendar_.pop();
     NC_ASSERT(e.t >= now_);
     now_ = e.t;
     return e;
   }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return calendar_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return calendar_.size(); }
   /// Time of the last popped event (0 before any pop).
   [[nodiscard]] double now() const noexcept { return now_; }
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+  struct Ops {
+    [[nodiscard]] static double time(const Event& e) noexcept { return e.t; }
+    [[nodiscard]] static bool less(const Event& a, const Event& b) noexcept {
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  CalendarQueue<Event, Ops> calendar_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
 };

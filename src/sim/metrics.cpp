@@ -36,7 +36,13 @@ MetricsCollector::MetricsCollector(const MetricsConfig& config) : config_(config
   if (config.collect_timeseries) {
     ts_errors_.emplace(config.timeseries_bucket_s);
   }
-  for (NodeId id : config.tracked_nodes) drift_[id];  // pre-create entries
+  drift_.resize(n);
+  drift_tracked_.assign(n, 0);
+  for (NodeId id : config.tracked_nodes) {
+    NC_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < n,
+                 "tracked node out of range");
+    drift_tracked_[static_cast<std::size_t>(id)] = 1;
+  }
 }
 
 std::size_t MetricsCollector::second_index(double t) const noexcept {
@@ -102,7 +108,7 @@ double MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
     NodeSecond& cur = node_current_second_[s];
     const auto this_sec = static_cast<std::int64_t>(sec);
     if (cur.second != this_sec) {
-      if (cur.second >= 0) node_second_movements_[s].push_back(cur.movement);
+      if (cur.second >= 0) flush_node_second(s, cur.movement);
       cur.second = this_sec;
       cur.movement = 0.0;
     }
@@ -130,11 +136,21 @@ void MetricsCollector::record_dst_error(double t, NodeId dst, double err) {
   ++dst_count_[d];
 }
 
+void MetricsCollector::flush_node_second(std::size_t node, double movement) {
+  std::vector<double>& secs = node_second_movements_[node];
+  // Capacity hint at first flush: a node contributes at most one entry per
+  // eval-window second. Bounding the hint keeps the up-front commitment
+  // modest for very long runs (doubling takes over beyond it).
+  if (secs.capacity() == 0)
+    secs.reserve(std::min<std::size_t>(eval_window_seconds(), 4096));
+  secs.push_back(movement);
+}
+
 void MetricsCollector::finalize() {
   for (std::size_t s = 0; s < node_current_second_.size(); ++s) {
     NodeSecond& cur = node_current_second_[s];
     if (cur.second >= 0) {
-      node_second_movements_[s].push_back(cur.movement);
+      flush_node_second(s, cur.movement);
       cur.second = -1;
       cur.movement = 0.0;
     }
@@ -189,13 +205,16 @@ void MetricsCollector::merge(MetricsCollector& other) {
 
   if (ts_errors_) ts_errors_->merge(*other.ts_errors_);
 
-  for (auto& [id, points] : other.drift_) {
-    auto [it, inserted] = drift_.try_emplace(id);
-    if (!points.empty()) {
-      NC_CHECK_MSG(it->second.empty(), "drift data on both sides");
-      it->second = std::move(points);
+  for (std::size_t i = 0; i < drift_.size(); ++i) {
+    if (!other.drift_tracked_[i]) continue;
+    if (!other.drift_[i].empty()) {
+      NC_CHECK_MSG(drift_[i].empty(), "drift data on both sides");
+      drift_[i] = std::move(other.drift_[i]);
     }
-    if (inserted) config_.tracked_nodes.push_back(id);
+    if (!drift_tracked_[i]) {
+      drift_tracked_[i] = 1;
+      config_.tracked_nodes.push_back(static_cast<NodeId>(i));
+    }
   }
 
   observations_ += other.observations_;
@@ -203,7 +222,10 @@ void MetricsCollector::merge(MetricsCollector& other) {
 }
 
 void MetricsCollector::track_coordinate(double t, NodeId node, const Coordinate& coord) {
-  drift_[node].push_back(DriftPoint{t, coord.position()});
+  const auto i = static_cast<std::size_t>(node);
+  NC_CHECK_MSG(node >= 0 && i < drift_.size(), "tracked node out of range");
+  drift_tracked_[i] = 1;
+  drift_[i].push_back(DriftPoint{t, coord.position()});
 }
 
 stats::Ecdf MetricsCollector::per_node_median_error() const {
@@ -349,9 +371,10 @@ std::vector<stats::SeriesPoint> MetricsCollector::instability_timeseries() const
 }
 
 const std::vector<DriftPoint>& MetricsCollector::drift(NodeId node) const {
-  const auto it = drift_.find(node);
-  NC_CHECK_MSG(it != drift_.end(), "node was not tracked");
-  return it->second;
+  const auto i = static_cast<std::size_t>(node);
+  NC_CHECK_MSG(node >= 0 && i < drift_.size() && drift_tracked_[i],
+               "node was not tracked");
+  return drift_[i];
 }
 
 }  // namespace nc::sim

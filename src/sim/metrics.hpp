@@ -37,7 +37,6 @@
 
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -165,6 +164,12 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t observation_count() const noexcept { return observations_; }
   [[nodiscard]] const MetricsConfig& config() const noexcept { return config_; }
 
+  /// Capacity of one node's per-second movement store (tests pin the
+  /// no-reallocation-in-steady-state contract through this).
+  [[nodiscard]] std::size_t node_movement_capacity(NodeId node) const {
+    return node_second_movements_.at(static_cast<std::size_t>(node)).capacity();
+  }
+
  private:
   /// Movement sums that cross node boundaries are accumulated in integer
   /// ticks of 2^-20 ms: integer addition is associative and commutative, so
@@ -206,11 +211,14 @@ class MetricsCollector {
   std::vector<std::int64_t> app_move_per_sec_;
   std::vector<std::int64_t> sys_move_per_sec_;
 
-  // Per-node movement per second (eval window): flushed sums.
+  // Per-node movement per second (eval window): flushed sums. Each node's
+  // store is capacity-hinted at its first flush (flush_node_second) so the
+  // steady-state flush path does not reallocate per push.
   struct NodeSecond {
     std::int64_t second = -1;
     double movement = 0.0;
   };
+  void flush_node_second(std::size_t node, double movement);
   std::vector<NodeSecond> node_current_second_;
   std::vector<std::vector<double>> node_second_movements_;
 
@@ -221,8 +229,10 @@ class MetricsCollector {
   // Time series.
   std::optional<stats::BucketedValues> ts_errors_;
 
-  // Drift.
-  std::map<NodeId, std::vector<DriftPoint>> drift_;
+  // Drift: dense node-indexed series plus a tracked flag replicating the
+  // sparse map's "was this node ever tracked" distinction.
+  std::vector<std::vector<DriftPoint>> drift_;
+  std::vector<std::uint8_t> drift_tracked_;
 
   std::uint64_t observations_ = 0;
   std::uint64_t app_updates_ = 0;

@@ -84,6 +84,7 @@ void OnlineSimulator::run() {
   while (auto ev = queue_.pop()) {
     const double t = ev->t;
     if (t >= config_.duration_s) break;
+    ++events_;
     maybe_track(t);
     switch (ev->payload.kind) {
       case EventKind::kPingTimer:

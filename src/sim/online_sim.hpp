@@ -84,6 +84,9 @@ class OnlineSimulator {
 
   [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
   [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
+  /// Queue events processed (timers + pong arrivals), the unit
+  /// bench_event_core reports per second for the serial engine.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_; }
 
  private:
   enum class EventKind : std::uint8_t { kPingTimer, kPongArrival };
@@ -113,6 +116,7 @@ class OnlineSimulator {
   double next_track_t_ = 0.0;
   std::uint64_t pings_sent_ = 0;
   std::uint64_t pings_lost_ = 0;
+  std::uint64_t events_ = 0;
   bool ran_ = false;
 };
 

@@ -1,24 +1,33 @@
 // Epoch-boundary message exchange for the sharded online simulator.
 //
 // Shards interact only through messages handed over at epoch boundaries.
-// During an epoch each shard appends to one outbox per destination shard
-// (no other thread touches that cell); at the next boundary the RECEIVING
-// shard drains its column and sorts the batch by a canonical key that is
-// intrinsic to the message — (time, kind, sender, receiver, per-sender
-// sequence number) — so the delivery order every entity observes is a pure
-// function of the traffic, never of the shard count or thread timing. That
-// canonical order is the heart of the engine's determinism argument (see
-// DESIGN.md "Epoch-sharded online simulation").
+// During an epoch each shard appends to one outbox per destination shard;
+// at the next boundary the RECEIVING shard drains its column into one batch
+// ordered by a canonical key that is intrinsic to the message — (time, kind,
+// sender, receiver, per-sender sequence number) — so the delivery order
+// every entity observes is a pure function of the traffic, never of the
+// shard count or thread timing. That canonical order is the heart of the
+// engine's determinism argument (see DESIGN.md "Event core").
+//
+// The batch is built by a k-way MERGE, not a sort: each outbox cell keeps
+// one run per message kind, and two of the three kinds (kPing, kDstError)
+// are emitted in canonical order by construction — their timestamp is the
+// sender's processing time, which the sender's event queue already hands
+// out in canonical order. Only kPong runs carry a stochastic timestamp
+// (ping send time + sampled RTT), so only those small per-cell runs are
+// sorted, by the SENDER, when it seals its outboxes at the end of its
+// processing phase. The merge writes into a per-receiver buffer that is
+// reused across epochs, so a steady-state epoch allocates nothing.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/check.hpp"
 #include "core/coordinate.hpp"
 #include "core/node_id.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace nc::sim {
 
@@ -45,7 +54,9 @@ struct ShardMessage {
 };
 
 /// Canonical message order. Every field compared is decided by the sending
-/// entity alone, so any shard layout sorts a delivery batch identically.
+/// entity alone, so any shard layout orders a delivery batch identically.
+/// The key is total on distinct messages: a sender's (from, seq) pair never
+/// repeats.
 [[nodiscard]] inline bool shard_msg_less(const ShardMessage& a,
                                          const ShardMessage& b) noexcept {
   if (a.t != b.t) return a.t < b.t;
@@ -61,37 +72,120 @@ struct ShardMessage {
 /// ever touched from two threads concurrently.
 class EpochMailbox {
  public:
-  explicit EpochMailbox(int shards) : shards_(shards) {
+  static constexpr int kKinds = 3;
+
+  /// One per-kind run per cell. kPing/kDstError runs are canonically sorted
+  /// by construction (asserted on append); kPong runs become sorted when the
+  /// sender seals its outboxes.
+  struct Cell {
+    std::vector<ShardMessage> runs[kKinds];
+  };
+
+  /// `per_cell_hint` presizes every run for the expected per-epoch traffic
+  /// (roughly: nodes-per-shard ping once per epoch, spread over W receiving
+  /// shards), so steady-state sends never reallocate.
+  explicit EpochMailbox(int shards, std::size_t per_cell_hint = 0)
+      : shards_(shards) {
     NC_CHECK_MSG(shards >= 1, "need at least one shard");
-    cells_.resize(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards));
+    const auto w = static_cast<std::size_t>(shards);
+    cells_.resize(w * w);
+    if (per_cell_hint > 0) {
+      for (Cell& cell : cells_)
+        for (auto& run : cell.runs) run.reserve(per_cell_hint);
+    }
+    merge_runs_.resize(w);
+    for (auto& runs : merge_runs_) runs.reserve(w * kKinds);
   }
 
-  [[nodiscard]] std::vector<ShardMessage>& outbox(int sender, int receiver) {
-    return cells_[static_cast<std::size_t>(sender) * static_cast<std::size_t>(shards_) +
+  /// Appends one message to the (sender, receiver) outbox. Called only by
+  /// `sender`'s thread during its processing phase.
+  void send(int sender, int receiver, ShardMessage msg) {
+    auto& run = cell_at(sender, receiver).runs[static_cast<int>(msg.kind)];
+    // Processing-time-stamped kinds must arrive presorted — that is the
+    // invariant that lets collect_into merge instead of sort.
+    NC_ASSERT(msg.kind == ShardMsgKind::kPong || run.empty() ||
+              shard_msg_less(run.back(), msg));
+    run.push_back(std::move(msg));
+  }
+
+  /// Sorts `sender`'s kPong runs (the one kind whose timestamp — ping send
+  /// time + sampled RTT — is not monotone in emission order). Called by the
+  /// sender at the end of each processing phase, so every run is canonically
+  /// ordered before any receiver merges it.
+  void seal_outboxes(int sender) {
+    for (int r = 0; r < shards_; ++r) {
+      auto& pongs = cell_at(sender, r).runs[static_cast<int>(ShardMsgKind::kPong)];
+      std::sort(pongs.begin(), pongs.end(), &shard_msg_less);
+    }
+  }
+
+  /// Merges every sealed run destined to `receiver` into `out` (cleared
+  /// first) in canonical order, and resets the runs. `out` and the per-
+  /// receiver cursor scratch are reused across epochs: once warm, no
+  /// allocation. Equivalent to the gather-then-sort this replaced because
+  /// the canonical key is total and every run is sorted.
+  void collect_into(int receiver, std::vector<ShardMessage>& out) {
+    auto& runs = merge_runs_[static_cast<std::size_t>(receiver)];
+    runs.clear();
+    std::size_t total = 0;
+    for (int s = 0; s < shards_; ++s) {
+      for (auto& run : cell_at(s, receiver).runs) {
+        if (run.empty()) continue;
+        NC_ASSERT(std::is_sorted(run.begin(), run.end(), &shard_msg_less));
+        runs.push_back(Run{run.data(), run.data() + run.size()});
+        total += run.size();
+      }
+    }
+    out.clear();
+    out.reserve(total);
+
+    // Min-heap of run cursors keyed by head message: O(log 3W) per message.
+    const auto run_after = [](const Run& a, const Run& b) noexcept {
+      return shard_msg_less(*b.next, *a.next);
+    };
+    std::make_heap(runs.begin(), runs.end(), run_after);
+    while (!runs.empty()) {
+      std::pop_heap(runs.begin(), runs.end(), run_after);
+      Run& top = runs.back();
+      out.push_back(std::move(*top.next));
+      ++top.next;
+      if (top.next == top.end) {
+        runs.pop_back();
+      } else {
+        std::push_heap(runs.begin(), runs.end(), run_after);
+      }
+    }
+
+    for (int s = 0; s < shards_; ++s)
+      for (auto& run : cell_at(s, receiver).runs) run.clear();
+  }
+
+  /// Outbox introspection (tests assert capacity reuse across epochs).
+  [[nodiscard]] const Cell& cell(int sender, int receiver) const {
+    return cells_[static_cast<std::size_t>(sender) *
+                      static_cast<std::size_t>(shards_) +
                   static_cast<std::size_t>(receiver)];
   }
 
-  /// Moves every message destined to `receiver` into one canonically sorted
-  /// batch. Sender order feeding the sort is irrelevant — the comparator is
-  /// total on distinct messages.
-  [[nodiscard]] std::vector<ShardMessage> collect(int receiver) {
-    std::vector<ShardMessage> batch;
-    for (int s = 0; s < shards_; ++s) {
-      auto& cell = outbox(s, receiver);
-      batch.insert(batch.end(), std::make_move_iterator(cell.begin()),
-                   std::make_move_iterator(cell.end()));
-      cell.clear();
-    }
-    std::sort(batch.begin(), batch.end(),
-              [](const ShardMessage& a, const ShardMessage& b) {
-                return shard_msg_less(a, b);
-              });
-    return batch;
-  }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
 
  private:
+  struct Run {
+    ShardMessage* next;
+    ShardMessage* end;
+  };
+
+  [[nodiscard]] Cell& cell_at(int sender, int receiver) {
+    return cells_[static_cast<std::size_t>(sender) *
+                      static_cast<std::size_t>(shards_) +
+                  static_cast<std::size_t>(receiver)];
+  }
+
   int shards_;
-  std::vector<std::vector<ShardMessage>> cells_;
+  std::vector<Cell> cells_;
+  /// Merge cursors, one scratch per receiver (touched only by the receiving
+  /// shard's thread during delivery phases).
+  std::vector<std::vector<Run>> merge_runs_;
 };
 
 /// One shard's event loop entries: local ping timers, delivered messages and
@@ -108,7 +202,7 @@ enum class ShardEventKind : std::uint8_t {
 };
 
 struct ShardEvent {
-  double t = 0.0;  // processing time (canonical heap key)
+  double t = 0.0;  // processing time (canonical queue key)
   ShardEventKind kind = ShardEventKind::kPingTimer;
   NodeId a = kInvalidNode;  // owning node (timer owner / message receiver)
   NodeId b = kInvalidNode;  // message sender
@@ -123,31 +217,50 @@ struct ShardEvent {
   double coord_err = 0.0;
 };
 
+/// The per-shard event queue: a calendar queue over the same canonical key
+/// the old binary heap used, so the pop order (and with it every metric) is
+/// unchanged. Epoch-clamped deliveries all land on one day bucket already in
+/// canonical order, so the common insert is a single back-compare append.
 class ShardEventQueue {
  public:
-  void push(ShardEvent ev) { heap_.push(std::move(ev)); }
+  void push(ShardEvent ev) { calendar_.push(std::move(ev)); }
 
-  [[nodiscard]] bool has_event_before(double t_end) const {
-    return !heap_.empty() && heap_.top().t < t_end;
+  /// Bulk insert of one epoch's delivered events: sorts `batch` by the
+  /// canonical key (clamping to the epoch start permutes delivery order, so
+  /// the merge order does not survive translation into processing keys) and
+  /// merges it into the calendar bucket by bucket — one linear pass instead
+  /// of one sorted insertion per event. `batch` is caller-owned scratch,
+  /// reused across epochs; its contents are consumed.
+  void push_batch(std::vector<ShardEvent>& batch) {
+    std::sort(batch.begin(), batch.end(), &Ops::less);
+    calendar_.push_sorted_run(batch.begin(), batch.end());
+    batch.clear();
   }
 
-  [[nodiscard]] ShardEvent pop() {
-    ShardEvent ev = heap_.top();
-    heap_.pop();
-    return ev;
+  [[nodiscard]] bool has_event_before(double t_end) {
+    const ShardEvent* head = calendar_.peek();
+    return head != nullptr && head->t < t_end;
   }
+
+  [[nodiscard]] ShardEvent pop() { return calendar_.pop(); }
+
+  [[nodiscard]] bool empty() const noexcept { return calendar_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return calendar_.size(); }
 
  private:
-  struct Later {
-    bool operator()(const ShardEvent& x, const ShardEvent& y) const noexcept {
-      if (x.t != y.t) return x.t > y.t;
-      if (x.kind != y.kind) return x.kind > y.kind;
-      if (x.a != y.a) return x.a > y.a;
-      if (x.b != y.b) return x.b > y.b;
-      return x.seq > y.seq;
+  struct Ops {
+    [[nodiscard]] static double time(const ShardEvent& e) noexcept { return e.t; }
+    [[nodiscard]] static bool less(const ShardEvent& x,
+                                   const ShardEvent& y) noexcept {
+      if (x.t != y.t) return x.t < y.t;
+      if (x.kind != y.kind) return x.kind < y.kind;
+      if (x.a != y.a) return x.a < y.a;
+      if (x.b != y.b) return x.b < y.b;
+      return x.seq < y.seq;
     }
   };
-  std::priority_queue<ShardEvent, std::vector<ShardEvent>, Later> heap_;
+
+  CalendarQueue<ShardEvent, Ops> calendar_;
 };
 
 }  // namespace nc::sim

@@ -42,6 +42,16 @@ ShardEvent make_event(double t, ShardEventKind kind, NodeId a = kInvalidNode) {
   return ev;
 }
 
+/// Expected per-epoch occupancy of one outbox run: each of the sender
+/// shard's ~n/W nodes emits about one message per kind per epoch, spread
+/// over W receiving shards.
+std::size_t mailbox_cell_hint(int num_nodes, int shards) noexcept {
+  if (shards < 1) return 0;  // EpochMailbox rejects the shard count itself
+  const auto n = static_cast<std::size_t>(num_nodes);
+  const auto w = static_cast<std::size_t>(shards);
+  return n / (w * w) + 8;
+}
+
 }  // namespace
 
 ShardedOnlineSimulator::ShardedOnlineSimulator(
@@ -54,7 +64,7 @@ ShardedOnlineSimulator::ShardedOnlineSimulator(
       link_config_(link_config),
       availability_(availability),
       route_changes_(std::move(route_changes)),
-      mailbox_(shards) {
+      mailbox_(shards, mailbox_cell_hint(topology_.size(), shards)) {
   const int n = topology_.size();
   NC_CHECK_MSG(shards >= 1, "need at least one shard");
   // Same validation the classic path gets from schedule_route_change: fail
@@ -81,6 +91,14 @@ ShardedOnlineSimulator::ShardedOnlineSimulator(
     shards_[static_cast<std::size_t>(shard_of(id))].owned.push_back(id);
 
   for (auto& shard : shards_) {
+    // Dense directed-link state for the shard's contiguous node block:
+    // slot (src - first_owned) * n + dst, lazily stream-seeded on first
+    // touch exactly like the hash-map entries this replaced.
+    if (!shard.owned.empty()) {
+      shard.first_owned = shard.owned.front();
+      shard.links.resize(shard.owned.size() * static_cast<std::size_t>(n));
+    }
+
     std::vector<NodeId> tracked;
     for (NodeId id : config.tracked_nodes) {
       NC_CHECK_MSG(id >= 0 && id < n, "tracked node out of range");
@@ -131,11 +149,15 @@ ShardedOnlineSimulator::DirLink& ShardedOnlineSimulator::link_at(Shard& shard,
                                                                  NodeId src,
                                                                  NodeId dst,
                                                                  double t) {
-  const std::uint64_t key = directed_key(src, dst);
-  auto [it, inserted] = shard.links.try_emplace(key);
-  DirLink& s = it->second;
-  if (inserted) {
-    s.rng = Rng::derived(config_.seed, rngstream::kDirectedLink, key);
+  const std::size_t idx =
+      static_cast<std::size_t>(src - shard.first_owned) *
+          static_cast<std::size_t>(topology_.size()) +
+      static_cast<std::size_t>(dst);
+  DirLink& s = shard.links[idx];
+  if (!s.initialized) {
+    s.initialized = true;
+    s.rng = Rng::derived(config_.seed, rngstream::kDirectedLink,
+                         directed_key(src, dst));
     s.dyn.init(s.rng, t, link_config_);
     for (const ShardedRouteChange& rc : route_changes_) {
       if ((rc.i == src && rc.j == dst) || (rc.i == dst && rc.j == src))
@@ -152,18 +174,17 @@ ShardedOnlineSimulator::DirLink& ShardedOnlineSimulator::link_at(Shard& shard,
 
 void ShardedOnlineSimulator::deliver_batch(Shard& shard, int shard_idx,
                                            double epoch_start) {
-  const std::vector<ShardMessage> batch = mailbox_.collect(shard_idx);
-  for (const ShardMessage& msg : batch) {
+  mailbox_.collect_into(shard_idx, shard.inbox);
+  for (const ShardMessage& msg : shard.inbox) {
     if (msg.kind == ShardMsgKind::kDstError) {
       // Commutes with everything in the epoch: only the per-destination
-      // order matters, and the canonical batch sort fixed it.
+      // order matters, and the canonical batch merge fixed it.
       shard.collector->record_dst_error(msg.t, msg.to, msg.err);
       continue;
     }
     // Processing time is clamped up to this epoch's start so per-entity
-    // time never runs backwards; the batch sort already put clamped
-    // messages in canonical order, and the queue's (kind, sender, seq)
-    // tiebreaks preserve it among equal processing times.
+    // time never runs backwards; events delivered at the same clamped time
+    // are ordered by the queue key's (kind, sender, seq) tiebreaks.
     ShardEvent ev;
     ev.t = std::max(msg.t, epoch_start);
     ev.kind = msg.kind == ShardMsgKind::kPing ? ShardEventKind::kPing
@@ -178,11 +199,17 @@ void ShardedOnlineSimulator::deliver_batch(Shard& shard, int shard_idx,
     ev.sys_coord = msg.sys_coord;
     ev.app_coord = msg.app_coord;
     ev.coord_err = msg.coord_err;
-    shard.queue.push(std::move(ev));
+    shard.staging.push_back(std::move(ev));
   }
+  // One bulk hand-off: push_batch sorts the staged events by the canonical
+  // processing key and merges them into the calendar in one pass per
+  // bucket. Thousands of deliveries share the exact clamped epoch-start
+  // time, so per-event insertion would pay a bucket-tail memmove each.
+  shard.queue.push_batch(shard.staging);
 }
 
-void ShardedOnlineSimulator::process_epoch(Shard& shard, double epoch_end) {
+void ShardedOnlineSimulator::process_epoch(Shard& shard, int shard_idx,
+                                           double epoch_end) {
   while (shard.queue.has_event_before(epoch_end)) {
     const ShardEvent ev = shard.queue.pop();
     if (ev.t >= config_.duration_s) continue;  // final partial epoch
@@ -207,6 +234,10 @@ void ShardedOnlineSimulator::process_epoch(Shard& shard, double epoch_end) {
         break;
     }
   }
+  // All of this epoch's emissions are in; sort the kPong runs (the one kind
+  // whose timestamp is not monotone in emission order) so every outbox is
+  // canonically ordered before the receivers merge at the barrier.
+  mailbox_.seal_outboxes(shard_idx);
 }
 
 void ShardedOnlineSimulator::on_ping_timer(Shard& shard, double t, NodeId node) {
@@ -256,7 +287,7 @@ void ShardedOnlineSimulator::on_ping_timer(Shard& shard, double t, NodeId node) 
   // itself) and introduces the sender.
   if (const auto g = nbrs.random_neighbor(); g.has_value() && *g != *target)
     msg.gossip = *g;
-  mailbox_.outbox(shard_idx_of(shard), shard_of(*target)).push_back(std::move(msg));
+  mailbox_.send(shard_idx_of(shard), shard_of(*target), std::move(msg));
 }
 
 void ShardedOnlineSimulator::on_delivered_ping(Shard& shard, double t_proc,
@@ -282,7 +313,7 @@ void ShardedOnlineSimulator::on_delivered_ping(Shard& shard, double t_proc,
   pong.sys_coord = cl.system_coordinate();
   pong.app_coord = cl.application_coordinate();
   pong.coord_err = cl.error_estimate();
-  mailbox_.outbox(shard_idx_of(shard), shard_of(pinger)).push_back(std::move(pong));
+  mailbox_.send(shard_idx_of(shard), shard_of(pinger), std::move(pong));
   (void)t_proc;
 }
 
@@ -315,7 +346,7 @@ void ShardedOnlineSimulator::on_delivered_pong(Shard& shard, double t_proc,
     rec.to = remote;
     rec.seq = msg_seq_[static_cast<std::size_t>(observer)]++;
     rec.err = err;
-    mailbox_.outbox(shard_idx_of(shard), shard_of(remote)).push_back(std::move(rec));
+    mailbox_.send(shard_idx_of(shard), shard_of(remote), std::move(rec));
   }
 }
 
@@ -342,13 +373,14 @@ void ShardedOnlineSimulator::run() {
         sync.arrive_and_wait();
         // Processing phase: own entities; cross-shard state only via the
         // read-only snapshots and the outboxes.
-        process_epoch(shard, static_cast<double>(k + 1) * interval);
+        process_epoch(shard, s, static_cast<double>(k + 1) * interval);
         sync.arrive_and_wait();
       }
       // Destination error records emitted in the final epoch still count:
       // one last drain, applying only metric records (any in-flight
       // pings/pongs are past end-of-run, like the serial simulator's).
-      for (const ShardMessage& msg : mailbox_.collect(s)) {
+      mailbox_.collect_into(s, shard.inbox);
+      for (const ShardMessage& msg : shard.inbox) {
         if (msg.kind == ShardMsgKind::kDstError)
           shard.collector->record_dst_error(msg.t, msg.to, msg.err);
       }

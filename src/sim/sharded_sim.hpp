@@ -8,18 +8,23 @@
 // and advances in lock-step epochs of `ping_interval_s`. Within an epoch a
 // shard processes only its own entities; all cross-node interaction
 // (ping delivery, pong observation, per-destination metric records) travels
-// as messages handed over at epoch boundaries and sorted by a canonical,
-// message-intrinsic key (shard_mailbox.hpp).
+// as messages handed over at epoch boundaries and merged into a canonical,
+// message-intrinsic order (shard_mailbox.hpp).
 //
 // Determinism: results are bit-identical for ANY shard count, because
 //  * every stochastic draw belongs to exactly one entity's derived stream
 //    (rngstream::k{PingTimer,Bootstrap,Node,DirectedLink,Neighbor}, plus
 //    Vivaldi's per-node stream), so no global draw order exists;
 //  * each entity consumes its events in a canonical order: local timers are
-//    totally ordered by time per node, and delivered batches are sorted by
-//    the canonical message key before entering the shard's queue;
+//    totally ordered by time per node, and delivered batches are merged in
+//    the canonical message order before entering the shard's queue;
 //  * cross-node per-second metric sums are accumulated in fixed-point by
 //    MetricsCollector and merged associatively (MetricsCollector::merge).
+//
+// The steady-state event loop is allocation-free (DESIGN.md "Event core"):
+// per-shard calendar queues replace binary heaps, delivery batches are
+// k-way merges into buffers reused across epochs, and per-link latency
+// state lives in a dense directed-link-indexed array instead of a hash map.
 //
 // Protocol semantics differ from OnlineSimulator in one declared way:
 // messages cross the network at epoch granularity (a ping sent in epoch k
@@ -33,7 +38,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -76,7 +80,7 @@ class ShardedOnlineSimulator {
   [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
   [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
   /// Queue events processed across all shards (timers + deliveries), the
-  /// unit bench_shard_scaling reports per second.
+  /// unit bench_event_core reports per second.
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_; }
 
  private:
@@ -100,15 +104,27 @@ class ShardedOnlineSimulator {
   /// Streams are per direction (route factor, bursts, jitter draws evolve
   /// independently for i->j and j->i); controlled route changes apply to
   /// both directions. The state machine is the shared lat::LinkDynamics.
+  /// Initialization stays lazy (stream seeded at first-touch time), but the
+  /// slot itself lives in the shard's dense directed-link array.
   struct DirLink {
     Rng rng;
     lat::LinkDynamics dyn;
+    bool initialized = false;
   };
 
   struct Shard {
-    std::vector<NodeId> owned;
+    std::vector<NodeId> owned;  // contiguous block [first_owned, ...]
+    NodeId first_owned = 0;
     ShardEventQueue queue;
-    std::unordered_map<std::uint64_t, DirLink> links;
+    /// Dense directed-link state: index (src - first_owned) * n + dst.
+    /// Replaces a u64-keyed hash map — O(1) arithmetic lookup, no rehash
+    /// allocations, one cache line per hot link.
+    std::vector<DirLink> links;
+    /// Delivery batch buffer, reused every epoch (collect_into target).
+    std::vector<ShardMessage> inbox;
+    /// Delivered-event staging for ShardEventQueue::push_batch, reused
+    /// every epoch.
+    std::vector<ShardEvent> staging;
     std::unique_ptr<MetricsCollector> collector;
     std::uint64_t pings_sent = 0;
     std::uint64_t pings_lost = 0;
@@ -120,7 +136,7 @@ class ShardedOnlineSimulator {
   }
   void advance_node_dyn(NodeId id, double t);
   void deliver_batch(Shard& shard, int shard_idx, double epoch_start);
-  void process_epoch(Shard& shard, double epoch_end);
+  void process_epoch(Shard& shard, int shard_idx, double epoch_end);
   void on_ping_timer(Shard& shard, double t, NodeId node);
   void on_delivered_ping(Shard& shard, double t_proc, const ShardEvent& ev);
   void on_delivered_pong(Shard& shard, double t_proc, const ShardEvent& ev);

@@ -158,6 +158,56 @@ TEST(WindowedHeuristic, CloneStartsFresh) {
   EXPECT_EQ(e->window(), 4);
 }
 
+// Regression pin for the O(k^2) -> O(k) energy-slide optimization: the
+// ENERGY heuristic (the only energy path reachable from run_scenario, via
+// NCClient) must make exactly the decisions a naive from-scratch
+// energy_distance recomputation makes on every slide. The reference below
+// replays the two-window protocol literally — fill both windows, freeze
+// W_s, slide W_c, compare, restart on a change point.
+TEST(EnergyHeuristic, MatchesNaiveEnergyRecomputationExactly) {
+  const int k = 16;
+  const double tau = 4.0;
+  EnergyHeuristic h(tau, k);
+  Coordinate app = at(0, 0);
+
+  std::vector<Vec> start, current;  // naive reference state
+  int naive_changes = 0;
+
+  Rng rng(57);
+  double cx = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    if (i % 500 == 499) cx += rng.uniform(5.0, 60.0);  // occasional shifts
+    const Coordinate sys =
+        at(cx + rng.normal(0.0, 0.4), rng.normal(0.0, 0.4));
+    const bool fired = h.on_system_update({sys, nullptr, 0.0}, app);
+
+    // Naive replica of WindowedHeuristic + energy_distance.
+    bool naive_fired = false;
+    const Vec v = sys.as_vec();
+    if (static_cast<int>(start.size()) < k) {
+      start.push_back(v);
+      current.push_back(v);
+    } else {
+      current.push_back(v);
+      current.erase(current.begin());
+      if (stats::energy_distance(start, current) > tau) {
+        naive_fired = true;
+        ++naive_changes;
+        Vec sum = Vec::zero(v.dim());
+        for (const Vec& c : current) sum += c;
+        const Vec centroid = sum / static_cast<double>(current.size());
+        ASSERT_NEAR(app.position().distance_to(centroid), 0.0, 1e-9)
+            << "published centroid diverged at step " << i;
+        start.clear();
+        current.clear();
+      }
+    }
+    ASSERT_EQ(fired, naive_fired) << "decision diverged at step " << i;
+  }
+  EXPECT_EQ(h.change_points(), static_cast<std::uint64_t>(naive_changes));
+  EXPECT_GT(naive_changes, 3);  // the stream actually exercised change points
+}
+
 TEST(WindowedHeuristic, HeightCoordinatesSupported) {
   EnergyHeuristic h(4.0, 8);
   Coordinate app = Coordinate{Vec{0.0, 0.0}, 1.0};

@@ -23,6 +23,16 @@ TEST(LatencyNetwork, RejectsSelfPing) {
   EXPECT_THROW((void)net.sample_rtt(1, 1, 0.0), CheckError);
 }
 
+// The dense link array has no inert slot for bad endpoints (the sparse map
+// it replaced silently tolerated them): every entry point must reject them.
+TEST(LatencyNetwork, RejectsBadLinkEndpoints) {
+  auto net = make_network(10);
+  EXPECT_THROW((void)net.ground_truth_rtt(3, 3, 0.0), CheckError);
+  EXPECT_THROW(net.force_route_change(0, 99, 2.0, 0.0), CheckError);
+  EXPECT_THROW(net.force_route_change(-1, 2, 2.0, 0.0), CheckError);
+  EXPECT_THROW(net.schedule_route_change(5, 5, 2.0, 1.0), CheckError);
+}
+
 TEST(LatencyNetwork, DeterministicBySeed) {
   auto a = make_network(10, 77);
   auto b = make_network(10, 77);

@@ -365,5 +365,35 @@ TEST(MetricsCollector, PerNodeMovementPercentile) {
   EXPECT_LT(cdf.max(), 10.0);
 }
 
+// The per-node movement store is capacity-hinted at its first flush: the
+// steady-state flush path (one entry per eval second) must never
+// reallocate.
+TEST(MetricsCollector, NodeSecondFlushesDoNotReallocate) {
+  MetricsCollector m(small_config());  // 100 s window
+  EXPECT_EQ(m.node_movement_capacity(0), 0u);  // no flush yet, no commit
+  // Second 1 opens the node's window; the flush happens when second 2
+  // arrives.
+  m.on_observation(1.2, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 1.0));
+  m.on_observation(2.2, 0, 1, 10.0, at(0, 0), at(10, 0), outcome(0, true, 1.0));
+  const std::size_t cap = m.node_movement_capacity(0);
+  EXPECT_GE(cap, 100u);  // hinted from the eval window, not grown from 1
+  for (int sec = 3; sec < 100; ++sec)
+    m.on_observation(sec + 0.2, 0, 1, 10.0, at(0, 0), at(10, 0),
+                     outcome(0, true, 1.0));
+  m.finalize();
+  EXPECT_EQ(m.node_movement_capacity(0), cap);  // one window, zero regrowth
+}
+
+// Dense drift storage must reject ids outside [0, num_nodes) up front
+// (the sparse map silently accepted them).
+TEST(MetricsCollector, TrackingOutOfRangeNodeRejected) {
+  MetricsConfig c = small_config();
+  c.tracked_nodes = {99};
+  EXPECT_THROW(MetricsCollector{c}, CheckError);
+  MetricsCollector m(small_config());
+  EXPECT_THROW(m.track_coordinate(1.0, 99, at(0, 0)), CheckError);
+  EXPECT_THROW((void)m.drift(99), CheckError);
+}
+
 }  // namespace
 }  // namespace nc::sim

@@ -1,0 +1,149 @@
+#include "sim/shard_mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nc::sim {
+namespace {
+
+ShardMessage msg(ShardMsgKind kind, double t, NodeId from, NodeId to,
+                 std::uint64_t seq) {
+  ShardMessage m;
+  m.kind = kind;
+  m.t = t;
+  m.from = from;
+  m.to = to;
+  m.seq = seq;
+  return m;
+}
+
+/// One epoch of realistic traffic from every sender shard into `mb`:
+/// kPing/kDstError appended in canonical (processing-time) order, kPong
+/// with scrambled stochastic arrival times, then sealed.
+void emit_epoch(EpochMailbox& mb, int shards, double epoch_start,
+                int msgs_per_kind, std::vector<std::uint64_t>& seqs) {
+  Rng rng(static_cast<std::uint64_t>(epoch_start) + 17);
+  for (int s = 0; s < shards; ++s) {
+    for (int i = 0; i < msgs_per_kind; ++i) {
+      const double t = epoch_start + static_cast<double>(i) * 0.01;
+      const NodeId from = static_cast<NodeId>(s * 100 + i % 7);
+      for (int r = 0; r < shards; ++r) {
+        const NodeId to = static_cast<NodeId>(r * 100 + i % 5);
+        auto& seq = seqs[static_cast<std::size_t>(s)];
+        mb.send(s, r, msg(ShardMsgKind::kPing, t, from, to, seq++));
+        mb.send(s, r,
+                msg(ShardMsgKind::kPong, epoch_start + rng.uniform(0.0, 5.0),
+                    from, to, seq++));
+        mb.send(s, r, msg(ShardMsgKind::kDstError, t, from, to, seq++));
+      }
+    }
+    mb.seal_outboxes(s);
+  }
+}
+
+// The k-way merge must reproduce exactly what the old gather-then-sort
+// produced: the canonical order over the whole delivery batch.
+TEST(EpochMailbox, MergeEqualsCanonicalSort) {
+  const int W = 3;
+  EpochMailbox mb(W);
+  std::vector<std::uint64_t> seqs(W, 0);
+  emit_epoch(mb, W, 0.0, 11, seqs);
+
+  for (int r = 0; r < W; ++r) {
+    // Reference: gather every run destined to r, then sort.
+    std::vector<ShardMessage> expected;
+    for (int s = 0; s < W; ++s)
+      for (const auto& run : mb.cell(s, r).runs)
+        expected.insert(expected.end(), run.begin(), run.end());
+    std::sort(expected.begin(), expected.end(), &shard_msg_less);
+
+    std::vector<ShardMessage> out;
+    mb.collect_into(r, out);
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].t, expected[i].t) << "receiver " << r << " pos " << i;
+      ASSERT_EQ(out[i].kind, expected[i].kind);
+      ASSERT_EQ(out[i].from, expected[i].from);
+      ASSERT_EQ(out[i].to, expected[i].to);
+      ASSERT_EQ(out[i].seq, expected[i].seq);
+    }
+    // Runs are reset for the next epoch.
+    for (int s = 0; s < W; ++s)
+      for (const auto& run : mb.cell(s, r).runs) EXPECT_TRUE(run.empty());
+  }
+}
+
+TEST(EpochMailbox, CollectIntoClearsStaleOutput) {
+  EpochMailbox mb(2);
+  std::vector<ShardMessage> out(7);  // stale junk from a previous epoch
+  mb.collect_into(0, out);
+  EXPECT_TRUE(out.empty());
+  mb.send(1, 0, msg(ShardMsgKind::kPing, 1.0, 100, 1, 0));
+  mb.seal_outboxes(1);
+  mb.collect_into(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, 100);
+}
+
+// The no-reallocation contract of the steady state: with the capacity hint
+// sized for the per-epoch traffic, a second identical epoch reuses every
+// buffer — outbox runs and the delivery batch keep their exact capacity and
+// data pointers.
+TEST(EpochMailbox, SecondEpochReallocatesNothing) {
+  const int W = 2;
+  const int kPerKind = 9;
+  EpochMailbox mb(W, /*per_cell_hint=*/kPerKind * 8);
+  std::vector<std::uint64_t> seqs(W, 0);
+  std::vector<ShardMessage> inbox[2];
+
+  // Epoch 1: warm every buffer.
+  emit_epoch(mb, W, 0.0, kPerKind, seqs);
+  for (int r = 0; r < W; ++r) mb.collect_into(r, inbox[r]);
+
+  struct Snapshot {
+    const ShardMessage* data;
+    std::size_t capacity;
+  };
+  std::vector<Snapshot> snaps;
+  for (int s = 0; s < W; ++s)
+    for (int r = 0; r < W; ++r)
+      for (const auto& run : mb.cell(s, r).runs)
+        snaps.push_back({run.data(), run.capacity()});
+  for (int r = 0; r < W; ++r)
+    snaps.push_back({inbox[r].data(), inbox[r].capacity()});
+
+  // Epoch 2: same traffic shape.
+  emit_epoch(mb, W, 5.0, kPerKind, seqs);
+  for (int r = 0; r < W; ++r) mb.collect_into(r, inbox[r]);
+
+  std::size_t i = 0;
+  for (int s = 0; s < W; ++s)
+    for (int r = 0; r < W; ++r)
+      for (const auto& run : mb.cell(s, r).runs) {
+        EXPECT_EQ(run.data(), snaps[i].data) << "outbox run reallocated";
+        EXPECT_EQ(run.capacity(), snaps[i].capacity);
+        ++i;
+      }
+  for (int r = 0; r < W; ++r) {
+    EXPECT_EQ(inbox[r].data(), snaps[i].data) << "delivery batch reallocated";
+    EXPECT_EQ(inbox[r].capacity(), snaps[i].capacity);
+    ++i;
+  }
+}
+
+TEST(EpochMailbox, CapacityHintPresizesRuns) {
+  EpochMailbox mb(2, 32);
+  for (int s = 0; s < 2; ++s)
+    for (int r = 0; r < 2; ++r)
+      for (const auto& run : mb.cell(s, r).runs)
+        EXPECT_GE(run.capacity(), 32u);
+  EXPECT_THROW(EpochMailbox(0), CheckError);
+}
+
+}  // namespace
+}  // namespace nc::sim
