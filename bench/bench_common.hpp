@@ -9,8 +9,12 @@
 //   --hours=H        simulated duration (some benches use --days/--minutes)
 //   --seed=S         master seed
 //   --jobs=N         worker threads for independent experiment points
-//   --shards=N       online benches that opt in: worker shards WITHIN one
-//                    run (0 = classic single-thread online simulator)
+//   --shards=N       worker shards WITHIN one run (replay and online alike;
+//                    0 and 1 both mean one shard — every run goes through
+//                    the epoch-sharded kernel)
+//   --route-schedule=NAME  named route-change schedule composed into the
+//                    workload (none, single-link, regional-shift,
+//                    backbone-flap)
 //   --full           paper-scale workload (overrides the laptop defaults)
 // Unknown flags and bad positional arguments print a usage message and
 // exit 2 (malformed VALUES like --nodes=abc still abort via nc::CheckError).
@@ -35,8 +39,9 @@ namespace ncb {
 /// exits 2 on unknown flags or malformed arguments.
 inline nc::Flags parse_flags(int argc, const char* const* argv,
                              std::initializer_list<const char*> extra = {}) {
-  std::vector<std::string> allowed = {"scenario", "nodes", "hours",
-                                      "seed",     "jobs",  "full"};
+  std::vector<std::string> allowed = {"scenario", "nodes",  "hours", "seed",
+                                      "jobs",     "shards", "route-schedule",
+                                      "full"};
   allowed.insert(allowed.end(), extra.begin(), extra.end());
   return nc::Flags::parse_or_exit(argc, argv, allowed);
 }
@@ -57,7 +62,7 @@ struct WorkloadDefaults {
   std::int64_t seed = 1;
   const char* scenario = "planetlab";
   nc::eval::SimMode mode = nc::eval::SimMode::kReplay;
-  int shards = 0;  // online mode: 0 = classic engine, >=1 = sharded engine
+  int shards = 0;  // worker shards within one run (0 and 1: one shard)
 };
 
 /// Builds the bench's base spec: the --scenario registry preset with the
@@ -80,9 +85,16 @@ inline nc::eval::ScenarioSpec scenario_spec(const nc::Flags& flags,
       3600.0 * flags.get_double("hours", full ? d.full_hours : d.hours);
   spec.workload.seed =
       static_cast<std::uint64_t>(flags.get_int("seed", d.seed));
-  // Only benches that list "shards" in their vocabulary can receive the
-  // flag; for the rest this reads the default.
   spec.shards = static_cast<int>(flags.get_int("shards", d.shards));
+  // Route-change schedules compose into any workload; applied after the
+  // node-count/duration overrides so the expansion sees the final values.
+  const std::string schedule = flags.get_string("route-schedule", "none");
+  if (!nc::eval::route_schedule_exists(schedule)) {
+    std::cerr << "unknown route schedule '" << schedule << "' (registered: "
+              << nc::eval::route_schedule_names_joined() << ")\n";
+    std::exit(2);
+  }
+  nc::eval::apply_route_schedule(spec, schedule);
   return spec;
 }
 

@@ -1,29 +1,38 @@
-// Event-core kernel suite: events/sec of the serial and epoch-sharded
-// online engines across deployment sizes.
+// Event-core kernel suite: events/sec of the epoch-sharded engine across
+// deployment sizes, in BOTH simulation modes.
 //
 // PR 4 rebuilt the hot event-dispatch structures (calendar-queue scheduler,
-// merge-based mailboxes, dense link/membership state); this bench is the
-// kernel's scorecard. For each n in --sizes (default 256, 1k, 4k) it runs
-// the same named scenario through
-//   * the serial OnlineSimulator (immediate-delivery semantics), and
-//   * the ShardedOnlineSimulator at --shards = 1, 2, 4, ... (powers of two
-//     up to --max-shards),
+// merge-based mailboxes, dense link/membership state); PR 5 collapsed every
+// run — online and replay — onto that one kernel and slab-allocated
+// NCClient's per-link filter state. This bench is the kernel's scorecard.
+// For each n in --sizes (default 256, 1k, 4k) it runs the same named
+// scenario through
+//   * the OnlineSimulator facade (the retired serial engine's entry point,
+//     now the shards=1 kernel — kept as a row so bench_diff.py tracks the
+//     facade against the historical serial-engine records),
+//   * the sharded engine in ONLINE mode at --shards = 1, 2, 4, ... (powers
+//     of two up to --max-shards), and
+//   * the sharded engine in REPLAY mode over a generated trace at the same
+//     shard counts (wall time includes the serial trace generation, which
+//     bounds replay scaling per Amdahl),
 // reports events/sec, and cross-checks that every shard count produced
-// bit-identical metrics (the sharded engine's core guarantee; the run
-// aborts loudly if not). Each row is also printed as a JSON object for
-// BENCH_pr4.json-style records; scripts/bench_diff.py compares such records
-// across PRs.
+// bit-identical metrics (the kernel's core guarantee; the run aborts loudly
+// if not). Each row is also printed as a JSON object for BENCH_pr5.json-
+// style records; scripts/bench_diff.py compares such records across PRs.
 //
 // Flags: --scenario (planetlab), --nodes (0 = the full 256/1k/4k suite,
 //        otherwise one size), --hours (1), --seed (7), --max-shards (4),
-//        --serial (1: include the serial engine).
+//        --serial (1: include the facade row), --replay (1: include replay
+//        rows).
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "latency/trace_generator.hpp"
 #include "sim/online_sim.hpp"
+#include "sim/replay.hpp"
 #include "sim/sharded_sim.hpp"
 
 namespace {
@@ -49,13 +58,14 @@ void print_row(const char* engine, int nodes, int shards, double wall,
 
 int main(int argc, char** argv) {
   const nc::Flags flags = ncb::parse_flags_exact(
-      argc, argv,
-      {"scenario", "nodes", "hours", "seed", "max-shards", "serial", "full"});
+      argc, argv, {"scenario", "nodes", "hours", "seed", "max-shards", "serial",
+                   "replay", "full"});
   nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags, {.nodes = 0, .hours = 1.0, .full_nodes = 0, .full_hours = 1.0,
               .seed = 7, .mode = nc::eval::SimMode::kOnline});
   const int max_shards = static_cast<int>(flags.get_int("max-shards", 4));
   const bool run_serial = flags.get_int("serial", 1) != 0;
+  const bool run_replay = flags.get_int("replay", 1) != 0;
 
   std::vector<int> sizes;
   if (base.workload.num_nodes > 0) {
@@ -65,8 +75,8 @@ int main(int argc, char** argv) {
   }
 
   ncb::print_header(
-      "event core: events/sec of the online engines vs deployment size", "");
-  std::printf("scenario=%s, %.2f h online, seed %llu, hardware threads: %u\n",
+      "event core: events/sec of the sharded kernel vs deployment size", "");
+  std::printf("scenario=%s, %.2f h, seed %llu, hardware threads: %u\n",
               flags.get_string("scenario", "planetlab").c_str(),
               base.workload.duration_s / 3600.0,
               static_cast<unsigned long long>(base.workload.seed),
@@ -79,10 +89,10 @@ int main(int argc, char** argv) {
     spec.workload.num_nodes = n;
 
     if (run_serial) {
-      // The serial engine owns nothing the sharded engine shares at runtime;
-      // resolve_* assembles exactly what run_scenario would. Wall time
-      // covers construction + run (dense state trades setup for per-event
-      // speed; the trade must show in the number).
+      // The OnlineSimulator facade: the classic constructor shape over the
+      // shards=1 kernel. Wall time covers construction + run (dense state
+      // trades setup for per-event speed; the trade must show in the
+      // number).
       const auto t0 = std::chrono::steady_clock::now();
       nc::lat::LatencyNetwork network(
           nc::lat::Topology::make(
@@ -102,7 +112,7 @@ int main(int argc, char** argv) {
     for (int w = 1; w <= max_shards; w *= 2) {
       spec.shards = w;
       const auto t0 = std::chrono::steady_clock::now();
-      nc::sim::ShardedOnlineSimulator sim(
+      nc::sim::ShardedEngine sim(
           nc::eval::resolve_online_config(spec), w,
           nc::lat::Topology::make(
               nc::eval::resolve_topology_config(spec.workload)),
@@ -125,10 +135,46 @@ int main(int argc, char** argv) {
       }
       print_row("sharded", n, w, wall, sim.events_processed(), err);
     }
+
+    if (run_replay) {
+      // Replay mode on the same kernel: the generated trace replaces the
+      // timers. The reader is serial (shard 0), so replay's parallel
+      // fraction is the per-record stamp/observe work.
+      nc::eval::ScenarioSpec rspec = spec;
+      rspec.mode = nc::eval::SimMode::kReplay;
+      nc::sim::ReplayConfig rc;
+      rc.client = rspec.client;
+      rc.duration_s = rspec.workload.duration_s;
+      rc.measure_start_s = nc::eval::resolved_measure_start_s(rspec);
+      rc.epoch_s = rspec.workload.ping_interval_s;
+      double rref_err = 0.0;
+      std::uint64_t rref_obs = 0;
+      for (int w = 1; w <= max_shards; w *= 2) {
+        rc.shards = w;
+        const auto t0 = std::chrono::steady_clock::now();
+        nc::lat::TraceGenerator gen(
+            nc::eval::resolve_trace_config(rspec.workload));
+        nc::sim::ReplayDriver driver(rc, gen.num_nodes());
+        driver.run(gen);
+        const double wall = wall_seconds_since(t0);
+
+        const double err = driver.metrics().median_relative_error();
+        if (w == 1) {
+          rref_err = err;
+          rref_obs = driver.metrics().observation_count();
+        } else {
+          NC_CHECK_MSG(err == rref_err &&
+                           driver.metrics().observation_count() == rref_obs,
+                       "replay run diverged from shards=1 (determinism bug)");
+        }
+        print_row("replay", n, w, wall, driver.events_processed(), err);
+      }
+    }
   }
   std::printf("\nnote: shard speedup needs real cores; on a 1-core host all\n"
-              "shard counts serialize. The serial and sharded engines differ\n"
-              "in declared delivery semantics, so compare events/sec, not\n"
-              "metrics, across engines.\n");
+              "shard counts serialize. Replay rows include the serial trace\n"
+              "generation in wall time. Online and replay rows differ in\n"
+              "workload semantics, so compare events/sec within one engine\n"
+              "label, not across.\n");
   return 0;
 }

@@ -10,14 +10,14 @@
 // streams (the analogue of running on the same hosts at the same time).
 //
 // Flags: --scenario (planetlab), --nodes (270), --hours (4), --seed (7),
-//        --jobs, --interval (5), --shards (0 = classic online engine;
-//        >= 1 runs each configuration on the epoch-sharded engine).
+//        --jobs, --interval (5), --shards (worker shards per run on the
+//        epoch-sharded kernel; 0/1 = one shard).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const nc::Flags flags = ncb::parse_flags(argc, argv, {"interval", "shards"});
+  const nc::Flags flags = ncb::parse_flags(argc, argv, {"interval"});
   nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags,
       {.nodes = 270, .full_nodes = 270, .seed = 7, .mode = nc::eval::SimMode::kOnline});

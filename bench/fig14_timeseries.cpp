@@ -4,8 +4,8 @@
 // noisy for the whole four hours).
 //
 // Flags: --scenario (planetlab), --nodes (270), --hours (4), --seed (7),
-//        --jobs, --interval (5), --bucket-min (10), --shards (0 = classic
-//        online engine; >= 1 runs on the epoch-sharded engine).
+//        --jobs, --interval (5), --bucket-min (10), --shards (worker shards
+//        per run on the epoch-sharded kernel; 0/1 = one shard).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -35,7 +35,7 @@ void print_series(const char* title,
 
 int main(int argc, char** argv) {
   const nc::Flags flags =
-      ncb::parse_flags(argc, argv, {"interval", "bucket-min", "shards"});
+      ncb::parse_flags(argc, argv, {"interval", "bucket-min"});
   nc::eval::ScenarioSpec base = ncb::scenario_spec(
       flags,
       {.nodes = 270, .full_nodes = 270, .seed = 7, .mode = nc::eval::SimMode::kOnline});

@@ -7,9 +7,11 @@ Two kinds of entries are compared, matched by name across the files:
 
   * google-benchmark micro kernels (the "benchmarks" array): cpu_time,
     lower is better;
-  * online-engine kernel rates (the "event_core" section, or PR 3's
+  * engine kernel rates (the "event_core" section, or PR 3's
     "shard_scaling" section, whose rows are normalized to the same keys):
-    events_per_s, higher is better.
+    events_per_s, higher is better. Rows are keyed by (engine, nodes,
+    shards), so the serial facade, sharded online and — since PR 5 —
+    sharded replay rows are tracked independently.
 
 Entries present in only one file are reported but never fail the check
 (benches come and go across PRs); a matched entry that regressed by more

@@ -1,0 +1,99 @@
+// Lazily-paged dense storage for O(n^2) link-state arrays.
+//
+// The simulators index per-link stochastic state by dense arithmetic
+// (triangular index for LatencyNetwork's undirected links,
+// (src - first_owned) * n + dst for a shard's directed links). Dense arrays
+// killed the hash maps on the per-event hot path, but they are eager O(n^2)
+// allocations: ~1 GB at n = 4k and ~6 GB at 10k for the serial network,
+// O(n^2/W) per shard in the sharded engine. Large deployments touch only a
+// sparse subset of that index space — a node's NeighborSet caps its contact
+// set at `neighbor_capacity` (default 512), and a bounded-duration replay
+// reaches at most duration/interval round-robin partners per node — so most
+// slots are never written.
+//
+// PagedStore keeps the exact index API (`at(i)` returns the same logical
+// slot in either mode) and picks a layout by size:
+//
+//  * eager  — one flat vector, zero indirection: slot counts at or below
+//    `eager_slot_limit` (the bench tier; the hot path is a single index);
+//  * paged  — fixed-size blocks of kPageSlots slots allocated on first
+//    touch, so a 10k-node run costs memory proportional to the links it
+//    actually samples, not to n^2.
+//
+// Slots are value-initialized in both modes (a fresh page reads exactly like
+// a fresh vector element), so the two modes are observationally identical —
+// tests/common/paged_store_test.cpp pins the equivalence, and the engines'
+// bit-identity suites run both modes against each other.
+//
+// Not thread-safe; every store is owned by exactly one shard or one serial
+// network, matching the engines' owner-only-writes discipline.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nc {
+
+/// Eager up to 32M slots: the 4k-node bench tier (8.4M undirected links,
+/// 16.8M directed slots per shard at W=1) keeps its flat arrays.
+inline constexpr std::size_t kPagedStoreDefaultEagerSlotLimit =
+    std::size_t{32} << 20;
+
+template <typename T>
+class PagedStore {
+ public:
+  /// 8192 slots per page: ~0.8 MB of LinkState per page — small enough that
+  /// sparse touch patterns stay sparse, large enough that the page table is
+  /// tiny (a 10k-node shard array needs ~12k page pointers).
+  static constexpr std::size_t kPageSlots = std::size_t{1} << 13;
+  static constexpr std::size_t kDefaultEagerSlotLimit =
+      kPagedStoreDefaultEagerSlotLimit;
+
+  explicit PagedStore(std::size_t slots = 0,
+                      std::size_t eager_slot_limit = kDefaultEagerSlotLimit)
+      : slots_(slots), paged_(slots > eager_slot_limit) {
+    if (paged_) {
+      pages_.resize((slots + kPageSlots - 1) / kPageSlots);
+    } else {
+      eager_.resize(slots);
+    }
+  }
+
+  /// The logical slot `i`; allocates its page on first touch in paged mode.
+  [[nodiscard]] T& at(std::size_t i) {
+    NC_ASSERT(i < slots_);
+    if (!paged_) return eager_[i];
+    auto& page = pages_[i / kPageSlots];
+    if (!page) page = std::make_unique<T[]>(kPageSlots);  // value-initialized
+    return page[i % kPageSlots];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_; }
+  [[nodiscard]] bool paged() const noexcept { return paged_; }
+
+  /// Pages actually materialized (paged mode; eager mode reports 0 or 1
+  /// whole-range "page" for introspection symmetry).
+  [[nodiscard]] std::size_t allocated_pages() const noexcept {
+    if (!paged_) return eager_.empty() ? 0 : 1;
+    std::size_t n = 0;
+    for (const auto& p : pages_)
+      if (p) ++n;
+    return n;
+  }
+
+  /// Total pages the index space spans (paged mode).
+  [[nodiscard]] std::size_t page_count() const noexcept {
+    return paged_ ? pages_.size() : allocated_pages();
+  }
+
+ private:
+  std::size_t slots_;
+  bool paged_;
+  std::vector<T> eager_;
+  std::vector<std::unique_ptr<T[]>> pages_;
+};
+
+}  // namespace nc

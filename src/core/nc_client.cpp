@@ -11,26 +11,61 @@ NCClient::NCClient(NodeId id, const NCClientConfig& config)
       heuristic_(config.heuristic.make()) {}
 
 NCClient::LinkState& NCClient::link_for(NodeId remote, double now_s) {
-  auto it = links_.find(remote);
-  if (it == links_.end()) {
-    if (config_.max_tracked_links > 0 && links_.size() >= config_.max_tracked_links) {
-      evict_oldest_link();
-    }
-    it = links_.emplace(remote, LinkState{config_.filter.make(), {}, now_s}).first;
+  const auto rid = static_cast<std::size_t>(remote);
+  if (rid >= slot_of_.size()) {
+    // Geometric growth keeps amortized cost O(1); remote ids are dense
+    // small integers in every driver, so this settles at ~n entries.
+    slot_of_.resize(std::max(rid + 1, slot_of_.size() * 2), 0);
   }
-  return it->second;
+  if (const std::uint32_t slot = slot_of_[rid]; slot != 0)
+    return slab_[slot - 1];
+
+  // First contact (or re-contact after eviction): claim a slab slot.
+  if (config_.max_tracked_links > 0 &&
+      active_links_ >= config_.max_tracked_links) {
+    evict_oldest_link();
+  }
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    // Reuse the parked slot: reset its filter instead of allocating a fresh
+    // one — a reset filter is behaviorally identical to a clone()d one
+    // (pinned by NCClient.SlabLinkStateMatchesMapReference).
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+    LinkState& s = slab_[idx];
+    s.filter->reset();
+    s.last_coord = Coordinate{};
+  } else {
+    slab_.push_back(LinkState{config_.filter.make(), {}, 0.0, kInvalidNode});
+    idx = static_cast<std::uint32_t>(slab_.size() - 1);
+  }
+  LinkState& s = slab_[idx];
+  s.remote = remote;
+  s.last_seen_s = now_s;
+  slot_of_[rid] = idx + 1;
+  ++active_links_;
+  return s;
 }
 
 void NCClient::evict_oldest_link() {
-  auto oldest = links_.begin();
-  for (auto it = links_.begin(); it != links_.end(); ++it) {
-    if (it->second.last_seen_s < oldest->second.last_seen_s) oldest = it;
+  // Strictly-less scan keeps the lowest-index slot on ties, matching the
+  // first-seen preference of the map-based implementation this replaced;
+  // the slab is at most max_tracked_links entries and evictions are rare.
+  std::size_t oldest = slab_.size();
+  for (std::size_t i = 0; i < slab_.size(); ++i) {
+    if (slab_[i].remote == kInvalidNode) continue;
+    if (oldest == slab_.size() ||
+        slab_[i].last_seen_s < slab_[oldest].last_seen_s)
+      oldest = i;
   }
-  if (oldest != links_.end()) {
-    if (oldest->first == nearest_id_) nearest_id_ = kInvalidNode;
-    links_.erase(oldest);
-    ++evictions_;
-  }
+  if (oldest == slab_.size()) return;
+  LinkState& victim = slab_[oldest];
+  if (victim.remote == nearest_id_) nearest_id_ = kInvalidNode;
+  slot_of_[static_cast<std::size_t>(victim.remote)] = 0;
+  victim.remote = kInvalidNode;
+  free_slots_.push_back(static_cast<std::uint32_t>(oldest));
+  --active_links_;
+  ++evictions_;
 }
 
 ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coord,

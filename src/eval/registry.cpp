@@ -1,5 +1,6 @@
 #include "eval/registry.hpp"
 
+#include <algorithm>
 #include <functional>
 
 #include "common/check.hpp"
@@ -154,6 +155,109 @@ std::string scenario_names_joined(char sep) {
   for (const Preset& p : presets()) {
     if (!out.empty()) out += sep;
     out += p.info.name;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Route-change schedules.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The "shifted region": a contiguous block of nodes standing in for one
+/// geographic region whose routes all change together. Capped so event
+/// counts scale linearly in n (each block node contributes n-ish links).
+int shifted_block_size(int num_nodes) {
+  return std::max(1, std::min(num_nodes / 5, 50));
+}
+
+/// Every link between the first `block` nodes and the rest of the network,
+/// stepped to `factor` at `at_t`. Cross links only — an inter-region reroute
+/// leaves intra-region paths alone — so each undirected pair appears once.
+void append_block_shift(std::vector<RouteChangeEvent>& out, int num_nodes,
+                        int block, double factor, double at_t) {
+  for (NodeId i = 0; i < block; ++i)
+    for (NodeId j = block; j < num_nodes; ++j)
+      out.push_back({i, j, factor, at_t});
+}
+
+struct RouteSchedule {
+  RouteScheduleInfo info;
+  std::function<void(ScenarioSpec&)> apply;
+};
+
+const std::vector<RouteSchedule>& route_schedules() {
+  static const std::vector<RouteSchedule> all = {
+      {{"none", "no controlled route changes"}, [](ScenarioSpec&) {}},
+      {{"single-link", "link (0,1) triples at mid-run"},
+       [](ScenarioSpec& spec) {
+         NC_CHECK_MSG(spec.workload.num_nodes >= 2,
+                      "single-link schedule needs two nodes");
+         spec.workload.route_changes.push_back(
+             {0, 1, 3.0, spec.workload.duration_s / 2.0});
+       }},
+      {{"regional-shift",
+        "one region's links to everyone stretch 1.8x at mid-run"},
+       [](ScenarioSpec& spec) {
+         const int n = spec.workload.num_nodes;
+         append_block_shift(spec.workload.route_changes, n,
+                            shifted_block_size(n), 1.8,
+                            spec.workload.duration_s / 2.0);
+       }},
+      {{"backbone-flap",
+        "one region stretches 2.2x at 40% of the run, reverts at 70%"},
+       [](ScenarioSpec& spec) {
+         const int n = spec.workload.num_nodes;
+         const int block = shifted_block_size(n);
+         append_block_shift(spec.workload.route_changes, n, block, 2.2,
+                            0.4 * spec.workload.duration_s);
+         append_block_shift(spec.workload.route_changes, n, block, 1.0,
+                            0.7 * spec.workload.duration_s);
+       }},
+  };
+  return all;
+}
+
+}  // namespace
+
+const std::vector<RouteScheduleInfo>& route_schedule_catalog() {
+  static const std::vector<RouteScheduleInfo> catalog = [] {
+    std::vector<RouteScheduleInfo> out;
+    for (const RouteSchedule& s : route_schedules()) out.push_back(s.info);
+    return out;
+  }();
+  return catalog;
+}
+
+std::vector<std::string> route_schedule_names() {
+  std::vector<std::string> out;
+  for (const RouteSchedule& s : route_schedules()) out.push_back(s.info.name);
+  return out;
+}
+
+bool route_schedule_exists(const std::string& name) {
+  for (const RouteSchedule& s : route_schedules())
+    if (s.info.name == name) return true;
+  return false;
+}
+
+void apply_route_schedule(ScenarioSpec& spec, const std::string& name) {
+  for (const RouteSchedule& s : route_schedules()) {
+    if (s.info.name == name) {
+      s.apply(spec);
+      return;
+    }
+  }
+  NC_CHECK_MSG(false, "unknown route schedule '" + name + "' (registered: " +
+                          route_schedule_names_joined() + ")");
+}
+
+std::string route_schedule_names_joined(char sep) {
+  std::string out;
+  for (const RouteSchedule& s : route_schedules()) {
+    if (!out.empty()) out += sep;
+    out += s.info.name;
   }
   return out;
 }

@@ -52,4 +52,46 @@ struct ScenarioInfo {
 /// "planetlab|intercontinental|..." — for usage messages.
 [[nodiscard]] std::string scenario_names_joined(char sep = '|');
 
+// ---------------------------------------------------------------------------
+// Route-change schedules: named, composable workload components.
+//
+// The adaptation experiments (Sec. VII-B) perturb the network mid-run with
+// controlled route changes. These used to be per-bench code; as named
+// presets any scenario composes one via --route-schedule=<name>. Schedules
+// are generated as a pure function of the spec's node count and duration —
+// like workload presets, they never hard-code concrete node ids — and
+// expand into plain RouteChangeEvents, so they drive both modes (the trace
+// generator's network and the sharded kernel's directed links alike).
+//
+//   none            no controlled changes (default).
+//   single-link     link (0, 1) triples at mid-run: the classic
+//                   one-variable adaptation probe.
+//   regional-shift  a region-sized block of nodes (min(n/5, 50)) has every
+//                   link to the rest of the network stretched 1.8x at
+//                   mid-run — a coordinated BGP-level reroute of a region.
+//   backbone-flap   the same block stretches 2.2x at 40% of the run and
+//                   reverts at 70% — an outage with recovery, exercising
+//                   re-convergence in both directions.
+// ---------------------------------------------------------------------------
+
+struct RouteScheduleInfo {
+  std::string name;
+  std::string summary;  // one line for --help style listings
+};
+
+/// All registered schedules, in registration order ("none" first).
+[[nodiscard]] const std::vector<RouteScheduleInfo>& route_schedule_catalog();
+
+[[nodiscard]] std::vector<std::string> route_schedule_names();
+
+[[nodiscard]] bool route_schedule_exists(const std::string& name);
+
+/// Expands the named schedule for spec's node count and duration and
+/// appends the events to spec.workload.route_changes. Apply AFTER node
+/// count / duration overrides. Throws nc::CheckError for unknown names.
+void apply_route_schedule(ScenarioSpec& spec, const std::string& name);
+
+/// "none|single-link|..." — for usage messages.
+[[nodiscard]] std::string route_schedule_names_joined(char sep = '|');
+
 }  // namespace nc::eval

@@ -1,7 +1,8 @@
 #include "eval/scenario.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
-#include "sim/online_sim.hpp"
 #include "sim/replay.hpp"
 #include "sim/sharded_sim.hpp"
 
@@ -18,6 +19,10 @@ ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
   rc.client = spec.client;
   rc.duration_s = spec.workload.duration_s;
   rc.measure_start_s = resolved_measure_start_s(spec);
+  // The kernel's epoch matches the trace cadence; spec.shards = 0 means
+  // "one worker shard" (there is no other replay engine).
+  rc.epoch_s = spec.workload.ping_interval_s;
+  rc.shards = std::max(1, spec.shards);
   rc.collect_timeseries = spec.measurement.collect_timeseries;
   rc.timeseries_bucket_s = spec.measurement.timeseries_bucket_s;
   rc.collect_oracle = spec.measurement.collect_oracle;
@@ -37,30 +42,16 @@ ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
 ScenarioOutput run_online_mode(const ScenarioSpec& spec) {
   const WorkloadSpec& w = spec.workload;
 
-  if (spec.shards >= 1) {
-    // Epoch-sharded engine: one run across spec.shards worker threads; it
-    // derives all link/node stochastic state itself from w.seed.
-    sim::ShardedOnlineSimulator simulator(
-        resolve_online_config(spec), spec.shards,
-        lat::Topology::make(resolve_topology_config(w)),
-        w.link_model.value_or(lat::LinkModelConfig{}),
-        w.availability.value_or(lat::AvailabilityConfig{}),
-        resolve_route_changes(w));
-    simulator.run();
-    return ScenarioOutput{std::move(simulator.metrics()), 0, 0, 0,
-                          simulator.pings_sent(), simulator.pings_lost()};
-  }
-
-  lat::LatencyNetwork network(lat::Topology::make(resolve_topology_config(w)),
-                              w.link_model.value_or(lat::LinkModelConfig{}),
-                              w.availability.value_or(lat::AvailabilityConfig{}),
-                              w.seed);
-  for (const RouteChangeEvent& rc : w.route_changes)
-    network.schedule_route_change(rc.i, rc.j, rc.factor, rc.at_t);
-
-  sim::OnlineSimulator simulator(resolve_online_config(spec), network);
+  // The epoch-sharded engine is the only online engine: spec.shards = 0
+  // (the retired serial simulator's slot) runs it with one worker shard.
+  // It derives all link/node stochastic state itself from w.seed.
+  sim::ShardedEngine simulator(
+      resolve_online_config(spec), std::max(1, spec.shards),
+      lat::Topology::make(resolve_topology_config(w)),
+      w.link_model.value_or(lat::LinkModelConfig{}),
+      w.availability.value_or(lat::AvailabilityConfig{}),
+      resolve_route_changes(w));
   simulator.run();
-
   return ScenarioOutput{std::move(simulator.metrics()), 0, 0, 0,
                         simulator.pings_sent(), simulator.pings_lost()};
 }
@@ -119,9 +110,8 @@ double resolved_measure_start_s(const ScenarioSpec& spec) {
 
 ScenarioOutput run_scenario(const ScenarioSpec& spec) {
   NC_CHECK_MSG(spec.workload.num_nodes >= 2, "need at least two nodes");
-  NC_CHECK_MSG(spec.shards >= 0, "shards must be >= 0 (0 = classic engine)");
-  NC_CHECK_MSG(spec.shards == 0 || spec.mode == SimMode::kOnline,
-               "shards apply to online mode only");
+  NC_CHECK_MSG(spec.shards >= 0, "shards must be >= 0 (0 and 1 both mean one "
+                                 "worker shard)");
   return spec.mode == SimMode::kReplay ? run_replay_mode(spec)
                                        : run_online_mode(spec);
 }

@@ -7,9 +7,11 @@
 //  * NCClientConfig  — the coordinate pipeline applied to every node;
 //  * MeasurementSpec — what to collect and over which window.
 //
-// plus a SimMode selecting the driver: kReplay feeds a generated trace
-// through ReplayDriver (the paper's simulator methodology, Sec. IV-A),
-// kOnline runs the event-driven deployment simulator (Sec. VI). Named
+// plus a SimMode selecting how observations arise: kReplay feeds a
+// generated trace through the epoch-sharded kernel (the paper's simulator
+// methodology, Sec. IV-A), kOnline runs the event-driven deployment
+// protocol on the same kernel (Sec. VI). Both modes shard one run across
+// `shards` worker threads with bit-identical results at any count. Named
 // workload presets — planetlab, intercontinental, churn, flash-crowd,
 // drift-heavy, lan-cluster — live in eval/registry.hpp; the parallel
 // multi-spec runner lives in eval/grid.hpp.
@@ -76,11 +78,11 @@ struct ScenarioSpec {
   std::string scenario = "custom";
   SimMode mode = SimMode::kReplay;
 
-  /// Online mode only. 0 (default): the classic single-thread
-  /// OnlineSimulator. >= 1: the epoch-sharded engine with that many worker
-  /// shards — one run spread across cores, bit-identical for any shard
-  /// count (shards=1 is the reference; its epoch-exchange semantics differ
-  /// from the classic simulator's, see sim/sharded_sim.hpp).
+  /// Worker shards of the epoch-sharded kernel, for BOTH modes — one run
+  /// spread across cores, bit-identical for any shard count (see
+  /// sim/sharded_sim.hpp). 0 and 1 both mean one worker shard: the kernel
+  /// is the only engine (the serial simulators were retired in PR 5; their
+  /// facades run the same kernel).
   int shards = 0;
 
   WorkloadSpec workload;
@@ -108,8 +110,8 @@ struct ScenarioOutput {
 /// benches can build matching TraceGenerators, e.g. for filter-only studies).
 [[nodiscard]] lat::TraceGenConfig resolve_trace_config(const WorkloadSpec& workload);
 
-/// The online-simulator configuration a spec resolves to (exposed so benches
-/// that drive a simulator directly — e.g. bench_shard_scaling reading
+/// The online-engine configuration a spec resolves to (exposed so benches
+/// that drive the kernel directly — e.g. bench_event_core reading
 /// events_processed() — assemble exactly what run_scenario would).
 [[nodiscard]] sim::OnlineSimConfig resolve_online_config(const ScenarioSpec& spec);
 

@@ -98,13 +98,15 @@ LinkModelConfig LinkModelConfig::noiseless() {
 }
 
 LatencyNetwork::LatencyNetwork(Topology topology, LinkModelConfig link_config,
-                               AvailabilityConfig availability, std::uint64_t seed)
+                               AvailabilityConfig availability, std::uint64_t seed,
+                               std::size_t eager_slot_limit)
     : topology_(std::move(topology)),
       config_(link_config),
       availability_(availability),
       seed_(seed),
       links_(static_cast<std::size_t>(topology_.size()) *
-             static_cast<std::size_t>(std::max(0, topology_.size() - 1)) / 2),
+                 static_cast<std::size_t>(std::max(0, topology_.size() - 1)) / 2,
+             eager_slot_limit),
       nodes_(static_cast<std::size_t>(topology_.size())),
       node_init_(static_cast<std::size_t>(topology_.size()), false) {
   NC_CHECK_MSG(config_.body_sigma >= 0.0, "negative jitter sigma");
@@ -133,7 +135,7 @@ std::size_t LatencyNetwork::link_index(NodeId i, NodeId j) const {
 }
 
 LatencyNetwork::LinkState& LatencyNetwork::link_at(NodeId i, NodeId j, double t) {
-  LinkState& s = links_[link_index(i, j)];
+  LinkState& s = links_.at(link_index(i, j));
   if (!s.initialized) {
     // Lazy stream seeding at first-touch time; the derivation key is the
     // same (lo, hi) pair as always, so every seed maps to the same trace.
@@ -201,7 +203,7 @@ void LatencyNetwork::force_route_change(NodeId i, NodeId j, double factor, doubl
 void LatencyNetwork::schedule_route_change(NodeId i, NodeId j, double factor,
                                            double at_t) {
   NC_CHECK_MSG(factor > 0.0, "route factor must be positive");
-  LinkState& s = links_[link_index(i, j)];
+  LinkState& s = links_.at(link_index(i, j));
   if (!s.initialized) {
     // Initialize exactly as link_at would at first sample time; the first
     // real sample will advance from here.
@@ -212,6 +214,7 @@ void LatencyNetwork::schedule_route_change(NodeId i, NodeId j, double factor,
   }
   NC_CHECK_MSG(s.last_t <= at_t, "link already advanced past at_t");
   s.dyn.route_changes_frozen = true;
+  if (s.dyn.scheduled.empty()) ++scheduled_links_;
   s.dyn.scheduled.emplace_back(at_t, factor);
   std::sort(s.dyn.scheduled.begin(), s.dyn.scheduled.end());
 }

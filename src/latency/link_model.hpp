@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/paged_store.hpp"
 #include "common/rng.hpp"
 #include "core/node_id.hpp"
 #include "latency/topology.hpp"
@@ -130,10 +131,27 @@ struct AvailabilityConfig {
 
 class LatencyNetwork {
  public:
+  /// `eager_slot_limit`: per-link state stays one flat array up to this many
+  /// undirected links and switches to lazily-allocated fixed-size pages
+  /// beyond (common/paged_store.hpp) — how a 10k-node network (~50M links)
+  /// costs memory proportional to the links actually sampled. Both modes are
+  /// observationally identical; the default keeps bench-tier n flat.
   LatencyNetwork(Topology topology, LinkModelConfig link_config,
-                 AvailabilityConfig availability, std::uint64_t seed);
+                 AvailabilityConfig availability, std::uint64_t seed,
+                 std::size_t eager_slot_limit = kPagedStoreDefaultEagerSlotLimit);
 
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const LinkModelConfig& link_config() const noexcept { return config_; }
+  [[nodiscard]] const AvailabilityConfig& availability() const noexcept {
+    return availability_;
+  }
+  /// Links that received a controlled route-change schedule. The
+  /// OnlineSimulator facade uses this to reject a network whose schedule it
+  /// cannot honor (the kernel takes schedules as explicit constructor
+  /// arguments, not from borrowed network state).
+  [[nodiscard]] std::size_t scheduled_route_change_count() const noexcept {
+    return scheduled_links_;
+  }
 
   /// One application-level ping i -> j at time t. nullopt: the ping was lost
   /// or the target is down. Does not check whether i itself is up — a down
@@ -185,13 +203,14 @@ class LatencyNetwork {
   AvailabilityConfig availability_;
   std::uint64_t seed_;
   /// Per-link stochastic state, dense over the n*(n-1)/2 undirected links
-  /// (triangular index). Slots stay lazily stream-seeded at first-touch
-  /// time, exactly like the hash-map entries this replaced — the map cost
-  /// (hash + probe per sample, rehash allocations) is gone from the
-  /// simulator hot path.
-  std::vector<LinkState> links_;
+  /// (triangular index) — flat at bench-tier n, lazily paged beyond. Slots
+  /// stay lazily stream-seeded at first-touch time, exactly like the
+  /// hash-map entries this replaced — the map cost (hash + probe per
+  /// sample, rehash allocations) is gone from the simulator hot path.
+  PagedStore<LinkState> links_;
   std::vector<NodeState> nodes_;
   std::vector<bool> node_init_;
+  std::size_t scheduled_links_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t losses_ = 0;
 };

@@ -4,10 +4,16 @@
 // fire in insertion order, which keeps simulations bit-reproducible across
 // runs and platforms. Payloads are plain structs (no std::function) so a
 // multi-million-event run does not allocate per event. Storage is a bucketed
-// calendar queue (calendar_queue.hpp): the periodic timer traffic of the
-// simulators makes insert and pop O(1) amortized with no per-event heap
-// sift, and the (t, seq) key is a total order, so the pop sequence is
-// bit-identical to the binary heap this replaced.
+// calendar queue (calendar_queue.hpp): periodic timer traffic makes insert
+// and pop O(1) amortized with no per-event heap sift, and the (t, seq) key
+// is a total order, so the pop sequence is bit-identical to the binary heap
+// this replaced.
+//
+// Library component: the retired serial OnlineSimulator was its last engine
+// user (the sharded kernel keys its per-shard queues by the richer
+// (t, kind, a, b, seq) order in shard_mailbox.hpp). It stays as the
+// general-purpose deterministic queue for examples and micro-kernels, with
+// its ordering contract pinned by event_queue_test.
 #pragma once
 
 #include <cstdint>

@@ -1,24 +1,9 @@
 #include "sim/online_sim.hpp"
 
 #include "common/check.hpp"
+#include "sim/sharded_sim.hpp"
 
 namespace nc::sim {
-
-namespace {
-
-MetricsConfig make_metrics_config(const OnlineSimConfig& config, int num_nodes) {
-  MetricsConfig m;
-  m.num_nodes = num_nodes;
-  m.duration_s = config.duration_s;
-  m.measure_start_s = config.measure_start_s;
-  m.collect_timeseries = config.collect_timeseries;
-  m.timeseries_bucket_s = config.timeseries_bucket_s;
-  m.collect_oracle = config.collect_oracle;
-  m.tracked_nodes = config.tracked_nodes;
-  return m;
-}
-
-}  // namespace
 
 OnlineNodeRuntime make_online_node_runtime(const OnlineSimConfig& config,
                                            int num_nodes) {
@@ -60,112 +45,40 @@ OnlineNodeRuntime make_online_node_runtime(const OnlineSimConfig& config,
 
 OnlineSimulator::OnlineSimulator(const OnlineSimConfig& config,
                                  lat::LatencyNetwork& network)
-    : config_(config),
-      network_(network),
-      metrics_(make_metrics_config(config, network.topology().size())) {
-  const int n = network.topology().size();
-  OnlineNodeRuntime rt = make_online_node_runtime(config, n);
-  clients_ = std::move(rt.clients);
-  neighbors_ = std::move(rt.neighbors);
-  timer_rngs_ = std::move(rt.timer_rngs);
-
-  // Staggered first pings, one phase draw per node from its own stream.
-  for (NodeId id = 0; id < n; ++id) {
-    queue_.schedule(
-        timer_rngs_[static_cast<std::size_t>(id)].uniform(0.0, config.ping_interval_s),
-        Payload{EventKind::kPingTimer, id});
-  }
-  next_track_t_ = config.track_interval_s;
+    : engine_(nullptr) {
+  // The facade copies the network's CONFIGURATION; it cannot honor state
+  // scheduled on the network object itself. Reject instead of silently
+  // running an unperturbed experiment — route changes go to the kernel as
+  // ShardedRouteChange arguments (run_scenario resolves them from the spec).
+  NC_CHECK_MSG(network.scheduled_route_change_count() == 0,
+               "the OnlineSimulator facade ignores route changes scheduled on "
+               "the network; construct a ShardedEngine with explicit "
+               "ShardedRouteChange arguments instead");
+  engine_ = std::make_unique<ShardedEngine>(config, /*shards=*/1,
+                                            network.topology(),
+                                            network.link_config(),
+                                            network.availability());
 }
 
-void OnlineSimulator::run() {
-  NC_CHECK_MSG(!ran_, "run() called twice");
-  ran_ = true;
-  while (auto ev = queue_.pop()) {
-    const double t = ev->t;
-    if (t >= config_.duration_s) break;
-    ++events_;
-    maybe_track(t);
-    switch (ev->payload.kind) {
-      case EventKind::kPingTimer:
-        on_ping_timer(t, ev->payload.a);
-        break;
-      case EventKind::kPongArrival:
-        on_pong(t, ev->payload);
-        break;
-    }
-  }
-  // Close out the run: a final drift sample at duration_s so tracked series
-  // cover the whole run, and flush each node's in-flight second into the
-  // per-node movement distributions.
-  for (NodeId id : metrics_.config().tracked_nodes)
-    metrics_.track_coordinate(config_.duration_s, id, client(id).system_coordinate());
-  metrics_.finalize();
+OnlineSimulator::~OnlineSimulator() = default;
+
+void OnlineSimulator::run() { engine_->run(); }
+
+MetricsCollector& OnlineSimulator::metrics() noexcept { return engine_->metrics(); }
+const MetricsCollector& OnlineSimulator::metrics() const noexcept {
+  return engine_->metrics();
 }
-
-void OnlineSimulator::on_ping_timer(double t, NodeId node) {
-  // Re-arm the timer first so churned/idle nodes keep their cadence.
-  const double jitter = timer_rngs_[static_cast<std::size_t>(node)].uniform(
-      -config_.ping_jitter_s, config_.ping_jitter_s);
-  queue_.schedule(t + std::max(0.1, config_.ping_interval_s + jitter),
-                  Payload{EventKind::kPingTimer, node});
-
-  if (!network_.node_up(node, t)) return;  // down nodes neither ping nor respond
-
-  auto& nbrs = neighbors_[static_cast<std::size_t>(node)];
-  const auto target = nbrs.next_round_robin();
-  if (!target.has_value()) return;
-
-  ++pings_sent_;
-  const auto rtt = network_.sample_rtt(node, *target, t);
-  if (!rtt.has_value()) {
-    ++pings_lost_;
-    return;  // timeout: no observation
-  }
-
-  // The ping itself gossips one of the sender's neighbors to the target and
-  // introduces the sender (paper: nodes learn neighbors via sampling
-  // messages). The target learns both immediately in wall-clock terms; the
-  // one-way skew is far below membership time-scales.
-  auto& target_nbrs = neighbors_[static_cast<std::size_t>(*target)];
-  target_nbrs.add(node);
-  if (const auto g = nbrs.random_neighbor(); g.has_value() && *g != *target)
-    target_nbrs.add(*g);
-
-  // The pong returns the target's state; it is observed on arrival.
-  Payload pong{EventKind::kPongArrival, node, *target,
-               static_cast<float>(*rtt), kInvalidNode};
-  if (const auto g = target_nbrs.random_neighbor(); g.has_value() && *g != node)
-    pong.gossip = *g;
-  queue_.schedule(t + *rtt / 1000.0, pong);
+NCClient& OnlineSimulator::client(NodeId id) { return engine_->client(id); }
+NeighborSet& OnlineSimulator::neighbors(NodeId id) { return engine_->neighbors(id); }
+int OnlineSimulator::num_nodes() const noexcept { return engine_->num_nodes(); }
+std::uint64_t OnlineSimulator::pings_sent() const noexcept {
+  return engine_->pings_sent();
 }
-
-void OnlineSimulator::on_pong(double t, const Payload& p) {
-  NCClient& observer = *clients_[static_cast<std::size_t>(p.a)];
-  NCClient& remote = *clients_[static_cast<std::size_t>(p.b)];
-
-  if (p.gossip != kInvalidNode && p.gossip != p.a)
-    neighbors_[static_cast<std::size_t>(p.a)].add(p.gossip);
-
-  const ObservationOutcome outcome =
-      observer.observe(p.b, remote.system_coordinate(), remote.error_estimate(),
-                       static_cast<double>(p.rtt_ms), t);
-
-  std::optional<double> truth;
-  if (metrics_.config().collect_oracle)
-    truth = network_.ground_truth_rtt(p.a, p.b, t);
-
-  metrics_.on_observation(t, p.a, p.b, static_cast<double>(p.rtt_ms),
-                          observer.application_coordinate(),
-                          remote.application_coordinate(), outcome, truth);
+std::uint64_t OnlineSimulator::pings_lost() const noexcept {
+  return engine_->pings_lost();
 }
-
-void OnlineSimulator::maybe_track(double t) {
-  while (!metrics_.config().tracked_nodes.empty() && t >= next_track_t_) {
-    for (NodeId id : metrics_.config().tracked_nodes)
-      metrics_.track_coordinate(next_track_t_, id, client(id).system_coordinate());
-    next_track_t_ += config_.track_interval_s;
-  }
+std::uint64_t OnlineSimulator::events_processed() const noexcept {
+  return engine_->events_processed();
 }
 
 }  // namespace nc::sim

@@ -1,7 +1,7 @@
-// Online deployment simulator: the paper's PlanetLab experiment (Sec. VI).
+// Online deployment simulation: the paper's PlanetLab experiment (Sec. VI).
 //
-// Unlike trace replay, nodes here run the full protocol concurrently as
-// discrete events over the stochastic latency network:
+// Nodes run the full protocol concurrently as discrete events over the
+// stochastic latency network:
 //
 //  * every node samples one neighbor from its NeighborSet in round-robin
 //    order every `ping_interval_s` (paper: 5 s), with a small deterministic
@@ -12,19 +12,31 @@
 //  * the response arrives after the sampled RTT; the observation applies the
 //    remote state as of arrival time;
 //  * lost pings and down nodes produce timeouts (no observation).
+//
+// Since PR 5 there is exactly ONE online event loop in the repo: the
+// epoch-sharded kernel (sim/sharded_sim.hpp). OnlineSimulator is a thin
+// shards=1 facade over it, kept for callers that hold a LatencyNetwork and
+// want the classic constructor shape; it no longer owns a timer/gossip loop
+// of its own. Its delivery semantics are therefore the kernel's epoch
+// semantics (messages hand over at ping_interval_s boundaries), and all of
+// its stochastic state derives from config.seed — the borrowed network
+// contributes its topology and its link/availability CONFIGURATION, not its
+// internal RNG state.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/paged_store.hpp"
 #include "core/nc_client.hpp"
 #include "core/neighbor_set.hpp"
 #include "latency/link_model.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
 namespace nc::sim {
+
+class ShardedEngine;
 
 struct OnlineSimConfig {
   NCClientConfig client;
@@ -45,79 +57,63 @@ struct OnlineSimConfig {
   double track_interval_s = 600.0;
 
   std::uint64_t seed = 7;
+
+  /// Per-shard directed-link state stays a flat array up to this many slots
+  /// and switches to lazily-allocated pages beyond (common/paged_store.hpp).
+  /// The default keeps the 4k-node bench tier flat; lower it (0 forces
+  /// paging) to bound memory for very large n — results are identical in
+  /// both modes.
+  std::size_t link_eager_slot_limit = kPagedStoreDefaultEagerSlotLimit;
 };
 
-/// Per-node runtime shared by both online engines (OnlineSimulator and
-/// ShardedOnlineSimulator): clients, neighbor sets with bootstrap
-/// membership, and per-node ping-timer streams, all derived from
-/// config.seed. Building both engines from this one helper is what keeps
-/// their starting membership provably identical.
+/// Per-node runtime of the online protocol: clients, neighbor sets with
+/// bootstrap membership, and per-node ping-timer streams, all derived from
+/// config.seed. The sharded kernel builds its node state through this one
+/// helper, which is what pins the starting membership to the seed alone.
 struct OnlineNodeRuntime {
   std::vector<std::unique_ptr<NCClient>> clients;
   std::vector<NeighborSet> neighbors;
   std::vector<Rng> timer_rngs;
 };
 
-/// Validates the config fields common to both engines (bootstrap degree in
-/// [1, n), positive ping interval, positive track interval when tracking)
-/// and builds the runtime. Bootstrap counts only DISTINCT peers — a
-/// duplicate random draw must not eat a slot, or nodes silently start
-/// under-connected.
+/// Validates the online config (bootstrap degree in [1, n), positive ping
+/// interval, positive track interval when tracking) and builds the runtime.
+/// Bootstrap counts only DISTINCT peers — a duplicate random draw must not
+/// eat a slot, or nodes silently start under-connected.
 [[nodiscard]] OnlineNodeRuntime make_online_node_runtime(
     const OnlineSimConfig& config, int num_nodes);
 
+/// Thin shards=1 facade over the epoch-sharded kernel. The borrowed network
+/// supplies topology and link/availability configuration only (callers that
+/// share one network across configurations still see identical workloads —
+/// every stochastic draw derives from config.seed and the entity keys).
 class OnlineSimulator {
  public:
-  /// The simulator does not own the network; the caller can share one
-  /// network across configurations (paper Sec. VI runs filtered and
-  /// unfiltered systems side by side on the same nodes).
+  /// Rejects a network with route changes scheduled on it: the facade
+  /// copies configuration, not network state, so it could not honor them —
+  /// pass schedules to ShardedEngine as ShardedRouteChange arguments.
   OnlineSimulator(const OnlineSimConfig& config, lat::LatencyNetwork& network);
+  ~OnlineSimulator();
+  OnlineSimulator(const OnlineSimulator&) = delete;
+  OnlineSimulator& operator=(const OnlineSimulator&) = delete;
 
   /// Runs the full simulation. Call once.
   void run();
 
-  [[nodiscard]] MetricsCollector& metrics() noexcept { return metrics_; }
-  [[nodiscard]] const MetricsCollector& metrics() const noexcept { return metrics_; }
-  [[nodiscard]] NCClient& client(NodeId id) { return *clients_.at(static_cast<std::size_t>(id)); }
-  [[nodiscard]] NeighborSet& neighbors(NodeId id) { return neighbors_.at(static_cast<std::size_t>(id)); }
-  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(clients_.size()); }
+  [[nodiscard]] MetricsCollector& metrics() noexcept;
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept;
+  [[nodiscard]] NCClient& client(NodeId id);
+  [[nodiscard]] NeighborSet& neighbors(NodeId id);
+  [[nodiscard]] int num_nodes() const noexcept;
 
-  [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
-  [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
-  /// Queue events processed (timers + pong arrivals), the unit
-  /// bench_event_core reports per second for the serial engine.
-  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_; }
+  [[nodiscard]] std::uint64_t pings_sent() const noexcept;
+  [[nodiscard]] std::uint64_t pings_lost() const noexcept;
+  /// Queue events processed (timers + deliveries), the unit
+  /// bench_event_core reports per second for the facade rows.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept;
 
  private:
-  enum class EventKind : std::uint8_t { kPingTimer, kPongArrival };
-  struct Payload {
-    EventKind kind;
-    NodeId a = kInvalidNode;  // timer owner / observer
-    NodeId b = kInvalidNode;  // pong: remote node
-    float rtt_ms = 0.0f;      // pong: measured RTT
-    NodeId gossip = kInvalidNode;  // pong: neighbor advertised by remote
-  };
-
-  void on_ping_timer(double t, NodeId node);
-  void on_pong(double t, const Payload& p);
-  void maybe_track(double t);
-
-  OnlineSimConfig config_;
-  lat::LatencyNetwork& network_;
-  std::vector<std::unique_ptr<NCClient>> clients_;
-  std::vector<NeighborSet> neighbors_;
-  EventQueue<Payload> queue_;
-  MetricsCollector metrics_;
-  /// One timer stream per node, derived from (seed, kPingTimer, id). No
-  /// global draw order exists: every stochastic choice belongs to exactly
-  /// one node's stream, which is what lets ShardedOnlineSimulator evolve
-  /// nodes on different threads deterministically.
-  std::vector<Rng> timer_rngs_;
-  double next_track_t_ = 0.0;
-  std::uint64_t pings_sent_ = 0;
-  std::uint64_t pings_lost_ = 0;
-  std::uint64_t events_ = 0;
-  bool ran_ = false;
+  std::unique_ptr<ShardedEngine> engine_;
 };
 
 }  // namespace nc::sim

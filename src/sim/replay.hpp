@@ -3,56 +3,53 @@
 // Feeds a recorded (or synthetically generated) ping trace through the full
 // per-node coordinate pipeline, mimicking Vivaldi's distributed behavior:
 // when the trace says node i measured node j at time t, node i observes
-// node j's *current* advertised state (system coordinate + error estimate)
-// together with the recorded raw RTT. The paper validated that this replay
-// tracks a live deployment closely; Sec. VI's PlanetLab run corresponds to
-// our OnlineSimulator.
+// node j's advertised state (system coordinate + error estimate) together
+// with the recorded raw RTT. The paper validated that this replay tracks a
+// live deployment closely; Sec. VI's PlanetLab run corresponds to our
+// online mode.
+//
+// Since PR 5 replay runs on the same epoch-sharded kernel as online mode
+// (sim/sharded_sim.hpp): ReplayDriver is a thin facade that builds a
+// replay-mode ShardedEngine from its config. Records are routed through the
+// kernel's epoch mailboxes — a record at time t is observed against the
+// observed node's state at time t, at the next epoch boundary — and a run
+// parallelizes over `config.shards` worker threads with bit-identical
+// metrics for any shard count. ReplayConfig (including `epoch_s` and
+// `shards`) lives in sharded_sim.hpp next to the kernel.
 #pragma once
 
 #include <memory>
-#include <vector>
 
-#include "core/nc_client.hpp"
-#include "latency/link_model.hpp"
-#include "latency/trace.hpp"
-#include "sim/metrics.hpp"
+#include "sim/sharded_sim.hpp"
 
 namespace nc::sim {
 
-struct ReplayConfig {
-  NCClientConfig client;  // identical configuration on every node
-
-  double duration_s = 4.0 * 3600.0;
-  /// Accuracy/stability measured from here (paper: second half of the run).
-  double measure_start_s = 2.0 * 3600.0;
-
-  bool collect_timeseries = false;
-  double timeseries_bucket_s = 600.0;
-  bool collect_oracle = false;
-
-  std::vector<NodeId> tracked_nodes;
-  double track_interval_s = 600.0;
-};
-
 class ReplayDriver {
  public:
-  ReplayDriver(const ReplayConfig& config, int num_nodes);
+  ReplayDriver(const ReplayConfig& config, int num_nodes)
+      : engine_(std::make_unique<ShardedEngine>(config, num_nodes)) {}
 
   /// Replays every record (records past duration_s are ignored). `oracle`
   /// optionally supplies ground-truth RTTs for oracle metrics — pass the
   /// generating LatencyNetwork. Call once.
-  void run(lat::TraceSource& source, lat::LatencyNetwork* oracle = nullptr);
+  void run(lat::TraceSource& source, lat::LatencyNetwork* oracle = nullptr) {
+    engine_->run(source, oracle);
+  }
 
-  [[nodiscard]] MetricsCollector& metrics() noexcept { return metrics_; }
-  [[nodiscard]] const MetricsCollector& metrics() const noexcept { return metrics_; }
-  [[nodiscard]] NCClient& client(NodeId id) { return *clients_.at(static_cast<std::size_t>(id)); }
-  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(clients_.size()); }
+  [[nodiscard]] MetricsCollector& metrics() noexcept { return engine_->metrics(); }
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept {
+    return engine_->metrics();
+  }
+  [[nodiscard]] NCClient& client(NodeId id) { return engine_->client(id); }
+  [[nodiscard]] int num_nodes() const noexcept { return engine_->num_nodes(); }
+  /// Kernel events processed (record stamps + observations), the unit
+  /// bench_event_core reports per second for replay rows.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return engine_->events_processed();
+  }
 
  private:
-  ReplayConfig config_;
-  std::vector<std::unique_ptr<NCClient>> clients_;
-  MetricsCollector metrics_;
-  double next_track_t_ = 0.0;
+  std::unique_ptr<ShardedEngine> engine_;
 };
 
 }  // namespace nc::sim

@@ -34,7 +34,9 @@ namespace nc::sim {
 enum class ShardMsgKind : std::uint8_t {
   kPing = 0,     // ping i -> j: membership introduction + gossip + echo data
   kPong = 1,     // reply j -> i: remote coordinate state as of reply time
-  kDstError = 2  // metrics routing: observation error keyed by destination
+  kDstError = 2,  // metrics routing: observation error keyed by destination
+  kObs = 3        // replay: trace record routed to the OBSERVED node's owner,
+                  // which answers with a kPong stamping its current state
 };
 
 struct ShardMessage {
@@ -72,11 +74,13 @@ struct ShardMessage {
 /// ever touched from two threads concurrently.
 class EpochMailbox {
  public:
-  static constexpr int kKinds = 3;
+  static constexpr int kKinds = 4;
 
   /// One per-kind run per cell. kPing/kDstError runs are canonically sorted
-  /// by construction (asserted on append); kPong runs become sorted when the
-  /// sender seals its outboxes.
+  /// by construction (asserted on append); kPong and kObs runs become sorted
+  /// when the sender seals its outboxes (pong arrival times are stochastic;
+  /// the trace reader emits kObs in trace order, whose equal-time records
+  /// need not follow the canonical (from, to) tiebreak).
   struct Cell {
     std::vector<ShardMessage> runs[kKinds];
   };
@@ -103,19 +107,21 @@ class EpochMailbox {
     auto& run = cell_at(sender, receiver).runs[static_cast<int>(msg.kind)];
     // Processing-time-stamped kinds must arrive presorted — that is the
     // invariant that lets collect_into merge instead of sort.
-    NC_ASSERT(msg.kind == ShardMsgKind::kPong || run.empty() ||
-              shard_msg_less(run.back(), msg));
+    NC_ASSERT(msg.kind == ShardMsgKind::kPong || msg.kind == ShardMsgKind::kObs ||
+              run.empty() || shard_msg_less(run.back(), msg));
     run.push_back(std::move(msg));
   }
 
-  /// Sorts `sender`'s kPong runs (the one kind whose timestamp — ping send
-  /// time + sampled RTT — is not monotone in emission order). Called by the
-  /// sender at the end of each processing phase, so every run is canonically
-  /// ordered before any receiver merges it.
+  /// Sorts `sender`'s kPong and kObs runs (the two kinds whose emission
+  /// order is not the canonical order — see Cell). Called by the sender at
+  /// the end of each processing phase, so every run is canonically ordered
+  /// before any receiver merges it.
   void seal_outboxes(int sender) {
     for (int r = 0; r < shards_; ++r) {
-      auto& pongs = cell_at(sender, r).runs[static_cast<int>(ShardMsgKind::kPong)];
-      std::sort(pongs.begin(), pongs.end(), &shard_msg_less);
+      for (const ShardMsgKind kind : {ShardMsgKind::kPong, ShardMsgKind::kObs}) {
+        auto& run = cell_at(sender, r).runs[static_cast<int>(kind)];
+        std::sort(run.begin(), run.end(), &shard_msg_less);
+      }
     }
   }
 
@@ -198,7 +204,9 @@ enum class ShardEventKind : std::uint8_t {
                    // the track interval, before same-time observations)
   kPingTimer = 1,  // local: node samples its next round-robin neighbor
   kPing = 2,       // delivered: answer a ping (membership, gossip, pong)
-  kPong = 3        // delivered: observe the remote's echoed state
+  kPong = 3,       // delivered: observe the remote's echoed state
+  kObs = 4         // delivered (replay): stamp this node's current state
+                   // into a pong answering a trace record
 };
 
 struct ShardEvent {

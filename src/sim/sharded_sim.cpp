@@ -34,6 +34,12 @@ std::uint64_t directed_key(NodeId src, NodeId dst) noexcept {
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
 }
 
+/// Undirected link key (same derivation as LatencyNetwork's): controlled
+/// route changes apply to both directions of a link.
+std::uint64_t undirected_key(NodeId i, NodeId j) noexcept {
+  return directed_key(std::min(i, j), std::max(i, j));
+}
+
 ShardEvent make_event(double t, ShardEventKind kind, NodeId a = kInvalidNode) {
   ShardEvent ev;
   ev.t = t;
@@ -42,42 +48,62 @@ ShardEvent make_event(double t, ShardEventKind kind, NodeId a = kInvalidNode) {
   return ev;
 }
 
-/// Expected per-epoch occupancy of one outbox run: each of the sender
-/// shard's ~n/W nodes emits about one message per kind per epoch, spread
-/// over W receiving shards.
-std::size_t mailbox_cell_hint(int num_nodes, int shards) noexcept {
+/// Expected per-epoch occupancy of one outbox run. Online: each of the
+/// sender shard's ~n/W nodes emits about one message per kind per epoch,
+/// spread over W receiving shards. Replay: the reader (shard 0) routes ~n
+/// records per epoch over W shards, so its cells see ~n/W — size every run
+/// for the larger of the two patterns of its mode.
+std::size_t mailbox_cell_hint(int num_nodes, int shards, bool replay) noexcept {
   if (shards < 1) return 0;  // EpochMailbox rejects the shard count itself
   const auto n = static_cast<std::size_t>(num_nodes);
   const auto w = static_cast<std::size_t>(shards);
-  return n / (w * w) + 8;
+  return (replay ? n / w : n / (w * w)) + 8;
+}
+
+OnlineSimConfig replay_as_engine_config(const ReplayConfig& config) {
+  OnlineSimConfig oc;
+  oc.client = config.client;
+  oc.duration_s = config.duration_s;
+  oc.measure_start_s = config.measure_start_s;
+  oc.ping_interval_s = config.epoch_s;  // the kernel's epoch length
+  oc.collect_timeseries = config.collect_timeseries;
+  oc.timeseries_bucket_s = config.timeseries_bucket_s;
+  oc.collect_oracle = config.collect_oracle;
+  oc.tracked_nodes = config.tracked_nodes;
+  oc.track_interval_s = config.track_interval_s;
+  return oc;
 }
 
 }  // namespace
 
-ShardedOnlineSimulator::ShardedOnlineSimulator(
-    const OnlineSimConfig& config, int shards, lat::Topology topology,
-    const lat::LinkModelConfig& link_config,
-    const lat::AvailabilityConfig& availability,
-    std::vector<ShardedRouteChange> route_changes)
-    : config_(config),
+ShardedEngine::ShardedEngine(const OnlineSimConfig& config, int shards,
+                             lat::Topology topology,
+                             const lat::LinkModelConfig& link_config,
+                             const lat::AvailabilityConfig& availability,
+                             std::vector<ShardedRouteChange> route_changes)
+    : mode_(Mode::kOnline),
+      config_(config),
       topology_(std::move(topology)),
       link_config_(link_config),
       availability_(availability),
-      route_changes_(std::move(route_changes)),
-      mailbox_(shards, mailbox_cell_hint(topology_.size(), shards)) {
+      mailbox_(shards, mailbox_cell_hint(topology_.size(), shards, false)) {
   const int n = topology_.size();
   NC_CHECK_MSG(shards >= 1, "need at least one shard");
-  // Same validation the classic path gets from schedule_route_change: fail
-  // the bad spec up front, not deep inside a worker thread mid-run.
-  for (const ShardedRouteChange& rc : route_changes_) {
+  // Same validation the retired classic path got from schedule_route_change:
+  // fail the bad spec up front, not deep inside a worker thread mid-run.
+  // Schedules are indexed by undirected link so lazy link initialization
+  // finds its steps in O(1) — preset schedules touch O(n) links at once.
+  for (const ShardedRouteChange& rc : route_changes) {
     NC_CHECK_MSG(rc.factor > 0.0, "route factor must be positive");
     NC_CHECK_MSG(rc.i >= 0 && rc.i < n && rc.j >= 0 && rc.j < n && rc.i != rc.j,
                  "bad route-change link");
+    route_changes_[undirected_key(rc.i, rc.j)].emplace_back(rc.at_t, rc.factor);
   }
+  for (auto& [key, steps] : route_changes_) std::sort(steps.begin(), steps.end());
 
-  // One shared builder with the serial engine: same validations, same
-  // per-node streams, same bootstrap membership (identical at any shard
-  // count — every draw comes from a node's own stream).
+  // One shared builder with the facade: same validations, same per-node
+  // streams, same bootstrap membership (identical at any shard count —
+  // every draw comes from a node's own stream).
   OnlineNodeRuntime rt = make_online_node_runtime(config, n);
   clients_ = std::move(rt.clients);
   neighbors_ = std::move(rt.neighbors);
@@ -86,53 +112,82 @@ ShardedOnlineSimulator::ShardedOnlineSimulator(
   node_dyn_.resize(static_cast<std::size_t>(n));
   snapshots_.resize(static_cast<std::size_t>(n));
 
+  init_shards(shards, n);
+}
+
+ShardedEngine::ShardedEngine(const ReplayConfig& config, int num_nodes)
+    : mode_(Mode::kReplay),
+      config_(replay_as_engine_config(config)),
+      mailbox_(config.shards,
+               mailbox_cell_hint(num_nodes, config.shards, true)) {
+  NC_CHECK_MSG(config.shards >= 1, "need at least one shard");
+  NC_CHECK_MSG(num_nodes >= 1, "need at least one node");
+  NC_CHECK_MSG(config.epoch_s > 0.0, "epoch length must be positive");
+  NC_CHECK_MSG(config.tracked_nodes.empty() || config.track_interval_s > 0.0,
+               "tracking requires a positive track interval");
+
+  clients_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId id = 0; id < num_nodes; ++id)
+    clients_.push_back(std::make_unique<NCClient>(id, config.client));
+  msg_seq_.assign(static_cast<std::size_t>(num_nodes), 0);
+
+  init_shards(config.shards, num_nodes);
+}
+
+void ShardedEngine::init_shards(int shards, int num_nodes) {
   shards_.resize(static_cast<std::size_t>(shards));
-  for (NodeId id = 0; id < n; ++id)
+  for (NodeId id = 0; id < num_nodes; ++id)
     shards_[static_cast<std::size_t>(shard_of(id))].owned.push_back(id);
 
   for (auto& shard : shards_) {
     // Dense directed-link state for the shard's contiguous node block:
     // slot (src - first_owned) * n + dst, lazily stream-seeded on first
-    // touch exactly like the hash-map entries this replaced.
+    // touch. Online mode only — replay traffic carries its RTTs in the
+    // trace, so replay shards own no link state at all.
     if (!shard.owned.empty()) {
       shard.first_owned = shard.owned.front();
-      shard.links.resize(shard.owned.size() * static_cast<std::size_t>(n));
+      if (mode_ == Mode::kOnline)
+        shard.links = PagedStore<DirLink>(
+            shard.owned.size() * static_cast<std::size_t>(num_nodes),
+            config_.link_eager_slot_limit);
     }
 
     std::vector<NodeId> tracked;
-    for (NodeId id : config.tracked_nodes) {
-      NC_CHECK_MSG(id >= 0 && id < n, "tracked node out of range");
+    for (NodeId id : config_.tracked_nodes) {
+      NC_CHECK_MSG(id >= 0 && id < num_nodes, "tracked node out of range");
       if (shard_of(id) == static_cast<int>(&shard - shards_.data()))
         tracked.push_back(id);
     }
     shard.collector = std::make_unique<MetricsCollector>(
-        make_shard_metrics_config(config, n, std::move(tracked)));
+        make_shard_metrics_config(config_, num_nodes, std::move(tracked)));
     // Staggered first pings for the shard's nodes, one phase draw per node
-    // from its own stream.
-    for (NodeId id : shard.owned)
-      shard.queue.push(make_event(
-          timer_rngs_[static_cast<std::size_t>(id)].uniform(0.0, config.ping_interval_s),
-          ShardEventKind::kPingTimer, id));
+    // from its own stream (online mode; replay has no timers).
+    if (mode_ == Mode::kOnline) {
+      for (NodeId id : shard.owned)
+        shard.queue.push(make_event(
+            timer_rngs_[static_cast<std::size_t>(id)].uniform(0.0, config_.ping_interval_s),
+            ShardEventKind::kPingTimer, id));
+    }
     // Drift-tracking ticks at exact multiples of the interval, plus the
     // final duration_s sample recorded after the last epoch.
     if (!shard.collector->config().tracked_nodes.empty()) {
-      for (double t = config.track_interval_s; t < config.duration_s;
-           t += config.track_interval_s)
+      for (double t = config_.track_interval_s; t < config_.duration_s;
+           t += config_.track_interval_s)
         shard.queue.push(make_event(t, ShardEventKind::kTrack));
     }
   }
 }
 
-int ShardedOnlineSimulator::shard_of(NodeId id) const noexcept {
+int ShardedEngine::shard_of(NodeId id) const noexcept {
   // Block partition: contiguous id ranges per shard (better locality than
   // round-robin; any fixed map works — results never depend on placement).
-  const auto n = static_cast<std::int64_t>(topology_.size());
+  const auto n = static_cast<std::int64_t>(clients_.size());
   const auto w = static_cast<std::int64_t>(shards_.size());
   return static_cast<int>(std::min<std::int64_t>(
       w - 1, static_cast<std::int64_t>(id) * w / std::max<std::int64_t>(1, n)));
 }
 
-void ShardedOnlineSimulator::advance_node_dyn(NodeId id, double t) {
+void ShardedEngine::advance_node_dyn(NodeId id, double t) {
   NodeDyn& s = node_dyn_[static_cast<std::size_t>(id)];
   if (!s.initialized) {
     s.initialized = true;
@@ -145,26 +200,21 @@ void ShardedOnlineSimulator::advance_node_dyn(NodeId id, double t) {
       NodeSnapshot{static_cast<std::uint8_t>(s.dyn.up ? 1 : 0), s.dyn.burst_end_t};
 }
 
-ShardedOnlineSimulator::DirLink& ShardedOnlineSimulator::link_at(Shard& shard,
-                                                                 NodeId src,
-                                                                 NodeId dst,
-                                                                 double t) {
+ShardedEngine::DirLink& ShardedEngine::link_at(Shard& shard, NodeId src,
+                                               NodeId dst, double t) {
   const std::size_t idx =
       static_cast<std::size_t>(src - shard.first_owned) *
           static_cast<std::size_t>(topology_.size()) +
       static_cast<std::size_t>(dst);
-  DirLink& s = shard.links[idx];
+  DirLink& s = shard.links.at(idx);
   if (!s.initialized) {
     s.initialized = true;
     s.rng = Rng::derived(config_.seed, rngstream::kDirectedLink,
                          directed_key(src, dst));
     s.dyn.init(s.rng, t, link_config_);
-    for (const ShardedRouteChange& rc : route_changes_) {
-      if ((rc.i == src && rc.j == dst) || (rc.i == dst && rc.j == src))
-        s.dyn.scheduled.emplace_back(rc.at_t, rc.factor);
-    }
-    if (!s.dyn.scheduled.empty()) {
-      std::sort(s.dyn.scheduled.begin(), s.dyn.scheduled.end());
+    if (const auto it = route_changes_.find(undirected_key(src, dst));
+        it != route_changes_.end()) {
+      s.dyn.scheduled = it->second;  // already sorted at construction
       s.dyn.route_changes_frozen = true;  // controlled steps stay clean
     }
   }
@@ -172,8 +222,8 @@ ShardedOnlineSimulator::DirLink& ShardedOnlineSimulator::link_at(Shard& shard,
   return s;
 }
 
-void ShardedOnlineSimulator::deliver_batch(Shard& shard, int shard_idx,
-                                           double epoch_start) {
+void ShardedEngine::deliver_batch(Shard& shard, int shard_idx,
+                                  double epoch_start) {
   mailbox_.collect_into(shard_idx, shard.inbox);
   for (const ShardMessage& msg : shard.inbox) {
     if (msg.kind == ShardMsgKind::kDstError) {
@@ -187,8 +237,11 @@ void ShardedOnlineSimulator::deliver_batch(Shard& shard, int shard_idx,
     // are ordered by the queue key's (kind, sender, seq) tiebreaks.
     ShardEvent ev;
     ev.t = std::max(msg.t, epoch_start);
-    ev.kind = msg.kind == ShardMsgKind::kPing ? ShardEventKind::kPing
-                                              : ShardEventKind::kPong;
+    switch (msg.kind) {
+      case ShardMsgKind::kPing: ev.kind = ShardEventKind::kPing; break;
+      case ShardMsgKind::kPong: ev.kind = ShardEventKind::kPong; break;
+      default: ev.kind = ShardEventKind::kObs; break;
+    }
     ev.a = msg.to;
     ev.b = msg.from;
     ev.seq = msg.seq;
@@ -208,8 +261,8 @@ void ShardedOnlineSimulator::deliver_batch(Shard& shard, int shard_idx,
   shard.queue.push_batch(shard.staging);
 }
 
-void ShardedOnlineSimulator::process_epoch(Shard& shard, int shard_idx,
-                                           double epoch_end) {
+void ShardedEngine::process_epoch(Shard& shard, int shard_idx,
+                                  double epoch_end) {
   while (shard.queue.has_event_before(epoch_end)) {
     const ShardEvent ev = shard.queue.pop();
     if (ev.t >= config_.duration_s) continue;  // final partial epoch
@@ -232,15 +285,24 @@ void ShardedOnlineSimulator::process_epoch(Shard& shard, int shard_idx,
       case ShardEventKind::kPong:
         on_delivered_pong(shard, ev.t, ev);
         break;
+      case ShardEventKind::kObs:
+        on_delivered_obs(shard, ev);
+        break;
     }
   }
-  // All of this epoch's emissions are in; sort the kPong runs (the one kind
-  // whose timestamp is not monotone in emission order) so every outbox is
-  // canonically ordered before the receivers merge at the barrier.
+  // Replay: shard 0 doubles as the reader. Reading one epoch window AHEAD
+  // of the one just processed means a record reaches its observed node's
+  // shard in the epoch that contains the record's own timestamp (so the
+  // state stamp happens at exact record time, unclamped).
+  if (mode_ == Mode::kReplay && shard_idx == 0)
+    read_trace_until(epoch_end + config_.ping_interval_s);
+  // All of this epoch's emissions are in; sort the kPong/kObs runs (the
+  // kinds whose timestamps are not monotone in emission order) so every
+  // outbox is canonically ordered before the receivers merge at the barrier.
   mailbox_.seal_outboxes(shard_idx);
 }
 
-void ShardedOnlineSimulator::on_ping_timer(Shard& shard, double t, NodeId node) {
+void ShardedEngine::on_ping_timer(Shard& shard, double t, NodeId node) {
   // Re-arm first so churned/idle nodes keep their cadence.
   const double jitter = timer_rngs_[static_cast<std::size_t>(node)].uniform(
       -config_.ping_jitter_s, config_.ping_jitter_s);
@@ -290,8 +352,8 @@ void ShardedOnlineSimulator::on_ping_timer(Shard& shard, double t, NodeId node) 
   mailbox_.send(shard_idx_of(shard), shard_of(*target), std::move(msg));
 }
 
-void ShardedOnlineSimulator::on_delivered_ping(Shard& shard, double t_proc,
-                                               const ShardEvent& ev) {
+void ShardedEngine::on_delivered_ping(Shard& shard, double t_proc,
+                                      const ShardEvent& ev) {
   const NodeId receiver = ev.a;   // the pinged node
   const NodeId pinger = ev.b;
   auto& nbrs = neighbors_[static_cast<std::size_t>(receiver)];
@@ -317,8 +379,29 @@ void ShardedOnlineSimulator::on_delivered_ping(Shard& shard, double t_proc,
   (void)t_proc;
 }
 
-void ShardedOnlineSimulator::on_delivered_pong(Shard& shard, double t_proc,
-                                               const ShardEvent& ev) {
+void ShardedEngine::on_delivered_obs(Shard& shard, const ShardEvent& ev) {
+  // A trace record reached the OBSERVED node's owner: answer it exactly like
+  // a ping, stamping the node's current state into a pong at the record's
+  // own timestamp. The recorded source node observes it one hand-off later.
+  const NodeId observed = ev.a;
+  const NodeId observer = ev.b;
+  NCClient& cl = *clients_[static_cast<std::size_t>(observed)];
+  ShardMessage pong;
+  pong.kind = ShardMsgKind::kPong;
+  pong.t = ev.t_orig;
+  pong.from = observed;
+  pong.to = observer;
+  pong.seq = msg_seq_[static_cast<std::size_t>(observed)]++;
+  pong.rtt_ms = ev.rtt_ms;
+  pong.gt_rtt_ms = ev.gt_rtt_ms;
+  pong.sys_coord = cl.system_coordinate();
+  pong.app_coord = cl.application_coordinate();
+  pong.coord_err = cl.error_estimate();
+  mailbox_.send(shard_idx_of(shard), shard_of(observer), std::move(pong));
+}
+
+void ShardedEngine::on_delivered_pong(Shard& shard, double t_proc,
+                                      const ShardEvent& ev) {
   const NodeId observer = ev.a;
   const NodeId remote = ev.b;
   if (ev.gossip != kInvalidNode && ev.gossip != observer)
@@ -330,7 +413,10 @@ void ShardedOnlineSimulator::on_delivered_pong(Shard& shard, double t_proc,
                  static_cast<double>(ev.rtt_ms), t_proc);
 
   std::optional<double> truth;
-  if (config_.collect_oracle) truth = ev.gt_rtt_ms;
+  // Replay oracle values exist only when the caller supplied the generating
+  // network; online runs compute them at ping time.
+  if (config_.collect_oracle && (mode_ == Mode::kOnline || oracle_ != nullptr))
+    truth = ev.gt_rtt_ms;
 
   const double err = shard.collector->on_observation(
       t_proc, observer, remote, static_cast<double>(ev.rtt_ms),
@@ -350,7 +436,67 @@ void ShardedOnlineSimulator::on_delivered_pong(Shard& shard, double t_proc,
   }
 }
 
-void ShardedOnlineSimulator::run() {
+void ShardedEngine::read_trace_until(double t_limit) {
+  if (trace_done_) return;
+  for (;;) {
+    if (!pending_record_.has_value()) {
+      pending_record_ = source_->next();
+      if (!pending_record_.has_value()) {
+        trace_done_ = true;
+        return;
+      }
+    }
+    const lat::TraceRecord& rec = *pending_record_;
+    if (rec.t_s >= config_.duration_s) {
+      // Records arrive in non-decreasing time order: nothing after this one
+      // can be in range either (same early-out the serial driver had).
+      trace_done_ = true;
+      pending_record_.reset();
+      return;
+    }
+    if (rec.t_s >= t_limit) return;  // next epoch's window; keep it pending
+    NC_CHECK_MSG(rec.src >= 0 && rec.src < num_nodes(), "bad src id");
+    NC_CHECK_MSG(rec.dst >= 0 && rec.dst < num_nodes(), "bad dst id");
+    NC_CHECK_MSG(rec.src != rec.dst, "self-observation in trace");
+    NC_CHECK_MSG(rec.rtt_ms > 0.0f, "non-positive rtt in trace");
+
+    ShardMessage msg;
+    msg.kind = ShardMsgKind::kObs;
+    msg.t = rec.t_s;
+    msg.from = rec.src;  // the observer
+    msg.to = rec.dst;    // the observed node: first stop of the record
+    msg.seq = reader_seq_++;
+    msg.rtt_ms = rec.rtt_ms;
+    if (oracle_ != nullptr && config_.collect_oracle)
+      msg.gt_rtt_ms = oracle_->ground_truth_rtt(rec.src, rec.dst, rec.t_s);
+    mailbox_.send(0, shard_of(rec.dst), std::move(msg));
+    pending_record_.reset();
+  }
+}
+
+void ShardedEngine::run() {
+  NC_CHECK_MSG(mode_ == Mode::kOnline,
+               "run() without a trace is online mode only");
+  run_epochs();
+}
+
+void ShardedEngine::run(lat::TraceSource& source, lat::LatencyNetwork* oracle) {
+  NC_CHECK_MSG(mode_ == Mode::kReplay, "run(trace) is replay mode only");
+  NC_CHECK_MSG(source.num_nodes() <= num_nodes(),
+               "trace has more nodes than driver");
+  source_ = &source;
+  oracle_ = oracle;
+  // Prime the pipeline: epoch 0's records must already sit in the mailbox
+  // when the first delivery phase collects it (the reader stays one window
+  // ahead from here on). Runs before any worker launches, so sending and
+  // sealing from the main thread is safe.
+  read_trace_until(config_.ping_interval_s);
+  mailbox_.seal_outboxes(0);
+  run_epochs();
+  source_ = nullptr;
+}
+
+void ShardedEngine::run_epochs() {
   NC_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
 
@@ -368,7 +514,8 @@ void ShardedOnlineSimulator::run() {
       for (std::int64_t k = 0; k < epochs; ++k) {
         const double epoch_start = static_cast<double>(k) * interval;
         // Delivery phase: own node dynamics + own inbox only.
-        for (NodeId id : shard.owned) advance_node_dyn(id, epoch_start);
+        if (mode_ == Mode::kOnline)
+          for (NodeId id : shard.owned) advance_node_dyn(id, epoch_start);
         deliver_batch(shard, s, epoch_start);
         sync.arrive_and_wait();
         // Processing phase: own entities; cross-shard state only via the
@@ -378,13 +525,14 @@ void ShardedOnlineSimulator::run() {
       }
       // Destination error records emitted in the final epoch still count:
       // one last drain, applying only metric records (any in-flight
-      // pings/pongs are past end-of-run, like the serial simulator's).
+      // pings/pongs are past end-of-run, like the retired serial engines').
       mailbox_.collect_into(s, shard.inbox);
       for (const ShardMessage& msg : shard.inbox) {
         if (msg.kind == ShardMsgKind::kDstError)
           shard.collector->record_dst_error(msg.t, msg.to, msg.err);
       }
-      // Close out the run exactly like OnlineSimulator::run().
+      // Close out the run: a final drift sample at duration_s, then flush
+      // the collector's in-flight node-seconds.
       for (NodeId id : shard.collector->config().tracked_nodes)
         shard.collector->track_coordinate(config_.duration_s, id,
                                           client(id).system_coordinate());
@@ -417,11 +565,11 @@ void ShardedOnlineSimulator::run() {
   }
 }
 
-MetricsCollector& ShardedOnlineSimulator::metrics() noexcept {
+MetricsCollector& ShardedEngine::metrics() noexcept {
   return *shards_[0].collector;
 }
 
-const MetricsCollector& ShardedOnlineSimulator::metrics() const noexcept {
+const MetricsCollector& ShardedEngine::metrics() const noexcept {
   return *shards_[0].collector;
 }
 

@@ -1,20 +1,39 @@
-// Epoch-sharded online simulator: one big run across all cores.
+// The epoch-sharded simulation engine: one kernel for every run.
 //
 // ExperimentGrid parallelizes across independent runs; this engine
-// parallelizes WITHIN one online run. Nodes are block-partitioned over W
-// worker shards. Each shard owns everything its nodes touch — NCClient,
-// NeighborSet, per-node RNG streams, the availability/overload process of
-// its nodes and the latency state of every DIRECTED link its nodes ping —
-// and advances in lock-step epochs of `ping_interval_s`. Within an epoch a
-// shard processes only its own entities; all cross-node interaction
-// (ping delivery, pong observation, per-destination metric records) travels
-// as messages handed over at epoch boundaries and merged into a canonical,
+// parallelizes WITHIN one run, and since PR 5 it drives BOTH simulation
+// modes — the event-driven online deployment (paper Sec. VI) and trace
+// replay (Sec. IV-A). Nodes are block-partitioned over W worker shards.
+// Each shard owns everything its nodes touch — NCClient, NeighborSet,
+// per-node RNG streams, the availability/overload process of its nodes and
+// the latency state of every DIRECTED link its nodes ping — and advances in
+// lock-step epochs. Within an epoch a shard processes only its own
+// entities; all cross-node interaction (ping delivery, pong observation,
+// replay-record routing, per-destination metric records) travels as
+// messages handed over at epoch boundaries and merged into a canonical,
 // message-intrinsic order (shard_mailbox.hpp).
+//
+// Online mode: epochs are `ping_interval_s` long; shards fire their nodes'
+// ping timers, sample directed links, and exchange ping/pong traffic.
+//
+// Replay mode: epochs are `epoch_s` long and the traffic comes from a
+// trace. Shard 0 doubles as the READER: during its processing phase it
+// reads one epoch window of records ahead and mails each record as a kObs
+// message to the OBSERVED node's owner shard. That shard answers during the
+// next epoch exactly like a pinged node answers a ping — it stamps its
+// client's current coordinate state into a kPong at the record's own
+// timestamp — and the pong is observed by the recorded source node one
+// hand-off later, clamped up to the delivering epoch's start. A record at
+// time t is therefore observed against the observed node's state at time t,
+// at most ~2 epochs after t; records whose observation would land at or
+// past duration_s are dropped (declared end-of-run semantics, exactly like
+// the online engine's in-flight pings).
 //
 // Determinism: results are bit-identical for ANY shard count, because
 //  * every stochastic draw belongs to exactly one entity's derived stream
 //    (rngstream::k{PingTimer,Bootstrap,Node,DirectedLink,Neighbor}, plus
-//    Vivaldi's per-node stream), so no global draw order exists;
+//    Vivaldi's per-node stream; replay mode draws nothing at all — the
+//    trace and the serial reader own every random bit);
 //  * each entity consumes its events in a canonical order: local timers are
 //    totally ordered by time per node, and delivered batches are merged in
 //    the canonical message order before entering the shard's queue;
@@ -24,27 +43,32 @@
 // The steady-state event loop is allocation-free (DESIGN.md "Event core"):
 // per-shard calendar queues replace binary heaps, delivery batches are
 // k-way merges into buffers reused across epochs, and per-link latency
-// state lives in a dense directed-link-indexed array instead of a hash map.
+// state lives in a dense directed-link-indexed array — eager (flat) at
+// bench-tier sizes, lazily paged beyond them (common/paged_store.hpp).
 //
-// Protocol semantics differ from OnlineSimulator in one declared way:
-// messages cross the network at epoch granularity (a ping sent in epoch k
-// is answered in epoch k+1 and observed one delivery later, each step
-// clamped up to the delivering epoch's start), and node up/down/overload
-// state advances at epoch starts instead of per query. Both engines
-// implement the same paper protocol; shards=1 is the reference semantics
-// for sharded runs — compare sharded runs against each other, not against
-// OnlineSimulator.
+// Protocol semantics are declared per mode: messages cross the network at
+// epoch granularity (a ping sent in epoch k is answered in epoch k+1 and
+// observed one delivery later, each step clamped up to the delivering
+// epoch's start; a replay record is answered in the epoch containing it and
+// observed at the next boundary), and node up/down/overload state advances
+// at epoch starts instead of per query. shards=1 is the reference
+// semantics; the retired serial engines' immediate-delivery semantics no
+// longer exist as a separate code path (OnlineSimulator and ReplayDriver
+// are thin facades over this kernel).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/paged_store.hpp"
 #include "core/nc_client.hpp"
 #include "core/neighbor_set.hpp"
 #include "latency/link_model.hpp"
 #include "latency/topology.hpp"
+#include "latency/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/online_sim.hpp"
 #include "sim/shard_mailbox.hpp"
@@ -52,20 +76,56 @@
 
 namespace nc::sim {
 
-class ShardedOnlineSimulator {
- public:
-  /// `shards` >= 1 worker threads; the topology/link/availability configs
-  /// play the role of OnlineSimulator's shared LatencyNetwork (the sharded
-  /// engine derives all link/node stochastic state itself, from
-  /// config.seed, so it owns the network model rather than borrowing one).
-  ShardedOnlineSimulator(const OnlineSimConfig& config, int shards,
-                         lat::Topology topology,
-                         const lat::LinkModelConfig& link_config = {},
-                         const lat::AvailabilityConfig& availability = {},
-                         std::vector<ShardedRouteChange> route_changes = {});
+/// Replay-mode configuration (the paper's simulator methodology, Sec. IV-A):
+/// every node runs an identically-configured client; the observation stream
+/// comes from a recorded or generated trace instead of live timers.
+struct ReplayConfig {
+  NCClientConfig client;  // identical configuration on every node
 
-  /// Runs the full simulation across `shards` threads. Call once.
+  double duration_s = 4.0 * 3600.0;
+  /// Accuracy/stability measured from here (paper: second half of the run).
+  double measure_start_s = 2.0 * 3600.0;
+
+  /// Epoch length of the sharded kernel (the replay analogue of the online
+  /// engine's ping_interval_s). run_scenario sets it to the workload's trace
+  /// cadence; the default matches TraceGenConfig's 1 Hz per-node pings.
+  double epoch_s = 1.0;
+  /// Worker shards (>= 1). Results are bit-identical for any value.
+  int shards = 1;
+
+  bool collect_timeseries = false;
+  double timeseries_bucket_s = 600.0;
+  bool collect_oracle = false;
+
+  std::vector<NodeId> tracked_nodes;
+  double track_interval_s = 600.0;
+};
+
+class ShardedEngine {
+ public:
+  /// Online-mode engine: `shards` >= 1 worker threads; the topology/link/
+  /// availability configs play the role of the retired serial engine's
+  /// shared LatencyNetwork (the kernel derives all link/node stochastic
+  /// state itself, from config.seed, so it owns the network model rather
+  /// than borrowing one).
+  ShardedEngine(const OnlineSimConfig& config, int shards,
+                lat::Topology topology,
+                const lat::LinkModelConfig& link_config = {},
+                const lat::AvailabilityConfig& availability = {},
+                std::vector<ShardedRouteChange> route_changes = {});
+
+  /// Replay-mode engine over `num_nodes` identically-configured clients.
+  ShardedEngine(const ReplayConfig& config, int num_nodes);
+
+  /// Runs a full online simulation across the worker shards. Call once;
+  /// online mode only.
   void run();
+
+  /// Replays every record of `source` (records past duration_s are
+  /// ignored). `oracle` optionally supplies ground-truth RTTs for oracle
+  /// metrics — pass the generating LatencyNetwork. Call once; replay mode
+  /// only.
+  void run(lat::TraceSource& source, lat::LatencyNetwork* oracle = nullptr);
 
   /// Merged metrics over all shards; valid after run().
   [[nodiscard]] MetricsCollector& metrics() noexcept;
@@ -79,14 +139,18 @@ class ShardedOnlineSimulator {
 
   [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
   [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
-  /// Queue events processed across all shards (timers + deliveries), the
-  /// unit bench_event_core reports per second.
+  /// Queue events processed across all shards (timers + deliveries; replay:
+  /// record stamps + observations), the unit bench_event_core reports per
+  /// second.
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_; }
 
  private:
+  enum class Mode : std::uint8_t { kOnline, kReplay };
+
   /// Availability/overload process of one node, advanced at epoch starts by
-  /// the owning shard (epoch-granular analogue of LatencyNetwork::node_at;
-  /// the state machine itself is the shared lat::NodeDynamics).
+  /// the owning shard (epoch-granular analogue of the retired per-query
+  /// LatencyNetwork::node_at; the state machine itself is the shared
+  /// lat::NodeDynamics).
   struct NodeDyn {
     Rng rng;
     bool initialized = false;
@@ -105,7 +169,7 @@ class ShardedOnlineSimulator {
   /// independently for i->j and j->i); controlled route changes apply to
   /// both directions. The state machine is the shared lat::LinkDynamics.
   /// Initialization stays lazy (stream seeded at first-touch time), but the
-  /// slot itself lives in the shard's dense directed-link array.
+  /// slot itself lives in the shard's dense directed-link store.
   struct DirLink {
     Rng rng;
     lat::LinkDynamics dyn;
@@ -117,9 +181,9 @@ class ShardedOnlineSimulator {
     NodeId first_owned = 0;
     ShardEventQueue queue;
     /// Dense directed-link state: index (src - first_owned) * n + dst.
-    /// Replaces a u64-keyed hash map — O(1) arithmetic lookup, no rehash
-    /// allocations, one cache line per hot link.
-    std::vector<DirLink> links;
+    /// Flat at bench-tier sizes, lazily paged beyond (PagedStore) — either
+    /// way O(1) arithmetic lookup, no rehash allocations.
+    PagedStore<DirLink> links;
     /// Delivery batch buffer, reused every epoch (collect_into target).
     std::vector<ShardMessage> inbox;
     /// Delivered-event staging for ShardEventQueue::push_batch, reused
@@ -134,32 +198,51 @@ class ShardedOnlineSimulator {
   [[nodiscard]] int shard_idx_of(const Shard& s) const noexcept {
     return static_cast<int>(&s - shards_.data());
   }
+  void init_shards(int shards, int num_nodes);
   void advance_node_dyn(NodeId id, double t);
   void deliver_batch(Shard& shard, int shard_idx, double epoch_start);
   void process_epoch(Shard& shard, int shard_idx, double epoch_end);
+  void run_epochs();
   void on_ping_timer(Shard& shard, double t, NodeId node);
   void on_delivered_ping(Shard& shard, double t_proc, const ShardEvent& ev);
   void on_delivered_pong(Shard& shard, double t_proc, const ShardEvent& ev);
+  void on_delivered_obs(Shard& shard, const ShardEvent& ev);
+  /// Replay reader (shard 0's processing phase): routes every record with
+  /// t < t_limit to the observed node's owner as a kObs message.
+  void read_trace_until(double t_limit);
   DirLink& link_at(Shard& shard, NodeId src, NodeId dst, double t);
 
-  OnlineSimConfig config_;
-  lat::Topology topology_;
+  Mode mode_;
+  OnlineSimConfig config_;  // replay mode maps ReplayConfig onto this
+  lat::Topology topology_;  // online mode only
   lat::LinkModelConfig link_config_;
   lat::AvailabilityConfig availability_;
-  std::vector<ShardedRouteChange> route_changes_;
+  /// Scheduled route changes indexed by undirected link key, so lazy link
+  /// initialization looks its schedule up in O(1) instead of scanning the
+  /// full list (regional-shift presets schedule O(n) links at once).
+  std::unordered_map<std::uint64_t, std::vector<std::pair<double, double>>>
+      route_changes_;
 
   // Node-indexed state; each element is touched only by its owner shard
   // during parallel phases (snapshots_ additionally read by all shards in
   // processing phases, barrier-separated from the owner's writes).
   std::vector<std::unique_ptr<NCClient>> clients_;
-  std::vector<NeighborSet> neighbors_;
-  std::vector<Rng> timer_rngs_;
+  std::vector<NeighborSet> neighbors_;   // online mode only
+  std::vector<Rng> timer_rngs_;          // online mode only
   std::vector<std::uint64_t> msg_seq_;
-  std::vector<NodeDyn> node_dyn_;
-  std::vector<NodeSnapshot> snapshots_;
+  std::vector<NodeDyn> node_dyn_;        // online mode only
+  std::vector<NodeSnapshot> snapshots_;  // online mode only
 
   std::vector<Shard> shards_;
   EpochMailbox mailbox_;
+
+  // Replay reader state (touched only by shard 0's thread once the run
+  // starts; the priming read happens before the workers launch).
+  lat::TraceSource* source_ = nullptr;
+  lat::LatencyNetwork* oracle_ = nullptr;
+  std::optional<lat::TraceRecord> pending_record_;
+  std::uint64_t reader_seq_ = 0;
+  bool trace_done_ = false;
 
   std::uint64_t pings_sent_ = 0;
   std::uint64_t pings_lost_ = 0;

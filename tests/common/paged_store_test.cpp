@@ -1,0 +1,91 @@
+#include "common/paged_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace nc {
+namespace {
+
+struct Slot {
+  std::uint64_t value = 0;
+  bool touched = false;
+};
+
+TEST(PagedStore, ModeSelectionFollowsTheEagerLimit) {
+  PagedStore<Slot> eager(1000, /*eager_slot_limit=*/1000);
+  EXPECT_FALSE(eager.paged());
+  PagedStore<Slot> paged(1001, /*eager_slot_limit=*/1000);
+  EXPECT_TRUE(paged.paged());
+  // Default limit keeps the bench tier flat: a 4k-node shard array at W=1.
+  PagedStore<Slot> bench(std::size_t{4096} * 4096);
+  EXPECT_FALSE(bench.paged());
+}
+
+// The satellite's core contract: the two modes are observationally
+// identical — the same writes through the same logical indices read back
+// identically, including never-written slots (value-initialized in both).
+TEST(PagedStore, IndexEquivalenceBetweenEagerAndPagedModes) {
+  const std::size_t slots = 10 * PagedStore<Slot>::kPageSlots + 37;
+  PagedStore<Slot> eager(slots, /*eager_slot_limit=*/slots);
+  PagedStore<Slot> paged(slots, /*eager_slot_limit=*/0);
+  ASSERT_FALSE(eager.paged());
+  ASSERT_TRUE(paged.paged());
+
+  // A scatter of indices spanning page boundaries, first/last slots and a
+  // deterministic pseudo-random walk.
+  std::vector<std::size_t> indices = {0, 1, slots - 1,
+                                      PagedStore<Slot>::kPageSlots - 1,
+                                      PagedStore<Slot>::kPageSlots,
+                                      3 * PagedStore<Slot>::kPageSlots + 11};
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    indices.push_back(static_cast<std::size_t>(x % slots));
+  }
+
+  for (const std::size_t i : indices) {
+    eager.at(i).value += i + 1;
+    eager.at(i).touched = true;
+    paged.at(i).value += i + 1;
+    paged.at(i).touched = true;
+  }
+  for (const std::size_t i : indices) {
+    EXPECT_EQ(eager.at(i).value, paged.at(i).value) << i;
+    EXPECT_TRUE(paged.at(i).touched) << i;
+  }
+  // Untouched slots read value-initialized in both modes.
+  const std::size_t untouched = 7 * PagedStore<Slot>::kPageSlots + 5;
+  EXPECT_EQ(eager.at(untouched).value, 0u);
+  EXPECT_EQ(paged.at(untouched).value, 0u);
+  EXPECT_FALSE(paged.at(untouched).touched);
+}
+
+TEST(PagedStore, PagesAllocateLazilyOnFirstTouch) {
+  const std::size_t slots = 100 * PagedStore<Slot>::kPageSlots;
+  PagedStore<Slot> store(slots, /*eager_slot_limit=*/0);
+  EXPECT_EQ(store.allocated_pages(), 0u);
+  EXPECT_EQ(store.page_count(), 100u);
+
+  store.at(0).value = 1;
+  EXPECT_EQ(store.allocated_pages(), 1u);
+  // Same page: no new allocation.
+  store.at(PagedStore<Slot>::kPageSlots - 1).value = 2;
+  EXPECT_EQ(store.allocated_pages(), 1u);
+  // A far slot materializes exactly one more page.
+  store.at(42 * PagedStore<Slot>::kPageSlots + 7).value = 3;
+  EXPECT_EQ(store.allocated_pages(), 2u);
+}
+
+TEST(PagedStore, EmptyAndEagerIntrospection) {
+  PagedStore<Slot> empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.allocated_pages(), 0u);
+  PagedStore<Slot> eager(10);
+  EXPECT_EQ(eager.size(), 10u);
+  EXPECT_EQ(eager.allocated_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace nc

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -106,6 +110,77 @@ TEST(NCClient, UnboundedWhenCapIsZero) {
     c.observe(id, Coordinate{Vec{10.0, 0.0}}, 0.5, 10.0, static_cast<double>(id));
   EXPECT_EQ(c.tracked_link_count(), 50u);
   EXPECT_EQ(c.evicted_link_count(), 0u);
+}
+
+// PR 5 regression pin: the slab-allocated link state (dense remote -> slot
+// index, filters recycled through a per-client pool on eviction) must
+// produce exactly the filter outputs of the map-based path it replaced. The
+// reference below IS that old path: an unordered_map of per-remote filters,
+// fresh-clone on first contact, least-recently-seen eviction by strict
+// comparison (timestamps in the recorded sequence are distinct, so the old
+// map-iteration-order tie-break never decided anything).
+TEST(NCClient, SlabLinkStateMatchesMapReference) {
+  NCClientConfig cfg = basic_config();
+  cfg.filter = FilterConfig::moving_percentile(4, 25.0, /*min_samples=*/2);
+  cfg.max_tracked_links = 6;  // small cap: plenty of evictions + re-contacts
+  NCClient client(0, cfg);
+
+  struct RefLink {
+    std::unique_ptr<LatencyFilter> filter;
+    double last_seen_s = 0.0;
+  };
+  std::unordered_map<NodeId, RefLink> reference;
+  std::uint64_t ref_evictions = 0;
+
+  // A recorded observation sequence: 18 remotes cycling through a 6-slot
+  // cap, pseudo-random RTTs, strictly increasing timestamps.
+  Rng rng(1234);
+  for (int i = 0; i < 600; ++i) {
+    const auto remote = static_cast<NodeId>(1 + rng.uniform_int(18));
+    const double rtt = 20.0 + rng.uniform(0.0, 200.0);
+    const double now = static_cast<double>(i);
+
+    auto it = reference.find(remote);
+    if (it == reference.end()) {
+      if (reference.size() >= cfg.max_tracked_links) {
+        auto oldest = reference.begin();
+        for (auto j = reference.begin(); j != reference.end(); ++j)
+          if (j->second.last_seen_s < oldest->second.last_seen_s) oldest = j;
+        reference.erase(oldest);
+        ++ref_evictions;
+      }
+      it = reference.emplace(remote, RefLink{cfg.filter.make(), now}).first;
+    }
+    it->second.last_seen_s = now;
+    const std::optional<double> expected = it->second.filter->update(rtt);
+
+    const auto out =
+        client.observe(remote, Coordinate{Vec{50.0, 10.0}}, 0.5, rtt, now);
+    ASSERT_EQ(out.filtered_rtt_ms, expected) << "observation " << i;
+  }
+  EXPECT_EQ(client.evicted_link_count(), ref_evictions);
+  EXPECT_EQ(client.tracked_link_count(), reference.size());
+  EXPECT_GT(ref_evictions, 50u);  // the sequence actually exercised eviction
+}
+
+// Evicted slots park their filter in the pool; re-contact drains the pool
+// instead of allocating. With the cap at 6 and 18 remotes churning, the
+// slab settles at cap + a small pool — never one filter per remote ever
+// seen.
+TEST(NCClient, EvictedFiltersAreRecycledThroughThePool) {
+  NCClientConfig cfg = basic_config();
+  cfg.max_tracked_links = 6;
+  NCClient c(0, cfg);
+  for (int round = 0; round < 10; ++round)
+    for (NodeId id = 1; id <= 18; ++id)
+      c.observe(id, Coordinate{Vec{10.0, 0.0}}, 0.5, 10.0 + id,
+                static_cast<double>(round * 18 + id));
+  EXPECT_EQ(c.tracked_link_count(), 6u);
+  // Active + pooled together bound the slab: at most cap + 1 instances were
+  // ever created (one eviction happens before each over-cap claim, so the
+  // pool never holds more than one parked filter here).
+  EXPECT_LE(c.pooled_filter_count(), 1u);
+  EXPECT_GT(c.evicted_link_count(), 100u);
 }
 
 TEST(NCClient, CountersAdvance) {

@@ -87,5 +87,82 @@ TEST(ScenarioRegistry, PresetTopologiesDiffer) {
   EXPECT_GT(inter_max, 100.0);
 }
 
+// ---------------------------------------------------------------------------
+// Route-change schedule presets.
+// ---------------------------------------------------------------------------
+
+TEST(RouteSchedules, CatalogHasTheDocumentedSchedules) {
+  const auto names = route_schedule_names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names.front(), "none");
+  for (const char* expected :
+       {"none", "single-link", "regional-shift", "backbone-flap"}) {
+    EXPECT_TRUE(route_schedule_exists(expected)) << expected;
+  }
+  EXPECT_FALSE(route_schedule_exists("no-such-schedule"));
+  EXPECT_EQ(route_schedule_catalog().size(), names.size());
+  for (const auto& info : route_schedule_catalog())
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+}
+
+TEST(RouteSchedules, UnknownNameThrowsWithTheRegisteredList) {
+  ScenarioSpec spec = make_scenario("planetlab");
+  try {
+    apply_route_schedule(spec, "bogus");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("regional-shift"), std::string::npos);
+  }
+}
+
+// Schedules are pure functions of node count and duration: every expanded
+// event references valid distinct nodes, a positive factor and an in-run
+// time — at any scale (presets never hard-code node ids).
+TEST(RouteSchedules, ExpansionsAreValidAtAnyScale) {
+  for (const std::string& name : route_schedule_names()) {
+    for (const int n : {2, 16, 269}) {
+      SCOPED_TRACE(name + " @ " + std::to_string(n));
+      ScenarioSpec spec = make_scenario("planetlab");
+      spec.workload.num_nodes = n;
+      spec.workload.duration_s = 1800.0;
+      apply_route_schedule(spec, name);
+      for (const RouteChangeEvent& rc : spec.workload.route_changes) {
+        EXPECT_GE(rc.i, 0);
+        EXPECT_LT(rc.i, n);
+        EXPECT_GE(rc.j, 0);
+        EXPECT_LT(rc.j, n);
+        EXPECT_NE(rc.i, rc.j);
+        EXPECT_GT(rc.factor, 0.0);
+        EXPECT_GT(rc.at_t, 0.0);
+        EXPECT_LT(rc.at_t, spec.workload.duration_s);
+      }
+      if (name == "none") {
+        EXPECT_TRUE(spec.workload.route_changes.empty());
+      }
+      if (name == "regional-shift" && n == 269) {
+        // One region (capped block) against the rest: linear-in-n events.
+        EXPECT_EQ(spec.workload.route_changes.size(), 50u * (269u - 50u));
+      }
+    }
+  }
+}
+
+// A composed schedule drives an actual run in both modes (replay here;
+// sharded_replay_test covers the oracle-visible effect, sharded_sim_test
+// the online engine's directed links).
+TEST(RouteSchedules, ComposedScheduleRunsInBothModes) {
+  for (const SimMode mode : {SimMode::kReplay, SimMode::kOnline}) {
+    ScenarioSpec spec = make_scenario("planetlab");
+    spec.mode = mode;
+    spec.workload.num_nodes = 12;
+    spec.workload.duration_s = 300.0;
+    spec.workload.ping_interval_s = mode == SimMode::kOnline ? 5.0 : 1.0;
+    apply_route_schedule(spec, "backbone-flap");
+    EXPECT_FALSE(spec.workload.route_changes.empty());
+    const auto out = run_scenario(spec);
+    EXPECT_GT(out.metrics.observation_count(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace nc::eval

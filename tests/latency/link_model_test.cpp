@@ -42,6 +42,30 @@ TEST(LatencyNetwork, DeterministicBySeed) {
   }
 }
 
+// Paged link storage (the 10k-node fallback behind the triangular index)
+// must produce the exact sample stream of the flat default, including
+// scheduled route changes landing on lazily-paged slots.
+TEST(LatencyNetwork, PagedLinkStateMatchesEagerExactly) {
+  TopologyConfig tc;
+  tc.num_nodes = 12;
+  tc.seed = 91;
+  const AvailabilityConfig av{.enabled = false};
+  LatencyNetwork eager(Topology::make(tc), LinkModelConfig{}, av, 91);
+  LatencyNetwork paged(Topology::make(tc), LinkModelConfig{}, av, 91,
+                       /*eager_slot_limit=*/0);
+  eager.schedule_route_change(2, 7, 2.5, 40.0);
+  paged.schedule_route_change(2, 7, 2.5, 40.0);
+  for (int i = 0; i < 300; ++i) {
+    const double t = i * 0.5;
+    const NodeId src = static_cast<NodeId>(i % 12);
+    const NodeId dst = static_cast<NodeId>((i * 7 + 1) % 12);
+    if (src == dst) continue;
+    ASSERT_EQ(eager.sample_rtt(src, dst, t), paged.sample_rtt(src, dst, t));
+    ASSERT_EQ(eager.ground_truth_rtt(src, dst, t),
+              paged.ground_truth_rtt(src, dst, t));
+  }
+}
+
 TEST(LatencyNetwork, DifferentSeedsDiffer) {
   auto a = make_network(10, 77);
   auto b = make_network(10, 78);

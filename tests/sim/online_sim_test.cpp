@@ -160,6 +160,16 @@ TEST(OnlineSimulator, BootstrapDegreeCountsDistinctPeers) {
   }
 }
 
+TEST(OnlineSimulator, NetworkWithScheduledRouteChangesRejected) {
+  // The facade copies the network's configuration, not its state: a
+  // schedule installed on the network object would be silently dropped, so
+  // the constructor refuses it (kernel callers pass ShardedRouteChange
+  // arguments instead).
+  auto net = small_network(8);
+  net.schedule_route_change(0, 1, 2.0, 30.0);
+  EXPECT_THROW(OnlineSimulator(small_config(60.0), net), CheckError);
+}
+
 TEST(OnlineSimulator, BootstrapDegreeMustLeaveANonPeer) {
   // degree >= n can never find enough distinct peers: reject instead of
   // looping forever in the constructor.

@@ -35,9 +35,9 @@ lat::AvailabilityConfig all_up() {
 // The engine's core guarantee, at full strength: every node's final
 // coordinate is bit-identical for any shard count (shards own disjoint node
 // sets, so equality here means every observation stream replayed alike).
-TEST(ShardedOnlineSimulator, CoordinatesBitIdenticalAcrossShardCounts) {
+TEST(ShardedEngine, CoordinatesBitIdenticalAcrossShardCounts) {
   const auto run_with = [](int shards) {
-    ShardedOnlineSimulator sim(small_config(600.0), shards, small_topology(),
+    ShardedEngine sim(small_config(600.0), shards, small_topology(),
                                lat::LinkModelConfig{}, all_up());
     sim.run();
     std::vector<Coordinate> coords;
@@ -54,7 +54,7 @@ TEST(ShardedOnlineSimulator, CoordinatesBitIdenticalAcrossShardCounts) {
 
 // The acceptance-level check: full metric surface, bit-identical, on the
 // planetlab and churn presets through the scenario engine.
-TEST(ShardedOnlineSimulator, MetricsBitIdenticalOnPresets) {
+TEST(ShardedEngine, MetricsBitIdenticalOnPresets) {
   for (const char* preset : {"planetlab", "churn"}) {
     eval::ScenarioSpec spec = eval::make_scenario(preset);
     spec.mode = eval::SimMode::kOnline;
@@ -128,8 +128,8 @@ TEST(ShardedOnlineSimulator, MetricsBitIdenticalOnPresets) {
   }
 }
 
-TEST(ShardedOnlineSimulator, ConvergesLikeTheSerialEngine) {
-  ShardedOnlineSimulator sim(small_config(900.0), 4, small_topology(20),
+TEST(ShardedEngine, ConvergesLikeTheSerialEngine) {
+  ShardedEngine sim(small_config(900.0), 4, small_topology(20),
                              lat::LinkModelConfig{}, all_up());
   sim.run();
   EXPECT_GT(sim.pings_sent(), 1000u);
@@ -137,10 +137,10 @@ TEST(ShardedOnlineSimulator, ConvergesLikeTheSerialEngine) {
   EXPECT_LT(sim.metrics().median_relative_error(), 0.3);
 }
 
-TEST(ShardedOnlineSimulator, GossipSpreadsAcrossShards) {
+TEST(ShardedEngine, GossipSpreadsAcrossShards) {
   OnlineSimConfig c = small_config(900.0);
   c.bootstrap_degree = 1;  // minimal seed knowledge
-  ShardedOnlineSimulator sim(c, 4, small_topology(20), lat::LinkModelConfig{},
+  ShardedEngine sim(c, 4, small_topology(20), lat::LinkModelConfig{},
                              all_up());
   sim.run();
   int grew = 0;
@@ -149,12 +149,12 @@ TEST(ShardedOnlineSimulator, GossipSpreadsAcrossShards) {
   EXPECT_GT(grew, sim.num_nodes() * 3 / 4);
 }
 
-TEST(ShardedOnlineSimulator, DriftTrackingIsShardCountInvariant) {
+TEST(ShardedEngine, DriftTrackingIsShardCountInvariant) {
   const auto drift_of = [](int shards) {
     OnlineSimConfig c = small_config(600.0);
     c.tracked_nodes = {1, 17};  // land on different shards at W=3
     c.track_interval_s = 120.0;
-    ShardedOnlineSimulator sim(c, shards, small_topology(),
+    ShardedEngine sim(c, shards, small_topology(),
                                lat::LinkModelConfig{}, all_up());
     sim.run();
     std::vector<std::pair<double, Vec>> points;
@@ -171,52 +171,73 @@ TEST(ShardedOnlineSimulator, DriftTrackingIsShardCountInvariant) {
   EXPECT_EQ(serial, drift_of(3));
 }
 
-TEST(ShardedOnlineSimulator, MoreShardsThanNodesWorks) {
-  ShardedOnlineSimulator sim(small_config(300.0), 8, small_topology(5),
+// Paged directed-link state (the 10k-node fallback) must be observationally
+// identical to the flat bench-tier arrays: same coordinates, same counters.
+TEST(ShardedEngine, PagedLinkStateBitIdenticalToEager) {
+  const auto run_with = [](std::size_t eager_limit, int shards) {
+    OnlineSimConfig c = small_config(600.0);
+    c.link_eager_slot_limit = eager_limit;
+    ShardedEngine sim(c, shards, small_topology(), lat::LinkModelConfig{},
+                      all_up());
+    sim.run();
+    std::vector<Coordinate> coords;
+    for (NodeId id = 0; id < sim.num_nodes(); ++id)
+      coords.push_back(sim.client(id).system_coordinate());
+    return std::tuple{coords, sim.pings_sent(), sim.pings_lost(),
+                      sim.metrics().observation_count()};
+  };
+  // limit 0 forces paging at any size; the default keeps this n flat.
+  const auto eager = run_with(kPagedStoreDefaultEagerSlotLimit, 1);
+  EXPECT_EQ(eager, run_with(0, 1));
+  EXPECT_EQ(eager, run_with(0, 3));
+}
+
+TEST(ShardedEngine, MoreShardsThanNodesWorks) {
+  ShardedEngine sim(small_config(300.0), 8, small_topology(5),
                              lat::LinkModelConfig{}, all_up());
   sim.run();
   EXPECT_GT(sim.metrics().observation_count(), 0u);
 }
 
-TEST(ShardedOnlineSimulator, RunTwiceRejected) {
-  ShardedOnlineSimulator sim(small_config(60.0), 2, small_topology(),
+TEST(ShardedEngine, RunTwiceRejected) {
+  ShardedEngine sim(small_config(60.0), 2, small_topology(),
                              lat::LinkModelConfig{}, all_up());
   sim.run();
   EXPECT_THROW(sim.run(), CheckError);
 }
 
-TEST(ShardedOnlineSimulator, RejectsBadConfigs) {
-  EXPECT_THROW(ShardedOnlineSimulator(small_config(), 0, small_topology(),
+TEST(ShardedEngine, RejectsBadConfigs) {
+  EXPECT_THROW(ShardedEngine(small_config(), 0, small_topology(),
                                       lat::LinkModelConfig{}, all_up()),
                CheckError);
   OnlineSimConfig too_many_peers = small_config();
   too_many_peers.bootstrap_degree = 24;  // == num nodes: would never finish
-  EXPECT_THROW(ShardedOnlineSimulator(too_many_peers, 2, small_topology(24),
+  EXPECT_THROW(ShardedEngine(too_many_peers, 2, small_topology(24),
                                       lat::LinkModelConfig{}, all_up()),
                CheckError);
   OnlineSimConfig bad_track = small_config();
   bad_track.tracked_nodes = {1};
   bad_track.track_interval_s = 0.0;  // used to spin forever in maybe_track
-  EXPECT_THROW(ShardedOnlineSimulator(bad_track, 2, small_topology(),
+  EXPECT_THROW(ShardedEngine(bad_track, 2, small_topology(),
                                       lat::LinkModelConfig{}, all_up()),
                CheckError);
   // Route-change validation matches the classic path's
   // schedule_route_change: a non-positive factor fails at construction.
-  EXPECT_THROW(ShardedOnlineSimulator(small_config(), 2, small_topology(),
+  EXPECT_THROW(ShardedEngine(small_config(), 2, small_topology(),
                                       lat::LinkModelConfig{}, all_up(),
                                       {{0, 1, -2.0, 10.0}}),
                CheckError);
 }
 
 // Scheduled route changes reach both directions of the sharded link state.
-TEST(ShardedOnlineSimulator, RouteChangeShiftsObservedRtts) {
+TEST(ShardedEngine, RouteChangeShiftsObservedRtts) {
   const auto oracle_err = [](double factor) {
     OnlineSimConfig c = small_config(600.0);
     c.collect_oracle = true;
     c.client.filter = FilterConfig::none();
     std::vector<ShardedRouteChange> rcs;
     for (NodeId j = 1; j < 12; ++j) rcs.push_back({0, j, factor, 1.0});
-    ShardedOnlineSimulator sim(c, 3, small_topology(12),
+    ShardedEngine sim(c, 3, small_topology(12),
                                lat::LinkModelConfig::noiseless(), all_up(),
                                std::move(rcs));
     sim.run();
