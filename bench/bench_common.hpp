@@ -15,6 +15,8 @@
 //   --route-schedule=NAME  named route-change schedule composed into the
 //                    workload (none, single-link, regional-shift,
 //                    backbone-flap)
+//   --backend=NAME   estimator backend preset answering RTT queries
+//                    (coordinates, idms, idms-volatile, idms-sticky)
 //   --full           paper-scale workload (overrides the laptop defaults)
 // Unknown flags and bad positional arguments print a usage message and
 // exit 2 (malformed VALUES like --nodes=abc still abort via nc::CheckError).
@@ -39,9 +41,9 @@ namespace ncb {
 /// exits 2 on unknown flags or malformed arguments.
 inline nc::Flags parse_flags(int argc, const char* const* argv,
                              std::initializer_list<const char*> extra = {}) {
-  std::vector<std::string> allowed = {"scenario", "nodes",  "hours", "seed",
-                                      "jobs",     "shards", "route-schedule",
-                                      "full"};
+  std::vector<std::string> allowed = {"scenario",       "nodes",   "hours",
+                                      "seed",           "jobs",    "shards",
+                                      "route-schedule", "backend", "full"};
   allowed.insert(allowed.end(), extra.begin(), extra.end());
   return nc::Flags::parse_or_exit(argc, argv, allowed);
 }
@@ -95,6 +97,14 @@ inline nc::eval::ScenarioSpec scenario_spec(const nc::Flags& flags,
     std::exit(2);
   }
   nc::eval::apply_route_schedule(spec, schedule);
+  // Estimator backend presets compose the same way (default: coordinates).
+  const std::string backend = flags.get_string("backend", "coordinates");
+  if (!nc::eval::backend_exists(backend)) {
+    std::cerr << "unknown backend '" << backend
+              << "' (registered: " << nc::eval::backend_names_joined() << ")\n";
+    std::exit(2);
+  }
+  nc::eval::apply_backend(spec, backend);
   return spec;
 }
 

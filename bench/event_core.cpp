@@ -43,15 +43,18 @@ double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 void print_row(const char* engine, int nodes, int shards, double wall,
-               std::uint64_t events, double err) {
+               std::uint64_t events, double err,
+               const nc::sim::MemoryBudget& mem) {
   const double rate = static_cast<double>(events) / wall;
-  std::printf("%8s %6d %7d %10.2f %14llu %12.0f %12.4f\n", engine, nodes,
-              shards, wall, static_cast<unsigned long long>(events), rate, err);
+  std::printf("%8s %6d %7d %10.2f %14llu %12.0f %12.4f %12s\n", engine, nodes,
+              shards, wall, static_cast<unsigned long long>(events), rate, err,
+              nc::eval::fmt_bytes(mem.total()).c_str());
   std::printf("  json: {\"engine\": \"%s\", \"nodes\": %d, \"shards\": %d, "
               "\"wall_s\": %.2f, \"events\": %llu, \"events_per_s\": %.0f, "
-              "\"median_err\": %.4f}\n",
+              "\"median_err\": %.4f, \"mem_bytes\": %llu}\n",
               engine, nodes, shards, wall,
-              static_cast<unsigned long long>(events), rate, err);
+              static_cast<unsigned long long>(events), rate, err,
+              static_cast<unsigned long long>(mem.total()));
 }
 
 }  // namespace
@@ -81,8 +84,8 @@ int main(int argc, char** argv) {
               base.workload.duration_s / 3600.0,
               static_cast<unsigned long long>(base.workload.seed),
               std::thread::hardware_concurrency());
-  std::printf("\n%8s %6s %7s %10s %14s %12s %12s\n", "engine", "nodes",
-              "shards", "wall(s)", "events", "events/s", "median-err");
+  std::printf("\n%8s %6s %7s %10s %14s %12s %12s %12s\n", "engine", "nodes",
+              "shards", "wall(s)", "events", "events/s", "median-err", "mem");
 
   for (const int n : sizes) {
     nc::eval::ScenarioSpec spec = base;
@@ -104,7 +107,7 @@ int main(int argc, char** argv) {
                                    network);
       sim.run();
       print_row("serial", n, 0, wall_seconds_since(t0), sim.events_processed(),
-                sim.metrics().median_relative_error());
+                sim.metrics().median_relative_error(), sim.memory_budget());
     }
 
     double ref_err = 0.0, ref_inst = 0.0;
@@ -133,7 +136,8 @@ int main(int argc, char** argv) {
                          sim.metrics().observation_count() == ref_obs,
                      "sharded run diverged from shards=1 (determinism bug)");
       }
-      print_row("sharded", n, w, wall, sim.events_processed(), err);
+      print_row("sharded", n, w, wall, sim.events_processed(), err,
+                sim.memory_budget());
     }
 
     if (run_replay) {
@@ -167,7 +171,8 @@ int main(int argc, char** argv) {
                            driver.metrics().observation_count() == rref_obs,
                        "replay run diverged from shards=1 (determinism bug)");
         }
-        print_row("replay", n, w, wall, driver.events_processed(), err);
+        print_row("replay", n, w, wall, driver.events_processed(), err,
+                  driver.memory_budget());
       }
     }
   }

@@ -1,19 +1,25 @@
-// Replica selection with network coordinates (the content-distribution
-// motivation from the paper's introduction).
+// Replica selection through the LatencyEstimator seam (the content-
+// distribution motivation from the paper's introduction).
 //
-// A 120-node network hosts 6 replicas of a service. Every client picks the
-// replica whose coordinate is closest to its own — no measurement to any
-// replica required at decision time — and we score the choice against the
-// ground-truth best replica. Coordinates built from the live sample stream
-// make near-optimal choices; random selection is the baseline.
+// A 120-node network hosts 6 replicas of a service. Every client asks the
+// run's estimator backend for its RTT to each replica and picks the
+// smallest answer — no measurement to any replica at decision time — and we
+// score the choice against the ground-truth best replica. The backend is
+// selectable: the paper's coordinates answer every query from the embedding;
+// the IDMS delay matrix answers covered pairs from direct measurements and
+// falls back to coordinates for the rest. Random selection is the baseline.
 //
-//   build/examples/nearest_server [--nodes=120 --minutes=30]
+//   build/examples/nearest_server [--nodes=120 --minutes=30
+//                                  --backend=coordinates|idms]
 #include <cstdio>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/flags.hpp"
+#include "estimate/estimator_config.hpp"
 #include "latency/trace_generator.hpp"
-#include "sim/replay.hpp"
+#include "sim/sharded_sim.hpp"
 
 using namespace nc;
 
@@ -22,8 +28,16 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(flags.get_int("nodes", 120));
   const double duration = 60.0 * flags.get_double("minutes", 30.0);
   const int num_replicas = static_cast<int>(flags.get_int("replicas", 6));
+  const std::string backend_arg = flags.get_string("backend", "coordinates");
+  const auto backend = est::backend_from_string(backend_arg);
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "unknown backend '%s' (coordinates|idms)\n",
+                 backend_arg.c_str());
+    return 2;
+  }
 
-  // Build coordinates by replaying a synthetic measurement stream.
+  // Build estimator state by replaying a synthetic measurement stream
+  // through the unified epoch-sharded engine.
   lat::TraceGenConfig trace;
   trace.topology.num_nodes = n;
   trace.duration_s = duration;
@@ -34,18 +48,19 @@ int main(int argc, char** argv) {
   sim::ReplayConfig rc;
   rc.duration_s = duration;
   rc.measure_start_s = duration / 2.0;
+  rc.estimator.backend = *backend;
   lat::TraceGenerator gen(trace);
-  sim::ReplayDriver driver(rc, gen.num_nodes());
-  driver.run(gen);
+  sim::ShardedEngine engine(rc, gen.num_nodes());
+  engine.run(gen);
 
   // Spread replicas across the id space (i.e., across regions).
   std::vector<NodeId> replicas;
   for (int r = 0; r < num_replicas; ++r)
     replicas.push_back(static_cast<NodeId>(r * n / num_replicas));
 
-  // Every other node picks its nearest replica by coordinate distance.
+  // Every other node asks the estimator which replica is closest.
   Rng rng(99);
-  double coord_penalty_sum = 0.0;   // chosen RTT minus best RTT (ms)
+  double est_penalty_sum = 0.0;  // chosen RTT minus best RTT (ms)
   double random_penalty_sum = 0.0;
   int optimal_hits = 0;
   int clients = 0;
@@ -56,17 +71,14 @@ int main(int argc, char** argv) {
     if (is_replica) continue;
     ++clients;
 
-    const Coordinate& mine =
-        driver.client(client).application_coordinate();
     NodeId chosen = replicas.front();
-    double chosen_dist = 1e18;
+    double chosen_est = 1e18;
     double best_rtt = 1e18;
     NodeId best = replicas.front();
     for (NodeId r : replicas) {
-      const double d =
-          mine.distance_to(driver.client(r).application_coordinate());
-      if (d < chosen_dist) {
-        chosen_dist = d;
+      const std::optional<double> e = engine.estimate_rtt(client, r, t_eval);
+      if (e.has_value() && *e < chosen_est) {
+        chosen_est = *e;
         chosen = r;
       }
       const double rtt = gen.network().ground_truth_rtt(client, r, t_eval);
@@ -76,7 +88,7 @@ int main(int argc, char** argv) {
       }
     }
     if (chosen == best) ++optimal_hits;
-    coord_penalty_sum +=
+    est_penalty_sum +=
         gen.network().ground_truth_rtt(client, chosen, t_eval) - best_rtt;
     const NodeId random_choice =
         replicas[static_cast<std::size_t>(rng.uniform_int(replicas.size()))];
@@ -84,11 +96,16 @@ int main(int argc, char** argv) {
         gen.network().ground_truth_rtt(client, random_choice, t_eval) - best_rtt;
   }
 
-  std::printf("replica selection over %d clients, %d replicas:\n", clients,
-              num_replicas);
-  std::printf("  coordinates picked the true nearest replica: %d/%d (%.0f%%)\n",
+  const est::EstimatorStats stats = engine.estimator_stats();
+  std::printf("replica selection over %d clients, %d replicas (backend=%s):\n",
+              clients, num_replicas, est::backend_name(*backend));
+  std::printf("  estimator picked the true nearest replica: %d/%d (%.0f%%)\n",
               optimal_hits, clients, 100.0 * optimal_hits / clients);
-  std::printf("  mean extra RTT vs optimal: coordinates %.1f ms, random %.1f ms\n",
-              coord_penalty_sum / clients, random_penalty_sum / clients);
+  std::printf("  mean extra RTT vs optimal: estimator %.1f ms, random %.1f ms\n",
+              est_penalty_sum / clients, random_penalty_sum / clients);
+  std::printf("  backend coverage %.0f%% over %llu queries, %llu state entries\n",
+              100.0 * stats.coverage(),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.entries));
   return 0;
 }

@@ -4,18 +4,25 @@
 // and MIGRATING the operator is expensive. A coordinate change triggers
 // re-evaluation, so coordinate stability directly bounds migration churn.
 //
-// This example runs the same workload twice — application coordinates driven
-// by the ENERGY heuristic vs raw system coordinates — and counts how many
-// migrations each triggers for the same final placement quality. This is the
-// paper's "cascade of heavyweight process migrations" argument made concrete.
+// The placement controller is a pure LatencyEstimator consumer: it feeds
+// the observation stream into a whole-run CoordinateEstimator and asks it
+// for both hops of every candidate path — it never reaches into coordinate
+// state directly. The same workload runs twice — application coordinates
+// driven by the ENERGY heuristic vs raw system coordinates — counting how
+// many migrations each triggers for the same final placement quality. This
+// is the paper's "cascade of heavyweight process migrations" argument made
+// concrete.
 //
 //   build/examples/operator_placement [--nodes=80 --minutes=45]
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "common/flags.hpp"
+#include "core/nc_client.hpp"
+#include "estimate/coordinate_estimator.hpp"
 #include "latency/trace_generator.hpp"
-#include "sim/replay.hpp"
 
 using namespace nc;
 
@@ -43,13 +50,17 @@ PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
   trace.topology.seed = seed;
   trace.availability.enabled = false;
 
-  sim::ReplayConfig rc;
-  rc.client.heuristic = heuristic;
-  rc.duration_s = duration;
-  rc.measure_start_s = duration / 2.0;
+  NCClientConfig cc;
+  cc.heuristic = heuristic;
+  std::vector<NCClient> clients;
+  clients.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) clients.emplace_back(id, cc);
+
+  // The whole-run estimator instance the controller queries: it sees every
+  // advertised application coordinate off the observation stream.
+  est::CoordinateEstimator estimator(est::CoordinateEstimatorConfig{}, n);
 
   lat::TraceGenerator gen(trace);
-  sim::ReplayDriver driver(rc, gen.num_nodes());
 
   // Source and sink in the same (largest) region: many hosts are near-tied,
   // so the argmin is sensitive to coordinate jitter — the regime where
@@ -60,16 +71,17 @@ PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
   PlacementRun result;
   NodeId host = kInvalidNode;
   const double warmup = duration / 4.0;  // let coordinates converge first
+  double now = 0.0;
 
   const auto replace = [&] {
     ++result.reevaluations;
-    const Coordinate& s = driver.client(source).application_coordinate();
-    const Coordinate& k = driver.client(sink).application_coordinate();
     NodeId best = source;
     double best_cost = 1e18;
     for (NodeId cand = 0; cand < n; ++cand) {
-      const Coordinate& c = driver.client(cand).application_coordinate();
-      const double cost = s.distance_to(c) + c.distance_to(k);
+      const std::optional<double> up = estimator.estimate_rtt(source, cand, now);
+      const std::optional<double> down = estimator.estimate_rtt(cand, sink, now);
+      if (!up.has_value() || !down.has_value()) continue;  // not yet advertised
+      const double cost = *up + *down;
       if (cost < best_cost) {
         best_cost = cost;
         best = cand;
@@ -82,12 +94,16 @@ PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
   };
 
   while (auto rec = gen.next()) {
-    if (rec->t_s >= rc.duration_s) break;
-    NCClient& src = driver.client(rec->src);
-    NCClient& dst = driver.client(rec->dst);
+    if (rec->t_s >= duration) break;
+    now = rec->t_s;
+    NCClient& src = clients[static_cast<std::size_t>(rec->src)];
+    NCClient& dst = clients[static_cast<std::size_t>(rec->dst)];
     const ObservationOutcome out =
         src.observe(rec->dst, dst.system_coordinate(), dst.error_estimate(),
                     rec->rtt_ms, rec->t_s);
+    estimator.on_observation({rec->src, rec->dst, rec->t_s, rec->rtt_ms,
+                              src.application_coordinate(),
+                              dst.application_coordinate()});
     if (rec->t_s < warmup) continue;
     if (host == kInvalidNode) {
       replace();  // initial placement

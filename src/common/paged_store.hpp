@@ -71,8 +71,28 @@ class PagedStore {
     return page[i % kPageSlots];
   }
 
+  /// Read-only probe: the slot's address, or nullptr when its page was never
+  /// touched. Lets query paths observe "value-initialized" without forcing
+  /// page allocation for slots that were never written.
+  [[nodiscard]] const T* try_at(std::size_t i) const noexcept {
+    NC_ASSERT(i < slots_);
+    if (!paged_) return &eager_[i];
+    const auto& page = pages_[i / kPageSlots];
+    if (!page) return nullptr;
+    return &page[i % kPageSlots];
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return slots_; }
   [[nodiscard]] bool paged() const noexcept { return paged_; }
+
+  /// Heap bytes held right now: the flat vector in eager mode, the page
+  /// table plus materialized pages in paged mode.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = eager_.capacity() * sizeof(T) +
+                        pages_.capacity() * sizeof(std::unique_ptr<T[]>);
+    if (paged_) bytes += allocated_pages() * kPageSlots * sizeof(T);
+    return bytes;
+  }
 
   /// Pages actually materialized (paged mode; eager mode reports 0 or 1
   /// whole-range "page" for introspection symmetry).

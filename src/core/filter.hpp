@@ -8,6 +8,7 @@
 // of Sec. VI) or because the sample was rejected (threshold filter).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 
@@ -29,6 +30,10 @@ class LatencyFilter {
   /// Fresh filter with the same parameters and empty history. Used to stamp
   /// out one filter instance per link from a configured prototype.
   [[nodiscard]] virtual std::unique_ptr<LatencyFilter> clone() const = 0;
+
+  /// Bytes this instance holds (object + owned buffers), for the per-run
+  /// memory budget report. Stateless-buffer filters just report sizeof.
+  [[nodiscard]] virtual std::size_t memory_bytes() const noexcept = 0;
 
  protected:
   LatencyFilter() = default;

@@ -20,6 +20,9 @@ class EwmaFilter final : public LatencyFilter {
   [[nodiscard]] std::optional<double> estimate() const override;
   void reset() override;
   [[nodiscard]] std::unique_ptr<LatencyFilter> clone() const override;
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this);
+  }
 
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
 

@@ -28,6 +28,10 @@ class IdentityFilter final : public LatencyFilter {
     return std::make_unique<IdentityFilter>();
   }
 
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this);
+  }
+
  private:
   double last_ = 0.0;
   bool primed_ = false;

@@ -26,6 +26,10 @@ class MovingPercentileFilter final : public LatencyFilter {
   [[nodiscard]] std::optional<double> estimate() const override;
   void reset() override;
   [[nodiscard]] std::unique_ptr<LatencyFilter> clone() const override;
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this) +
+           (window_.capacity() + sorted_.capacity()) * sizeof(double);
+  }
 
   [[nodiscard]] int history() const noexcept { return history_; }
   [[nodiscard]] double percentile() const noexcept { return percentile_; }

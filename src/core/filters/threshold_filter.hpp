@@ -19,6 +19,9 @@ class ThresholdFilter final : public LatencyFilter {
   [[nodiscard]] std::optional<double> estimate() const override;
   void reset() override;
   [[nodiscard]] std::unique_ptr<LatencyFilter> clone() const override;
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this);
+  }
 
   [[nodiscard]] double cutoff_ms() const noexcept { return cutoff_ms_; }
 

@@ -23,7 +23,7 @@ NCClient::LinkState& NCClient::link_for(NodeId remote, double now_s) {
   // First contact (or re-contact after eviction): claim a slab slot.
   if (config_.max_tracked_links > 0 &&
       active_links_ >= config_.max_tracked_links) {
-    evict_oldest_link();
+    evict_one_link();
   }
   std::uint32_t idx;
   if (!free_slots_.empty()) {
@@ -36,36 +36,43 @@ NCClient::LinkState& NCClient::link_for(NodeId remote, double now_s) {
     s.filter->reset();
     s.last_coord = Coordinate{};
   } else {
-    slab_.push_back(LinkState{config_.filter.make(), {}, 0.0, kInvalidNode});
+    slab_.push_back(LinkState{config_.filter.make(), {}, 0.0, kInvalidNode, 0});
     idx = static_cast<std::uint32_t>(slab_.size() - 1);
   }
   LinkState& s = slab_[idx];
   s.remote = remote;
   s.last_seen_s = now_s;
+  s.ref = 1;
   slot_of_[rid] = idx + 1;
   ++active_links_;
   return s;
 }
 
-void NCClient::evict_oldest_link() {
-  // Strictly-less scan keeps the lowest-index slot on ties, matching the
-  // first-seen preference of the map-based implementation this replaced;
-  // the slab is at most max_tracked_links entries and evictions are rare.
-  std::size_t oldest = slab_.size();
-  for (std::size_t i = 0; i < slab_.size(); ++i) {
-    if (slab_[i].remote == kInvalidNode) continue;
-    if (oldest == slab_.size() ||
-        slab_[i].last_seen_s < slab_[oldest].last_seen_s)
-      oldest = i;
+void NCClient::evict_one_link() {
+  // Clock-hand (second-chance) sweep: links observed since the hand last
+  // passed get their reference bit cleared and survive; the first slot found
+  // unreferenced is evicted. Amortized O(1) per eviction — the old oldest-
+  // timestamp scan paid O(max_tracked_links) every time. Two full passes
+  // bound the loop: after one pass every ref bit is clear, so the second
+  // pass must evict (the slab holds at least one active slot here).
+  if (active_links_ == 0) return;
+  for (std::size_t step = 0; step < 2 * slab_.size(); ++step) {
+    if (clock_hand_ >= slab_.size()) clock_hand_ = 0;
+    LinkState& s = slab_[clock_hand_++];
+    if (s.remote == kInvalidNode) continue;  // parked slot
+    if (s.ref != 0) {
+      s.ref = 0;  // second chance
+      continue;
+    }
+    if (s.remote == nearest_id_) nearest_id_ = kInvalidNode;
+    slot_of_[static_cast<std::size_t>(s.remote)] = 0;
+    s.remote = kInvalidNode;
+    free_slots_.push_back(static_cast<std::uint32_t>(clock_hand_ - 1));
+    --active_links_;
+    ++evictions_;
+    return;
   }
-  if (oldest == slab_.size()) return;
-  LinkState& victim = slab_[oldest];
-  if (victim.remote == nearest_id_) nearest_id_ = kInvalidNode;
-  slot_of_[static_cast<std::size_t>(victim.remote)] = 0;
-  victim.remote = kInvalidNode;
-  free_slots_.push_back(static_cast<std::uint32_t>(oldest));
-  --active_links_;
-  ++evictions_;
+  NC_CHECK_MSG(false, "clock-hand sweep found no victim in two passes");
 }
 
 ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coord,
@@ -79,6 +86,7 @@ ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coo
   LinkState& link = link_for(remote, now_s);
   link.last_coord = remote_coord;
   link.last_seen_s = now_s;
+  link.ref = 1;
 
   out.filtered_rtt_ms = link.filter->update(raw_rtt_ms);
   if (!out.filtered_rtt_ms.has_value()) {
@@ -125,6 +133,17 @@ ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coo
     ++app_updates_;
   }
   return out;
+}
+
+std::size_t NCClient::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(*this) + slab_.capacity() * sizeof(LinkState) +
+                      slot_of_.capacity() * sizeof(std::uint32_t) +
+                      free_slots_.capacity() * sizeof(std::uint32_t);
+  // Parked filters stay allocated (that is the point of the pool), so every
+  // slab slot's filter counts whether or not a remote occupies it.
+  for (const LinkState& s : slab_)
+    if (s.filter) bytes += s.filter->memory_bytes();
+  return bytes;
 }
 
 }  // namespace nc

@@ -9,8 +9,12 @@
 //
 // The client also tracks the approximate nearest neighbor (lowest filtered
 // RTT seen so far), which the RELATIVE heuristic uses as its local scale,
-// and caps per-link filter state with least-recently-seen eviction so that
-// gossip-discovered neighbor churn cannot grow memory without bound.
+// and caps per-link filter state with clock-hand (second-chance) eviction
+// so that gossip-discovered neighbor churn cannot grow memory without
+// bound: each observation sets the link's reference bit, and when the slab
+// is full a circular hand sweeps slots, clearing set bits and evicting the
+// first unreferenced link it finds — O(1) amortized instead of the
+// O(max_tracked_links) oldest-timestamp scan it replaces.
 //
 // Per-link state is SLAB-allocated (PR 5): a dense remote-id -> slot index
 // replaces the per-observation hash lookup that topped the profile
@@ -99,6 +103,10 @@ class NCClient {
 
   [[nodiscard]] const NCClientConfig& config() const noexcept { return config_; }
 
+  /// Bytes of per-client state (slab + filters + id maps), for the per-run
+  /// memory budget report.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
  private:
   struct LinkState {
     std::unique_ptr<LatencyFilter> filter;
@@ -107,10 +115,13 @@ class NCClient {
     /// Which remote occupies this slab slot; kInvalidNode = free (filter
     /// parked for reuse).
     NodeId remote = kInvalidNode;
+    /// Second-chance reference bit: set on every observation of the link,
+    /// cleared as the eviction hand sweeps past.
+    std::uint8_t ref = 0;
   };
 
   LinkState& link_for(NodeId remote, double now_s);
-  void evict_oldest_link();
+  void evict_one_link();
 
   NodeId id_;
   NCClientConfig config_;
@@ -126,6 +137,8 @@ class NCClient {
   std::vector<std::uint32_t> slot_of_;
   /// Recycled slab slots, filters parked inside (reset on reuse).
   std::vector<std::uint32_t> free_slots_;
+  /// Clock-hand position of the second-chance eviction sweep.
+  std::size_t clock_hand_ = 0;
   std::size_t active_links_ = 0;
   NodeId nearest_id_ = kInvalidNode;
   double nearest_rtt_ms_ = 0.0;

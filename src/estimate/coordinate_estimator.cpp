@@ -1,0 +1,71 @@
+#include "estimate/coordinate_estimator.hpp"
+
+#include "common/check.hpp"
+#include "core/wire.hpp"
+
+namespace nc::est {
+
+CoordinateEstimator::CoordinateEstimator(const CoordinateEstimatorConfig& config,
+                                         int num_nodes)
+    : config_(config) {
+  NC_CHECK_MSG(num_nodes >= 0, "negative node count");
+  NC_CHECK_MSG(config.max_age_s > 0.0, "staleness horizon must be positive");
+  coords_.resize(static_cast<std::size_t>(num_nodes));
+  last_seen_s_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+}
+
+void CoordinateEstimator::store(NodeId id, const Coordinate& coord, double t_s) {
+  if (!coord.initialized()) return;  // nothing advertised yet
+  const auto i = static_cast<std::size_t>(id);
+  NC_ASSERT(i < coords_.size());
+  if (!coords_[i].initialized()) ++entries_;
+  coords_[i] = coord;
+  last_seen_s_[i] = t_s;
+}
+
+void CoordinateEstimator::on_observation(const LatencyObservation& obs) {
+  ++observations_;
+  last_now_s_ = obs.t_s;
+  store(obs.src, obs.src_app, obs.t_s);
+  store(obs.dst, obs.dst_app, obs.t_s);
+  // The remote's coordinate state rode on the measurement reply.
+  if (obs.dst_app.initialized())
+    traffic_bytes_ +=
+        encoded_size(obs.dst_app.dim(), obs.dst_app.has_height());
+}
+
+std::optional<double> CoordinateEstimator::estimate_rtt(NodeId a, NodeId b,
+                                                        double now_s) {
+  ++queries_;
+  last_now_s_ = std::max(last_now_s_, now_s);
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  NC_ASSERT(ia < coords_.size() && ib < coords_.size());
+  if (!coords_[ia].initialized() || !coords_[ib].initialized()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++direct_hits_;
+  return coords_[ia].distance_to(coords_[ib]);
+}
+
+EstimatorStats CoordinateEstimator::stats() const {
+  EstimatorStats s;
+  s.observations = observations_;
+  s.queries = queries_;
+  s.direct_hits = direct_hits_;
+  s.misses = misses_;
+  s.entries = entries_;
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    if (coords_[i].initialized() &&
+        last_now_s_ - last_seen_s_[i] > config_.max_age_s)
+      ++s.stale_entries;
+  }
+  s.memory_bytes = sizeof(*this) +
+                   coords_.capacity() * sizeof(Coordinate) +
+                   last_seen_s_.capacity() * sizeof(double);
+  s.traffic_bytes = traffic_bytes_;
+  return s;
+}
+
+}  // namespace nc::est

@@ -1,0 +1,61 @@
+// CoordinateEstimator: the paper's network-coordinate path behind the
+// LatencyEstimator seam.
+//
+// The backend keeps, per node, the latest application coordinate it has
+// seen on the observation stream — the observer's own post-update state
+// from `src_app`, and every remote's advertised state from `dst_app` — and
+// answers estimate_rtt(a, b) with the coordinate distance between the two
+// cached entries. Right after on_observation(src, dst, ...) that distance
+// is EXACTLY src_app.distance_to(dst_app): both entries were just written
+// and distance_to is bit-symmetric, which is how the refactored engine
+// reproduces the pre-refactor error metrics bit-for-bit (pinned by
+// tests/eval/backend_equivalence_test.cpp).
+//
+// Traffic model: coordinate state rides on the measurement replies the
+// deployment already exchanges, so the backend's feed costs one wire-encoded
+// coordinate state per observation (core/wire.hpp's encoding).
+#pragma once
+
+#include <vector>
+
+#include "estimate/latency_estimator.hpp"
+
+namespace nc::est {
+
+struct CoordinateEstimatorConfig {
+  /// Entries older than this count as stale in stats() (introspection only;
+  /// a stale coordinate still answers — the deployment has nothing better).
+  double max_age_s = 600.0;
+};
+
+class CoordinateEstimator final : public LatencyEstimator {
+ public:
+  CoordinateEstimator(const CoordinateEstimatorConfig& config, int num_nodes);
+
+  void on_observation(const LatencyObservation& obs) override;
+  [[nodiscard]] std::optional<double> estimate_rtt(NodeId a, NodeId b,
+                                                   double now_s) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "coordinates";
+  }
+  [[nodiscard]] EstimatorStats stats() const override;
+
+ private:
+  void store(NodeId id, const Coordinate& coord, double t_s);
+
+  CoordinateEstimatorConfig config_;
+  /// Latest application coordinate per node id; uninitialized Coordinate
+  /// (dim 0) marks "never seen".
+  std::vector<Coordinate> coords_;
+  std::vector<double> last_seen_s_;
+
+  std::uint64_t observations_ = 0;
+  std::uint64_t queries_ = 0;
+  std::uint64_t direct_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t entries_ = 0;
+  std::uint64_t traffic_bytes_ = 0;
+  double last_now_s_ = 0.0;
+};
+
+}  // namespace nc::est

@@ -1,0 +1,47 @@
+#include "estimate/estimator_config.hpp"
+
+#include "common/check.hpp"
+#include "estimate/coordinate_estimator.hpp"
+#include "estimate/idms_estimator.hpp"
+
+namespace nc::est {
+
+const char* backend_name(EstimatorBackend backend) noexcept {
+  switch (backend) {
+    case EstimatorBackend::kCoordinates:
+      return "coordinates";
+    case EstimatorBackend::kIdms:
+      return "idms";
+  }
+  return "?";
+}
+
+std::optional<EstimatorBackend> backend_from_string(
+    const std::string& name) noexcept {
+  if (name == "coordinates") return EstimatorBackend::kCoordinates;
+  if (name == "idms") return EstimatorBackend::kIdms;
+  return std::nullopt;
+}
+
+std::unique_ptr<LatencyEstimator> make_estimator(const EstimatorSpec& spec,
+                                                 int num_nodes,
+                                                 NodeId first_owned,
+                                                 int owned_count) {
+  switch (spec.backend) {
+    case EstimatorBackend::kCoordinates:
+      return std::make_unique<CoordinateEstimator>(
+          CoordinateEstimatorConfig{spec.max_age_s}, num_nodes);
+    case EstimatorBackend::kIdms: {
+      IDMSEstimatorConfig config;
+      config.max_age_s = spec.max_age_s;
+      config.alpha = spec.idms_alpha;
+      config.eager_slot_limit = spec.idms_eager_slot_limit;
+      return std::make_unique<IDMSEstimator>(config, num_nodes, first_owned,
+                                             owned_count);
+    }
+  }
+  NC_CHECK_MSG(false, "unknown estimator backend");
+  return nullptr;
+}
+
+}  // namespace nc::est

@@ -1,0 +1,48 @@
+// Backend selection: the one spec every layer plumbs through.
+//
+// ScenarioSpec, the engine configs and the --backend= flag all carry an
+// EstimatorSpec; make_estimator() is the single construction point the
+// sharded engine calls per shard. Keeping the enum + factory here (not in
+// eval's registry) lets sim depend on estimate without a cycle — eval's
+// registry layers named PRESETS (idms-volatile etc.) on top of this spec.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/paged_store.hpp"
+#include "core/node_id.hpp"
+#include "estimate/latency_estimator.hpp"
+
+namespace nc::est {
+
+enum class EstimatorBackend {
+  kCoordinates,  // the paper's NC path (default; bit-identical to pre-seam)
+  kIdms,         // measured delay matrix with coordinate fallback
+};
+
+struct EstimatorSpec {
+  EstimatorBackend backend = EstimatorBackend::kCoordinates;
+  /// Staleness horizon for both backends' entry-age model.
+  double max_age_s = 600.0;
+  /// IDMS only: EWMA weight of the newest sample.
+  double idms_alpha = 0.3;
+  /// IDMS only: paged-store threshold for the delay matrix.
+  std::size_t idms_eager_slot_limit = kPagedStoreDefaultEagerSlotLimit;
+};
+
+/// Canonical flag/report spelling of a backend.
+[[nodiscard]] const char* backend_name(EstimatorBackend backend) noexcept;
+
+/// Parses a --backend= value; nullopt for unknown spellings.
+[[nodiscard]] std::optional<EstimatorBackend> backend_from_string(
+    const std::string& name) noexcept;
+
+/// Builds the backend instance owning nodes [first_owned, first_owned +
+/// owned_count) of a num_nodes deployment (a shard slice, or 0/num_nodes
+/// for a whole-run instance).
+[[nodiscard]] std::unique_ptr<LatencyEstimator> make_estimator(
+    const EstimatorSpec& spec, int num_nodes, NodeId first_owned,
+    int owned_count);
+
+}  // namespace nc::est

@@ -1,0 +1,111 @@
+// LatencyEstimator: one estimation interface, many backends.
+//
+// The paper's claim is that stabilized coordinates are accurate enough for
+// applications; the IDMS line of work argues a measured delay-matrix
+// service can replace a coordinate system outright. Adjudicating that needs
+// both answers behind ONE seam: every consumer (metrics, examples, benches)
+// asks "what is the RTT between a and b right now?" through this interface
+// and never reaches into coordinate state directly.
+//
+// The estimation loop mirrors how a deployment feeds any backend: the same
+// observed-RTT stream the kernel already routes (node src measured node dst,
+// carrying the remote's advertised application coordinate) goes into
+// on_observation(); estimate_rtt() answers queries from whatever state the
+// backend maintains. Backends are OWNED PER SHARD by the simulation engine —
+// each instance sees only the observations whose observer the shard owns, in
+// the shard's canonical processing order, which is what keeps every backend
+// bit-identical at any shard count (see sim/sharded_sim.hpp).
+//
+// Introspection is part of the contract: EstimatorStats reports coverage
+// (how many queries the backend answered from its own state vs. fell back
+// or missed), staleness (entries past the configured horizon), and cost
+// (bytes of estimator state; wire bytes the backend's feed would consume).
+// Stats from per-shard instances add field-wise into whole-run totals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/coordinate.hpp"
+#include "core/node_id.hpp"
+
+namespace nc::est {
+
+/// One observed measurement: `src` measured `dst` at `t_s` and read the
+/// remote's advertised application coordinate off the reply. `src_app` is
+/// the observer's own application coordinate AFTER applying the sample —
+/// the state a coordinate backend would publish at that instant.
+struct LatencyObservation {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double t_s = 0.0;
+  double raw_rtt_ms = 0.0;
+  Coordinate src_app;
+  Coordinate dst_app;
+};
+
+/// Coverage / staleness / cost introspection. Per-shard instances report
+/// disjoint state, so whole-run totals are a field-wise sum.
+struct EstimatorStats {
+  std::uint64_t observations = 0;
+  std::uint64_t queries = 0;
+  /// Queries answered from the backend's own primary state.
+  std::uint64_t direct_hits = 0;
+  /// Queries answered by the backend's fallback path (IDMS -> coordinates).
+  std::uint64_t fallback_hits = 0;
+  /// Queries with no estimate at all.
+  std::uint64_t misses = 0;
+  /// Live state entries (filled matrix cells / cached coordinates).
+  std::uint64_t entries = 0;
+  /// Entries older than the staleness horizon at the last observation.
+  std::uint64_t stale_entries = 0;
+  /// Bytes of estimator state held right now.
+  std::uint64_t memory_bytes = 0;
+  /// Wire bytes the backend's feed would have consumed (piggybacked
+  /// coordinate state / matrix report messages).
+  std::uint64_t traffic_bytes = 0;
+
+  void add(const EstimatorStats& o) noexcept {
+    observations += o.observations;
+    queries += o.queries;
+    direct_hits += o.direct_hits;
+    fallback_hits += o.fallback_hits;
+    misses += o.misses;
+    entries += o.entries;
+    stale_entries += o.stale_entries;
+    memory_bytes += o.memory_bytes;
+    traffic_bytes += o.traffic_bytes;
+  }
+
+  /// Fraction of queries answered from primary state (0 when unqueried).
+  [[nodiscard]] double coverage() const noexcept {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(direct_hits) /
+                              static_cast<double>(queries);
+  }
+};
+
+class LatencyEstimator {
+ public:
+  virtual ~LatencyEstimator() = default;
+
+  /// Feeds one observation. The observer (`obs.src`) must be a node this
+  /// instance is responsible for; any destination is fine.
+  virtual void on_observation(const LatencyObservation& obs) = 0;
+
+  /// Estimated RTT (ms) from `a` to `b` as of `now_s`, or nullopt when the
+  /// backend (including its fallback) has nothing to say. `a` must be a
+  /// node this instance is responsible for. Counts into stats().
+  [[nodiscard]] virtual std::optional<double> estimate_rtt(NodeId a, NodeId b,
+                                                           double now_s) = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual EstimatorStats stats() const = 0;
+
+ protected:
+  LatencyEstimator() = default;
+  LatencyEstimator(const LatencyEstimator&) = default;
+  LatencyEstimator& operator=(const LatencyEstimator&) = default;
+};
+
+}  // namespace nc::est

@@ -262,4 +262,79 @@ std::string route_schedule_names_joined(char sep) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Estimator backend presets.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+est::EstimatorSpec idms_spec(double max_age_s) {
+  est::EstimatorSpec e;
+  e.backend = est::EstimatorBackend::kIdms;
+  e.max_age_s = max_age_s;
+  return e;
+}
+
+struct BackendPreset {
+  BackendInfo info;
+  std::function<est::EstimatorSpec()> make;
+};
+
+const std::vector<BackendPreset>& backend_presets() {
+  static const std::vector<BackendPreset> all = {
+      {{"coordinates", "the paper's network-coordinate path (default)"},
+       [] { return est::EstimatorSpec{}; }},
+      {{"idms", "measured delay matrix, 10 min staleness, coord fallback"},
+       [] { return idms_spec(600.0); }},
+      {{"idms-volatile", "delay matrix with a 60 s horizon (fallback-heavy)"},
+       [] { return idms_spec(60.0); }},
+      {{"idms-sticky", "delay matrix with a 1 h horizon (stale-tolerant)"},
+       [] { return idms_spec(3600.0); }},
+  };
+  return all;
+}
+
+}  // namespace
+
+const std::vector<BackendInfo>& backend_catalog() {
+  static const std::vector<BackendInfo> catalog = [] {
+    std::vector<BackendInfo> out;
+    for (const BackendPreset& b : backend_presets()) out.push_back(b.info);
+    return out;
+  }();
+  return catalog;
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> out;
+  for (const BackendPreset& b : backend_presets()) out.push_back(b.info.name);
+  return out;
+}
+
+bool backend_exists(const std::string& name) {
+  for (const BackendPreset& b : backend_presets())
+    if (b.info.name == name) return true;
+  return false;
+}
+
+void apply_backend(ScenarioSpec& spec, const std::string& name) {
+  for (const BackendPreset& b : backend_presets()) {
+    if (b.info.name == name) {
+      spec.estimator = b.make();
+      return;
+    }
+  }
+  NC_CHECK_MSG(false, "unknown backend '" + name +
+                          "' (registered: " + backend_names_joined() + ")");
+}
+
+std::string backend_names_joined(char sep) {
+  std::string out;
+  for (const BackendPreset& b : backend_presets()) {
+    if (!out.empty()) out += sep;
+    out += b.info.name;
+  }
+  return out;
+}
+
 }  // namespace nc::eval

@@ -94,4 +94,42 @@ void apply_route_schedule(ScenarioSpec& spec, const std::string& name);
 /// "none|single-link|..." — for usage messages.
 [[nodiscard]] std::string route_schedule_names_joined(char sep = '|');
 
+// ---------------------------------------------------------------------------
+// Estimator backend presets: which subsystem answers estimate_rtt queries.
+//
+// Any scenario composes one via --backend=<name>. Presets set
+// spec.estimator (est::EstimatorSpec); they are orthogonal to workload and
+// schedule presets.
+//
+//   coordinates   the paper's network-coordinate path (default; bit-
+//                 identical to the pre-seam metrics).
+//   idms          measured delay-matrix service, EWMA cells, 10 min
+//                 staleness horizon, coordinate fallback for uncovered or
+//                 stale pairs.
+//   idms-volatile idms with a 60 s horizon: matrix entries expire almost
+//                 immediately, stressing the fallback path.
+//   idms-sticky   idms with a 1 h horizon: point measurements trusted long
+//                 past typical route-change timescales.
+// ---------------------------------------------------------------------------
+
+struct BackendInfo {
+  std::string name;
+  std::string summary;  // one line for --help style listings
+};
+
+/// All registered backend presets, in registration order (coordinates
+/// first).
+[[nodiscard]] const std::vector<BackendInfo>& backend_catalog();
+
+[[nodiscard]] std::vector<std::string> backend_names();
+
+[[nodiscard]] bool backend_exists(const std::string& name);
+
+/// Sets spec.estimator to the named preset. Throws nc::CheckError for
+/// unknown names, listing the registered ones.
+void apply_backend(ScenarioSpec& spec, const std::string& name);
+
+/// "coordinates|idms|..." — for usage messages.
+[[nodiscard]] std::string backend_names_joined(char sep = '|');
+
 }  // namespace nc::eval

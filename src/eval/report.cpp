@@ -6,12 +6,30 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "eval/scenario.hpp"
 
 namespace nc::eval {
 
 std::string fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0)
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  else
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, kUnits[unit]);
   return buf;
 }
 
@@ -112,6 +130,36 @@ std::vector<double> fig3_bucket_edges() {
   std::vector<double> edges;
   for (int e = 0; e <= 2200; e += 200) edges.push_back(e);
   return edges;
+}
+
+void print_backend_comparison(
+    std::ostream& os, const std::string& title,
+    const std::vector<std::pair<std::string, const ScenarioOutput*>>& runs) {
+  os << title << '\n';
+  TextTable table({"run", "med_rel_err", "mean_instab", "coverage", "stale",
+                   "entries", "est_mem", "feed_traffic", "total_mem"});
+  for (const auto& [label, out] : runs) {
+    const est::EstimatorStats& es = out->estimator_stats;
+    const double stale_frac =
+        es.entries == 0 ? 0.0
+                        : static_cast<double>(es.stale_entries) /
+                              static_cast<double>(es.entries);
+    table.add_row({label, fmt(out->metrics.median_relative_error()),
+                   fmt(out->metrics.mean_instability_ms_per_s()),
+                   fmt(es.coverage(), 3), fmt(stale_frac, 3),
+                   std::to_string(es.entries), fmt_bytes(es.memory_bytes),
+                   fmt_bytes(es.traffic_bytes), fmt_bytes(out->memory.total())});
+  }
+  table.print(os);
+}
+
+void print_memory_budget(std::ostream& os, const ScenarioOutput& out) {
+  const sim::MemoryBudget& m = out.memory;
+  os << "memory budget: clients=" << fmt_bytes(m.client_bytes)
+     << " links=" << fmt_bytes(m.link_bytes)
+     << " estimator=" << fmt_bytes(m.estimator_bytes)
+     << " mailbox=" << fmt_bytes(m.mailbox_bytes)
+     << " total=" << fmt_bytes(m.total()) << '\n';
 }
 
 }  // namespace nc::eval

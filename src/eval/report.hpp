@@ -4,8 +4,10 @@
 // helpers keep that output consistent and diffable across runs.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stats/boxplot.hpp"
@@ -14,8 +16,13 @@
 
 namespace nc::eval {
 
+struct ScenarioOutput;
+
 /// Fixed-precision double formatting ("%.*g"-style but stable).
 [[nodiscard]] std::string fmt(double v, int precision = 4);
+
+/// Human-readable byte count ("640 B", "1.5 MiB").
+[[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
 
 /// Column-aligned text table.
 class TextTable {
@@ -53,5 +60,15 @@ void print_histogram(std::ostream& os, const std::string& title,
 
 /// Bucket edges of Fig. 3 (single link): 200 ms buckets up to 2200.
 [[nodiscard]] std::vector<double> fig3_bucket_edges();
+
+/// Side-by-side estimator-backend comparison: one row per labelled run with
+/// the headline error, coverage/staleness of the backend's state, and the
+/// memory + feed-traffic cost columns.
+void print_backend_comparison(
+    std::ostream& os, const std::string& title,
+    const std::vector<std::pair<std::string, const ScenarioOutput*>>& runs);
+
+/// One memory-budget breakdown line (clients/links/estimator/mailbox).
+void print_memory_budget(std::ostream& os, const ScenarioOutput& out);
 
 }  // namespace nc::eval

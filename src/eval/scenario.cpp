@@ -28,6 +28,7 @@ ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
   rc.collect_oracle = spec.measurement.collect_oracle;
   rc.tracked_nodes = spec.measurement.tracked_nodes;
   rc.track_interval_s = spec.measurement.track_interval_s;
+  rc.estimator = spec.estimator;
 
   sim::ReplayDriver driver(rc, gen.num_nodes());
   driver.run(gen, spec.measurement.collect_oracle ? &gen.network() : nullptr);
@@ -35,8 +36,11 @@ ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
   std::uint64_t absorbed = 0;
   for (NodeId id = 0; id < driver.num_nodes(); ++id)
     absorbed += driver.client(id).absorbed_sample_count();
-  return ScenarioOutput{std::move(driver.metrics()), gen.produced(),
-                        gen.attempts(), absorbed, 0, 0};
+  ScenarioOutput out{std::move(driver.metrics()), gen.produced(),
+                     gen.attempts(), absorbed, 0, 0, {}, {}};
+  out.estimator_stats = out.metrics.estimator_stats();
+  out.memory = driver.memory_budget();
+  return out;
 }
 
 ScenarioOutput run_online_mode(const ScenarioSpec& spec) {
@@ -52,8 +56,11 @@ ScenarioOutput run_online_mode(const ScenarioSpec& spec) {
       w.availability.value_or(lat::AvailabilityConfig{}),
       resolve_route_changes(w));
   simulator.run();
-  return ScenarioOutput{std::move(simulator.metrics()), 0, 0, 0,
-                        simulator.pings_sent(), simulator.pings_lost()};
+  ScenarioOutput out{std::move(simulator.metrics()), 0, 0, 0,
+                     simulator.pings_sent(), simulator.pings_lost(), {}, {}};
+  out.estimator_stats = out.metrics.estimator_stats();
+  out.memory = simulator.memory_budget();
+  return out;
 }
 
 }  // namespace
@@ -72,6 +79,7 @@ sim::OnlineSimConfig resolve_online_config(const ScenarioSpec& spec) {
   oc.tracked_nodes = spec.measurement.tracked_nodes;
   oc.track_interval_s = spec.measurement.track_interval_s;
   oc.seed = w.seed;
+  oc.estimator = spec.estimator;
   return oc;
 }
 

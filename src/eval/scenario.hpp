@@ -31,11 +31,13 @@
 #include <vector>
 
 #include "core/nc_client.hpp"
+#include "estimate/estimator_config.hpp"
 #include "latency/link_model.hpp"
 #include "latency/trace_generator.hpp"
 #include "sim/metrics.hpp"
 #include "sim/online_sim.hpp"
 #include "sim/sharded_route_change.hpp"
+#include "sim/sharded_sim.hpp"
 
 namespace nc::eval {
 
@@ -88,6 +90,10 @@ struct ScenarioSpec {
   WorkloadSpec workload;
   NCClientConfig client;  // identical configuration on every node
   MeasurementSpec measurement;
+  /// Estimation backend answering RTT queries and scoring the accuracy
+  /// metrics (registry backend presets: coordinates, idms, idms-volatile,
+  /// idms-sticky — see apply_backend).
+  est::EstimatorSpec estimator;
 };
 
 struct ScenarioOutput {
@@ -101,6 +107,12 @@ struct ScenarioOutput {
   // Online mode.
   std::uint64_t pings_sent = 0;
   std::uint64_t pings_lost = 0;
+
+  /// Backend coverage/staleness/cost, merged across shards (equal to
+  /// metrics.estimator_stats(); duplicated here for report convenience).
+  est::EstimatorStats estimator_stats;
+  /// End-of-run byte accounting of the engine's state blocks.
+  sim::MemoryBudget memory;
 };
 
 /// Runs one scenario to completion. Pure: equal specs => equal outputs.

@@ -67,8 +67,8 @@ std::size_t MetricsCollector::eval_window_seconds() const noexcept {
 }
 
 double MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
-                                        double raw_rtt_ms, const Coordinate& src_app,
-                                        const Coordinate& dst_app,
+                                        double raw_rtt_ms,
+                                        double predicted_rtt_ms,
                                         const ObservationOutcome& outcome,
                                         std::optional<double> oracle_rtt_ms) {
   NC_CHECK_MSG(raw_rtt_ms > 0.0, "raw rtt must be positive");
@@ -79,7 +79,7 @@ double MetricsCollector::on_observation(double t, NodeId src, NodeId dst,
   const bool eval = in_eval_window(t);
 
   // Application-level relative error for this observation.
-  const double predicted = src_app.distance_to(dst_app);
+  const double predicted = predicted_rtt_ms;
   const double err = std::fabs(predicted - raw_rtt_ms) / raw_rtt_ms;
   if (eval) {
     node_errors_[s].push_back(err);
@@ -219,6 +219,7 @@ void MetricsCollector::merge(MetricsCollector& other) {
 
   observations_ += other.observations_;
   app_updates_ += other.app_updates_;
+  estimator_stats_.add(other.estimator_stats_);
 }
 
 void MetricsCollector::track_coordinate(double t, NodeId node, const Coordinate& coord) {

@@ -43,6 +43,7 @@
 #include "core/coordinate.hpp"
 #include "core/nc_client.hpp"
 #include "core/node_id.hpp"
+#include "estimate/latency_estimator.hpp"
 #include "stats/ecdf.hpp"
 #include "stats/p2_quantile.hpp"
 #include "stats/timeseries.hpp"
@@ -82,16 +83,27 @@ class MetricsCollector {
  public:
   explicit MetricsCollector(const MetricsConfig& config);
 
-  /// Records one observation: `src` observed `dst` with raw RTT `raw_rtt_ms`;
-  /// `src_app`/`dst_app` are both endpoints' application coordinates after
-  /// the update; `outcome` is what the observation did to `src`. Returns the
+  /// Records one observation: `src` observed `dst` with raw RTT `raw_rtt_ms`
+  /// and the active estimation backend predicted `predicted_rtt_ms` for the
+  /// pair; `outcome` is what the observation did to `src`. Returns the
   /// application-level relative error of the observation (callers that defer
   /// destination accounting feed it to the destination owner's
   /// record_dst_error()).
   double on_observation(double t, NodeId src, NodeId dst, double raw_rtt_ms,
-                        const Coordinate& src_app, const Coordinate& dst_app,
+                        double predicted_rtt_ms,
                         const ObservationOutcome& outcome,
                         std::optional<double> oracle_rtt_ms = std::nullopt);
+
+  /// Coordinate-backend convenience: predicts via the two endpoints'
+  /// application coordinates (`src_app.distance_to(dst_app)`) and delegates.
+  double on_observation(double t, NodeId src, NodeId dst, double raw_rtt_ms,
+                        const Coordinate& src_app, const Coordinate& dst_app,
+                        const ObservationOutcome& outcome,
+                        std::optional<double> oracle_rtt_ms = std::nullopt) {
+    return on_observation(t, src, dst, raw_rtt_ms,
+                          src_app.distance_to(dst_app), outcome,
+                          oracle_rtt_ms);
+  }
 
   /// Appends a drift snapshot for a tracked node (driver decides cadence).
   void track_coordinate(double t, NodeId node, const Coordinate& coord);
@@ -160,6 +172,17 @@ class MetricsCollector {
 
   // ---- drift ----
   [[nodiscard]] const std::vector<DriftPoint>& drift(NodeId node) const;
+
+  // ---- estimator introspection ----
+  /// Attaches the active backend's coverage/staleness/cost counters (the
+  /// sharded engine calls this per shard before finalize; merge() adds the
+  /// disjoint per-shard stats field-wise).
+  void set_estimator_stats(const est::EstimatorStats& s) noexcept {
+    estimator_stats_ = s;
+  }
+  [[nodiscard]] const est::EstimatorStats& estimator_stats() const noexcept {
+    return estimator_stats_;
+  }
 
   [[nodiscard]] std::uint64_t observation_count() const noexcept { return observations_; }
   [[nodiscard]] const MetricsConfig& config() const noexcept { return config_; }
@@ -236,6 +259,7 @@ class MetricsCollector {
 
   std::uint64_t observations_ = 0;
   std::uint64_t app_updates_ = 0;
+  est::EstimatorStats estimator_stats_;
 };
 
 }  // namespace nc::sim

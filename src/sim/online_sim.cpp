@@ -80,5 +80,8 @@ std::uint64_t OnlineSimulator::pings_lost() const noexcept {
 std::uint64_t OnlineSimulator::events_processed() const noexcept {
   return engine_->events_processed();
 }
+MemoryBudget OnlineSimulator::memory_budget() const {
+  return engine_->memory_budget();
+}
 
 }  // namespace nc::sim

@@ -31,12 +31,14 @@
 #include "common/paged_store.hpp"
 #include "core/nc_client.hpp"
 #include "core/neighbor_set.hpp"
+#include "estimate/estimator_config.hpp"
 #include "latency/link_model.hpp"
 #include "sim/metrics.hpp"
 
 namespace nc::sim {
 
 class ShardedEngine;
+struct MemoryBudget;
 
 struct OnlineSimConfig {
   NCClientConfig client;
@@ -57,6 +59,10 @@ struct OnlineSimConfig {
   double track_interval_s = 600.0;
 
   std::uint64_t seed = 7;
+
+  /// Which estimation backend answers RTT queries (and scores the accuracy
+  /// metrics). Each shard owns one instance fed its nodes' observations.
+  est::EstimatorSpec estimator;
 
   /// Per-shard directed-link state stays a flat array up to this many slots
   /// and switches to lazily-allocated pages beyond (common/paged_store.hpp).
@@ -111,6 +117,8 @@ class OnlineSimulator {
   /// Queue events processed (timers + deliveries), the unit
   /// bench_event_core reports per second for the facade rows.
   [[nodiscard]] std::uint64_t events_processed() const noexcept;
+  /// Per-run byte accounting of the underlying engine's state blocks.
+  [[nodiscard]] MemoryBudget memory_budget() const;
 
  private:
   std::unique_ptr<ShardedEngine> engine_;

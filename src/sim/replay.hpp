@@ -47,6 +47,9 @@ class ReplayDriver {
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return engine_->events_processed();
   }
+  [[nodiscard]] MemoryBudget memory_budget() const {
+    return engine_->memory_budget();
+  }
 
  private:
   std::unique_ptr<ShardedEngine> engine_;

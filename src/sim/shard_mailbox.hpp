@@ -175,6 +175,18 @@ class EpochMailbox {
 
   [[nodiscard]] int shards() const noexcept { return shards_; }
 
+  /// Heap bytes held by the outbox grid and merge scratch (capacity, not
+  /// size: steady-state runs keep their high-water capacity by design).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = cells_.capacity() * sizeof(Cell);
+    for (const Cell& cell : cells_)
+      for (const auto& run : cell.runs)
+        bytes += run.capacity() * sizeof(ShardMessage);
+    bytes += merge_runs_.capacity() * sizeof(std::vector<Run>);
+    for (const auto& runs : merge_runs_) bytes += runs.capacity() * sizeof(Run);
+    return bytes;
+  }
+
  private:
   struct Run {
     ShardMessage* next;

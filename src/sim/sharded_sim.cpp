@@ -71,6 +71,7 @@ OnlineSimConfig replay_as_engine_config(const ReplayConfig& config) {
   oc.collect_oracle = config.collect_oracle;
   oc.tracked_nodes = config.tracked_nodes;
   oc.track_interval_s = config.track_interval_s;
+  oc.estimator = config.estimator;
   return oc;
 }
 
@@ -160,6 +161,11 @@ void ShardedEngine::init_shards(int shards, int num_nodes) {
     }
     shard.collector = std::make_unique<MetricsCollector>(
         make_shard_metrics_config(config_, num_nodes, std::move(tracked)));
+    // The shard's estimation backend instance, covering exactly its owned
+    // node block (the slice whose observations it will be fed).
+    shard.estimator = est::make_estimator(config_.estimator, num_nodes,
+                                          shard.first_owned,
+                                          static_cast<int>(shard.owned.size()));
     // Staggered first pings for the shard's nodes, one phase draw per node
     // from its own stream (online mode; replay has no timers).
     if (mode_ == Mode::kOnline) {
@@ -412,6 +418,23 @@ void ShardedEngine::on_delivered_pong(Shard& shard, double t_proc,
       cl.observe(remote, ev.sys_coord, ev.coord_err,
                  static_cast<double>(ev.rtt_ms), t_proc);
 
+  // Feed the active estimation backend, then score ITS answer for the pair:
+  // the accuracy metrics measure whatever backend the run selected. For the
+  // coordinate backend the estimate right after the feed is exactly
+  // src_app.distance_to(dst_app), which keeps the refactored engine
+  // bit-identical to the pre-seam metrics.
+  est::LatencyObservation obs;
+  obs.src = observer;
+  obs.dst = remote;
+  obs.t_s = t_proc;
+  obs.raw_rtt_ms = static_cast<double>(ev.rtt_ms);
+  obs.src_app = cl.application_coordinate();
+  obs.dst_app = ev.app_coord;
+  shard.estimator->on_observation(obs);
+  const std::optional<double> predicted =
+      shard.estimator->estimate_rtt(observer, remote, t_proc);
+  NC_ASSERT(predicted.has_value());  // the pair was observed this instant
+
   std::optional<double> truth;
   // Replay oracle values exist only when the caller supplied the generating
   // network; online runs compute them at ping time.
@@ -419,8 +442,8 @@ void ShardedEngine::on_delivered_pong(Shard& shard, double t_proc,
     truth = ev.gt_rtt_ms;
 
   const double err = shard.collector->on_observation(
-      t_proc, observer, remote, static_cast<double>(ev.rtt_ms),
-      cl.application_coordinate(), ev.app_coord, outcome, truth);
+      t_proc, observer, remote, static_cast<double>(ev.rtt_ms), *predicted,
+      outcome, truth);
 
   // Route the destination-keyed error record to the destination's owner so
   // its streaming median sees one canonical input order.
@@ -536,6 +559,9 @@ void ShardedEngine::run_epochs() {
       for (NodeId id : shard.collector->config().tracked_nodes)
         shard.collector->track_coordinate(config_.duration_s, id,
                                           client(id).system_coordinate());
+      // Attach the shard backend's end-of-run introspection counters so the
+      // collector merge rolls them into whole-run totals.
+      shard.collector->set_estimator_stats(shard.estimator->stats());
       shard.collector->finalize();
     } catch (...) {
       errors[static_cast<std::size_t>(s)] = std::current_exception();
@@ -563,6 +589,31 @@ void ShardedEngine::run_epochs() {
     pings_lost_ += shard.pings_lost;
     events_ += shard.events;
   }
+}
+
+std::optional<double> ShardedEngine::estimate_rtt(NodeId a, NodeId b,
+                                                  double now_s) {
+  NC_CHECK_MSG(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+               "estimate_rtt endpoint out of range");
+  return shards_[static_cast<std::size_t>(shard_of(a))].estimator->estimate_rtt(
+      a, b, now_s);
+}
+
+est::EstimatorStats ShardedEngine::estimator_stats() const {
+  est::EstimatorStats total;
+  for (const Shard& shard : shards_) total.add(shard.estimator->stats());
+  return total;
+}
+
+MemoryBudget ShardedEngine::memory_budget() const {
+  MemoryBudget b;
+  for (const auto& cl : clients_) b.client_bytes += cl->memory_bytes();
+  for (const Shard& shard : shards_) {
+    b.link_bytes += shard.links.memory_bytes();
+    b.estimator_bytes += shard.estimator->stats().memory_bytes;
+  }
+  b.mailbox_bytes = mailbox_.memory_bytes();
+  return b;
 }
 
 MetricsCollector& ShardedEngine::metrics() noexcept {

@@ -97,8 +97,23 @@ struct ReplayConfig {
   double timeseries_bucket_s = 600.0;
   bool collect_oracle = false;
 
+  /// Estimation backend (per-shard instances; see est::EstimatorSpec).
+  est::EstimatorSpec estimator;
+
   std::vector<NodeId> tracked_nodes;
   double track_interval_s = 600.0;
+};
+
+/// Per-run byte accounting of the engine's big state blocks (surfaced in
+/// eval reports and BENCH rows; fields are heap bytes held at query time).
+struct MemoryBudget {
+  std::uint64_t client_bytes = 0;     // NCClient slabs: link state + filters
+  std::uint64_t link_bytes = 0;       // per-shard directed-link stores
+  std::uint64_t estimator_bytes = 0;  // backend state (matrix/coordinates)
+  std::uint64_t mailbox_bytes = 0;    // epoch mailbox runs + merge scratch
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return client_bytes + link_bytes + estimator_bytes + mailbox_bytes;
+  }
 };
 
 class ShardedEngine {
@@ -136,6 +151,17 @@ class ShardedEngine {
   [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(clients_.size()); }
   [[nodiscard]] int shards() const noexcept { return static_cast<int>(shards_.size()); }
   [[nodiscard]] int shard_of(NodeId id) const noexcept;
+
+  /// RTT estimate from the active backend: routed to the shard-owned
+  /// instance responsible for `a`. The application-facing query surface
+  /// (examples call this instead of reaching into coordinate state).
+  [[nodiscard]] std::optional<double> estimate_rtt(NodeId a, NodeId b,
+                                                   double now_s);
+  /// Field-wise sum of every shard instance's coverage/staleness/cost
+  /// counters (also attached to metrics() after run()).
+  [[nodiscard]] est::EstimatorStats estimator_stats() const;
+  /// Byte accounting of the engine's big state blocks.
+  [[nodiscard]] MemoryBudget memory_budget() const;
 
   [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
   [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
@@ -190,6 +216,10 @@ class ShardedEngine {
     /// every epoch.
     std::vector<ShardEvent> staging;
     std::unique_ptr<MetricsCollector> collector;
+    /// The shard's estimation backend instance: fed every observation whose
+    /// OBSERVER the shard owns, in the shard's canonical processing order
+    /// (which is what keeps any backend bit-identical at any shard count).
+    std::unique_ptr<est::LatencyEstimator> estimator;
     std::uint64_t pings_sent = 0;
     std::uint64_t pings_lost = 0;
     std::uint64_t events = 0;

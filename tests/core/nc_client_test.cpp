@@ -112,24 +112,30 @@ TEST(NCClient, UnboundedWhenCapIsZero) {
   EXPECT_EQ(c.evicted_link_count(), 0u);
 }
 
-// PR 5 regression pin: the slab-allocated link state (dense remote -> slot
-// index, filters recycled through a per-client pool on eviction) must
-// produce exactly the filter outputs of the map-based path it replaced. The
-// reference below IS that old path: an unordered_map of per-remote filters,
-// fresh-clone on first contact, least-recently-seen eviction by strict
-// comparison (timestamps in the recorded sequence are distinct, so the old
-// map-iteration-order tie-break never decided anything).
-TEST(NCClient, SlabLinkStateMatchesMapReference) {
+// Eviction-policy pin: the slab's clock-hand (second-chance) eviction must
+// match an independently coded reference that replays the same recorded
+// contact sequence. The reference mirrors the documented policy — slots
+// claimed LIFO from the free list (else appended), every touch sets the
+// slot's reference bit, the sweep clears set bits and evicts the first
+// clear one, the hand persists across evictions — with its own map and
+// fresh filters, so a slab bookkeeping bug (hand reset, ref bit dropped,
+// free-list reuse order) diverges in filter outputs or eviction counts.
+TEST(NCClient, SlabLinkStateMatchesClockHandReference) {
   NCClientConfig cfg = basic_config();
   cfg.filter = FilterConfig::moving_percentile(4, 25.0, /*min_samples=*/2);
   cfg.max_tracked_links = 6;  // small cap: plenty of evictions + re-contacts
   NCClient client(0, cfg);
 
-  struct RefLink {
+  struct RefSlot {
+    NodeId remote = kInvalidNode;  // kInvalidNode = parked
+    bool referenced = false;
     std::unique_ptr<LatencyFilter> filter;
-    double last_seen_s = 0.0;
   };
-  std::unordered_map<NodeId, RefLink> reference;
+  std::vector<RefSlot> slots;
+  std::unordered_map<NodeId, std::size_t> slot_of;
+  std::vector<std::size_t> free_slots;  // LIFO, like the slab's
+  std::size_t hand = 0;
+  std::size_t active = 0;
   std::uint64_t ref_evictions = 0;
 
   // A recorded observation sequence: 18 remotes cycling through a 6-slot
@@ -140,26 +146,49 @@ TEST(NCClient, SlabLinkStateMatchesMapReference) {
     const double rtt = 20.0 + rng.uniform(0.0, 200.0);
     const double now = static_cast<double>(i);
 
-    auto it = reference.find(remote);
-    if (it == reference.end()) {
-      if (reference.size() >= cfg.max_tracked_links) {
-        auto oldest = reference.begin();
-        for (auto j = reference.begin(); j != reference.end(); ++j)
-          if (j->second.last_seen_s < oldest->second.last_seen_s) oldest = j;
-        reference.erase(oldest);
-        ++ref_evictions;
+    auto it = slot_of.find(remote);
+    std::size_t idx;
+    if (it != slot_of.end()) {
+      idx = it->second;
+    } else {
+      if (active >= cfg.max_tracked_links) {
+        for (;;) {  // second-chance sweep from the persistent hand
+          if (hand >= slots.size()) hand = 0;
+          RefSlot& s = slots[hand++];
+          if (s.remote == kInvalidNode) continue;
+          if (s.referenced) {
+            s.referenced = false;
+            continue;
+          }
+          slot_of.erase(s.remote);
+          s.remote = kInvalidNode;
+          free_slots.push_back(hand - 1);
+          --active;
+          ++ref_evictions;
+          break;
+        }
       }
-      it = reference.emplace(remote, RefLink{cfg.filter.make(), now}).first;
+      if (!free_slots.empty()) {
+        idx = free_slots.back();
+        free_slots.pop_back();
+      } else {
+        slots.emplace_back();
+        idx = slots.size() - 1;
+      }
+      slots[idx].remote = remote;
+      slots[idx].filter = cfg.filter.make();
+      slot_of[remote] = idx;
+      ++active;
     }
-    it->second.last_seen_s = now;
-    const std::optional<double> expected = it->second.filter->update(rtt);
+    slots[idx].referenced = true;
+    const std::optional<double> expected = slots[idx].filter->update(rtt);
 
     const auto out =
         client.observe(remote, Coordinate{Vec{50.0, 10.0}}, 0.5, rtt, now);
     ASSERT_EQ(out.filtered_rtt_ms, expected) << "observation " << i;
   }
   EXPECT_EQ(client.evicted_link_count(), ref_evictions);
-  EXPECT_EQ(client.tracked_link_count(), reference.size());
+  EXPECT_EQ(client.tracked_link_count(), active);
   EXPECT_GT(ref_evictions, 50u);  // the sequence actually exercised eviction
 }
 

@@ -1,0 +1,76 @@
+#include "estimate/coordinate_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/wire.hpp"
+
+namespace nc::est {
+namespace {
+
+LatencyObservation obs(NodeId src, NodeId dst, double t_s, double rtt,
+                       const Coordinate& src_app, const Coordinate& dst_app) {
+  return LatencyObservation{src, dst, t_s, rtt, src_app, dst_app};
+}
+
+TEST(CoordinateEstimator, MissesUntilBothEndpointsSeen) {
+  CoordinateEstimator est({}, 4);
+  EXPECT_EQ(est.estimate_rtt(0, 1, 0.0), std::nullopt);
+  // Only the observer's side of the pair has been advertised.
+  est.on_observation(obs(0, 1, 1.0, 50.0, Coordinate{Vec{1.0, 0.0}}, {}));
+  EXPECT_EQ(est.estimate_rtt(0, 1, 1.0), std::nullopt);
+  const EstimatorStats s = est.stats();
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.direct_hits, 0u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(CoordinateEstimator, AnswerIsExactlyTheCoordinateDistance) {
+  CoordinateEstimator est({}, 4);
+  const Coordinate a{Vec{3.0, 4.0}};
+  const Coordinate b{Vec{0.0, 0.0}};
+  est.on_observation(obs(0, 1, 1.0, 50.0, a, b));
+  const auto ab = est.estimate_rtt(0, 1, 1.0);
+  ASSERT_TRUE(ab.has_value());
+  EXPECT_EQ(*ab, a.distance_to(b));  // bit-exact, not approximate
+  // distance_to is bit-symmetric, so the reverse query matches too.
+  EXPECT_EQ(est.estimate_rtt(1, 0, 1.0), ab);
+}
+
+TEST(CoordinateEstimator, LatestAdvertisementWins) {
+  CoordinateEstimator est({}, 4);
+  est.on_observation(obs(0, 1, 1.0, 50.0, Coordinate{Vec{0.0, 0.0}},
+                         Coordinate{Vec{10.0, 0.0}}));
+  // Node 1 re-advertises from elsewhere; the cached entry must move.
+  est.on_observation(obs(2, 1, 2.0, 50.0, Coordinate{Vec{0.0, 5.0}},
+                         Coordinate{Vec{20.0, 0.0}}));
+  EXPECT_EQ(est.estimate_rtt(0, 1, 2.0), 20.0);
+  EXPECT_EQ(est.stats().entries, 3u);
+}
+
+TEST(CoordinateEstimator, StaleEntriesCountedButStillAnswer) {
+  CoordinateEstimator est({.max_age_s = 10.0}, 4);
+  est.on_observation(obs(0, 1, 0.0, 50.0, Coordinate{Vec{1.0, 0.0}},
+                         Coordinate{Vec{2.0, 0.0}}));
+  // Far past the horizon: both entries are stale, but a coordinate keeps
+  // answering — the deployment has nothing better.
+  const auto e = est.estimate_rtt(0, 1, 100.0);
+  ASSERT_TRUE(e.has_value());
+  const EstimatorStats s = est.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.stale_entries, 2u);
+  EXPECT_EQ(s.direct_hits, 1u);
+}
+
+TEST(CoordinateEstimator, TrafficIsOneWireStatePerAdvertisement) {
+  CoordinateEstimator est({}, 4);
+  const Coordinate c{Vec{1.0, 2.0}};
+  for (int i = 0; i < 5; ++i)
+    est.on_observation(obs(0, 1, static_cast<double>(i), 50.0, c, c));
+  // One uninitialized advertisement: nothing rode on the reply.
+  est.on_observation(obs(0, 1, 6.0, 50.0, c, {}));
+  EXPECT_EQ(est.stats().traffic_bytes, 5u * encoded_size(c.dim(), c.has_height()));
+}
+
+}  // namespace
+}  // namespace nc::est

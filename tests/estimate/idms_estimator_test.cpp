@@ -1,0 +1,136 @@
+#include "estimate/idms_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace nc::est {
+namespace {
+
+LatencyObservation obs(NodeId src, NodeId dst, double t_s, double rtt,
+                       const Coordinate& src_app = {},
+                       const Coordinate& dst_app = {}) {
+  return LatencyObservation{src, dst, t_s, rtt, src_app, dst_app};
+}
+
+TEST(IDMSEstimator, FirstSampleFillsTheCell) {
+  IDMSEstimator est({}, 4, 0, 4);
+  est.on_observation(obs(0, 1, 1.0, 120.0));
+  const auto e = est.estimate_rtt(0, 1, 1.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 120.0);
+  const EstimatorStats s = est.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.direct_hits, 1u);
+}
+
+TEST(IDMSEstimator, RepeatedSamplesSmoothWithEwma) {
+  IDMSEstimator est({.max_age_s = 600.0, .alpha = 0.3}, 4, 0, 4);
+  est.on_observation(obs(0, 1, 1.0, 100.0));
+  est.on_observation(obs(0, 1, 2.0, 50.0));
+  // Bit-exact EWMA reference: alpha * newest + (1 - alpha) * cell.
+  double cell = 100.0;
+  cell = 0.3 * 50.0 + (1.0 - 0.3) * cell;
+  EXPECT_EQ(est.estimate_rtt(0, 1, 2.0), cell);
+  // A spike moves the cell by alpha only, it does not own it.
+  est.on_observation(obs(0, 1, 3.0, 1000.0));
+  cell = 0.3 * 1000.0 + (1.0 - 0.3) * cell;
+  EXPECT_EQ(est.estimate_rtt(0, 1, 3.0), cell);
+  EXPECT_EQ(est.stats().entries, 1u);  // still one cell
+}
+
+TEST(IDMSEstimator, MatrixIsDirected) {
+  IDMSEstimator est({}, 4, 0, 4);
+  est.on_observation(obs(0, 1, 1.0, 100.0));
+  est.on_observation(obs(1, 0, 1.0, 200.0));
+  EXPECT_EQ(est.estimate_rtt(0, 1, 1.0), 100.0);
+  EXPECT_EQ(est.estimate_rtt(1, 0, 1.0), 200.0);
+  EXPECT_EQ(est.stats().entries, 2u);
+}
+
+TEST(IDMSEstimator, StaleCellFallsBackToCoordinates) {
+  IDMSEstimator est({.max_age_s = 10.0}, 4, 0, 4);
+  const Coordinate a{Vec{30.0, 0.0}};
+  const Coordinate b{Vec{0.0, 40.0}};
+  est.on_observation(obs(0, 1, 0.0, 120.0, a, b));
+  // Fresh: the measured cell answers.
+  EXPECT_EQ(est.estimate_rtt(0, 1, 5.0), 120.0);
+  // Past the horizon the point measurement is dead; the embedded coordinate
+  // backend (fed the same stream) answers instead.
+  const auto e = est.estimate_rtt(0, 1, 100.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, a.distance_to(b));
+  const EstimatorStats s = est.stats();
+  EXPECT_EQ(s.direct_hits, 1u);
+  EXPECT_EQ(s.fallback_hits, 1u);
+  EXPECT_EQ(s.stale_entries, 1u);
+}
+
+TEST(IDMSEstimator, MissesWhenCellAndFallbackBothEmpty) {
+  IDMSEstimator est({}, 4, 0, 4);
+  // No observation at all: nothing measured, no coordinates advertised.
+  EXPECT_EQ(est.estimate_rtt(2, 3, 1.0), std::nullopt);
+  const EstimatorStats s = est.stats();
+  EXPECT_EQ(s.queries, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(IDMSEstimator, OwnsAShardSlice) {
+  // Rows for nodes [2, 4) of a 4-node deployment, as a shard would own.
+  IDMSEstimator est({}, 4, 2, 2);
+  est.on_observation(obs(2, 0, 1.0, 80.0));
+  est.on_observation(obs(3, 1, 1.0, 90.0));
+  EXPECT_EQ(est.estimate_rtt(2, 0, 1.0), 80.0);
+  EXPECT_EQ(est.estimate_rtt(3, 1, 1.0), 90.0);
+  EXPECT_EQ(est.stats().entries, 2u);
+}
+
+TEST(IDMSEstimator, RejectsBadConfig) {
+  EXPECT_THROW(IDMSEstimator({.max_age_s = 0.0}, 4, 0, 4), CheckError);
+  EXPECT_THROW(IDMSEstimator({.max_age_s = 1.0, .alpha = 0.0}, 4, 0, 4),
+               CheckError);
+  EXPECT_THROW(IDMSEstimator({.max_age_s = 1.0, .alpha = 1.5}, 4, 0, 4),
+               CheckError);
+  EXPECT_THROW(IDMSEstimator({}, 4, 2, 3), CheckError);  // slice past the end
+}
+
+// Shrinking the eager slot limit forces the matrix into paged mode; answers
+// must not change, and queries for never-measured pairs must not allocate
+// pages (the memory footprint stays flat under a miss storm).
+TEST(IDMSEstimator, PagedModeMatchesEagerModeAndQueriesDoNotAllocate) {
+  const int n = 512;  // 512 * 512 cells: a few dozen matrix pages
+  IDMSEstimatorConfig paged_cfg;
+  paged_cfg.eager_slot_limit = 1;  // everything beyond one slot is paged
+  IDMSEstimator paged(paged_cfg, n, 0, n);
+  IDMSEstimator eager({}, n, 0, n);
+
+  // All observers in the first 8 rows: the measured cells concentrate in
+  // one corner of the matrix, the regime paging exists for.
+  for (int i = 0; i < 400; ++i) {
+    const auto src = static_cast<NodeId>(i % 8);
+    const auto dst = static_cast<NodeId>((i * 13 + 9) % n);
+    if (src == dst) continue;
+    const double rtt = 20.0 + static_cast<double>(i % 50);
+    paged.on_observation(obs(src, dst, static_cast<double>(i), rtt));
+    eager.on_observation(obs(src, dst, static_cast<double>(i), rtt));
+  }
+  for (NodeId a = 0; a < 16; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      ASSERT_EQ(paged.estimate_rtt(a, b, 500.0), eager.estimate_rtt(a, b, 500.0))
+          << "pair (" << a << ", " << b << ")";
+  EXPECT_EQ(paged.stats().entries, eager.stats().entries);
+
+  // Only the touched corner is resident in paged mode; eager mode paid for
+  // the whole matrix upfront.
+  EXPECT_LT(paged.stats().memory_bytes, eager.stats().memory_bytes);
+
+  // A miss storm across every row must not materialize pages: queries go
+  // through try_at, so the footprint stays flat.
+  const std::uint64_t before = paged.stats().memory_bytes;
+  for (NodeId a = 0; a < n; ++a)
+    (void)paged.estimate_rtt(a, (a + 1) % n, 500.0);
+  EXPECT_EQ(paged.stats().memory_bytes, before);
+}
+
+}  // namespace
+}  // namespace nc::est

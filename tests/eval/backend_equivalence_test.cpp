@@ -1,0 +1,117 @@
+// Backend-equivalence pins for the LatencyEstimator seam.
+//
+// The coordinates backend must be a pure refactor: routing every predicted
+// RTT through the estimator instead of computing coordinate distances
+// inline in the metrics path has to reproduce the pre-seam metrics BIT FOR
+// BIT, at any shard count. The goldens below are hexfloat captures of the
+// pre-refactor engine (planetlab + churn, replay + online, 48 nodes, 900 s,
+// seed 5); any drift — a reordered reduction, an extra rounding step, a
+// divergent estimator answer — fails exact equality here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "estimate/idms_estimator.hpp"
+#include "eval/registry.hpp"
+#include "eval/scenario.hpp"
+
+namespace nc::eval {
+namespace {
+
+struct Golden {
+  const char* scenario;
+  SimMode mode;
+  double median_relative_error;
+  double mean_instability_ms_per_s;
+  double median_instability_ms_per_s;
+  double mean_pct_nodes_updating_per_s;
+  std::uint64_t observation_count;
+};
+
+// Captured from the pre-refactor engine (PR 5 head) with the workload below.
+constexpr Golden kGoldens[] = {
+    {"planetlab", SimMode::kReplay, 0x1.3883c03ad3758p-4, 0x1.910de4d5e6f81p+0,
+     0x1.ea131p-1, 0x1.897b425ed097bp+0, 32421},
+    {"planetlab", SimMode::kOnline, 0x1.eed6b026e8739p-4, 0x1.de8836c16c16cp+1,
+     0x0p+0, 0x1.684bda12f684cp-2, 6653},
+    {"churn", SimMode::kReplay, 0x1.62b21c550f774p-4, 0x1.8e397293e93e9p+1,
+     0x0p+0, 0x1.1097b425ed098p+0, 20610},
+    {"churn", SimMode::kOnline, 0x1.9081f5f9da585p-3, 0x1.c89c23f6e5d4cp+2,
+     0x0p+0, 0x1.5097b425ed098p-2, 4387},
+};
+
+ScenarioSpec golden_spec(const Golden& g, int shards) {
+  ScenarioSpec spec = make_scenario(g.scenario);
+  spec.mode = g.mode;
+  spec.workload.num_nodes = 48;
+  spec.workload.duration_s = 900.0;
+  spec.workload.seed = 5;
+  if (g.mode == SimMode::kOnline) spec.workload.ping_interval_s = 5.0;
+  spec.shards = shards;
+  return spec;
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendEquivalence, CoordinatesBackendReproducesPreSeamMetrics) {
+  const int shards = GetParam();
+  for (const Golden& g : kGoldens) {
+    ScenarioSpec spec = golden_spec(g, shards);
+    apply_backend(spec, "coordinates");
+    const ScenarioOutput out = run_scenario(spec);
+    const std::string label =
+        std::string(g.scenario) +
+        (g.mode == SimMode::kReplay ? "/replay" : "/online");
+    EXPECT_EQ(out.metrics.median_relative_error(), g.median_relative_error)
+        << label;
+    EXPECT_EQ(out.metrics.mean_instability_ms_per_s(),
+              g.mean_instability_ms_per_s)
+        << label;
+    EXPECT_EQ(out.metrics.median_instability_ms_per_s(),
+              g.median_instability_ms_per_s)
+        << label;
+    EXPECT_EQ(out.metrics.mean_pct_nodes_updating_per_s(),
+              g.mean_pct_nodes_updating_per_s)
+        << label;
+    EXPECT_EQ(out.metrics.observation_count(), g.observation_count) << label;
+    // The seam answered every predicted-RTT query from coordinate state.
+    EXPECT_EQ(out.estimator_stats.queries, g.observation_count) << label;
+    EXPECT_EQ(out.estimator_stats.direct_hits, g.observation_count) << label;
+    EXPECT_EQ(out.estimator_stats.misses, 0u) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, BackendEquivalence, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// The IDMS backend runs the same grid and must produce a full comparative
+// row: same observation stream, its own coverage/memory/traffic accounting.
+TEST(BackendEquivalence, IdmsRunsTheSameGridWithItsOwnAccounting) {
+  const Golden& g = kGoldens[0];  // planetlab/replay
+  ScenarioSpec spec = golden_spec(g, 2);
+  apply_backend(spec, "idms");
+  const ScenarioOutput out = run_scenario(spec);
+  // The workload is backend-independent: same observations processed.
+  EXPECT_EQ(out.metrics.observation_count(), g.observation_count);
+  const est::EstimatorStats& s = out.estimator_stats;
+  EXPECT_EQ(s.queries, g.observation_count);
+  EXPECT_EQ(s.direct_hits + s.fallback_hits + s.misses, s.queries);
+  // The engine queries each pair right after measuring it: the fresh cell
+  // answers, so the matrix covers every in-stream query directly.
+  EXPECT_EQ(s.direct_hits, s.queries);
+  EXPECT_GT(s.entries, 0u);
+  EXPECT_GT(s.memory_bytes, 0u);
+  // IDMS pays matrix reports ON TOP of the fallback's coordinate traffic.
+  EXPECT_GT(s.traffic_bytes,
+            g.observation_count * est::IDMSEstimator::kMatrixReportBytes);
+  // And the error metrics differ from the coordinate path (measured cells
+  // answer, not the embedding) — equality here would mean the seam ignored
+  // the backend.
+  EXPECT_NE(out.metrics.median_relative_error(), g.median_relative_error);
+}
+
+}  // namespace
+}  // namespace nc::eval

@@ -150,6 +150,66 @@ TEST(RouteSchedules, ExpansionsAreValidAtAnyScale) {
 // A composed schedule drives an actual run in both modes (replay here;
 // sharded_replay_test covers the oracle-visible effect, sharded_sim_test
 // the online engine's directed links).
+TEST(BackendPresets, CatalogHasTheDocumentedPresets) {
+  const auto names = backend_names();
+  EXPECT_EQ(names.front(), "coordinates");  // the paper's path is the default
+  for (const char* expected :
+       {"coordinates", "idms", "idms-volatile", "idms-sticky"}) {
+    EXPECT_TRUE(backend_exists(expected)) << expected;
+  }
+  EXPECT_FALSE(backend_exists("no-such-backend"));
+  EXPECT_EQ(backend_catalog().size(), names.size());
+  for (const auto& info : backend_catalog())
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+}
+
+TEST(BackendPresets, UnknownNameThrowsWithTheRegisteredList) {
+  ScenarioSpec spec = make_scenario("planetlab");
+  try {
+    apply_backend(spec, "bogus");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("coordinates"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("idms"), std::string::npos);
+  }
+}
+
+TEST(BackendPresets, PresetsConfigureTheSpec) {
+  ScenarioSpec spec = make_scenario("planetlab");
+  EXPECT_EQ(spec.estimator.backend, est::EstimatorBackend::kCoordinates);
+  apply_backend(spec, "idms");
+  EXPECT_EQ(spec.estimator.backend, est::EstimatorBackend::kIdms);
+  EXPECT_EQ(spec.estimator.max_age_s, 600.0);
+  apply_backend(spec, "idms-volatile");
+  EXPECT_EQ(spec.estimator.max_age_s, 60.0);
+  apply_backend(spec, "idms-sticky");
+  EXPECT_EQ(spec.estimator.max_age_s, 3600.0);
+  apply_backend(spec, "coordinates");
+  EXPECT_EQ(spec.estimator.backend, est::EstimatorBackend::kCoordinates);
+}
+
+// The smoke contract behind --backend=: every preset runs a short scenario
+// and reports estimator stats + a memory budget through ScenarioOutput.
+TEST(BackendPresets, EveryPresetRunsAShortScenario) {
+  for (const std::string& name : backend_names()) {
+    SCOPED_TRACE(name);
+    ScenarioSpec spec = make_scenario("planetlab");
+    spec.workload.num_nodes = 12;
+    spec.workload.duration_s = 300.0;
+    spec.shards = 2;
+    apply_backend(spec, name);
+    const auto out = run_scenario(spec);
+    EXPECT_GT(out.metrics.observation_count(), 0u);
+    EXPECT_EQ(out.estimator_stats.queries, out.metrics.observation_count());
+    EXPECT_EQ(out.estimator_stats.misses, 0u);  // in-stream queries always hit
+    EXPECT_GT(out.estimator_stats.entries, 0u);
+    EXPECT_GT(out.estimator_stats.traffic_bytes, 0u);
+    EXPECT_GT(out.memory.estimator_bytes, 0u);
+    EXPECT_GT(out.memory.client_bytes, 0u);
+    EXPECT_GT(out.memory.total(), out.memory.estimator_bytes);
+  }
+}
+
 TEST(RouteSchedules, ComposedScheduleRunsInBothModes) {
   for (const SimMode mode : {SimMode::kReplay, SimMode::kOnline}) {
     ScenarioSpec spec = make_scenario("planetlab");
