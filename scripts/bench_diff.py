@@ -7,11 +7,15 @@ Two kinds of entries are compared, matched by name across the files:
 
   * google-benchmark micro kernels (the "benchmarks" array): cpu_time,
     lower is better;
-  * engine kernel rates (the "event_core" section, or PR 3's
-    "shard_scaling" section, whose rows are normalized to the same keys):
-    events_per_s, higher is better. Rows are keyed by (engine, nodes,
-    shards), so the serial facade, sharded online and — since PR 5 —
-    sharded replay rows are tracked independently.
+  * engine kernel rates (the "event_core" and — since PR 7 —
+    "large_scale" sections, or PR 3's "shard_scaling" section, whose rows
+    are normalized to the same keys): events_per_s, higher is better. Rows
+    are keyed by (engine, nodes, shards), so the serial facade, sharded
+    online, sharded replay and large-scale rows are tracked independently;
+  * engine memory footprints (the same sections' mem_bytes key): bytes at
+    end of run, lower is better. A row that silently balloons past the
+    threshold fails CI even if its events/s held up — the large-scale tier
+    exists precisely because state size, not speed, is what breaks first.
 
 Entries present in only one file are reported but never fail the check
 (benches come and go across PRs); a matched entry that regressed by more
@@ -35,10 +39,17 @@ def micro_kernels(record):
     return out
 
 
+def _engine_rows(record):
+    """Rows from every section that prints (engine, nodes, shards) rows."""
+    for section in ("event_core", "large_scale"):
+        for row in record.get(section, {}).get("results", []):
+            yield row
+
+
 def engine_rates(record):
-    """name -> events/s (higher is better) from event_core/shard_scaling."""
+    """name -> events/s (higher is better) from the engine row sections."""
     out = {}
-    for row in record.get("event_core", {}).get("results", []):
+    for row in _engine_rows(record):
         name = "online_events_per_s[engine=%s,nodes=%d,shards=%d]" % (
             row.get("engine", "sharded"),
             int(row["nodes"]),
@@ -52,6 +63,25 @@ def engine_rates(record):
             row["shards"]
         )
         out[name] = float(row["events_per_s"])
+    return out
+
+
+def engine_memory(record):
+    """name -> mem_bytes (lower is better) from the engine row sections.
+
+    Older records (pre-PR 5) have no mem_bytes key; their rows are simply
+    absent here and show up as only-in-one-file, which never fails.
+    """
+    out = {}
+    for row in _engine_rows(record):
+        if "mem_bytes" not in row:
+            continue
+        name = "mem_bytes[engine=%s,nodes=%d,shards=%d]" % (
+            row.get("engine", "sharded"),
+            int(row["nodes"]),
+            int(row.get("shards", 0)),
+        )
+        out[name] = float(row["mem_bytes"])
     return out
 
 
@@ -89,6 +119,7 @@ def main():
     for title, extract, lower in (
         ("micro kernels (cpu_time)", micro_kernels, True),
         ("online engine (events/s)", engine_rates, False),
+        ("engine memory (mem_bytes)", engine_memory, True),
     ):
         a, b = extract(old), extract(new)
         shared = sorted(set(a) & set(b))

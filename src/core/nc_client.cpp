@@ -11,14 +11,9 @@ NCClient::NCClient(NodeId id, const NCClientConfig& config)
       heuristic_(config.heuristic.make()) {}
 
 NCClient::LinkState& NCClient::link_for(NodeId remote, double now_s) {
-  const auto rid = static_cast<std::size_t>(remote);
-  if (rid >= slot_of_.size()) {
-    // Geometric growth keeps amortized cost O(1); remote ids are dense
-    // small integers in every driver, so this settles at ~n entries.
-    slot_of_.resize(std::max(rid + 1, slot_of_.size() * 2), 0);
-  }
-  if (const std::uint32_t slot = slot_of_[rid]; slot != 0)
-    return slab_[slot - 1];
+  const auto rid = static_cast<std::uint32_t>(remote);
+  if (const auto slot = slot_of_.find(rid); slot.has_value())
+    return slab_[*slot];
 
   // First contact (or re-contact after eviction): claim a slab slot.
   if (config_.max_tracked_links > 0 &&
@@ -43,7 +38,7 @@ NCClient::LinkState& NCClient::link_for(NodeId remote, double now_s) {
   s.remote = remote;
   s.last_seen_s = now_s;
   s.ref = 1;
-  slot_of_[rid] = idx + 1;
+  slot_of_.insert(rid, idx);
   ++active_links_;
   return s;
 }
@@ -65,7 +60,9 @@ void NCClient::evict_one_link() {
       continue;
     }
     if (s.remote == nearest_id_) nearest_id_ = kInvalidNode;
-    slot_of_[static_cast<std::size_t>(s.remote)] = 0;
+    // Unhook the index entry: this is what keeps the compact table bounded
+    // by the slab instead of by the distinct-remote count.
+    slot_of_.erase(static_cast<std::uint32_t>(s.remote));
     s.remote = kInvalidNode;
     free_slots_.push_back(static_cast<std::uint32_t>(clock_hand_ - 1));
     --active_links_;
@@ -137,7 +134,7 @@ ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coo
 
 std::size_t NCClient::memory_bytes() const noexcept {
   std::size_t bytes = sizeof(*this) + slab_.capacity() * sizeof(LinkState) +
-                      slot_of_.capacity() * sizeof(std::uint32_t) +
+                      slot_of_.memory_bytes() +
                       free_slots_.capacity() * sizeof(std::uint32_t);
   // Parked filters stay allocated (that is the point of the pool), so every
   // slab slot's filter counts whether or not a remote occupies it.

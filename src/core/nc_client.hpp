@@ -16,19 +16,27 @@
 // first unreferenced link it finds — O(1) amortized instead of the
 // O(max_tracked_links) oldest-timestamp scan it replaces.
 //
-// Per-link state is SLAB-allocated (PR 5): a dense remote-id -> slot index
+// Per-link state is SLAB-allocated (PR 5): a remote-id -> slot index
 // replaces the per-observation hash lookup that topped the profile
 // (~16% of an online run, find + first-contact filter allocation in
 // link_for), and evicted slots return their filter instance to a per-client
 // pool (reset, not destroyed), so steady-state neighbor churn allocates
-// nothing. Same indexing idea as the sharded engine's dense directed-link
-// arrays: one multiply-free array read per observation.
+// nothing.
+//
+// The index itself is COMPACT (PR 7): a CompactSlotIndex bounded by the
+// live link count instead of the dense array that grew to the largest
+// remote id seen. The dense form made aggregate index memory O(n^2) across
+// n clients — the last O(n) per-client state standing between the engine
+// and 100k+-node runs — where the compact table is O(max_tracked_links)
+// because eviction unhooks its entry, so the table can never outgrow the
+// slab it points into.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/compact_index.hpp"
 #include "core/coordinate.hpp"
 #include "core/filters/filter_config.hpp"
 #include "core/heuristics/heuristic_config.hpp"
@@ -132,9 +140,10 @@ class NCClient {
 
   /// Slab of link states; active count bounded by max_tracked_links.
   std::vector<LinkState> slab_;
-  /// remote id -> slab slot + 1 (0 = no live state); grows geometrically to
-  /// the largest remote id seen. One array read replaces the hash lookup.
-  std::vector<std::uint32_t> slot_of_;
+  /// remote id -> slab slot, bounded by the live link count (eviction
+  /// erases its entry) — O(max_tracked_links) bytes regardless of how many
+  /// distinct remotes the client ever hears about.
+  CompactSlotIndex slot_of_;
   /// Recycled slab slots, filters parked inside (reset on reuse).
   std::vector<std::uint32_t> free_slots_;
   /// Clock-hand position of the second-chance eviction sweep.

@@ -8,4 +8,17 @@ namespace nc {
 using NodeId = std::int32_t;
 inline constexpr NodeId kInvalidNode = -1;
 
+/// Owner shard of a node under the engines' block partition: contiguous id
+/// ranges, shard s owning ids with id * shards / num_nodes == s (clamped).
+/// The ONE partition function — ShardedEngine routes with it and
+/// lat::partition_trace splits trace files with it, so a pre-partitioned
+/// replay provably agrees with the engine's routing.
+[[nodiscard]] constexpr int shard_of_node(NodeId id, int num_nodes,
+                                          int shards) noexcept {
+  const auto n = static_cast<std::int64_t>(num_nodes);
+  const auto w = static_cast<std::int64_t>(shards);
+  const std::int64_t s = static_cast<std::int64_t>(id) * w / (n > 0 ? n : 1);
+  return static_cast<int>(s < w - 1 ? s : w - 1);
+}
+
 }  // namespace nc

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <memory>
 
 #include "common/check.hpp"
 
@@ -80,6 +81,30 @@ std::optional<TraceRecord> TraceReader::next() {
   }
   ++read_;
   return r;
+}
+
+std::vector<std::string> partition_trace(TraceSource& source,
+                                         const std::string& path_prefix,
+                                         int num_nodes, int shards) {
+  NC_CHECK_MSG(shards >= 1, "need at least one shard");
+  NC_CHECK_MSG(num_nodes >= 2, "trace needs at least two nodes");
+  NC_CHECK_MSG(source.num_nodes() <= num_nodes,
+               "trace has more nodes than the partition covers");
+  std::vector<std::string> paths;
+  std::vector<std::unique_ptr<TraceWriter>> writers;
+  paths.reserve(static_cast<std::size_t>(shards));
+  writers.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    paths.push_back(path_prefix + ".shard" + std::to_string(s));
+    writers.push_back(std::make_unique<TraceWriter>(paths.back(), num_nodes));
+  }
+  while (auto r = source.next()) {
+    NC_CHECK_MSG(r->dst >= 0 && r->dst < num_nodes, "bad dst id in trace");
+    writers[static_cast<std::size_t>(shard_of_node(r->dst, num_nodes, shards))]
+        ->append(*r);
+  }
+  for (auto& w : writers) w->close();
+  return paths;
 }
 
 std::uint64_t export_csv(TraceSource& source, const std::string& path) {

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/node_id.hpp"
 
@@ -72,5 +73,19 @@ class TraceReader final : public TraceSource {
 /// Drains `source` into a CSV file with a "t_s,src,dst,rtt_ms" header row.
 /// Returns the number of records written.
 std::uint64_t export_csv(TraceSource& source, const std::string& path);
+
+/// One-pass trace splitter for parallel replay ingest: routes every record
+/// of `source` to the binary trace file `<path_prefix>.shard<s>` where
+/// s = shard_of_node(record.dst, num_nodes, shards) — dst is the record's
+/// FIRST stop in the replay pipeline, so each engine shard reads exactly
+/// the slice it would have been mailed by a single reader. The split is
+/// stable (original relative order within each file), which is what keeps
+/// ShardedEngine::run_partitioned bit-identical to the single-reader path.
+/// `num_nodes` must cover every id in the trace (pass the driver's node
+/// count, which may exceed the source's). Returns the per-shard paths,
+/// indexed by shard.
+std::vector<std::string> partition_trace(TraceSource& source,
+                                         const std::string& path_prefix,
+                                         int num_nodes, int shards);
 
 }  // namespace nc::lat

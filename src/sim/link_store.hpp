@@ -1,0 +1,115 @@
+// ShardLinkStore: a shard's directed-link state, dense or sparse by size.
+//
+// A shard indexes per-link stochastic state by (src - first_owned, dst) —
+// a rows x cols logical matrix of rows = owned nodes, cols = n. The dense
+// form (flat array, lazily paged past the eager limit — PagedStore) is
+// unbeatable at bench-tier sizes, but page granularity defeats it at
+// large n: one src row of 100k slots spans ~12 pages of 8192 slots, and a
+// node's ~512 neighbor targets land on nearly all of them, so a 100k-node
+// online run would materialize close to the full O(n^2/W) array anyway
+// (~hundreds of GB). Above `sparse_slot_limit` logical slots the store
+// therefore switches to a per-row CompactSlotIndex (dst -> slab slot) over
+// one shared slab, making memory O(links actually touched) with a
+// two-cache-probe lookup.
+//
+// Both layouts hand out value-initialized state on first touch, so the
+// modes are observationally identical — tests/sim/link_store_test.cpp pins
+// slot-level equivalence and the engine bit-identity suite runs a forced-
+// sparse engine against the dense one.
+//
+// Not thread-safe; every store is owned by exactly one shard. References
+// returned by at() in sparse mode are invalidated by the next first-touch
+// insertion (the slab is a vector) — use within one event, like any
+// container reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/compact_index.hpp"
+#include "common/paged_store.hpp"
+
+namespace nc {
+
+/// Dense (paged) up to 64M logical slots per shard: the 4k bench tier
+/// (16.8M directed slots at W=1) keeps its flat array, n >= 10k at W=1
+/// goes sparse. 64M slots of DirLink-sized state is the break-even point
+/// where per-row index overhead beats page-granularity amplification.
+inline constexpr std::size_t kShardLinkDefaultSparseSlotLimit =
+    std::size_t{64} << 20;
+
+template <typename T>
+class ShardLinkStore {
+ public:
+  ShardLinkStore() = default;
+
+  ShardLinkStore(std::size_t rows, std::size_t cols,
+                 std::size_t eager_slot_limit = kPagedStoreDefaultEagerSlotLimit,
+                 std::size_t sparse_slot_limit = kShardLinkDefaultSparseSlotLimit)
+      : rows_(rows),
+        cols_(cols),
+        sparse_(rows * cols > sparse_slot_limit) {
+    NC_CHECK_MSG(cols_ <= std::numeric_limits<std::uint32_t>::max(),
+                 "column space exceeds the compact-index key width");
+    if (sparse_) {
+      row_index_.resize(rows_);
+    } else {
+      dense_ = PagedStore<T>(rows_ * cols_, eager_slot_limit);
+    }
+  }
+
+  /// The state at (row, col), created value-initialized on first touch.
+  [[nodiscard]] T& at(std::size_t row, std::size_t col) {
+    NC_ASSERT(row < rows_ && col < cols_);
+    if (!sparse_) return dense_.at(row * cols_ + col);
+    CompactSlotIndex& index = row_index_[row];
+    if (const auto slot = index.find(static_cast<std::uint32_t>(col));
+        slot.has_value())
+      return slab_[*slot];
+    NC_CHECK_MSG(slab_.size() < std::numeric_limits<std::uint32_t>::max(),
+                 "shard link slab exceeds the compact-index value width");
+    index.insert(static_cast<std::uint32_t>(col),
+                 static_cast<std::uint32_t>(slab_.size()));
+    slab_.emplace_back();
+    return slab_.back();
+  }
+
+  /// Read-only probe: the slot's address, or nullptr when never touched in
+  /// sparse mode / page never materialized in dense mode.
+  [[nodiscard]] const T* try_at(std::size_t row, std::size_t col) const noexcept {
+    NC_ASSERT(row < rows_ && col < cols_);
+    if (!sparse_) return dense_.try_at(row * cols_ + col);
+    const auto slot = row_index_[row].find(static_cast<std::uint32_t>(col));
+    return slot.has_value() ? &slab_[*slot] : nullptr;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool sparse() const noexcept { return sparse_; }
+  /// Links materialized so far (sparse mode; dense mode has no per-slot
+  /// touch record, so this reports 0 there).
+  [[nodiscard]] std::size_t touched() const noexcept { return slab_.size(); }
+
+  /// Heap bytes held right now: the dense store's accounting in dense mode;
+  /// slab + all per-row index tables in sparse mode.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    if (!sparse_) return dense_.memory_bytes();
+    std::size_t bytes = slab_.capacity() * sizeof(T) +
+                        row_index_.capacity() * sizeof(CompactSlotIndex);
+    for (const CompactSlotIndex& index : row_index_) bytes += index.memory_bytes();
+    return bytes;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  bool sparse_ = false;
+  PagedStore<T> dense_;
+  std::vector<CompactSlotIndex> row_index_;
+  std::vector<T> slab_;
+};
+
+}  // namespace nc

@@ -30,6 +30,7 @@
 
 #include "common/paged_store.hpp"
 #include "core/nc_client.hpp"
+#include "sim/link_store.hpp"
 #include "core/neighbor_set.hpp"
 #include "estimate/estimator_config.hpp"
 #include "latency/link_model.hpp"
@@ -70,6 +71,12 @@ struct OnlineSimConfig {
   /// paging) to bound memory for very large n — results are identical in
   /// both modes.
   std::size_t link_eager_slot_limit = kPagedStoreDefaultEagerSlotLimit;
+  /// Above this many logical slots per shard the link store goes SPARSE
+  /// (per-row compact index + slab, sim/link_store.hpp): page granularity
+  /// stops paying at 100k-node scale, where a node's ~512 scattered targets
+  /// touch nearly every page of its row. Lower it (0 forces sparse) to
+  /// test; results are identical in every mode.
+  std::size_t link_sparse_slot_limit = kShardLinkDefaultSparseSlotLimit;
 };
 
 /// Per-node runtime of the online protocol: clients, neighbor sets with

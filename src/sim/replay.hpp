@@ -36,6 +36,13 @@ class ReplayDriver {
     engine_->run(source, oracle);
   }
 
+  /// Replays a pre-partitioned trace (lat::partition_trace): one slice per
+  /// shard, each read by its own worker — bit-identical to run(source) on
+  /// the unpartitioned trace. No oracle (not concurrency-safe). Call once.
+  void run_partitioned(const std::vector<lat::TraceSource*>& sources) {
+    engine_->run_partitioned(sources);
+  }
+
   [[nodiscard]] MetricsCollector& metrics() noexcept { return engine_->metrics(); }
   [[nodiscard]] const MetricsCollector& metrics() const noexcept {
     return engine_->metrics();

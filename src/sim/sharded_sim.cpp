@@ -141,16 +141,16 @@ void ShardedEngine::init_shards(int shards, int num_nodes) {
     shards_[static_cast<std::size_t>(shard_of(id))].owned.push_back(id);
 
   for (auto& shard : shards_) {
-    // Dense directed-link state for the shard's contiguous node block:
-    // slot (src - first_owned) * n + dst, lazily stream-seeded on first
-    // touch. Online mode only — replay traffic carries its RTTs in the
-    // trace, so replay shards own no link state at all.
+    // Directed-link state for the shard's contiguous node block, indexed
+    // (src - first_owned, dst), lazily stream-seeded on first touch. Online
+    // mode only — replay traffic carries its RTTs in the trace, so replay
+    // shards own no link state at all.
     if (!shard.owned.empty()) {
       shard.first_owned = shard.owned.front();
       if (mode_ == Mode::kOnline)
-        shard.links = PagedStore<DirLink>(
-            shard.owned.size() * static_cast<std::size_t>(num_nodes),
-            config_.link_eager_slot_limit);
+        shard.links = ShardLinkStore<DirLink>(
+            shard.owned.size(), static_cast<std::size_t>(num_nodes),
+            config_.link_eager_slot_limit, config_.link_sparse_slot_limit);
     }
 
     std::vector<NodeId> tracked;
@@ -187,10 +187,10 @@ void ShardedEngine::init_shards(int shards, int num_nodes) {
 int ShardedEngine::shard_of(NodeId id) const noexcept {
   // Block partition: contiguous id ranges per shard (better locality than
   // round-robin; any fixed map works — results never depend on placement).
-  const auto n = static_cast<std::int64_t>(clients_.size());
-  const auto w = static_cast<std::int64_t>(shards_.size());
-  return static_cast<int>(std::min<std::int64_t>(
-      w - 1, static_cast<std::int64_t>(id) * w / std::max<std::int64_t>(1, n)));
+  // Shared with lat::partition_trace, which splits replay traces by the
+  // same function so every pre-partitioned slice lands on its reader.
+  return shard_of_node(id, static_cast<int>(clients_.size()),
+                       static_cast<int>(shards_.size()));
 }
 
 void ShardedEngine::advance_node_dyn(NodeId id, double t) {
@@ -208,11 +208,8 @@ void ShardedEngine::advance_node_dyn(NodeId id, double t) {
 
 ShardedEngine::DirLink& ShardedEngine::link_at(Shard& shard, NodeId src,
                                                NodeId dst, double t) {
-  const std::size_t idx =
-      static_cast<std::size_t>(src - shard.first_owned) *
-          static_cast<std::size_t>(topology_.size()) +
-      static_cast<std::size_t>(dst);
-  DirLink& s = shard.links.at(idx);
+  DirLink& s = shard.links.at(static_cast<std::size_t>(src - shard.first_owned),
+                              static_cast<std::size_t>(dst));
   if (!s.initialized) {
     s.initialized = true;
     s.rng = Rng::derived(config_.seed, rngstream::kDirectedLink,
@@ -296,12 +293,15 @@ void ShardedEngine::process_epoch(Shard& shard, int shard_idx,
         break;
     }
   }
-  // Replay: shard 0 doubles as the reader. Reading one epoch window AHEAD
-  // of the one just processed means a record reaches its observed node's
-  // shard in the epoch that contains the record's own timestamp (so the
-  // state stamp happens at exact record time, unclamped).
-  if (mode_ == Mode::kReplay && shard_idx == 0)
-    read_trace_until(epoch_end + config_.ping_interval_s);
+  // Replay: reading shards double as readers (shard 0 alone for a single
+  // source; every shard over its own slice when partitioned). Reading one
+  // epoch window AHEAD of the one just processed means a record reaches its
+  // observed node's shard in the epoch that contains the record's own
+  // timestamp (so the state stamp happens at exact record time, unclamped).
+  if (mode_ == Mode::kReplay &&
+      static_cast<std::size_t>(shard_idx) < readers_.size() &&
+      readers_[static_cast<std::size_t>(shard_idx)].source != nullptr)
+    read_trace_until(shard_idx, epoch_end + config_.ping_interval_s);
   // All of this epoch's emissions are in; sort the kPong/kObs runs (the
   // kinds whose timestamps are not monotone in emission order) so every
   // outbox is canonically ordered before the receivers merge at the barrier.
@@ -459,22 +459,23 @@ void ShardedEngine::on_delivered_pong(Shard& shard, double t_proc,
   }
 }
 
-void ShardedEngine::read_trace_until(double t_limit) {
-  if (trace_done_) return;
+void ShardedEngine::read_trace_until(int shard_idx, double t_limit) {
+  ReaderState& reader = readers_[static_cast<std::size_t>(shard_idx)];
+  if (reader.done) return;
   for (;;) {
-    if (!pending_record_.has_value()) {
-      pending_record_ = source_->next();
-      if (!pending_record_.has_value()) {
-        trace_done_ = true;
+    if (!reader.pending.has_value()) {
+      reader.pending = reader.source->next();
+      if (!reader.pending.has_value()) {
+        reader.done = true;
         return;
       }
     }
-    const lat::TraceRecord& rec = *pending_record_;
+    const lat::TraceRecord& rec = *reader.pending;
     if (rec.t_s >= config_.duration_s) {
       // Records arrive in non-decreasing time order: nothing after this one
       // can be in range either (same early-out the serial driver had).
-      trace_done_ = true;
-      pending_record_.reset();
+      reader.done = true;
+      reader.pending.reset();
       return;
     }
     if (rec.t_s >= t_limit) return;  // next epoch's window; keep it pending
@@ -482,18 +483,22 @@ void ShardedEngine::read_trace_until(double t_limit) {
     NC_CHECK_MSG(rec.dst >= 0 && rec.dst < num_nodes(), "bad dst id");
     NC_CHECK_MSG(rec.src != rec.dst, "self-observation in trace");
     NC_CHECK_MSG(rec.rtt_ms > 0.0f, "non-positive rtt in trace");
+    // A partitioned slice must hold exactly the reading shard's records; a
+    // mis-split file would scramble the canonical merge order silently.
+    NC_CHECK_MSG(!partitioned_ || shard_of(rec.dst) == shard_idx,
+                 "partitioned trace slice holds a foreign record");
 
     ShardMessage msg;
     msg.kind = ShardMsgKind::kObs;
     msg.t = rec.t_s;
     msg.from = rec.src;  // the observer
     msg.to = rec.dst;    // the observed node: first stop of the record
-    msg.seq = reader_seq_++;
+    msg.seq = reader.seq++;
     msg.rtt_ms = rec.rtt_ms;
     if (oracle_ != nullptr && config_.collect_oracle)
       msg.gt_rtt_ms = oracle_->ground_truth_rtt(rec.src, rec.dst, rec.t_s);
-    mailbox_.send(0, shard_of(rec.dst), std::move(msg));
-    pending_record_.reset();
+    mailbox_.send(shard_idx, shard_of(rec.dst), std::move(msg));
+    reader.pending.reset();
   }
 }
 
@@ -507,16 +512,40 @@ void ShardedEngine::run(lat::TraceSource& source, lat::LatencyNetwork* oracle) {
   NC_CHECK_MSG(mode_ == Mode::kReplay, "run(trace) is replay mode only");
   NC_CHECK_MSG(source.num_nodes() <= num_nodes(),
                "trace has more nodes than driver");
-  source_ = &source;
+  readers_.resize(shards_.size());
+  readers_[0] = ReaderState{&source, std::nullopt, 0, false};
   oracle_ = oracle;
   // Prime the pipeline: epoch 0's records must already sit in the mailbox
-  // when the first delivery phase collects it (the reader stays one window
+  // when the first delivery phase collects it (each reader stays one window
   // ahead from here on). Runs before any worker launches, so sending and
   // sealing from the main thread is safe.
-  read_trace_until(config_.ping_interval_s);
+  read_trace_until(0, config_.ping_interval_s);
   mailbox_.seal_outboxes(0);
   run_epochs();
-  source_ = nullptr;
+  readers_.clear();
+}
+
+void ShardedEngine::run_partitioned(
+    const std::vector<lat::TraceSource*>& sources) {
+  NC_CHECK_MSG(mode_ == Mode::kReplay,
+               "run_partitioned(traces) is replay mode only");
+  NC_CHECK_MSG(sources.size() == shards_.size(),
+               "need exactly one trace slice per shard");
+  partitioned_ = true;
+  readers_.resize(shards_.size());
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    NC_CHECK_MSG(sources[s] != nullptr, "null trace slice");
+    NC_CHECK_MSG(sources[s]->num_nodes() <= num_nodes(),
+                 "trace has more nodes than driver");
+    readers_[s] = ReaderState{sources[s], std::nullopt, 0, false};
+  }
+  // Prime every reader's first window (main thread; workers not launched).
+  for (std::size_t s = 0; s < readers_.size(); ++s) {
+    read_trace_until(static_cast<int>(s), config_.ping_interval_s);
+    mailbox_.seal_outboxes(static_cast<int>(s));
+  }
+  run_epochs();
+  readers_.clear();
 }
 
 void ShardedEngine::run_epochs() {

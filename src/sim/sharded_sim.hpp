@@ -17,9 +17,16 @@
 // ping timers, sample directed links, and exchange ping/pong traffic.
 //
 // Replay mode: epochs are `epoch_s` long and the traffic comes from a
-// trace. Shard 0 doubles as the READER: during its processing phase it
-// reads one epoch window of records ahead and mails each record as a kObs
-// message to the OBSERVED node's owner shard. That shard answers during the
+// trace. With a single source, shard 0 doubles as the READER: during its
+// processing phase it reads one epoch window of records ahead and mails
+// each record as a kObs message to the OBSERVED node's owner shard. With a
+// PRE-PARTITIONED trace (run_partitioned; lat::partition_trace splits one
+// pass by owner shard of dst), EVERY shard reads its own slice in its own
+// processing phase — the serial-reader Amdahl bottleneck disappears, and
+// the result stays bit-identical because the canonical merge order
+// (t, kind, from, to, seq) only consults seq for records identical in the
+// first four keys, which necessarily sit in the same slice in their
+// original relative order. That shard answers during the
 // next epoch exactly like a pinged node answers a ping — it stamps its
 // client's current coordinate state into a kPong at the record's own
 // timestamp — and the pong is observed by the recorded source node one
@@ -43,8 +50,9 @@
 // The steady-state event loop is allocation-free (DESIGN.md "Event core"):
 // per-shard calendar queues replace binary heaps, delivery batches are
 // k-way merges into buffers reused across epochs, and per-link latency
-// state lives in a dense directed-link-indexed array — eager (flat) at
-// bench-tier sizes, lazily paged beyond them (common/paged_store.hpp).
+// state lives in a directed-link-indexed ShardLinkStore — flat at
+// bench-tier sizes, lazily paged beyond, per-row compact-indexed at
+// 100k-node scale (sim/link_store.hpp).
 //
 // Protocol semantics are declared per mode: messages cross the network at
 // epoch granularity (a ping sent in epoch k is answered in epoch k+1 and
@@ -63,12 +71,12 @@
 #include <utility>
 #include <vector>
 
-#include "common/paged_store.hpp"
 #include "core/nc_client.hpp"
 #include "core/neighbor_set.hpp"
 #include "latency/link_model.hpp"
 #include "latency/topology.hpp"
 #include "latency/trace.hpp"
+#include "sim/link_store.hpp"
 #include "sim/metrics.hpp"
 #include "sim/online_sim.hpp"
 #include "sim/shard_mailbox.hpp"
@@ -142,6 +150,15 @@ class ShardedEngine {
   /// only.
   void run(lat::TraceSource& source, lat::LatencyNetwork* oracle = nullptr);
 
+  /// Replays a PRE-PARTITIONED trace: sources[s] must hold exactly the
+  /// records whose observed node (dst) shard s owns, in their original
+  /// relative order (lat::partition_trace produces this). Every shard reads
+  /// its own slice concurrently — bit-identical to run(source) on the
+  /// unpartitioned trace at any shard count. No oracle: the generating
+  /// LatencyNetwork is not safe to sample from concurrent readers. Call
+  /// once; replay mode only; sources.size() must equal shards().
+  void run_partitioned(const std::vector<lat::TraceSource*>& sources);
+
   /// Merged metrics over all shards; valid after run().
   [[nodiscard]] MetricsCollector& metrics() noexcept;
   [[nodiscard]] const MetricsCollector& metrics() const noexcept;
@@ -206,10 +223,11 @@ class ShardedEngine {
     std::vector<NodeId> owned;  // contiguous block [first_owned, ...]
     NodeId first_owned = 0;
     ShardEventQueue queue;
-    /// Dense directed-link state: index (src - first_owned) * n + dst.
-    /// Flat at bench-tier sizes, lazily paged beyond (PagedStore) — either
-    /// way O(1) arithmetic lookup, no rehash allocations.
-    PagedStore<DirLink> links;
+    /// Directed-link state indexed (src - first_owned, dst). Flat at
+    /// bench-tier sizes, lazily paged beyond, per-row compact-indexed at
+    /// large n (ShardLinkStore picks the layout; all observationally
+    /// identical).
+    ShardLinkStore<DirLink> links;
     /// Delivery batch buffer, reused every epoch (collect_into target).
     std::vector<ShardMessage> inbox;
     /// Delivered-event staging for ShardEventQueue::push_batch, reused
@@ -237,9 +255,11 @@ class ShardedEngine {
   void on_delivered_ping(Shard& shard, double t_proc, const ShardEvent& ev);
   void on_delivered_pong(Shard& shard, double t_proc, const ShardEvent& ev);
   void on_delivered_obs(Shard& shard, const ShardEvent& ev);
-  /// Replay reader (shard 0's processing phase): routes every record with
-  /// t < t_limit to the observed node's owner as a kObs message.
-  void read_trace_until(double t_limit);
+  /// Replay reader (a reading shard's processing phase): routes every
+  /// record with t < t_limit to the observed node's owner as a kObs
+  /// message. Single-source replay runs one reader on shard 0; partitioned
+  /// replay runs one per shard over its own slice.
+  void read_trace_until(int shard_idx, double t_limit);
   DirLink& link_at(Shard& shard, NodeId src, NodeId dst, double t);
 
   Mode mode_;
@@ -266,13 +286,22 @@ class ShardedEngine {
   std::vector<Shard> shards_;
   EpochMailbox mailbox_;
 
-  // Replay reader state (touched only by shard 0's thread once the run
-  // starts; the priming read happens before the workers launch).
-  lat::TraceSource* source_ = nullptr;
+  /// One trace reader's cursor. readers_[s] is touched only by shard s's
+  /// thread once the run starts (the priming reads happen before the
+  /// workers launch); single-source replay activates readers_[0] only.
+  struct ReaderState {
+    lat::TraceSource* source = nullptr;
+    std::optional<lat::TraceRecord> pending;
+    std::uint64_t seq = 0;
+    bool done = true;
+  };
+
+  // Replay reader state.
+  std::vector<ReaderState> readers_;
   lat::LatencyNetwork* oracle_ = nullptr;
-  std::optional<lat::TraceRecord> pending_record_;
-  std::uint64_t reader_seq_ = 0;
-  bool trace_done_ = false;
+  /// Partitioned mode: each reading shard checks it owns every dst it reads
+  /// (a mis-split trace would silently break the canonical merge order).
+  bool partitioned_ = false;
 
   std::uint64_t pings_sent_ = 0;
   std::uint64_t pings_lost_ = 0;

@@ -78,6 +78,47 @@ TEST(PagedStore, PagesAllocateLazilyOnFirstTouch) {
   EXPECT_EQ(store.allocated_pages(), 2u);
 }
 
+// Past the DEFAULT 32M-slot eager limit — the regime every large-n run
+// (10k+ nodes) actually exercises. One-byte slots keep the test cheap: the
+// page table is ~4k pointers, and only touched pages cost real memory.
+TEST(PagedStore, DefaultLimitPagesPastThirtyTwoMillionSlots) {
+  const std::size_t slots = kPagedStoreDefaultEagerSlotLimit + 3 * PagedStore<std::uint8_t>::kPageSlots + 17;
+  PagedStore<std::uint8_t> store(slots);  // default limit: must go paged
+  ASSERT_TRUE(store.paged());
+  EXPECT_EQ(store.size(), slots);
+  EXPECT_EQ(store.page_count(),
+            (slots + PagedStore<std::uint8_t>::kPageSlots - 1) /
+                PagedStore<std::uint8_t>::kPageSlots);
+  EXPECT_EQ(store.allocated_pages(), 0u);
+
+  // Block-boundary indexing around the 32M mark: the last slot of one page
+  // and the first of the next land on different pages and never alias.
+  const std::size_t boundary =
+      (kPagedStoreDefaultEagerSlotLimit / PagedStore<std::uint8_t>::kPageSlots) *
+      PagedStore<std::uint8_t>::kPageSlots;
+  store.at(boundary - 1) = 11;
+  store.at(boundary) = 22;
+  EXPECT_EQ(store.allocated_pages(), 2u);
+  EXPECT_EQ(store.at(boundary - 1), 11);
+  EXPECT_EQ(store.at(boundary), 22);
+
+  // Lazy materialization count: the final partial page and the very first
+  // page cost one page each; nothing in between appears.
+  store.at(slots - 1) = 33;
+  store.at(0) = 44;
+  EXPECT_EQ(store.allocated_pages(), 4u);
+  EXPECT_EQ(store.at(slots - 1), 33);
+  // Untouched far slot still reads value-initialized (and try_at sees the
+  // page as absent without materializing it).
+  EXPECT_EQ(store.try_at(kPagedStoreDefaultEagerSlotLimit / 2), nullptr);
+  EXPECT_EQ(store.at(kPagedStoreDefaultEagerSlotLimit / 2), 0);
+  EXPECT_EQ(store.allocated_pages(), 5u);
+  // Memory scales with the 5 touched pages, not the 33.6M logical slots.
+  EXPECT_LT(store.memory_bytes(),
+            6 * PagedStore<std::uint8_t>::kPageSlots +
+                (store.page_count() + 8) * sizeof(void*));
+}
+
 TEST(PagedStore, EmptyAndEagerIntrospection) {
   PagedStore<Slot> empty;
   EXPECT_EQ(empty.size(), 0u);

@@ -212,6 +212,112 @@ TEST(NCClient, EvictedFiltersAreRecycledThroughThePool) {
   EXPECT_GT(c.evicted_link_count(), 100u);
 }
 
+// Index-equivalence pin (PR 7): the compact open-addressed slot index must
+// be observationally identical to the dense remote->slot+1 array it
+// replaced. The reference below IS the old dense path — a vector grown
+// geometrically to the largest remote id, slot+1 stored, zeroed on eviction
+// — wired to the same clock-hand/free-list bookkeeping as the slab. Any
+// divergence (a lost entry, a stale slot surviving eviction, a wrong slot
+// returned after backward-shift) shows up as a filter-output or
+// eviction-count mismatch.
+TEST(NCClient, CompactIndexMatchesDenseIndexReference) {
+  NCClientConfig cfg = basic_config();
+  cfg.filter = FilterConfig::moving_percentile(4, 25.0, /*min_samples=*/2);
+  cfg.max_tracked_links = 16;
+  NCClient client(0, cfg);
+
+  struct RefSlot {
+    NodeId remote = kInvalidNode;
+    bool referenced = false;
+    std::unique_ptr<LatencyFilter> filter;
+  };
+  std::vector<RefSlot> slots;
+  std::vector<std::uint32_t> dense_slot_of;  // remote id -> slot + 1
+  std::vector<std::size_t> free_slots;
+  std::size_t hand = 0;
+  std::size_t active = 0;
+  std::uint64_t ref_evictions = 0;
+
+  // Sparse ids across a wide range force plenty of hash collisions and
+  // backward-shift chains in the compact table, while re-contact after
+  // eviction exercises erase-then-reinsert of the same key.
+  Rng rng(777);
+  for (int i = 0; i < 4000; ++i) {
+    const auto remote =
+        static_cast<NodeId>(1 + (rng.uniform_int(48) * 100003) % 1000000);
+    const double rtt = 20.0 + rng.uniform(0.0, 200.0);
+    const double now = static_cast<double>(i);
+
+    const auto rid = static_cast<std::size_t>(remote);
+    if (rid >= dense_slot_of.size())
+      dense_slot_of.resize(std::max(rid + 1, dense_slot_of.size() * 2), 0);
+    std::size_t idx;
+    if (dense_slot_of[rid] != 0) {
+      idx = dense_slot_of[rid] - 1;
+    } else {
+      if (active >= cfg.max_tracked_links) {
+        for (;;) {
+          if (hand >= slots.size()) hand = 0;
+          RefSlot& s = slots[hand++];
+          if (s.remote == kInvalidNode) continue;
+          if (s.referenced) {
+            s.referenced = false;
+            continue;
+          }
+          dense_slot_of[static_cast<std::size_t>(s.remote)] = 0;
+          s.remote = kInvalidNode;
+          free_slots.push_back(hand - 1);
+          --active;
+          ++ref_evictions;
+          break;
+        }
+      }
+      if (!free_slots.empty()) {
+        idx = free_slots.back();
+        free_slots.pop_back();
+      } else {
+        slots.emplace_back();
+        idx = slots.size() - 1;
+      }
+      slots[idx].remote = remote;
+      slots[idx].filter = cfg.filter.make();
+      dense_slot_of[rid] = static_cast<std::uint32_t>(idx) + 1;
+      ++active;
+    }
+    slots[idx].referenced = true;
+    const std::optional<double> expected = slots[idx].filter->update(rtt);
+
+    const auto out =
+        client.observe(remote, Coordinate{Vec{50.0, 10.0}}, 0.5, rtt, now);
+    ASSERT_EQ(out.filtered_rtt_ms, expected) << "observation " << i;
+    ASSERT_EQ(client.evicted_link_count(), ref_evictions) << "observation " << i;
+  }
+  EXPECT_EQ(client.tracked_link_count(), active);
+  EXPECT_GT(ref_evictions, 500u);  // churn actually hammered the index
+}
+
+// The O(n^2) -> O(n*k) win itself: per-client memory must depend on the
+// link cap, never on the largest remote id seen. Under the old dense index
+// the huge-id client below would carry ~4 MB of index alone.
+TEST(NCClient, MemoryBoundedByTrackedLinksNotByRemoteIdRange) {
+  NCClientConfig cfg = basic_config();
+  cfg.max_tracked_links = 32;
+  NCClient small_ids(0, cfg);
+  NCClient huge_ids(0, cfg);
+  for (int i = 0; i < 200; ++i) {
+    const double t = static_cast<double>(i);
+    small_ids.observe(static_cast<NodeId>(1 + i % 64),
+                      Coordinate{Vec{10.0, 0.0}}, 0.5, 10.0, t);
+    huge_ids.observe(static_cast<NodeId>(1000000 + (i % 64) * 15485863),
+                     Coordinate{Vec{10.0, 0.0}}, 0.5, 10.0, t);
+  }
+  EXPECT_EQ(small_ids.tracked_link_count(), 32u);
+  EXPECT_EQ(huge_ids.tracked_link_count(), 32u);
+  // Same live-state shape => same memory, regardless of id magnitude.
+  EXPECT_EQ(huge_ids.memory_bytes(), small_ids.memory_bytes());
+  EXPECT_LT(huge_ids.memory_bytes(), 64u * 1024u);
+}
+
 TEST(NCClient, CountersAdvance) {
   NCClient c(1, basic_config());
   for (int i = 0; i < 10; ++i)

@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "common/check.hpp"
 #include "eval/registry.hpp"
 #include "eval/scenario.hpp"
+#include "latency/trace.hpp"
 #include "latency/trace_generator.hpp"
 
 namespace nc::sim {
@@ -167,6 +172,82 @@ TEST(ShardedReplay, DriftTrackingIsShardCountInvariant) {
   // 4 interior ticks + the final duration_s flush, per tracked node.
   EXPECT_EQ(serial.first.size(), 10u);
   EXPECT_EQ(serial, drift_of(3));
+}
+
+// Parallel trace ingest (PR 7): a pre-partitioned replay — every shard
+// reading its own slice — must be bit-identical to the single-reader path
+// on the unpartitioned trace, for any shard count. Equality of every final
+// coordinate plus the merged metric surface means each client consumed the
+// same observation stream in the same order.
+TEST(ShardedReplay, PartitionedReplayBitIdenticalToSingleReader) {
+  const std::string prefix =
+      std::string(::testing::TempDir()) + "/replay-part";
+  const std::string whole = prefix + ".nctr";
+  lat::generate_trace_file(small_trace(32, 600.0), whole);
+
+  struct Result {
+    std::vector<Coordinate> coords;
+    std::uint64_t observations;
+    std::uint64_t events;
+    double median_err;
+    double instability;
+    bool operator==(const Result&) const = default;
+  };
+  const auto result_of = [](ReplayDriver& driver) {
+    Result r;
+    for (NodeId id = 0; id < driver.num_nodes(); ++id)
+      r.coords.push_back(driver.client(id).system_coordinate());
+    r.observations = driver.metrics().observation_count();
+    r.events = driver.events_processed();
+    r.median_err = driver.metrics().median_relative_error();
+    r.instability = driver.metrics().mean_instability_ms_per_s();
+    return r;
+  };
+
+  lat::TraceReader ref_src(whole);
+  ReplayDriver ref(small_replay(600.0, 1), ref_src.num_nodes());
+  ref.run(ref_src);
+  const Result expected = result_of(ref);
+
+  for (int shards : {1, 2, 3}) {
+    lat::TraceReader src(whole);
+    const auto paths = lat::partition_trace(src, prefix, src.num_nodes(), shards);
+    std::vector<std::unique_ptr<lat::TraceReader>> slices;
+    std::vector<lat::TraceSource*> sources;
+    for (const std::string& p : paths) {
+      slices.push_back(std::make_unique<lat::TraceReader>(p));
+      sources.push_back(slices.back().get());
+    }
+    ReplayDriver driver(small_replay(600.0, shards), ref_src.num_nodes());
+    driver.run_partitioned(sources);
+    EXPECT_EQ(result_of(driver), expected) << "shards=" << shards;
+  }
+}
+
+// The partitioned entry point enforces its contract: one slice per shard,
+// no nulls, no foreign records in a slice.
+TEST(ShardedReplay, PartitionedReplayRejectsBadSlices) {
+  const std::string prefix =
+      std::string(::testing::TempDir()) + "/replay-part-bad";
+  const std::string whole = prefix + ".nctr";
+  lat::generate_trace_file(small_trace(12, 60.0), whole);
+
+  {
+    // Wrong slice count.
+    lat::TraceReader a(whole);
+    ReplayDriver driver(small_replay(60.0, 2), 12);
+    std::vector<lat::TraceSource*> sources{&a};
+    EXPECT_THROW(driver.run_partitioned(sources), CheckError);
+  }
+  {
+    // The whole trace handed to every shard: shard 1's reader immediately
+    // sees records whose dst it does not own.
+    lat::TraceReader a(whole);
+    lat::TraceReader b(whole);
+    ReplayDriver driver(small_replay(60.0, 2), 12);
+    std::vector<lat::TraceSource*> sources{&a, &b};
+    EXPECT_THROW(driver.run_partitioned(sources), CheckError);
+  }
 }
 
 TEST(ShardedReplay, MoreShardsThanNodesWorks) {
