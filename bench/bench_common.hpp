@@ -16,7 +16,11 @@
 //                    workload (none, single-link, regional-shift,
 //                    backbone-flap)
 //   --backend=NAME   estimator backend preset answering RTT queries
-//                    (coordinates, idms, idms-volatile, idms-sticky)
+//                    (coordinates, idms, idms-volatile, idms-sticky,
+//                    snapshot)
+//   --partition-trace  replay mode, shards > 1: split the trace by owner
+//                    shard on open and replay one slice per reader
+//                    (bit-identical; default off)
 //   --full           paper-scale workload (overrides the laptop defaults)
 // Unknown flags and bad positional arguments print a usage message and
 // exit 2 (malformed VALUES like --nodes=abc still abort via nc::CheckError).
@@ -41,9 +45,10 @@ namespace ncb {
 /// exits 2 on unknown flags or malformed arguments.
 inline nc::Flags parse_flags(int argc, const char* const* argv,
                              std::initializer_list<const char*> extra = {}) {
-  std::vector<std::string> allowed = {"scenario",       "nodes",   "hours",
-                                      "seed",           "jobs",    "shards",
-                                      "route-schedule", "backend", "full"};
+  std::vector<std::string> allowed = {
+      "scenario", "nodes",           "hours",   "seed",
+      "jobs",     "shards",          "backend", "route-schedule",
+      "full",     "partition-trace"};
   allowed.insert(allowed.end(), extra.begin(), extra.end());
   return nc::Flags::parse_or_exit(argc, argv, allowed);
 }
@@ -105,6 +110,7 @@ inline nc::eval::ScenarioSpec scenario_spec(const nc::Flags& flags,
     std::exit(2);
   }
   nc::eval::apply_backend(spec, backend);
+  spec.partition_replay = flags.get_bool("partition-trace", false);
   return spec;
 }
 

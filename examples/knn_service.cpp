@@ -2,25 +2,24 @@
 // the problem the paper's related-work section cites as a coordinate-space
 // application (operator placement and k-NN in stream overlays).
 //
-// A directory node collects every peer's application coordinate through the
-// wire codec into a CoordinateMap and answers "which k nodes are closest to
-// X?" queries from the cache alone. The querying node then ranks the
-// returned candidates through the run's LatencyEstimator — the same seam
-// every other consumer queries — and contacts the best-ranked one. We score
-// against ground truth: how many of the true k nearest does the coordinate
-// answer find, and how much extra RTT does the contacted node cost?
+// The directory is the serving layer itself: a CoordinateService over the
+// engine's published epoch snapshots answers "which k nodes are closest to
+// X?" from the frozen coordinate view alone — no per-query measurement, and
+// the hand-rolled registration cache the earlier version of this example
+// maintained is gone. We score against ground truth: how many of the true k
+// nearest does the snapshot answer find, and how much extra RTT does
+// contacting the top-ranked neighbor cost?
 //
 //   build/examples/knn_service [--nodes=120 --minutes=30 --k=5]
 #include <algorithm>
 #include <cstdio>
-#include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/flags.hpp"
-#include "core/coordinate_map.hpp"
-#include "core/wire.hpp"
 #include "latency/trace_generator.hpp"
+#include "serve/coordinate_service.hpp"
 #include "sim/sharded_sim.hpp"
 
 using namespace nc;
@@ -31,8 +30,8 @@ int main(int argc, char** argv) {
   const double duration = 60.0 * flags.get_double("minutes", 30.0);
   const int k = static_cast<int>(flags.get_int("k", 5));
 
-  // Build coordinates from a synthetic measurement stream on the unified
-  // epoch-sharded engine.
+  // Build coordinates from a synthetic measurement stream on the
+  // epoch-sharded engine, publishing snapshots for the service to read.
   lat::TraceGenConfig trace;
   trace.topology.num_nodes = n;
   trace.duration_s = duration;
@@ -42,27 +41,19 @@ int main(int argc, char** argv) {
   sim::ReplayConfig rc;
   rc.duration_s = duration;
   rc.measure_start_s = duration / 2.0;
+  rc.publish_snapshots = true;
   lat::TraceGenerator gen(trace);
   sim::ShardedEngine engine(rc, gen.num_nodes());
   engine.run(gen);
 
-  // The directory ingests every node's advertised state via the wire codec,
-  // exactly as a real registration message would arrive.
-  CoordinateMap directory;
-  for (NodeId id = 0; id < n; ++id) {
-    const NCClient& c = engine.client(id);
-    const auto state =
-        decode_state(encode_state(c.application_coordinate(), c.error_estimate()));
-    if (state.has_value()) directory.update(id, state->coordinate, duration);
-  }
-
-  // Score k-NN answers for every node against ground truth.
+  // Score the service's k-NN answers for every node against ground truth.
+  serve::CoordinateService service(&engine.snapshot_publisher(), n);
   const double t_eval = duration + 1.0;
   double recall_sum = 0.0;
   double penalty_sum = 0.0;  // extra RTT of the contacted node vs true nearest
+  std::vector<serve::CoordinateService::Neighbor> answer;
   for (NodeId q = 0; q < n; ++q) {
-    const auto answer = directory.nearest(
-        *directory.get(q, t_eval), k, t_eval, CoordinateMap::kNoMaxAge, q);
+    service.nearest_k(q, k, answer);
 
     // Ground-truth k nearest by quiescent RTT.
     std::vector<std::pair<double, NodeId>> truth;
@@ -73,36 +64,30 @@ int main(int argc, char** argv) {
     std::sort(truth.begin(), truth.end());
 
     std::set<NodeId> true_set;
-    for (int i = 0; i < k; ++i) true_set.insert(truth[static_cast<std::size_t>(i)].second);
+    for (int i = 0; i < k; ++i)
+      true_set.insert(truth[static_cast<std::size_t>(i)].second);
     int hits = 0;
     for (const auto& nb : answer)
       if (true_set.count(nb.id) > 0) ++hits;
     recall_sum += static_cast<double>(hits) / k;
 
-    // The querying node contacts the candidate its estimator ranks closest.
-    NodeId contacted = answer.front().id;
-    double contacted_est = 1e18;
-    for (const auto& nb : answer) {
-      const std::optional<double> e = engine.estimate_rtt(q, nb.id, t_eval);
-      if (e.has_value() && *e < contacted_est) {
-        contacted_est = *e;
-        contacted = nb.id;
-      }
-    }
+    // The querying node contacts the top-ranked neighbor (the answer is
+    // already ascending by predicted RTT).
+    const NodeId contacted = answer.front().id;
     penalty_sum +=
         gen.network().ground_truth_rtt(q, contacted, t_eval) - truth.front().first;
   }
 
-  const est::EstimatorStats stats = engine.estimator_stats();
-  std::printf("approximate %d-NN over %d nodes from cached coordinates:\n", k, n);
+  const serve::ServiceStats& stats = service.stats();
+  std::printf("approximate %d-NN over %d nodes from published snapshots:\n", k, n);
   std::printf("  mean recall@%d vs ground truth: %.0f%%\n", k,
               100.0 * recall_sum / n);
   std::printf("  mean extra RTT of the contacted neighbor: %.2f ms\n",
               penalty_sum / n);
-  std::printf("  directory size: %zu coordinates (%zu wire bytes each)\n",
-              directory.size(), encoded_size(3, false));
-  std::printf("  estimator coverage %.0f%% over %llu queries\n",
-              100.0 * stats.coverage(),
-              static_cast<unsigned long long>(stats.queries));
+  std::printf("  service: %llu nearest-k queries against snapshot v%llu "
+              "(%llu empty)\n",
+              static_cast<unsigned long long>(stats.nearest_queries),
+              static_cast<unsigned long long>(service.snapshot_version()),
+              static_cast<unsigned long long>(stats.empty_answers));
   return 0;
 }

@@ -1,24 +1,24 @@
-// Replica selection through the LatencyEstimator seam (the content-
-// distribution motivation from the paper's introduction).
+// Replica selection through the serving layer (the content-distribution
+// motivation from the paper's introduction).
 //
-// A 120-node network hosts 6 replicas of a service. Every client asks the
-// run's estimator backend for its RTT to each replica and picks the
-// smallest answer — no measurement to any replica at decision time — and we
-// score the choice against the ground-truth best replica. The backend is
-// selectable: the paper's coordinates answer every query from the embedding;
-// the IDMS delay matrix answers covered pairs from direct measurements and
-// falls back to coordinates for the rest. Random selection is the baseline.
+// A 120-node network hosts 6 replicas of a service. Every client asks a
+// CoordinateService — the query front end over the engine's published epoch
+// snapshots (serve/coordinate_service.hpp) — for its predicted RTT to each
+// replica and picks the smallest answer; no measurement to any replica
+// happens at decision time. The answer path is the same LatencyEstimator
+// seam the engine scores internally (a SnapshotEstimator over the final
+// published snapshot), so a service answer and a --backend=snapshot metric
+// are the same computation. Random selection is the baseline; ground truth
+// scores the choice.
 //
-//   build/examples/nearest_server [--nodes=120 --minutes=30
-//                                  --backend=coordinates|idms]
+//   build/examples/nearest_server [--nodes=120 --minutes=30 --replicas=6]
 #include <cstdio>
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "common/flags.hpp"
-#include "estimate/estimator_config.hpp"
 #include "latency/trace_generator.hpp"
+#include "serve/coordinate_service.hpp"
 #include "sim/sharded_sim.hpp"
 
 using namespace nc;
@@ -28,16 +28,11 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(flags.get_int("nodes", 120));
   const double duration = 60.0 * flags.get_double("minutes", 30.0);
   const int num_replicas = static_cast<int>(flags.get_int("replicas", 6));
-  const std::string backend_arg = flags.get_string("backend", "coordinates");
-  const auto backend = est::backend_from_string(backend_arg);
-  if (!backend.has_value()) {
-    std::fprintf(stderr, "unknown backend '%s' (coordinates|idms)\n",
-                 backend_arg.c_str());
-    return 2;
-  }
 
-  // Build estimator state by replaying a synthetic measurement stream
-  // through the unified epoch-sharded engine.
+  // Build coordinate state by replaying a synthetic measurement stream
+  // through the epoch-sharded engine, publishing snapshots as it runs (the
+  // end-of-run state is always published, so the service sees the final
+  // embedding).
   lat::TraceGenConfig trace;
   trace.topology.num_nodes = n;
   trace.duration_s = duration;
@@ -48,7 +43,7 @@ int main(int argc, char** argv) {
   sim::ReplayConfig rc;
   rc.duration_s = duration;
   rc.measure_start_s = duration / 2.0;
-  rc.estimator.backend = *backend;
+  rc.publish_snapshots = true;
   lat::TraceGenerator gen(trace);
   sim::ShardedEngine engine(rc, gen.num_nodes());
   engine.run(gen);
@@ -58,7 +53,8 @@ int main(int argc, char** argv) {
   for (int r = 0; r < num_replicas; ++r)
     replicas.push_back(static_cast<NodeId>(r * n / num_replicas));
 
-  // Every other node asks the estimator which replica is closest.
+  // Every other node asks the service which replica is closest.
+  serve::CoordinateService service(&engine.snapshot_publisher(), n);
   Rng rng(99);
   double est_penalty_sum = 0.0;  // chosen RTT minus best RTT (ms)
   double random_penalty_sum = 0.0;
@@ -76,7 +72,7 @@ int main(int argc, char** argv) {
     double best_rtt = 1e18;
     NodeId best = replicas.front();
     for (NodeId r : replicas) {
-      const std::optional<double> e = engine.estimate_rtt(client, r, t_eval);
+      const std::optional<double> e = service.distance_ms(client, r);
       if (e.has_value() && *e < chosen_est) {
         chosen_est = *e;
         chosen = r;
@@ -96,16 +92,17 @@ int main(int argc, char** argv) {
         gen.network().ground_truth_rtt(client, random_choice, t_eval) - best_rtt;
   }
 
-  const est::EstimatorStats stats = engine.estimator_stats();
-  std::printf("replica selection over %d clients, %d replicas (backend=%s):\n",
-              clients, num_replicas, est::backend_name(*backend));
-  std::printf("  estimator picked the true nearest replica: %d/%d (%.0f%%)\n",
+  const serve::ServiceStats& stats = service.stats();
+  std::printf("replica selection over %d clients, %d replicas "
+              "(CoordinateService, snapshot v%llu):\n",
+              clients, num_replicas,
+              static_cast<unsigned long long>(service.snapshot_version()));
+  std::printf("  service picked the true nearest replica: %d/%d (%.0f%%)\n",
               optimal_hits, clients, 100.0 * optimal_hits / clients);
-  std::printf("  mean extra RTT vs optimal: estimator %.1f ms, random %.1f ms\n",
+  std::printf("  mean extra RTT vs optimal: service %.1f ms, random %.1f ms\n",
               est_penalty_sum / clients, random_penalty_sum / clients);
-  std::printf("  backend coverage %.0f%% over %llu queries, %llu state entries\n",
-              100.0 * stats.coverage(),
-              static_cast<unsigned long long>(stats.queries),
-              static_cast<unsigned long long>(stats.entries));
+  std::printf("  service answered %llu distance queries (%llu empty)\n",
+              static_cast<unsigned long long>(stats.distance_queries),
+              static_cast<unsigned long long>(stats.empty_answers));
   return 0;
 }

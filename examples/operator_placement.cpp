@@ -4,14 +4,16 @@
 // and MIGRATING the operator is expensive. A coordinate change triggers
 // re-evaluation, so coordinate stability directly bounds migration churn.
 //
-// The placement controller is a pure LatencyEstimator consumer: it feeds
-// the observation stream into a whole-run CoordinateEstimator and asks it
-// for both hops of every candidate path — it never reaches into coordinate
-// state directly. The same workload runs twice — application coordinates
-// driven by the ENERGY heuristic vs raw system coordinates — counting how
-// many migrations each triggers for the same final placement quality. This
-// is the paper's "cascade of heavyweight process migrations" argument made
-// concrete.
+// The placement controller is a pure serving-layer consumer: it queries a
+// CoordinateService for both hops of every candidate path and never reaches
+// into coordinate state directly. The coordinate subsystem publishes an
+// EpochSnapshot at each change notification — exactly the cadence a deployed
+// node would push its coordinate to the directory — so the controller sees
+// the frozen view a real serving tier would. The same workload runs twice —
+// application coordinates driven by the ENERGY heuristic vs raw system
+// coordinates — counting how many migrations each triggers for the same
+// final placement quality. This is the paper's "cascade of heavyweight
+// process migrations" argument made concrete.
 //
 //   build/examples/operator_placement [--nodes=80 --minutes=45]
 #include <algorithm>
@@ -21,8 +23,9 @@
 
 #include "common/flags.hpp"
 #include "core/nc_client.hpp"
-#include "estimate/coordinate_estimator.hpp"
+#include "estimate/snapshot.hpp"
 #include "latency/trace_generator.hpp"
+#include "serve/coordinate_service.hpp"
 
 using namespace nc;
 
@@ -31,6 +34,7 @@ namespace {
 struct PlacementRun {
   long reevaluations = 0;       // placement recomputations triggered
   int migrations = 0;           // actual host changes
+  std::uint64_t snapshots = 0;  // snapshot versions published
   double final_cost_ms = 0.0;   // placed path latency (ground truth)
   double optimal_cost_ms = 0.0; // best possible path latency
 };
@@ -38,9 +42,10 @@ struct PlacementRun {
 // Replays the workload. The placement controller is event-driven, exactly as
 // the paper prescribes for the coordinate black box: whenever the coordinate
 // subsystem reports that the application coordinate of the source, the sink
-// or the current host changed, the controller re-runs the O(n) placement
-// scan; a host change is a heavyweight migration. Raw coordinates notify on
-// nearly every sample; ENERGY notifies only at change points.
+// or the current host changed, a fresh snapshot is published and the
+// controller re-runs the O(n) placement scan over the service; a host change
+// is a heavyweight migration. Raw coordinates notify on nearly every sample;
+// ENERGY notifies only at change points.
 PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
                  double duration) {
   lat::TraceGenConfig trace;
@@ -56,9 +61,22 @@ PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
   clients.reserve(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < n; ++id) clients.emplace_back(id, cc);
 
-  // The whole-run estimator instance the controller queries: it sees every
-  // advertised application coordinate off the observation stream.
-  est::CoordinateEstimator estimator(est::CoordinateEstimatorConfig{}, n);
+  // The publisher stands in for the deployment's coordinate directory; the
+  // controller only ever sees what has been published through it.
+  est::SnapshotPublisher publisher;
+  serve::CoordinateService service(&publisher, n);
+  const auto publish_state = [&](double t) {
+    est::EpochSnapshot& snap = publisher.staging(n);
+    for (NodeId id = 0; id < n; ++id) {
+      est::SnapshotNode& slot = snap.nodes[static_cast<std::size_t>(id)];
+      const NCClient& c = clients[static_cast<std::size_t>(id)];
+      slot.app = c.application_coordinate();
+      slot.error = c.error_estimate();
+      slot.confidence = c.confidence();
+      slot.up = 1;
+    }
+    publisher.publish(t);
+  };
 
   lat::TraceGenerator gen(trace);
 
@@ -74,13 +92,14 @@ PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
   double now = 0.0;
 
   const auto replace = [&] {
+    publish_state(now);
     ++result.reevaluations;
     NodeId best = source;
     double best_cost = 1e18;
     for (NodeId cand = 0; cand < n; ++cand) {
-      const std::optional<double> up = estimator.estimate_rtt(source, cand, now);
-      const std::optional<double> down = estimator.estimate_rtt(cand, sink, now);
-      if (!up.has_value() || !down.has_value()) continue;  // not yet advertised
+      const std::optional<double> up = service.distance_ms(source, cand);
+      const std::optional<double> down = service.distance_ms(cand, sink);
+      if (!up.has_value() || !down.has_value()) continue;  // not yet placed
       const double cost = *up + *down;
       if (cost < best_cost) {
         best_cost = cost;
@@ -101,9 +120,6 @@ PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
     const ObservationOutcome out =
         src.observe(rec->dst, dst.system_coordinate(), dst.error_estimate(),
                     rec->rtt_ms, rec->t_s);
-    estimator.on_observation({rec->src, rec->dst, rec->t_s, rec->rtt_ms,
-                              src.application_coordinate(),
-                              dst.application_coordinate()});
     if (rec->t_s < warmup) continue;
     if (host == kInvalidNode) {
       replace();  // initial placement
@@ -115,6 +131,7 @@ PlacementRun run(const HeuristicConfig& heuristic, std::uint64_t seed, int n,
       replace();
     }
   }
+  result.snapshots = publisher.published();
 
   // Score the final placement against ground truth.
   const double t = duration + 1.0;
@@ -145,17 +162,19 @@ int main(int argc, char** argv) {
   const PlacementRun stable = run(HeuristicConfig::energy(8.0, 32), seed, n, duration);
   const PlacementRun raw = run(HeuristicConfig::always(), seed, n, duration);
 
-  std::printf("  %-24s re-evaluations %6ld  migrations %3d  path %.1f ms "
-              "(optimum %.1f)\n",
+  std::printf("  %-24s re-evaluations %6ld  migrations %3d  snapshots %6llu  "
+              "path %.1f ms (optimum %.1f)\n",
               "energy application c_a:", stable.reevaluations, stable.migrations,
+              static_cast<unsigned long long>(stable.snapshots),
               stable.final_cost_ms, stable.optimal_cost_ms);
-  std::printf("  %-24s re-evaluations %6ld  migrations %3d  path %.1f ms "
-              "(optimum %.1f)\n",
+  std::printf("  %-24s re-evaluations %6ld  migrations %3d  snapshots %6llu  "
+              "path %.1f ms (optimum %.1f)\n",
               "raw system c_s:", raw.reevaluations, raw.migrations,
+              static_cast<unsigned long long>(raw.snapshots),
               raw.final_cost_ms, raw.optimal_cost_ms);
   std::printf("\nsame placement quality; the stable application coordinate cuts the\n"
-              "notification -> re-evaluation -> (possible) migration cascade by\n"
-              "orders of magnitude — the reason the paper separates application-\n"
-              "from system-level coordinates.\n");
+              "notification -> publish -> re-evaluation -> (possible) migration\n"
+              "cascade by orders of magnitude — the reason the paper separates\n"
+              "application- from system-level coordinates.\n");
   return 0;
 }

@@ -15,7 +15,12 @@ Two kinds of entries are compared, matched by name across the files:
   * engine memory footprints (the same sections' mem_bytes key): bytes at
     end of run, lower is better. A row that silently balloons past the
     threshold fails CI even if its events/s held up — the large-scale tier
-    exists precisely because state size, not speed, is what breaks first.
+    exists precisely because state size, not speed, is what breaks first;
+  * serving-tier rows (the "serving" section, since PR 8): p99_us per
+    (scenario, nodes, shards, clients, rate) row, lower is better, and the
+    achieved qps, higher is better. Tail latency is the serving layer's
+    whole contract, so a p99 that quietly grows 25% fails the same way a
+    kernel slowdown does.
 
 Entries present in only one file are reported but never fail the check
 (benches come and go across PRs); a matched entry that regressed by more
@@ -85,6 +90,32 @@ def engine_memory(record):
     return out
 
 
+def _serving_key(row):
+    return "scenario=%s,nodes=%d,shards=%d,clients=%d,rate=%d" % (
+        row.get("scenario", "planetlab"),
+        int(row["nodes"]),
+        int(row.get("shards", 0)),
+        int(row.get("clients", 0)),
+        int(row.get("rate_qps", 0)),
+    )
+
+
+def serving_p99(record):
+    """name -> p99 latency in us (lower is better) from the serving rows."""
+    out = {}
+    for row in record.get("serving", {}).get("results", []):
+        out["serving_p99_us[%s]" % _serving_key(row)] = float(row["p99_us"])
+    return out
+
+
+def serving_qps(record):
+    """name -> achieved queries/s (higher is better) from the serving rows."""
+    out = {}
+    for row in record.get("serving", {}).get("results", []):
+        out["serving_qps[%s]" % _serving_key(row)] = float(row["qps"])
+    return out
+
+
 def compare(name, old, new, lower_is_better, threshold_pct):
     # improvement_pct is signed in the direction of goodness: positive means
     # the new record is better, negative means it regressed.
@@ -120,6 +151,8 @@ def main():
         ("micro kernels (cpu_time)", micro_kernels, True),
         ("online engine (events/s)", engine_rates, False),
         ("engine memory (mem_bytes)", engine_memory, True),
+        ("serving tail latency (p99_us)", serving_p99, True),
+        ("serving throughput (qps)", serving_qps, False),
     ):
         a, b = extract(old), extract(new)
         shared = sorted(set(a) & set(b))

@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "estimate/coordinate_estimator.hpp"
 #include "estimate/idms_estimator.hpp"
+#include "estimate/snapshot_estimator.hpp"
 
 namespace nc::est {
 
@@ -12,6 +13,8 @@ const char* backend_name(EstimatorBackend backend) noexcept {
       return "coordinates";
     case EstimatorBackend::kIdms:
       return "idms";
+    case EstimatorBackend::kSnapshot:
+      return "snapshot";
   }
   return "?";
 }
@@ -20,6 +23,7 @@ std::optional<EstimatorBackend> backend_from_string(
     const std::string& name) noexcept {
   if (name == "coordinates") return EstimatorBackend::kCoordinates;
   if (name == "idms") return EstimatorBackend::kIdms;
+  if (name == "snapshot") return EstimatorBackend::kSnapshot;
   return std::nullopt;
 }
 
@@ -39,6 +43,14 @@ std::unique_ptr<LatencyEstimator> make_estimator(const EstimatorSpec& spec,
       return std::make_unique<IDMSEstimator>(config, num_nodes, first_owned,
                                              owned_count);
     }
+    case EstimatorBackend::kSnapshot:
+      // The engine wires spec.snapshot_source to its own publisher before
+      // building shard instances; a null source still works (everything
+      // goes through the coordinate fallback) so whole-run instances built
+      // outside an engine don't trip over it.
+      return std::make_unique<SnapshotEstimator>(
+          SnapshotEstimatorConfig{spec.max_age_s}, spec.snapshot_source,
+          num_nodes);
   }
   NC_CHECK_MSG(false, "unknown estimator backend");
   return nullptr;

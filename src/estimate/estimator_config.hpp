@@ -16,19 +16,29 @@
 
 namespace nc::est {
 
+class SnapshotPublisher;
+
 enum class EstimatorBackend {
   kCoordinates,  // the paper's NC path (default; bit-identical to pre-seam)
   kIdms,         // measured delay matrix with coordinate fallback
+  kSnapshot,     // published epoch snapshots with coordinate fallback
 };
 
 struct EstimatorSpec {
   EstimatorBackend backend = EstimatorBackend::kCoordinates;
-  /// Staleness horizon for both backends' entry-age model.
+  /// Staleness horizon for every backend's entry-age model.
   double max_age_s = 600.0;
   /// IDMS only: EWMA weight of the newest sample.
   double idms_alpha = 0.3;
   /// IDMS only: paged-store threshold for the delay matrix.
   std::size_t idms_eager_slot_limit = kPagedStoreDefaultEagerSlotLimit;
+  /// Snapshot backend only: where estimates are read from (non-owning; must
+  /// outlive the estimator). Leave null to have the engine wire its own
+  /// publisher — the sharded engine fills this in and turns snapshot
+  /// publication on when it sees backend == kSnapshot. External consumers
+  /// (serve::CoordinateService, tools querying a finished run) point it at
+  /// the engine's snapshot_publisher().
+  const SnapshotPublisher* snapshot_source = nullptr;
 };
 
 /// Canonical flag/report spelling of a backend.

@@ -1,0 +1,73 @@
+#include "estimate/snapshot.hpp"
+
+#include "common/check.hpp"
+
+namespace nc::est {
+
+namespace {
+
+/// Retired buffers kept warm per publisher. More than (readers + writer)
+/// buffers can only pile up transiently; beyond this the pool frees them.
+constexpr std::size_t kMaxPooledBuffers = 8;
+
+}  // namespace
+
+SnapshotPublisher::SnapshotPublisher()
+    : pool_(std::make_shared<BufferPool>()) {}
+
+EpochSnapshot& SnapshotPublisher::staging(int num_nodes) {
+  NC_CHECK_MSG(num_nodes >= 0, "negative snapshot size");
+  if (!staging_) {
+    std::lock_guard<std::mutex> lock(pool_->mu);
+    if (!pool_->free.empty()) {
+      staging_ = std::move(pool_->free.back());
+      pool_->free.pop_back();
+    }
+  }
+  if (!staging_) staging_ = std::make_unique<EpochSnapshot>();
+  staging_->nodes.resize(static_cast<std::size_t>(num_nodes));
+  return *staging_;
+}
+
+void SnapshotPublisher::publish(double t_s) {
+  NC_CHECK_MSG(staging_ != nullptr, "publish() without staging()");
+  staging_->version = versions_.load(std::memory_order_relaxed) + 1;
+  staging_->t_s = t_s;
+  // The deleter captures the POOL, not the publisher: the last holder of a
+  // snapshot — a reader thread, possibly after the publisher is destroyed —
+  // recycles the buffer under the pool mutex instead of freeing it.
+  std::shared_ptr<BufferPool> pool = pool_;
+  std::shared_ptr<const EpochSnapshot> snap(
+      staging_.release(), [pool](const EpochSnapshot* s) {
+        std::unique_ptr<EpochSnapshot> buf(const_cast<EpochSnapshot*>(s));
+        std::lock_guard<std::mutex> lock(pool->mu);
+        if (pool->free.size() < kMaxPooledBuffers)
+          pool->free.push_back(std::move(buf));
+      });
+  // The mutex hand-off orders every slot the writer (and, in the engine,
+  // the barrier-ordered shard slices) filled before any reader's copy; the
+  // critical section is one pointer move.
+  {
+    std::lock_guard<std::mutex> lock(latest_mu_);
+    latest_ = std::move(snap);
+  }
+  // Bumped AFTER the slot swap: published() >= v guarantees latest() already
+  // returns version >= v (the monotonicity tests poll exactly this way).
+  versions_.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const EpochSnapshot> SnapshotPublisher::latest() const {
+  std::lock_guard<std::mutex> lock(latest_mu_);
+  return latest_;
+}
+
+std::uint64_t SnapshotPublisher::memory_bytes() const {
+  std::uint64_t total = 0;
+  if (staging_) total += staging_->memory_bytes();
+  if (const auto snap = latest()) total += snap->memory_bytes();
+  std::lock_guard<std::mutex> lock(pool_->mu);
+  for (const auto& buf : pool_->free) total += buf->memory_bytes();
+  return total;
+}
+
+}  // namespace nc::est

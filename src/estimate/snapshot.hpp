@@ -1,0 +1,142 @@
+// Epoch snapshots: the engine's coordinate state made concurrently readable.
+//
+// The sharded kernel's shared-state discipline is owner-only writes with
+// barrier-separated reads — correct inside the run, but it means nothing
+// outside the worker threads may look at a coordinate while the simulation
+// is advancing. The serving layer (src/serve/) needs exactly that: a query
+// front end answering nearest-k/distance requests from LIVE engine state
+// under a heavy open-loop client workload.
+//
+// The seam is publish-on-barrier: at epoch boundaries the engine stamps
+// every node's application coordinate, error/confidence estimate and
+// availability bit into an immutable EpochSnapshot and hands it to a
+// SnapshotPublisher. Readers copy the latest snapshot pointer and then
+// compute against a frozen, consistent view — no waiting on the shard
+// workers, no torn coordinates, no tearing between a node's position and
+// its confidence.
+//
+// The hand-off slot is a shared_ptr guarded by a mutex held only for the
+// pointer copy itself (both sides' critical sections are pointer-sized; the
+// O(n) snapshot fill happens strictly outside it), plus a lock-free
+// published() version counter readers can poll without touching the slot.
+// Deliberately NOT std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic
+// releases its reader-side spin bit with a relaxed fetch_sub, so the
+// embedded _M_ptr hand-off has no release/acquire edge back to the writer —
+// a formal data race that ThreadSanitizer reports (GCC 12/13), and its spin
+// bit serializes readers against each other anyway, so the plain mutex is
+// not even a concession.
+//
+// Reader/writer contract:
+//  * WRITER (one thread at a time; in the engine: shard 0 between the
+//    epoch barriers): staging(n) -> fill nodes -> publish(t). Shard workers
+//    may fill DISJOINT slices of the staging buffer in their processing
+//    phase; the engine's barriers order those writes before shard 0's
+//    publish.
+//  * READERS (any thread, any time): latest() returns the newest published
+//    snapshot or nullptr before the first publish. The snapshot is
+//    immutable and kept alive by the shared_ptr for as long as the reader
+//    holds it — a reader mid-query never blocks the engine and never sees a
+//    later epoch overwrite its view.
+//  * Versions are dense (1, 2, 3, ...) and strictly increasing; a reader
+//    polling latest() observes a non-decreasing version sequence.
+//
+// Buffer lifecycle: retired snapshot buffers are recycled through a small
+// mutex-protected pool instead of freed — the pool is referenced by every
+// outstanding snapshot's deleter (shared_ptr<BufferPool>), so the handoff
+// is data-race-free under TSan and buffers outlive the publisher if a
+// reader keeps one past engine teardown. Steady state allocates nothing:
+// with R concurrent readers at most R + 2 buffers circulate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/coordinate.hpp"
+#include "core/node_id.hpp"
+
+namespace nc::est {
+
+/// One node's published state at an epoch boundary.
+struct SnapshotNode {
+  Coordinate app;           // stable application coordinate (paper Sec. V)
+  double error = 0.0;       // the node's own relative-error estimate
+  double confidence = 0.0;  // 1 - error, clamped to [0, 1] by NCClient
+  std::uint8_t up = 1;      // availability bit at the boundary
+  /// A node is queryable once its coordinate left the origin-less initial
+  /// state (dim 0 = "never updated").
+  [[nodiscard]] bool placed() const noexcept { return app.initialized(); }
+};
+
+/// An immutable epoch-boundary view of the whole deployment. `version` is
+/// dense and strictly increasing per publisher; `t_s` is the simulation
+/// time of the boundary the snapshot was taken at.
+struct EpochSnapshot {
+  std::uint64_t version = 0;
+  double t_s = 0.0;
+  std::vector<SnapshotNode> nodes;
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes.size());
+  }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return sizeof(EpochSnapshot) + nodes.capacity() * sizeof(SnapshotNode);
+  }
+};
+
+/// Single-writer / many-reader snapshot hand-off point (contract above).
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher();
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  // --- writer side (one thread at a time) ---
+
+  /// The buffer the next publish() will ship, sized to `num_nodes` entries
+  /// (recycled from the pool when possible; entries from the buffer's
+  /// previous life are NOT cleared — the engine overwrites every slot).
+  /// Repeated calls before publish() return the same buffer.
+  [[nodiscard]] EpochSnapshot& staging(int num_nodes);
+
+  /// Stamps version/t_s on the staged buffer and makes it the latest
+  /// snapshot. staging() must have been called since the last publish.
+  void publish(double t_s);
+
+  // --- reader side (any thread) ---
+
+  /// Newest published snapshot, or nullptr before the first publish. Copies
+  /// the pointer under a mutex held only for the copy — a reader never waits
+  /// on a snapshot being filled, and the writer never waits on a reader's
+  /// query. Poll published() (lock-free) to skip the copy when nothing new
+  /// was published.
+  [[nodiscard]] std::shared_ptr<const EpochSnapshot> latest() const;
+
+  /// Number of snapshots published so far (== the latest version).
+  [[nodiscard]] std::uint64_t published() const noexcept {
+    return versions_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes held by the staged + published + pooled buffers. Writer-thread
+  /// accounting (call between runs, not concurrently with publish).
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+ private:
+  /// Retired-buffer pool, shared with every outstanding snapshot's deleter
+  /// so recycling works (and is safe) no matter who drops the last
+  /// reference, even after the publisher itself is gone.
+  struct BufferPool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<EpochSnapshot>> free;
+  };
+
+  std::shared_ptr<BufferPool> pool_;
+  std::unique_ptr<EpochSnapshot> staging_;
+  mutable std::mutex latest_mu_;                  // guards latest_ only
+  std::shared_ptr<const EpochSnapshot> latest_;   // the hand-off slot
+  std::atomic<std::uint64_t> versions_{0};
+};
+
+}  // namespace nc::est

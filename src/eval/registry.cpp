@@ -290,6 +290,13 @@ const std::vector<BackendPreset>& backend_presets() {
        [] { return idms_spec(60.0); }},
       {{"idms-sticky", "delay matrix with a 1 h horizon (stale-tolerant)"},
        [] { return idms_spec(3600.0); }},
+      {{"snapshot", "published epoch snapshots (the serving layer's read "
+                    "path), coord fallback"},
+       [] {
+         est::EstimatorSpec e;
+         e.backend = est::EstimatorBackend::kSnapshot;
+         return e;
+       }},
   };
   return all;
 }

@@ -110,6 +110,11 @@ void apply_route_schedule(ScenarioSpec& spec, const std::string& name);
 //                 immediately, stressing the fallback path.
 //   idms-sticky   idms with a 1 h horizon: point measurements trusted long
 //                 past typical route-change timescales.
+//   snapshot      published epoch snapshots (est::SnapshotPublisher): the
+//                 serving layer's read path scored as an engine backend.
+//                 The engine wires its own publisher and turns snapshot
+//                 publication on; coordinate fallback covers the first
+//                 epoch and unplaced nodes.
 // ---------------------------------------------------------------------------
 
 struct BackendInfo {

@@ -158,8 +158,10 @@ void print_memory_budget(std::ostream& os, const ScenarioOutput& out) {
   os << "memory budget: clients=" << fmt_bytes(m.client_bytes)
      << " links=" << fmt_bytes(m.link_bytes)
      << " estimator=" << fmt_bytes(m.estimator_bytes)
-     << " mailbox=" << fmt_bytes(m.mailbox_bytes)
-     << " total=" << fmt_bytes(m.total()) << '\n';
+     << " mailbox=" << fmt_bytes(m.mailbox_bytes);
+  if (m.snapshot_bytes > 0)
+    os << " snapshots=" << fmt_bytes(m.snapshot_bytes);
+  os << " total=" << fmt_bytes(m.total()) << '\n';
 }
 
 }  // namespace nc::eval

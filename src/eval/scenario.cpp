@@ -1,14 +1,42 @@
 #include "eval/scenario.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "latency/trace.hpp"
 #include "sim/replay.hpp"
 #include "sim/sharded_sim.hpp"
 
 namespace nc::eval {
 
 namespace {
+
+/// A process-unique temp-file prefix for partition-on-open slices. Grid runs
+/// execute many scenarios concurrently in one process, so a static counter
+/// (not the pid alone) keeps concurrent partitioned replays apart.
+std::string partition_prefix() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path dir = std::filesystem::temp_directory_path();
+  return (dir / ("nc_scenario_part_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(n)))
+      .string();
+}
+
+/// Deletes the partition slice files when the replay is done (or throws).
+struct SliceCleanup {
+  std::vector<std::string> paths;
+  ~SliceCleanup() {
+    for (const std::string& p : paths) std::remove(p.c_str());
+  }
+};
 
 ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
   lat::TraceGenerator gen(resolve_trace_config(spec.workload));
@@ -31,7 +59,29 @@ ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
   rc.estimator = spec.estimator;
 
   sim::ReplayDriver driver(rc, gen.num_nodes());
-  driver.run(gen, spec.measurement.collect_oracle ? &gen.network() : nullptr);
+  if (spec.partition_replay && rc.shards > 1) {
+    // Partition-on-open: split the generated trace into per-shard slice
+    // files, then let every worker shard read its own slice
+    // (run_partitioned) instead of funneling all records through one
+    // reader. Bit-identical to the single-reader path by partition_trace's
+    // stable split. Oracle sampling would hit the generating network from
+    // concurrent readers — unsupported here by design.
+    NC_CHECK_MSG(!spec.measurement.collect_oracle,
+                 "partition_replay is incompatible with collect_oracle");
+    SliceCleanup slices{lat::partition_trace(gen, partition_prefix(),
+                                             gen.num_nodes(), rc.shards)};
+    std::vector<std::unique_ptr<lat::TraceReader>> readers;
+    std::vector<lat::TraceSource*> sources;
+    readers.reserve(slices.paths.size());
+    sources.reserve(slices.paths.size());
+    for (const std::string& path : slices.paths) {
+      readers.push_back(std::make_unique<lat::TraceReader>(path));
+      sources.push_back(readers.back().get());
+    }
+    driver.run_partitioned(sources);
+  } else {
+    driver.run(gen, spec.measurement.collect_oracle ? &gen.network() : nullptr);
+  }
 
   std::uint64_t absorbed = 0;
   for (NodeId id = 0; id < driver.num_nodes(); ++id)

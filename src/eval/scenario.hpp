@@ -92,8 +92,19 @@ struct ScenarioSpec {
   MeasurementSpec measurement;
   /// Estimation backend answering RTT queries and scoring the accuracy
   /// metrics (registry backend presets: coordinates, idms, idms-volatile,
-  /// idms-sticky — see apply_backend).
+  /// idms-sticky, snapshot — see apply_backend).
   est::EstimatorSpec estimator;
+
+  /// Replay mode with shards > 1: materialize the generated trace to disk,
+  /// split it by owner shard (lat::partition_trace) and replay one slice
+  /// per reading shard (ShardedEngine::run_partitioned) instead of funneling
+  /// every record through shard 0's serial reader. Bit-identical to the
+  /// single-reader path; costs one extra trace pass + temp-file space, pays
+  /// off once multi-core replay profiles show reader stall. Incompatible
+  /// with measurement.collect_oracle (the generating network is not safe to
+  /// sample from concurrent readers). Ignored in online mode and at one
+  /// shard. Bench flag: --partition-trace.
+  bool partition_replay = false;
 };
 
 struct ScenarioOutput {

@@ -1,0 +1,110 @@
+#include "serve/coordinate_service.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nc::serve {
+
+CoordinateService::CoordinateService(const est::SnapshotPublisher* source,
+                                     int num_nodes)
+    : source_(source),
+      num_nodes_(num_nodes),
+      estimator_(est::SnapshotEstimatorConfig{}, source, num_nodes) {
+  NC_CHECK_MSG(source != nullptr, "CoordinateService needs a snapshot source");
+  NC_CHECK_MSG(num_nodes >= 1, "need at least one node");
+}
+
+std::shared_ptr<const est::EpochSnapshot> CoordinateService::view() {
+  std::shared_ptr<const est::EpochSnapshot> snap = source_->latest();
+  if (snap) last_version_ = snap->version;
+  return snap;
+}
+
+std::optional<double> CoordinateService::distance_ms(NodeId a, NodeId b) {
+  NC_CHECK_MSG(a >= 0 && a < num_nodes_ && b >= 0 && b < num_nodes_,
+               "distance query endpoint out of range");
+  ++stats_.queries;
+  ++stats_.distance_queries;
+  (void)view();  // refresh last_version_
+  // The estimator's `now` only drives fallback-staleness introspection; the
+  // service feeds no observations, so any value works — use 0.
+  const std::optional<double> d = estimator_.estimate_rtt(a, b, 0.0);
+  if (!d.has_value()) ++stats_.empty_answers;
+  return d;
+}
+
+void CoordinateService::nearest_k(NodeId origin, int k,
+                                  std::vector<Neighbor>& out,
+                                  bool include_down) {
+  NC_CHECK_MSG(origin >= 0 && origin < num_nodes_,
+               "nearest-k origin out of range");
+  NC_CHECK_MSG(k >= 0, "negative k");
+  ++stats_.queries;
+  ++stats_.nearest_queries;
+  out.clear();
+  const std::shared_ptr<const est::EpochSnapshot> snap = view();
+  if (!snap || k == 0) {
+    if (!snap) ++stats_.empty_answers;
+    return;
+  }
+  const auto& nodes = snap->nodes;
+  const auto o = static_cast<std::size_t>(origin);
+  if (o >= nodes.size() || !nodes[o].placed()) {
+    ++stats_.empty_answers;
+    return;
+  }
+  const Coordinate& from = nodes[o].app;
+  scratch_.clear();
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (id == o || !nodes[id].placed()) continue;
+    if (!include_down && nodes[id].up == 0) continue;
+    scratch_.push_back(
+        {static_cast<NodeId>(id), from.distance_to(nodes[id].app)});
+  }
+  const auto closer = [](const Neighbor& x, const Neighbor& y) {
+    return x.rtt_ms != y.rtt_ms ? x.rtt_ms < y.rtt_ms : x.id < y.id;
+  };
+  const std::size_t take =
+      std::min(scratch_.size(), static_cast<std::size_t>(k));
+  std::partial_sort(scratch_.begin(),
+                    scratch_.begin() + static_cast<std::ptrdiff_t>(take),
+                    scratch_.end(), closer);
+  out.assign(scratch_.begin(),
+             scratch_.begin() + static_cast<std::ptrdiff_t>(take));
+  if (out.empty()) ++stats_.empty_answers;
+}
+
+std::optional<Coordinate> CoordinateService::centroid(
+    const std::vector<NodeId>& ids) {
+  ++stats_.queries;
+  ++stats_.centroid_queries;
+  const std::shared_ptr<const est::EpochSnapshot> snap = view();
+  if (!snap) {
+    ++stats_.empty_answers;
+    return std::nullopt;
+  }
+  std::optional<Vec> sum;
+  bool with_height = false;
+  int placed = 0;
+  for (const NodeId id : ids) {
+    NC_CHECK_MSG(id >= 0 && id < num_nodes_, "centroid id out of range");
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= snap->nodes.size() || !snap->nodes[i].placed()) continue;
+    const Vec v = snap->nodes[i].app.as_vec();
+    if (sum.has_value()) {
+      *sum += v;
+    } else {
+      sum = v;
+      with_height = snap->nodes[i].app.has_height();
+    }
+    ++placed;
+  }
+  if (placed == 0) {
+    ++stats_.empty_answers;
+    return std::nullopt;
+  }
+  return Coordinate::from_vec(*sum / static_cast<double>(placed), with_height);
+}
+
+}  // namespace nc::serve

@@ -65,6 +65,17 @@ struct OnlineSimConfig {
   /// metrics). Each shard owns one instance fed its nodes' observations.
   est::EstimatorSpec estimator;
 
+  /// Publish an immutable est::EpochSnapshot of every node's application
+  /// coordinate / confidence / availability at epoch boundaries — the
+  /// serving layer's concurrent read path (ShardedEngine::
+  /// snapshot_publisher()). Off by default; with publication off the run is
+  /// bit-identical to a build without the seam. Forced on when
+  /// estimator.backend == kSnapshot.
+  bool publish_snapshots = false;
+  /// Publish every k-th epoch boundary (>= 1). The end-of-run state is
+  /// always published once the run finishes, whatever the cadence.
+  int snapshot_interval_epochs = 1;
+
   /// Per-shard directed-link state stays a flat array up to this many slots
   /// and switches to lazily-allocated pages beyond (common/paged_store.hpp).
   /// The default keeps the 4k-node bench tier flat; lower it (0 forces

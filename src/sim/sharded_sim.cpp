@@ -72,6 +72,8 @@ OnlineSimConfig replay_as_engine_config(const ReplayConfig& config) {
   oc.tracked_nodes = config.tracked_nodes;
   oc.track_interval_s = config.track_interval_s;
   oc.estimator = config.estimator;
+  oc.publish_snapshots = config.publish_snapshots;
+  oc.snapshot_interval_epochs = config.snapshot_interval_epochs;
   return oc;
 }
 
@@ -113,6 +115,7 @@ ShardedEngine::ShardedEngine(const OnlineSimConfig& config, int shards,
   node_dyn_.resize(static_cast<std::size_t>(n));
   snapshots_.resize(static_cast<std::size_t>(n));
 
+  init_snapshot_publication();
   init_shards(shards, n);
 }
 
@@ -132,7 +135,22 @@ ShardedEngine::ShardedEngine(const ReplayConfig& config, int num_nodes)
     clients_.push_back(std::make_unique<NCClient>(id, config.client));
   msg_seq_.assign(static_cast<std::size_t>(num_nodes), 0);
 
+  init_snapshot_publication();
   init_shards(config.shards, num_nodes);
+}
+
+void ShardedEngine::init_snapshot_publication() {
+  // The snapshot backend reads its primary state off a publisher; when the
+  // spec names none, the engine is it — turn publication on and point every
+  // shard instance (built right after, in init_shards) at publisher_.
+  if (config_.estimator.backend == est::EstimatorBackend::kSnapshot) {
+    config_.publish_snapshots = true;
+    if (config_.estimator.snapshot_source == nullptr)
+      config_.estimator.snapshot_source = &publisher_;
+  }
+  NC_CHECK_MSG(!config_.publish_snapshots ||
+                   config_.snapshot_interval_epochs >= 1,
+               "snapshot interval must be >= 1 epoch");
 }
 
 void ShardedEngine::init_shards(int shards, int num_nodes) {
@@ -502,6 +520,24 @@ void ShardedEngine::read_trace_until(int shard_idx, double t_limit) {
   }
 }
 
+void ShardedEngine::write_snapshot_slice(const Shard& shard,
+                                         est::EpochSnapshot& snap) {
+  // Owned slots only: slices are disjoint across shards, so concurrent
+  // stamping needs no synchronization beyond the epoch barriers that order
+  // it against the publish. Replay mode has no availability process — every
+  // node is up by definition of the trace.
+  for (NodeId id : shard.owned) {
+    const NCClient& cl = *clients_[static_cast<std::size_t>(id)];
+    est::SnapshotNode& slot = snap.nodes[static_cast<std::size_t>(id)];
+    slot.app = cl.application_coordinate();
+    slot.error = cl.error_estimate();
+    slot.confidence = cl.confidence();
+    slot.up = mode_ == Mode::kOnline
+                  ? snapshots_[static_cast<std::size_t>(id)].up
+                  : std::uint8_t{1};
+  }
+}
+
 void ShardedEngine::run() {
   NC_CHECK_MSG(mode_ == Mode::kOnline,
                "run() without a trace is online mode only");
@@ -565,6 +601,20 @@ void ShardedEngine::run_epochs() {
     try {
       for (std::int64_t k = 0; k < epochs; ++k) {
         const double epoch_start = static_cast<double>(k) * interval;
+        // Snapshot hand-off, shard 0, before the delivery barrier: ship the
+        // buffer every shard stamped during the PREVIOUS processing phase
+        // (its content is the boundary-k state, t = epoch_start), then
+        // acquire the next staging buffer. Safe without extra locks — the
+        // previous epoch's slice writes happened before its second barrier,
+        // and peers only touch snap_staging_ after this epoch's first one.
+        if (config_.publish_snapshots && s == 0) {
+          if (snap_staging_ != nullptr) {
+            publisher_.publish(epoch_start);
+            snap_staging_ = nullptr;
+          }
+          if (k % config_.snapshot_interval_epochs == 0)
+            snap_staging_ = &publisher_.staging(num_nodes());
+        }
         // Delivery phase: own node dynamics + own inbox only.
         if (mode_ == Mode::kOnline)
           for (NodeId id : shard.owned) advance_node_dyn(id, epoch_start);
@@ -573,6 +623,8 @@ void ShardedEngine::run_epochs() {
         // Processing phase: own entities; cross-shard state only via the
         // read-only snapshots and the outboxes.
         process_epoch(shard, s, static_cast<double>(k + 1) * interval);
+        if (snap_staging_ != nullptr)
+          write_snapshot_slice(shard, *snap_staging_);
         sync.arrive_and_wait();
       }
       // Destination error records emitted in the final epoch still count:
@@ -609,6 +661,18 @@ void ShardedEngine::run_epochs() {
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
 
+  // Always close the run with an end-of-run snapshot (workers are joined,
+  // so the main thread stamps every slice itself): readers that outlive the
+  // run — examples querying a finished engine, load generators draining
+  // their last requests — see the final coordinates whatever the mid-run
+  // publication cadence was.
+  if (config_.publish_snapshots) {
+    est::EpochSnapshot& snap = publisher_.staging(num_nodes());
+    for (const Shard& shard : shards_) write_snapshot_slice(shard, snap);
+    publisher_.publish(config_.duration_s);
+    snap_staging_ = nullptr;
+  }
+
   // Merge shard collectors in shard order; fixed-point sums make the merged
   // totals independent of this order anyway.
   for (std::size_t s = 1; s < shards_.size(); ++s)
@@ -642,6 +706,7 @@ MemoryBudget ShardedEngine::memory_budget() const {
     b.estimator_bytes += shard.estimator->stats().memory_bytes;
   }
   b.mailbox_bytes = mailbox_.memory_bytes();
+  b.snapshot_bytes = publisher_.memory_bytes();  // 0 with publication off
   return b;
 }
 

@@ -73,6 +73,7 @@
 
 #include "core/nc_client.hpp"
 #include "core/neighbor_set.hpp"
+#include "estimate/snapshot.hpp"
 #include "latency/link_model.hpp"
 #include "latency/topology.hpp"
 #include "latency/trace.hpp"
@@ -110,6 +111,11 @@ struct ReplayConfig {
 
   std::vector<NodeId> tracked_nodes;
   double track_interval_s = 600.0;
+
+  /// Same contract as OnlineSimConfig: publish epoch snapshots for
+  /// concurrent readers (off by default; forced on by backend kSnapshot).
+  bool publish_snapshots = false;
+  int snapshot_interval_epochs = 1;
 };
 
 /// Per-run byte accounting of the engine's big state blocks (surfaced in
@@ -119,8 +125,10 @@ struct MemoryBudget {
   std::uint64_t link_bytes = 0;       // per-shard directed-link stores
   std::uint64_t estimator_bytes = 0;  // backend state (matrix/coordinates)
   std::uint64_t mailbox_bytes = 0;    // epoch mailbox runs + merge scratch
+  std::uint64_t snapshot_bytes = 0;   // published epoch snapshots (0 if off)
   [[nodiscard]] std::uint64_t total() const noexcept {
-    return client_bytes + link_bytes + estimator_bytes + mailbox_bytes;
+    return client_bytes + link_bytes + estimator_bytes + mailbox_bytes +
+           snapshot_bytes;
   }
 };
 
@@ -179,6 +187,15 @@ class ShardedEngine {
   [[nodiscard]] est::EstimatorStats estimator_stats() const;
   /// Byte accounting of the engine's big state blocks.
   [[nodiscard]] MemoryBudget memory_budget() const;
+
+  /// The engine's snapshot hand-off point (config.publish_snapshots; see
+  /// estimate/snapshot.hpp for the reader/writer contract). Readers on any
+  /// thread may call latest() on it WHILE the run is in progress — that is
+  /// the point; serve::CoordinateService wraps exactly this. Before the
+  /// first published epoch (or with publication off) latest() is null.
+  [[nodiscard]] const est::SnapshotPublisher& snapshot_publisher() const noexcept {
+    return publisher_;
+  }
 
   [[nodiscard]] std::uint64_t pings_sent() const noexcept { return pings_sent_; }
   [[nodiscard]] std::uint64_t pings_lost() const noexcept { return pings_lost_; }
@@ -246,6 +263,7 @@ class ShardedEngine {
   [[nodiscard]] int shard_idx_of(const Shard& s) const noexcept {
     return static_cast<int>(&s - shards_.data());
   }
+  void init_snapshot_publication();
   void init_shards(int shards, int num_nodes);
   void advance_node_dyn(NodeId id, double t);
   void deliver_batch(Shard& shard, int shard_idx, double epoch_start);
@@ -261,6 +279,10 @@ class ShardedEngine {
   /// replay runs one per shard over its own slice.
   void read_trace_until(int shard_idx, double t_limit);
   DirLink& link_at(Shard& shard, NodeId src, NodeId dst, double t);
+  /// Stamps the shard's owned-node block into the staged snapshot (its own
+  /// slice only — disjoint writes, ordered before the publish by the epoch
+  /// barriers).
+  void write_snapshot_slice(const Shard& shard, est::EpochSnapshot& snap);
 
   Mode mode_;
   OnlineSimConfig config_;  // replay mode maps ReplayConfig onto this
@@ -285,6 +307,15 @@ class ShardedEngine {
 
   std::vector<Shard> shards_;
   EpochMailbox mailbox_;
+
+  /// Epoch-snapshot hand-off (config_.publish_snapshots). snap_staging_ is
+  /// the buffer being filled for the NEXT publish: shard 0 acquires it at
+  /// the top of an epoch iteration (before the delivery barrier), every
+  /// shard stamps its owned slice after its processing phase, and shard 0
+  /// publishes it at the top of the next iteration — all cross-thread
+  /// hand-offs ordered by the epoch barriers.
+  est::SnapshotPublisher publisher_;
+  est::EpochSnapshot* snap_staging_ = nullptr;
 
   /// One trace reader's cursor. readers_[s] is touched only by shard s's
   /// thread once the run starts (the priming reads happen before the

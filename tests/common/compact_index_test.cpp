@@ -100,7 +100,9 @@ TEST(CompactSlotIndex, RandomizedAgainstUnorderedMapReference) {
       const auto got = idx.find(key);
       const auto it = ref.find(key);
       ASSERT_EQ(got.has_value(), it != ref.end()) << "step " << step;
-      if (got.has_value()) EXPECT_EQ(*got, it->second) << "step " << step;
+      if (got.has_value()) {
+        EXPECT_EQ(*got, it->second) << "step " << step;
+      }
     }
     ASSERT_EQ(idx.size(), ref.size()) << "step " << step;
   }

@@ -1,0 +1,129 @@
+// SnapshotPublisher single-threaded semantics and the SnapshotEstimator
+// backend (estimate/snapshot_estimator.hpp): direct answers from published
+// snapshots, coordinate-cache fallback everywhere else. The concurrent
+// publisher tests live in tests/sim/snapshot_test.cpp (the TSan target).
+#include "estimate/snapshot_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/vec.hpp"
+#include "estimate/snapshot.hpp"
+
+namespace nc::est {
+namespace {
+
+Coordinate at(double x, double y) { return Coordinate(Vec({x, y, 0.0})); }
+
+void publish_two(SnapshotPublisher& pub, const Coordinate& a,
+                 const Coordinate& b, double t) {
+  EpochSnapshot& snap = pub.staging(2);
+  snap.nodes[0] = {a, 0.1, 0.9, 1};
+  snap.nodes[1] = {b, 0.2, 0.8, 1};
+  pub.publish(t);
+}
+
+TEST(SnapshotPublisher, EmptyUntilFirstPublish) {
+  SnapshotPublisher pub;
+  EXPECT_EQ(pub.latest(), nullptr);
+  EXPECT_EQ(pub.published(), 0u);
+  EXPECT_EQ(pub.memory_bytes(), 0u);
+}
+
+TEST(SnapshotPublisher, PublishesDenseVersionsWithContent) {
+  SnapshotPublisher pub;
+  publish_two(pub, at(0, 0), at(3, 4), 1.0);
+  const auto v1 = pub.latest();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->t_s, 1.0);
+  EXPECT_EQ(v1->num_nodes(), 2);
+  EXPECT_EQ(v1->nodes[1].app, at(3, 4));
+  EXPECT_TRUE(v1->nodes[0].placed());
+
+  publish_two(pub, at(1, 0), at(3, 4), 2.0);
+  const auto v2 = pub.latest();
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(pub.published(), 2u);
+  // The held older snapshot is immutable: the new publish cycle must not
+  // have touched it (its buffer cannot be recycled while referenced).
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->nodes[0].app, at(0, 0));
+}
+
+TEST(SnapshotPublisher, RecyclesRetiredBuffers) {
+  SnapshotPublisher pub;
+  // With no reader holding anything, the retired buffer returns to the pool
+  // and gets reused: memory stays bounded across many publish cycles.
+  publish_two(pub, at(0, 0), at(1, 1), 0.0);
+  const std::uint64_t after_one = pub.memory_bytes();
+  for (int i = 1; i <= 100; ++i)
+    publish_two(pub, at(i, 0), at(0, i), static_cast<double>(i));
+  EXPECT_EQ(pub.published(), 101u);
+  EXPECT_LE(pub.memory_bytes(), 3 * after_one);
+}
+
+TEST(SnapshotPublisher, UnplacedSlotsStayUnplaced) {
+  SnapshotPublisher pub;
+  EpochSnapshot& snap = pub.staging(3);
+  snap.nodes[0] = {at(1, 1), 0.1, 0.9, 1};
+  snap.nodes[1] = SnapshotNode{};  // never initialized
+  snap.nodes[2] = {at(2, 2), 0.1, 0.9, 0};
+  pub.publish(5.0);
+  const auto v = pub.latest();
+  EXPECT_TRUE(v->nodes[0].placed());
+  EXPECT_FALSE(v->nodes[1].placed());
+  EXPECT_TRUE(v->nodes[2].placed());
+  EXPECT_EQ(v->nodes[2].up, 0);
+}
+
+TEST(SnapshotEstimator, AnswersFromSnapshotWhenPlaced) {
+  SnapshotPublisher pub;
+  SnapshotEstimator est(SnapshotEstimatorConfig{}, &pub, 2);
+  // Before any publish: nothing to answer from, and no fallback state yet.
+  EXPECT_FALSE(est.estimate_rtt(0, 1, 0.0).has_value());
+
+  publish_two(pub, at(0, 0), at(3, 4), 1.0);
+  const std::optional<double> d = est.estimate_rtt(0, 1, 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 5.0);  // 3-4-5 triangle
+
+  const EstimatorStats s = est.stats();
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_EQ(s.direct_hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.fallback_hits, 0u);
+}
+
+TEST(SnapshotEstimator, FallsBackToObservationCache) {
+  SnapshotPublisher pub;
+  SnapshotEstimator est(SnapshotEstimatorConfig{}, &pub, 4);
+  // Nodes 2 and 3 are outside every published snapshot's placed set, but
+  // their advertised coordinates arrive on the observation feed.
+  EpochSnapshot& snap = pub.staging(4);
+  snap.nodes[0] = {at(0, 0), 0.1, 0.9, 1};
+  snap.nodes[1] = {at(1, 0), 0.1, 0.9, 1};
+  pub.publish(1.0);
+
+  est.on_observation({2, 3, 1.0, 7.5, at(0, 3), at(4, 0)});
+  const std::optional<double> d = est.estimate_rtt(2, 3, 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 5.0);
+  EXPECT_EQ(est.stats().fallback_hits, 1u);
+  EXPECT_EQ(est.stats().direct_hits, 0u);
+}
+
+TEST(SnapshotEstimator, NullSourceIsPureFallback) {
+  SnapshotEstimator est(SnapshotEstimatorConfig{}, nullptr, 2);
+  EXPECT_FALSE(est.estimate_rtt(0, 1, 0.0).has_value());
+  est.on_observation({0, 1, 1.0, 7.5, at(0, 0), at(6, 8)});
+  const std::optional<double> d = est.estimate_rtt(0, 1, 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 10.0);
+}
+
+}  // namespace
+}  // namespace nc::est

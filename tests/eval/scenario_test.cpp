@@ -154,7 +154,7 @@ TEST(BackendPresets, CatalogHasTheDocumentedPresets) {
   const auto names = backend_names();
   EXPECT_EQ(names.front(), "coordinates");  // the paper's path is the default
   for (const char* expected :
-       {"coordinates", "idms", "idms-volatile", "idms-sticky"}) {
+       {"coordinates", "idms", "idms-volatile", "idms-sticky", "snapshot"}) {
     EXPECT_TRUE(backend_exists(expected)) << expected;
   }
   EXPECT_FALSE(backend_exists("no-such-backend"));
@@ -208,6 +208,47 @@ TEST(BackendPresets, EveryPresetRunsAShortScenario) {
     EXPECT_GT(out.memory.client_bytes, 0u);
     EXPECT_GT(out.memory.total(), out.memory.estimator_bytes);
   }
+}
+
+// Partition-on-open replay (spec.partition_replay): splitting the generated
+// trace into per-shard slice files and replaying one slice per reader must
+// not change a single metric bit vs the single-reader path.
+TEST(PartitionReplay, BitIdenticalToSingleReader) {
+  ScenarioSpec spec = make_scenario("planetlab");
+  spec.workload.num_nodes = 24;
+  spec.workload.duration_s = 600.0;
+  spec.shards = 3;
+
+  const ScenarioOutput single = run_scenario(spec);
+  spec.partition_replay = true;
+  const ScenarioOutput split = run_scenario(spec);
+
+  EXPECT_EQ(single.records, split.records);
+  EXPECT_EQ(single.attempts, split.attempts);
+  EXPECT_EQ(single.absorbed, split.absorbed);
+  EXPECT_EQ(single.metrics.observation_count(),
+            split.metrics.observation_count());
+  EXPECT_EQ(single.metrics.total_app_updates(),
+            split.metrics.total_app_updates());
+  EXPECT_EQ(single.metrics.median_relative_error(),
+            split.metrics.median_relative_error());
+  EXPECT_EQ(single.metrics.mean_instability_ms_per_s(),
+            split.metrics.mean_instability_ms_per_s());
+  EXPECT_EQ(single.estimator_stats.queries, split.estimator_stats.queries);
+}
+
+// One worker shard: the flag is a no-op (the slice path needs shards > 1),
+// and oracle collection composes with it because the single-reader branch
+// still runs.
+TEST(PartitionReplay, SingleShardFallsBackToOneReader) {
+  ScenarioSpec spec = make_scenario("planetlab");
+  spec.workload.num_nodes = 12;
+  spec.workload.duration_s = 300.0;
+  spec.shards = 1;
+  spec.measurement.collect_oracle = true;
+  spec.partition_replay = true;
+  const ScenarioOutput out = run_scenario(spec);
+  EXPECT_GT(out.metrics.observation_count(), 0u);
 }
 
 TEST(RouteSchedules, ComposedScheduleRunsInBothModes) {

@@ -1,0 +1,127 @@
+// CoordinateService (serve/coordinate_service.hpp) over a hand-fed
+// publisher: nearest-k against brute force, distance through the estimator
+// seam, centroid, the down-node filter, and version tracking.
+#include "serve/coordinate_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/vec.hpp"
+#include "estimate/snapshot.hpp"
+
+namespace nc::serve {
+namespace {
+
+Coordinate at(double x, double y) { return Coordinate(Vec({x, y})); }
+
+// Ten nodes on a line at x = 0, 10, 20, ...; node 7 down, node 9 unplaced.
+void publish_line(est::SnapshotPublisher& pub, double t) {
+  est::EpochSnapshot& snap = pub.staging(10);
+  for (int i = 0; i < 10; ++i) {
+    snap.nodes[static_cast<std::size_t>(i)] = {at(10.0 * i, 0.0), 0.1, 0.9, 1};
+  }
+  snap.nodes[7].up = 0;
+  snap.nodes[9] = est::SnapshotNode{};
+  pub.publish(t);
+}
+
+TEST(CoordinateService, EmptyBeforeFirstPublish) {
+  est::SnapshotPublisher pub;
+  CoordinateService service(&pub, 10);
+  std::vector<CoordinateService::Neighbor> out;
+
+  EXPECT_FALSE(service.distance_ms(0, 1).has_value());
+  service.nearest_k(0, 3, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(service.centroid({0, 1, 2}).has_value());
+  EXPECT_EQ(service.snapshot_version(), 0u);
+  EXPECT_EQ(service.stats().queries, 3u);
+  EXPECT_EQ(service.stats().empty_answers, 3u);
+}
+
+TEST(CoordinateService, DistanceMatchesCoordinateGeometry) {
+  est::SnapshotPublisher pub;
+  publish_line(pub, 1.0);
+  CoordinateService service(&pub, 10);
+  const std::optional<double> d = service.distance_ms(2, 6);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 40.0);
+  // Unplaced endpoint: no snapshot answer and no fallback feed -> empty.
+  EXPECT_FALSE(service.distance_ms(0, 9).has_value());
+  EXPECT_EQ(service.stats().distance_queries, 2u);
+  EXPECT_EQ(service.stats().empty_answers, 1u);
+  EXPECT_EQ(service.snapshot_version(), 1u);
+}
+
+TEST(CoordinateService, NearestKMatchesBruteForce) {
+  est::SnapshotPublisher pub;
+  publish_line(pub, 1.0);
+  CoordinateService service(&pub, 10);
+  std::vector<CoordinateService::Neighbor> out;
+
+  service.nearest_k(3, 4, out);
+  ASSERT_EQ(out.size(), 4u);
+  // Brute force on the line from x=30: 2 and 4 at 10, 1 and 5 at 20 —
+  // node 7 (down) and node 9 (unplaced) never appear; ties break by id.
+  EXPECT_EQ(out[0].id, 2);
+  EXPECT_EQ(out[1].id, 4);
+  EXPECT_EQ(out[2].id, 1);
+  EXPECT_EQ(out[3].id, 5);
+  EXPECT_DOUBLE_EQ(out[0].rtt_ms, 10.0);
+  EXPECT_DOUBLE_EQ(out[3].rtt_ms, 20.0);
+  for (const auto& nb : out) EXPECT_NE(nb.id, 3);
+
+  // include_down admits node 7 (distance 40 from node 3).
+  service.nearest_k(3, 8, out, /*include_down=*/true);
+  EXPECT_TRUE(std::any_of(out.begin(), out.end(),
+                          [](const auto& nb) { return nb.id == 7; }));
+
+  // k larger than the candidate set returns everyone placed (and up).
+  service.nearest_k(0, 100, out);
+  EXPECT_EQ(out.size(), 7u);  // 10 minus origin, node 7 (down), node 9
+
+  // Unplaced origin answers empty.
+  service.nearest_k(9, 3, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(service.stats().empty_answers, 0u);
+}
+
+TEST(CoordinateService, CentroidAveragesPlacedMembers) {
+  est::SnapshotPublisher pub;
+  publish_line(pub, 1.0);
+  CoordinateService service(&pub, 10);
+
+  const std::optional<Coordinate> c = service.centroid({0, 2, 4});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->position()[0], 20.0);
+  EXPECT_DOUBLE_EQ(c->position()[1], 0.0);
+
+  // Unplaced members are skipped, not averaged as zeros.
+  const std::optional<Coordinate> skip = service.centroid({0, 2, 9});
+  ASSERT_TRUE(skip.has_value());
+  EXPECT_DOUBLE_EQ(skip->position()[0], 10.0);
+
+  // A group with no placed member has no centroid.
+  EXPECT_FALSE(service.centroid({9}).has_value());
+  EXPECT_FALSE(service.centroid({}).has_value());
+}
+
+TEST(CoordinateService, TracksNewVersionsAcrossQueries) {
+  est::SnapshotPublisher pub;
+  publish_line(pub, 1.0);
+  CoordinateService service(&pub, 10);
+  ASSERT_TRUE(service.distance_ms(0, 1).has_value());
+  EXPECT_EQ(service.snapshot_version(), 1u);
+
+  publish_line(pub, 2.0);
+  publish_line(pub, 3.0);
+  ASSERT_TRUE(service.distance_ms(0, 1).has_value());
+  EXPECT_EQ(service.snapshot_version(), 3u);
+}
+
+}  // namespace
+}  // namespace nc::serve

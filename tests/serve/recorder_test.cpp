@@ -1,0 +1,110 @@
+// LatencyRecorder (serve/recorder.hpp): exactness in the linear range,
+// bounded relative error in the log-bucketed range, percentile agreement
+// with a sorted reference, and thread-merge semantics.
+#include "serve/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nc::serve {
+namespace {
+
+// Deterministic 64-bit generator (splitmix64) — no external RNG needed.
+class SplitMix {
+ public:
+  explicit SplitMix(std::uint64_t seed) : x_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (x_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+TEST(LatencyRecorder, EmptyReportsZeros) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.min_ns(), 0u);
+  EXPECT_EQ(rec.max_ns(), 0u);
+  EXPECT_EQ(rec.mean_ns(), 0.0);
+  EXPECT_EQ(rec.percentile_ns(99.0), 0.0);
+}
+
+TEST(LatencyRecorder, SmallValuesAreExact) {
+  LatencyRecorder rec;
+  for (std::uint64_t v = 0; v < 128; ++v) rec.record(v);
+  // Every value below two octaves maps to its own slot: percentiles are
+  // exact order statistics (ceil-rank convention).
+  EXPECT_EQ(rec.percentile_ns(50.0), 63.0);
+  EXPECT_EQ(rec.percentile_ns(100.0), 127.0);
+  EXPECT_EQ(rec.min_ns(), 0u);
+  EXPECT_EQ(rec.max_ns(), 127u);
+  EXPECT_EQ(rec.count(), 128u);
+}
+
+TEST(LatencyRecorder, PercentilesTrackSortedReference) {
+  LatencyRecorder rec;
+  std::vector<std::uint64_t> values;
+  SplitMix rng(42);
+  for (int i = 0; i < 200000; ++i) {
+    // Mix of magnitudes: microseconds to tens of milliseconds in ns.
+    const std::uint64_t v = 1000 + rng.next() % (50 * 1000 * 1000);
+    values.push_back(v);
+    rec.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(values.size()))));
+    const double truth = static_cast<double>(values[rank - 1]);
+    const double got = rec.percentile_ns(p);
+    // Table guarantee: <= ~0.8% relative value error per bucket.
+    EXPECT_NEAR(got, truth, truth * 0.01) << "p" << p;
+  }
+  EXPECT_EQ(rec.max_ns(), values.back());
+  EXPECT_EQ(rec.min_ns(), values.front());
+}
+
+TEST(LatencyRecorder, MergeEqualsCombinedRecording) {
+  LatencyRecorder a, b, combined;
+  SplitMix rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next() % (10 * 1000 * 1000);
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min_ns(), combined.min_ns());
+  EXPECT_EQ(a.max_ns(), combined.max_ns());
+  EXPECT_EQ(a.mean_ns(), combined.mean_ns());
+  for (const double p : {50.0, 95.0, 99.0, 99.9})
+    EXPECT_EQ(a.percentile_ns(p), combined.percentile_ns(p)) << p;
+  // Merging an empty recorder changes nothing.
+  const double before = a.percentile_ns(99.0);
+  a.merge(LatencyRecorder{});
+  EXPECT_EQ(a.percentile_ns(99.0), before);
+}
+
+TEST(LatencyRecorder, HugeValuesDoNotOverflowTheTable) {
+  LatencyRecorder rec;
+  rec.record(std::numeric_limits<std::uint64_t>::max());
+  rec.record(0);
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_EQ(rec.max_ns(), std::numeric_limits<std::uint64_t>::max());
+  // p100 lands in the top octave's last bucket; its representative is
+  // within one bucket width (~0.8%) of the true maximum.
+  const double p100 = rec.percentile_ns(100.0);
+  EXPECT_GT(p100, 0.98 * static_cast<double>(rec.max_ns()));
+}
+
+}  // namespace
+}  // namespace nc::serve

@@ -1,0 +1,264 @@
+// Snapshot publication out of the epoch-sharded engine: the concurrent-
+// reader seam (estimate/snapshot.hpp) and its two load-bearing guarantees —
+// publication changes NO metric bit at any shard count, and readers on
+// other threads see only complete, monotonically-versioned snapshots. The
+// concurrent tests here are the CI ThreadSanitizer targets.
+#include "estimate/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "eval/registry.hpp"
+#include "eval/scenario.hpp"
+#include "latency/trace_generator.hpp"
+#include "sim/sharded_sim.hpp"
+
+namespace nc::sim {
+namespace {
+
+OnlineSimConfig small_config(double duration = 600.0) {
+  OnlineSimConfig c;
+  c.client.vivaldi.dim = 3;
+  c.client.heuristic = HeuristicConfig::always();
+  c.duration_s = duration;
+  c.measure_start_s = duration / 2.0;
+  c.ping_interval_s = 2.0;
+  return c;
+}
+
+lat::Topology small_topology(int nodes = 24, std::uint64_t seed = 91) {
+  lat::TopologyConfig tc;
+  tc.num_nodes = nodes;
+  tc.seed = seed;
+  return lat::Topology::make(tc);
+}
+
+lat::AvailabilityConfig all_up() {
+  lat::AvailabilityConfig av;
+  av.enabled = false;
+  return av;
+}
+
+lat::TraceGenConfig small_trace(int nodes = 24, double duration = 600.0) {
+  lat::TraceGenConfig tc;
+  tc.topology.num_nodes = nodes;
+  tc.topology.seed = 91;
+  tc.duration_s = duration;
+  tc.seed = 7;
+  return tc;
+}
+
+// Everything a run can disagree on, collapsed into one comparable value.
+struct RunDigest {
+  std::vector<Coordinate> coords;
+  std::uint64_t observations = 0;
+  std::uint64_t app_updates = 0;
+  double median_err = 0.0;
+  double instability = 0.0;
+
+  bool operator==(const RunDigest& o) const {
+    return coords == o.coords && observations == o.observations &&
+           app_updates == o.app_updates && median_err == o.median_err &&
+           instability == o.instability;
+  }
+};
+
+RunDigest digest(ShardedEngine& sim) {
+  RunDigest d;
+  for (NodeId id = 0; id < sim.num_nodes(); ++id)
+    d.coords.push_back(sim.client(id).system_coordinate());
+  d.observations = sim.metrics().observation_count();
+  d.app_updates = sim.metrics().total_app_updates();
+  d.median_err = sim.metrics().median_relative_error();
+  d.instability = sim.metrics().mean_instability_ms_per_s();
+  return d;
+}
+
+// ISSUE 8's acceptance gate: with publication ON the engine produces
+// bit-identical metrics and coordinates to publication OFF, at every shard
+// count, in online mode.
+TEST(SnapshotPublication, OnlineBitIdenticalOnVsOff) {
+  const auto run_with = [](int shards, bool publish) {
+    OnlineSimConfig c = small_config();
+    c.publish_snapshots = publish;
+    ShardedEngine sim(c, shards, small_topology(), lat::LinkModelConfig{},
+                      all_up());
+    sim.run();
+    return digest(sim);
+  };
+  const RunDigest off = run_with(1, false);
+  for (const int shards : {1, 2, 4}) {
+    EXPECT_EQ(off, run_with(shards, false)) << "shards=" << shards;
+    EXPECT_EQ(off, run_with(shards, true)) << "shards=" << shards;
+  }
+}
+
+// Same gate in replay mode (and at a coarser publication cadence — the
+// interval only changes how often a snapshot appears, never the run).
+TEST(SnapshotPublication, ReplayBitIdenticalOnVsOff) {
+  const auto run_with = [](int shards, bool publish, int interval) {
+    ReplayConfig rc;
+    rc.duration_s = 600.0;
+    rc.measure_start_s = 300.0;
+    rc.shards = shards;
+    rc.publish_snapshots = publish;
+    rc.snapshot_interval_epochs = interval;
+    lat::TraceGenerator gen(small_trace());
+    ShardedEngine sim(rc, gen.num_nodes());
+    sim.run(gen);
+    return digest(sim);
+  };
+  const RunDigest off = run_with(1, false, 1);
+  for (const int shards : {1, 2, 4}) {
+    EXPECT_EQ(off, run_with(shards, false, 1)) << "shards=" << shards;
+    EXPECT_EQ(off, run_with(shards, true, 1)) << "shards=" << shards;
+    EXPECT_EQ(off, run_with(shards, true, 7)) << "shards=" << shards;
+  }
+}
+
+// The final published snapshot IS the end-of-run client state, and the
+// published content is itself shard-count-invariant.
+TEST(SnapshotPublication, FinalSnapshotMatchesClientState) {
+  const auto final_nodes = [](int shards) {
+    OnlineSimConfig c = small_config(400.0);
+    c.publish_snapshots = true;
+    ShardedEngine sim(c, shards, small_topology(), lat::LinkModelConfig{},
+                      all_up());
+    sim.run();
+    const auto snap = sim.snapshot_publisher().latest();
+    EXPECT_NE(snap, nullptr);
+    EXPECT_EQ(snap->t_s, 400.0);
+    EXPECT_EQ(snap->version, sim.snapshot_publisher().published());
+    EXPECT_EQ(snap->num_nodes(), sim.num_nodes());
+    for (NodeId id = 0; id < sim.num_nodes(); ++id) {
+      const est::SnapshotNode& slot =
+          snap->nodes[static_cast<std::size_t>(id)];
+      EXPECT_EQ(slot.app, sim.client(id).application_coordinate()) << id;
+      EXPECT_EQ(slot.error, sim.client(id).error_estimate()) << id;
+      EXPECT_EQ(slot.confidence, sim.client(id).confidence()) << id;
+    }
+    return snap->nodes;
+  };
+  const std::vector<est::SnapshotNode> one = final_nodes(1);
+  const std::vector<est::SnapshotNode> three = final_nodes(3);
+  ASSERT_EQ(one.size(), three.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].app, three[i].app) << i;
+    EXPECT_EQ(one[i].error, three[i].error) << i;
+    EXPECT_EQ(one[i].confidence, three[i].confidence) << i;
+    EXPECT_EQ(one[i].up, three[i].up) << i;
+  }
+}
+
+// Versions are dense (published() == latest version), and a coarser
+// interval publishes fewer, but always at least the end-of-run snapshot.
+TEST(SnapshotPublication, VersionsDenseAndIntervalRespected) {
+  const auto published = [](int interval) {
+    OnlineSimConfig c = small_config(400.0);
+    c.publish_snapshots = true;
+    c.snapshot_interval_epochs = interval;
+    ShardedEngine sim(c, 2, small_topology(), lat::LinkModelConfig{},
+                      all_up());
+    sim.run();
+    const auto snap = sim.snapshot_publisher().latest();
+    EXPECT_NE(snap, nullptr);
+    EXPECT_EQ(snap->version, sim.snapshot_publisher().published());
+    return sim.snapshot_publisher().published();
+  };
+  const std::uint64_t dense = published(1);
+  const std::uint64_t sparse = published(10);
+  // 400 s at 2 s epochs: ~200 staged epochs + the final snapshot.
+  EXPECT_GT(dense, 100u);
+  EXPECT_LT(sparse, dense / 2);
+  EXPECT_GE(sparse, 1u);
+}
+
+// The concurrent-reader stress test (the CI TSan job runs this binary):
+// reader threads hammer latest() while the shard workers run, verifying
+// snapshots are complete (every slot either unplaced or carrying finite
+// state) and versions never go backwards. Readers deliberately hold the
+// previous snapshot so retired buffers are recycled from a reader thread.
+TEST(SnapshotPublication, ConcurrentReadersDuringRun) {
+  OnlineSimConfig c = small_config(600.0);
+  c.publish_snapshots = true;
+  ShardedEngine sim(c, 2, small_topology(32), lat::LinkModelConfig{},
+                    all_up());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotonic{true};
+  std::atomic<std::uint64_t> reads{0};
+  const auto reader = [&] {
+    std::uint64_t last_version = 0;
+    std::shared_ptr<const est::EpochSnapshot> prev;
+    double sink = 0.0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // published() >= v must imply latest() returns version >= v.
+      const std::uint64_t floor = sim.snapshot_publisher().published();
+      const std::shared_ptr<const est::EpochSnapshot> snap =
+          sim.snapshot_publisher().latest();
+      if (snap == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (snap->version < last_version || snap->version < floor)
+        monotonic.store(false, std::memory_order_relaxed);
+      last_version = snap->version;
+      for (const est::SnapshotNode& node : snap->nodes)
+        if (node.placed()) sink += node.error + node.confidence;
+      prev = snap;
+      reads.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+    // Keep the summed reads observable so the loop cannot be elided.
+    EXPECT_GE(sink, 0.0);
+  };
+
+  std::thread r1(reader);
+  std::thread r2(reader);
+  sim.run();
+  stop.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+
+  EXPECT_TRUE(monotonic.load());
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(sim.snapshot_publisher().published(), 0u);
+}
+
+// The snapshot estimator backend wired through the engine: --backend
+// snapshot runs must themselves be shard-count invariant (every shard
+// scores against the same published version each epoch).
+TEST(SnapshotPublication, SnapshotBackendMetricsShardInvariant) {
+  eval::ScenarioSpec spec = eval::make_scenario("planetlab");
+  spec.mode = eval::SimMode::kOnline;
+  spec.workload.num_nodes = 32;
+  spec.workload.duration_s = 600.0;
+  spec.workload.ping_interval_s = 2.0;
+  spec.measurement.measure_start_s = 300.0;
+  eval::apply_backend(spec, "snapshot");
+
+  spec.shards = 1;
+  const eval::ScenarioOutput a = eval::run_scenario(spec);
+  spec.shards = 3;
+  const eval::ScenarioOutput b = eval::run_scenario(spec);
+
+  EXPECT_EQ(a.pings_sent, b.pings_sent);
+  EXPECT_EQ(a.metrics.observation_count(), b.metrics.observation_count());
+  EXPECT_EQ(a.metrics.median_relative_error(),
+            b.metrics.median_relative_error());
+  EXPECT_EQ(a.estimator_stats.queries, b.estimator_stats.queries);
+  EXPECT_EQ(a.estimator_stats.direct_hits, b.estimator_stats.direct_hits);
+  EXPECT_EQ(a.estimator_stats.fallback_hits, b.estimator_stats.fallback_hits);
+  EXPECT_EQ(a.estimator_stats.misses, b.estimator_stats.misses);
+  // The backend actually answered from snapshots, not only the fallback.
+  EXPECT_GT(a.estimator_stats.direct_hits, 0u);
+  // Snapshot buffers are accounted in the engine's memory budget.
+  EXPECT_GT(a.memory.snapshot_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace nc::sim
