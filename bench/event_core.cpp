@@ -51,10 +51,12 @@ void print_row(const char* engine, int nodes, int shards, double wall,
               nc::eval::fmt_bytes(mem.total()).c_str());
   std::printf("  json: {\"engine\": \"%s\", \"nodes\": %d, \"shards\": %d, "
               "\"wall_s\": %.2f, \"events\": %llu, \"events_per_s\": %.0f, "
-              "\"median_err\": %.4f, \"mem_bytes\": %llu}\n",
+              "\"median_err\": %.4f, \"mem_bytes\": %llu, "
+              "\"rebalance_bytes\": %llu}\n",
               engine, nodes, shards, wall,
               static_cast<unsigned long long>(events), rate, err,
-              static_cast<unsigned long long>(mem.total()));
+              static_cast<unsigned long long>(mem.total()),
+              static_cast<unsigned long long>(mem.rebalance_bytes));
 }
 
 }  // namespace

@@ -20,7 +20,12 @@ Two kinds of entries are compared, matched by name across the files:
     (scenario, nodes, shards, clients, rate) row, lower is better, and the
     achieved qps, higher is better. Tail latency is the serving layer's
     whole contract, so a p99 that quietly grows 25% fails the same way a
-    kernel slowdown does.
+    kernel slowdown does;
+  * rebalance rows (the "rebalance" section, since PR 9): events_per_s per
+    (scenario, nodes, shards, rebalance) row, higher is better, and
+    util_spread — the (max-min)/mean spread of per-shard busy CPU time —
+    lower is better. Dynamic ownership exists to hold that spread down
+    under churn without costing throughput, so both directions gate.
 
 Entries present in only one file are reported but never fail the check
 (benches come and go across PRs); a matched entry that regressed by more
@@ -116,11 +121,47 @@ def serving_qps(record):
     return out
 
 
+def _rebalance_key(row):
+    return "scenario=%s,nodes=%d,shards=%d,rebalance=%d" % (
+        row.get("scenario", "flash-crowd"),
+        int(row["nodes"]),
+        int(row.get("shards", 0)),
+        int(row.get("rebalance", 0)),
+    )
+
+
+def rebalance_rates(record):
+    """name -> events/s (higher is better) from the rebalance rows."""
+    out = {}
+    for row in record.get("rebalance", {}).get("results", []):
+        out["rebalance_events_per_s[%s]" % _rebalance_key(row)] = float(
+            row["events_per_s"]
+        )
+    return out
+
+
+def rebalance_spread(record):
+    """name -> per-shard busy-time spread (lower is better).
+
+    (max-min)/mean of per-worker busy CPU time; dynamic ownership exists to
+    push this down, so a spread that quietly grows back fails like a kernel
+    slowdown.
+    """
+    out = {}
+    for row in record.get("rebalance", {}).get("results", []):
+        out["rebalance_util_spread[%s]" % _rebalance_key(row)] = float(
+            row["util_spread"]
+        )
+    return out
+
+
 def compare(name, old, new, lower_is_better, threshold_pct):
     # improvement_pct is signed in the direction of goodness: positive means
     # the new record is better, negative means it regressed.
     if lower_is_better:
-        improvement_pct = (old - new) / old * 100.0
+        improvement_pct = (old - new) / old * 100.0 if old > 0 else (
+            0.0 if new == 0 else float("-inf")
+        )
     else:
         improvement_pct = (new - old) / old * 100.0 if old > 0 else float("inf")
     regressed = improvement_pct < -threshold_pct
@@ -153,6 +194,8 @@ def main():
         ("engine memory (mem_bytes)", engine_memory, True),
         ("serving tail latency (p99_us)", serving_p99, True),
         ("serving throughput (qps)", serving_qps, False),
+        ("rebalance throughput (events/s)", rebalance_rates, False),
+        ("rebalance busy-time spread", rebalance_spread, True),
     ):
         a, b = extract(old), extract(new)
         shared = sorted(set(a) & set(b))

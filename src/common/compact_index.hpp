@@ -24,6 +24,7 @@
 // matching the engines' owner-only-writes discipline.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -92,6 +93,24 @@ class CompactSlotIndex {
     entries_[hole] = kEmpty;
     --size_;
     return true;
+  }
+
+  /// Visits every live (key, value) pair in PHYSICAL table order — which is
+  /// hash-layout order, never meaningful. Callers that feed simulation state
+  /// must canonicalize (sort) what they collect, preserving the class
+  /// contract that layout can never leak into results.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const std::uint64_t e : entries_) {
+      if (e == kEmpty) continue;
+      fn(key_of(e), value_of(e));
+    }
+  }
+
+  /// Drops every entry, keeping the bucket array for reuse.
+  void clear() noexcept {
+    std::fill(entries_.begin(), entries_.end(), kEmpty);
+    size_ = 0;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }

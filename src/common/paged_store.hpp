@@ -82,6 +82,13 @@ class PagedStore {
     return &page[i % kPageSlots];
   }
 
+  /// Mutable probe with the same never-allocates contract: lets bulk editors
+  /// (e.g. migration packing resetting a row) touch only slots whose pages
+  /// already exist.
+  [[nodiscard]] T* try_at(std::size_t i) noexcept {
+    return const_cast<T*>(static_cast<const PagedStore*>(this)->try_at(i));
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return slots_; }
   [[nodiscard]] bool paged() const noexcept { return paged_; }
 

@@ -1,0 +1,144 @@
+// Dynamic node ownership for the epoch-sharded engine.
+//
+// The block partition (core/node_id.hpp's shard_of_node) fixes ownership at
+// startup, so a regional flash crowd or staged rollout piles live nodes onto
+// a few shards while the rest idle. OwnershipMap makes ownership a run-time
+// table seeded from that same block partition, and plan_rebalance is the
+// deterministic decision function evaluated at rebalance barriers: a pure
+// function of (per-node event-weight counters, pin set, move budget) —
+// integer arithmetic only, ties broken by lowest index — so every shard
+// computes the IDENTICAL plan from the same barrier-separated counters with
+// no extra synchronization, and metrics stay bit-identical for any shard
+// count (DESIGN.md Sec. 14).
+//
+// Each shard keeps its OWN OwnershipMap copy and applies each plan locally;
+// the copies can never diverge because the plan is deterministic. Not
+// thread-safe by design — there is no shared writer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/node_id.hpp"
+
+namespace nc {
+
+/// One ownership transfer decided at a rebalance barrier.
+struct RebalanceMove {
+  NodeId node = kInvalidNode;
+  int from = -1;
+  int to = -1;
+};
+
+class OwnershipMap {
+ public:
+  OwnershipMap() = default;
+
+  /// Seeds from the static block partition, so an engine that never
+  /// rebalances routes exactly as shard_of_node always did.
+  OwnershipMap(int num_nodes, int shards) : shards_(shards) {
+    NC_ASSERT(num_nodes >= 0 && shards >= 1);
+    owner_.resize(static_cast<std::size_t>(num_nodes));
+    for (NodeId id = 0; id < num_nodes; ++id)
+      owner_[static_cast<std::size_t>(id)] = shard_of_node(id, num_nodes, shards);
+  }
+
+  [[nodiscard]] int owner(NodeId id) const noexcept {
+    NC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < owner_.size());
+    return owner_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(owner_.size());
+  }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
+
+  /// Applies one barrier's plan. Every shard calls this with the same plan,
+  /// keeping all per-shard copies identical.
+  void apply(const std::vector<RebalanceMove>& moves) {
+    for (const RebalanceMove& m : moves) {
+      NC_ASSERT(owner(m.node) == m.from);
+      NC_ASSERT(m.to >= 0 && m.to < shards_);
+      owner_[static_cast<std::size_t>(m.node)] = static_cast<std::int32_t>(m.to);
+    }
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return owner_.capacity() * sizeof(std::int32_t);
+  }
+
+ private:
+  int shards_ = 1;
+  std::vector<std::int32_t> owner_;
+};
+
+/// The rebalance decision function. Pure and integer-only: given the current
+/// ownership, per-node event weights accumulated since the last decision
+/// (counters written by owners, read at a barrier), a pin bitmap (nodes that
+/// must not move, e.g. drift-tracked nodes), and a move budget, returns a
+/// bounded batch of ownership transfers.
+///
+/// Greedy max-to-min: each step picks the most-loaded shard (tie: lowest
+/// index) as donor and the least-loaded (tie: lowest index) as recipient,
+/// then moves the heaviest donor-owned node whose weight w satisfies
+/// 1 <= w <= gap/2 (tie: lowest node id) — the half-gap cap guarantees each
+/// move strictly narrows the donor/recipient spread, so the plan can never
+/// oscillate. Stops early when the gap closes below 2 or no candidate fits.
+[[nodiscard]] inline std::vector<RebalanceMove> plan_rebalance(
+    const OwnershipMap& map, const std::vector<std::uint32_t>& node_weight,
+    const std::vector<std::uint8_t>& pinned, int max_moves) {
+  const int n = map.num_nodes();
+  const int shards = map.shards();
+  NC_ASSERT(static_cast<int>(node_weight.size()) == n);
+  NC_ASSERT(pinned.empty() || static_cast<int>(pinned.size()) == n);
+
+  std::vector<RebalanceMove> plan;
+  if (shards < 2 || max_moves <= 0) return plan;
+
+  std::vector<std::int64_t> load(static_cast<std::size_t>(shards), 0);
+  for (NodeId id = 0; id < n; ++id)
+    load[static_cast<std::size_t>(map.owner(id))] += node_weight[static_cast<std::size_t>(id)];
+
+  // Nodes already moved this round keep their NEW owner only in `moved_to`
+  // (the caller's map is const); at most max_moves entries, linear scan.
+  std::vector<RebalanceMove> moved;
+  const auto owner_now = [&](NodeId id) {
+    for (const RebalanceMove& m : moved)
+      if (m.node == id) return m.to;
+    return map.owner(id);
+  };
+
+  for (int step = 0; step < max_moves; ++step) {
+    int donor = 0, recipient = 0;
+    for (int s = 1; s < shards; ++s) {
+      if (load[static_cast<std::size_t>(s)] > load[static_cast<std::size_t>(donor)]) donor = s;
+      if (load[static_cast<std::size_t>(s)] < load[static_cast<std::size_t>(recipient)]) recipient = s;
+    }
+    const std::int64_t gap =
+        load[static_cast<std::size_t>(donor)] - load[static_cast<std::size_t>(recipient)];
+    if (gap < 2) break;
+
+    NodeId best = kInvalidNode;
+    std::uint32_t best_w = 0;
+    for (NodeId id = 0; id < n; ++id) {
+      if (owner_now(id) != donor) continue;
+      if (!pinned.empty() && pinned[static_cast<std::size_t>(id)]) continue;
+      const std::uint32_t w = node_weight[static_cast<std::size_t>(id)];
+      if (w < 1 || static_cast<std::int64_t>(w) * 2 > gap) continue;
+      if (best == kInvalidNode || w > best_w) {
+        best = id;
+        best_w = w;
+      }
+    }
+    if (best == kInvalidNode) break;
+
+    const RebalanceMove m{best, donor, recipient};
+    plan.push_back(m);
+    moved.push_back(m);
+    load[static_cast<std::size_t>(donor)] -= best_w;
+    load[static_cast<std::size_t>(recipient)] += best_w;
+  }
+  return plan;
+}
+
+}  // namespace nc

@@ -1,5 +1,7 @@
 #include "estimate/idms_estimator.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace nc::est {
@@ -58,6 +60,48 @@ std::optional<double> IDMSEstimator::estimate_rtt(NodeId a, NodeId b,
   }
   ++misses_;
   return std::nullopt;
+}
+
+EstimatorNodeState IDMSEstimator::extract_node_state(NodeId node) {
+  NC_ASSERT(node >= first_owned_ &&
+            cell_index(node, 0) + static_cast<std::size_t>(num_nodes_) <=
+                cells_.size());
+  const std::size_t row_begin = cell_index(node, 0);
+  const std::size_t row_end = row_begin + static_cast<std::size_t>(num_nodes_);
+
+  EstimatorNodeState state;
+  // Swap-remove the row's filled indices; filled_ is only ever scanned as a
+  // set (stats' staleness pass), so its order never reaches results.
+  for (std::size_t i = 0; i < filled_.size();) {
+    const std::size_t idx = filled_[i];
+    if (idx < row_begin || idx >= row_end) {
+      ++i;
+      continue;
+    }
+    Cell* cell = cells_.try_at(idx);
+    NC_ASSERT(cell != nullptr && cell->updated_s >= 0.0);
+    state.cells.push_back({static_cast<NodeId>(idx - row_begin), cell->rtt_ms,
+                           cell->updated_s});
+    *cell = Cell{};
+    filled_[i] = filled_.back();
+    filled_.pop_back();
+  }
+  std::sort(state.cells.begin(), state.cells.end(),
+            [](const EstimatorNodeState::MatrixCell& a,
+               const EstimatorNodeState::MatrixCell& b) { return a.dst < b.dst; });
+  return state;
+}
+
+void IDMSEstimator::install_node_state(NodeId node,
+                                       const EstimatorNodeState& state) {
+  for (const EstimatorNodeState::MatrixCell& c : state.cells) {
+    const std::size_t idx = cell_index(node, c.dst);
+    Cell& cell = cells_.at(idx);
+    NC_ASSERT(cell.updated_s < 0.0);
+    cell.rtt_ms = c.rtt_ms;
+    cell.updated_s = c.updated_s;
+    filled_.push_back(idx);
+  }
 }
 
 EstimatorStats IDMSEstimator::stats() const {

@@ -64,6 +64,11 @@ class IDMSEstimator final : public LatencyEstimator {
   [[nodiscard]] const char* name() const noexcept override { return "idms"; }
   [[nodiscard]] EstimatorStats stats() const override;
 
+  /// Ownership migration: the matrix is owner-partitioned by row, so a
+  /// node's state is exactly its directed row, carried dst-ascending.
+  [[nodiscard]] EstimatorNodeState extract_node_state(NodeId node) override;
+  void install_node_state(NodeId node, const EstimatorNodeState& state) override;
+
  private:
   /// One directed measurement; updated_s < 0 marks "never measured" (the
   /// value a fresh page reads as).

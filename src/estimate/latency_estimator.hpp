@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/coordinate.hpp"
 #include "core/node_id.hpp"
@@ -85,6 +86,20 @@ struct EstimatorStats {
   }
 };
 
+/// One node's portable backend state for ownership migration: the primary
+/// per-(node, dst) cells a backend keeps for an owned node, in canonical
+/// (dst ascending) order. Backends whose per-observation state is globally
+/// replicated rather than owner-partitioned (coordinates, snapshot) have
+/// nothing to carry and use the default no-op hooks.
+struct EstimatorNodeState {
+  struct MatrixCell {
+    NodeId dst = kInvalidNode;
+    double rtt_ms = 0.0;
+    double updated_s = -1.0;
+  };
+  std::vector<MatrixCell> cells;
+};
+
 class LatencyEstimator {
  public:
   virtual ~LatencyEstimator() = default;
@@ -101,6 +116,22 @@ class LatencyEstimator {
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
   [[nodiscard]] virtual EstimatorStats stats() const = 0;
+
+  /// Ownership migration (sim/sharded_sim.cpp): moves `node`'s primary state
+  /// out of this instance, canonically ordered (see EstimatorNodeState).
+  /// After extraction the instance answers for `node` as if it had never
+  /// observed it. Default: nothing to carry.
+  [[nodiscard]] virtual EstimatorNodeState extract_node_state(NodeId node) {
+    (void)node;
+    return {};
+  }
+
+  /// Installs state packed by another instance's extract_node_state. The
+  /// node must currently have no state here. Default: nothing to install.
+  virtual void install_node_state(NodeId node, const EstimatorNodeState& state) {
+    (void)node;
+    (void)state;
+  }
 
  protected:
   LatencyEstimator() = default;

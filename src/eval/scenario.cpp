@@ -57,17 +57,22 @@ ScenarioOutput run_replay_mode(const ScenarioSpec& spec) {
   rc.tracked_nodes = spec.measurement.tracked_nodes;
   rc.track_interval_s = spec.measurement.track_interval_s;
   rc.estimator = spec.estimator;
+  rc.rebalance_interval_epochs = spec.rebalance_interval_epochs;
+  rc.rebalance_max_moves = spec.rebalance_max_moves;
 
   sim::ReplayDriver driver(rc, gen.num_nodes());
-  if (spec.partition_replay && rc.shards > 1) {
+  // Partitioned replay is the default at shards > 1, EXCEPT under
+  // collect_oracle: oracle sampling hits the generating network, which is
+  // not safe from concurrent readers — those runs silently keep the
+  // single-reader path (the results are bit-identical either way, so the
+  // fallback is an engine choice, not a semantic one).
+  if (spec.partition_replay && rc.shards > 1 &&
+      !spec.measurement.collect_oracle) {
     // Partition-on-open: split the generated trace into per-shard slice
     // files, then let every worker shard read its own slice
     // (run_partitioned) instead of funneling all records through one
     // reader. Bit-identical to the single-reader path by partition_trace's
-    // stable split. Oracle sampling would hit the generating network from
-    // concurrent readers — unsupported here by design.
-    NC_CHECK_MSG(!spec.measurement.collect_oracle,
-                 "partition_replay is incompatible with collect_oracle");
+    // stable split.
     SliceCleanup slices{lat::partition_trace(gen, partition_prefix(),
                                              gen.num_nodes(), rc.shards)};
     std::vector<std::unique_ptr<lat::TraceReader>> readers;
@@ -130,6 +135,8 @@ sim::OnlineSimConfig resolve_online_config(const ScenarioSpec& spec) {
   oc.track_interval_s = spec.measurement.track_interval_s;
   oc.seed = w.seed;
   oc.estimator = spec.estimator;
+  oc.rebalance_interval_epochs = spec.rebalance_interval_epochs;
+  oc.rebalance_max_moves = spec.rebalance_max_moves;
   return oc;
 }
 

@@ -99,12 +99,20 @@ struct ScenarioSpec {
   /// split it by owner shard (lat::partition_trace) and replay one slice
   /// per reading shard (ShardedEngine::run_partitioned) instead of funneling
   /// every record through shard 0's serial reader. Bit-identical to the
-  /// single-reader path; costs one extra trace pass + temp-file space, pays
-  /// off once multi-core replay profiles show reader stall. Incompatible
-  /// with measurement.collect_oracle (the generating network is not safe to
-  /// sample from concurrent readers). Ignored in online mode and at one
-  /// shard. Bench flag: --partition-trace.
-  bool partition_replay = false;
+  /// single-reader path; costs one extra trace pass + temp-file space. ON by
+  /// default since PR 9 — multi-core replay profiles showed the serial
+  /// reader stall. Falls back to the single reader when
+  /// measurement.collect_oracle is set (the generating network is not safe
+  /// to sample from concurrent readers). Ignored in online mode and at one
+  /// shard. Bench flag: --partition-trace=0 opts out.
+  bool partition_replay = true;
+
+  /// Dynamic shard ownership (sim/sharded_sim.hpp): rebalance the node
+  /// partition every k epochs from per-node event weights, migrating at
+  /// most `rebalance_max_moves` nodes per barrier. 0 keeps the static block
+  /// partition. Metrics are bit-identical on vs. off at any shard count.
+  int rebalance_interval_epochs = 0;
+  int rebalance_max_moves = 8;
 };
 
 struct ScenarioOutput {

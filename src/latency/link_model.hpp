@@ -127,6 +127,16 @@ struct AvailabilityConfig {
   double mean_up_s = 18.0 * 3600.0;
   double mean_down_s = 4.0 * 3600.0;
   double initial_up_prob = 0.85;
+
+  /// Staged-rollout skew: the `staged_down_count` LOWEST node ids are forced
+  /// down until `staged_join_s`, then rejoin their normal churn process. The
+  /// sharded engine applies this as an override AFTER NodeDynamics advances,
+  /// so no RNG stream shifts — the workload stays bit-identical at any
+  /// placement. It concentrates early load on the high-id region, the
+  /// bench_rebalance imbalance driver. LatencyNetwork ignores these fields
+  /// (its consumers sample links, not the engine's epoch snapshots).
+  int staged_down_count = 0;
+  double staged_join_s = 0.0;
 };
 
 class LatencyNetwork {

@@ -137,6 +137,33 @@ class CalendarQueue {
     return ev;
   }
 
+  /// Removes every event matching `pred` and appends them to `out` (bucket
+  /// order, NOT globally sorted — callers needing a canonical order sort the
+  /// result by Ops::less). Used by ownership migration to pull a node's
+  /// pending events out of its old shard's queue; each bucket is compacted
+  /// with one stable two-pointer pass, so the sorted-bucket invariant and
+  /// the consumed-prefix head are preserved.
+  template <typename Pred>
+  void extract_if(Pred&& pred, std::vector<Event>& out) {
+    for (Bucket& b : buckets_) {
+      std::size_t write = b.head;
+      for (std::size_t read = b.head; read < b.items.size(); ++read) {
+        if (pred(b.items[read])) {
+          out.push_back(std::move(b.items[read]));
+          --size_;
+        } else {
+          if (write != read) b.items[write] = std::move(b.items[read]);
+          ++write;
+        }
+      }
+      b.items.resize(write);
+      if (b.head == b.items.size()) {
+        b.items.clear();
+        b.head = 0;
+      }
+    }
+  }
+
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] double bucket_width() const noexcept { return width_; }

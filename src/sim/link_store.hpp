@@ -23,9 +23,11 @@
 // container reference.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -69,12 +71,60 @@ class ShardLinkStore {
     if (const auto slot = index.find(static_cast<std::uint32_t>(col));
         slot.has_value())
       return slab_[*slot];
+    if (!free_slots_.empty()) {
+      // Reuse a slot released by extract_row — migration churn must not
+      // leak slab capacity.
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      index.insert(static_cast<std::uint32_t>(col), slot);
+      slab_[slot] = T();
+      return slab_[slot];
+    }
     NC_CHECK_MSG(slab_.size() < std::numeric_limits<std::uint32_t>::max(),
                  "shard link slab exceeds the compact-index value width");
     index.insert(static_cast<std::uint32_t>(col),
                  static_cast<std::uint32_t>(slab_.size()));
     slab_.emplace_back();
     return slab_.back();
+  }
+
+  /// Moves every live slot of `row` out (appended to `out` as (col, state),
+  /// sorted by col — the canonical order; physical slab/hash layout never
+  /// leaks) and resets the row to untouched. `live(state)` filters which
+  /// slots are worth carrying (e.g. initialized links); dead slots are
+  /// released either way. Used by ownership migration to pack a node's
+  /// outgoing-link state.
+  template <typename Live>
+  void extract_row(std::size_t row, std::vector<std::pair<std::uint32_t, T>>& out,
+                   Live&& live) {
+    NC_ASSERT(row < rows_);
+    const std::size_t start = out.size();
+    if (!sparse_) {
+      for (std::size_t col = 0; col < cols_; ++col) {
+        T* slot = dense_.try_at(row * cols_ + col);
+        if (slot == nullptr) continue;
+        if (live(*slot))
+          out.emplace_back(static_cast<std::uint32_t>(col), std::move(*slot));
+        *slot = T();
+      }
+    } else {
+      CompactSlotIndex& index = row_index_[row];
+      index.for_each([&](std::uint32_t col, std::uint32_t slot) {
+        if (live(slab_[slot]))
+          out.emplace_back(col, std::move(slab_[slot]));
+        slab_[slot] = T();
+        free_slots_.push_back(slot);
+      });
+      index.clear();
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  /// Installs a packed row from extract_row into (an untouched) `row`.
+  void install_row(std::size_t row,
+                   const std::vector<std::pair<std::uint32_t, T>>& cells) {
+    for (const auto& [col, state] : cells) at(row, col) = state;
   }
 
   /// Read-only probe: the slot's address, or nullptr when never touched in
@@ -98,6 +148,7 @@ class ShardLinkStore {
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     if (!sparse_) return dense_.memory_bytes();
     std::size_t bytes = slab_.capacity() * sizeof(T) +
+                        free_slots_.capacity() * sizeof(std::uint32_t) +
                         row_index_.capacity() * sizeof(CompactSlotIndex);
     for (const CompactSlotIndex& index : row_index_) bytes += index.memory_bytes();
     return bytes;
@@ -110,6 +161,8 @@ class ShardLinkStore {
   PagedStore<T> dense_;
   std::vector<CompactSlotIndex> row_index_;
   std::vector<T> slab_;
+  /// Slab slots released by extract_row, reused before the slab grows.
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace nc

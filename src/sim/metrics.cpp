@@ -157,6 +157,55 @@ void MetricsCollector::finalize() {
   }
 }
 
+MetricsNodeState MetricsCollector::extract_node_state(NodeId node) {
+  const auto i = static_cast<std::size_t>(node);
+  NC_CHECK_MSG(node >= 0 && i < node_errors_.size(), "node out of range");
+  NC_CHECK_MSG(!drift_tracked_[i],
+               "tracked nodes are pinned and must not migrate");
+
+  MetricsNodeState state;
+  state.errors = std::move(node_errors_[i]);
+  node_errors_[i].clear();
+  state.second_movements = std::move(node_second_movements_[i]);
+  node_second_movements_[i].clear();
+  state.current_second = node_current_second_[i].second;
+  state.current_movement = node_current_second_[i].movement;
+  node_current_second_[i] = NodeSecond{};
+  state.last_update_sec = node_last_update_sec_[i];
+  node_last_update_sec_[i] = -1;
+  state.dst_median = dst_median_[i];
+  state.dst_count = dst_count_[i];
+  dst_median_[i] = stats::P2Quantile(0.5);
+  dst_count_[i] = 0;
+  if (config_.collect_oracle) {
+    state.oracle_median = node_oracle_median_[i];
+    state.oracle_count = node_oracle_count_[i];
+    node_oracle_median_[i] = stats::P2Quantile(0.5);
+    node_oracle_count_[i] = 0;
+  }
+  return state;
+}
+
+void MetricsCollector::install_node_state(NodeId node, MetricsNodeState state) {
+  const auto i = static_cast<std::size_t>(node);
+  NC_CHECK_MSG(node >= 0 && i < node_errors_.size(), "node out of range");
+  NC_CHECK_MSG(node_errors_[i].empty() && node_second_movements_[i].empty() &&
+                   node_current_second_[i].second < 0 && dst_count_[i] == 0 &&
+                   node_last_update_sec_[i] < 0,
+               "installing migrated node state over existing data");
+  node_errors_[i] = std::move(state.errors);
+  node_second_movements_[i] = std::move(state.second_movements);
+  node_current_second_[i] =
+      NodeSecond{state.current_second, state.current_movement};
+  node_last_update_sec_[i] = state.last_update_sec;
+  dst_median_[i] = state.dst_median;
+  dst_count_[i] = state.dst_count;
+  if (config_.collect_oracle) {
+    node_oracle_median_[i] = state.oracle_median;
+    node_oracle_count_[i] = state.oracle_count;
+  }
+}
+
 void MetricsCollector::merge(MetricsCollector& other) {
   const MetricsConfig& oc = other.config_;
   NC_CHECK_MSG(config_.num_nodes == oc.num_nodes &&

@@ -79,6 +79,23 @@ struct DriftPoint {
   Vec position;
 };
 
+/// One node's migratable metrics state: everything the collector keys by
+/// node, packed when ownership migration hands the node to another shard's
+/// collector (sim/sharded_sim.cpp). The in-flight second is carried RAW
+/// (not flushed), so the new owner keeps accumulating the same second and
+/// the flushed per-second series is bit-identical to a single-shard run.
+struct MetricsNodeState {
+  std::vector<double> errors;
+  std::vector<double> second_movements;
+  std::int64_t current_second = -1;
+  double current_movement = 0.0;
+  std::int64_t last_update_sec = -1;
+  stats::P2Quantile dst_median = stats::P2Quantile(0.5);
+  std::uint64_t dst_count = 0;
+  stats::P2Quantile oracle_median = stats::P2Quantile(0.5);
+  std::uint64_t oracle_count = 0;
+};
+
 class MetricsCollector {
  public:
   explicit MetricsCollector(const MetricsConfig& config);
@@ -117,6 +134,17 @@ class MetricsCollector {
   /// distributions. Call once at end of run (further observations would
   /// start fresh seconds); idempotent.
   void finalize();
+
+  /// Ownership migration: moves `node`'s per-node state out (see
+  /// MetricsNodeState); afterwards this collector holds no data for it.
+  /// Tracked (drift) nodes are pinned by the engine and must not be
+  /// extracted. Cross-node sums (per-second movement, update counts, time
+  /// series) stay — they are globally associative and merge() adds them.
+  [[nodiscard]] MetricsNodeState extract_node_state(NodeId node);
+
+  /// Installs state packed by another collector's extract_node_state. The
+  /// node must currently have no data here.
+  void install_node_state(NodeId node, MetricsNodeState state);
 
   /// Absorbs a collector covering a disjoint set of nodes (same num_nodes,
   /// window and collection flags). Both sides must be finalized. Cross-node

@@ -76,6 +76,17 @@ struct OnlineSimConfig {
   /// always published once the run finishes, whatever the cadence.
   int snapshot_interval_epochs = 1;
 
+  /// Dynamic shard ownership (core/ownership.hpp): every k-th epoch barrier
+  /// each shard deterministically re-plans node placement from per-node
+  /// event weights and migrates a bounded batch of nodes between shards
+  /// through the epoch mailbox. 0 (default) keeps the static block
+  /// partition. Metrics are bit-identical at any shard count with
+  /// rebalancing on, and identical to off — only per-shard utilization and
+  /// the memory layout change.
+  int rebalance_interval_epochs = 0;
+  /// Upper bound on nodes migrated per rebalance barrier (>= 0).
+  int rebalance_max_moves = 8;
+
   /// Per-shard directed-link state stays a flat array up to this many slots
   /// and switches to lazily-allocated pages beyond (common/paged_store.hpp).
   /// The default keeps the 4k-node bench tier flat; lower it (0 forces

@@ -57,6 +57,10 @@ class ReplayDriver {
   [[nodiscard]] MemoryBudget memory_budget() const {
     return engine_->memory_budget();
   }
+  /// Ownership hand-offs executed at rebalance barriers (see sharded_sim.hpp).
+  [[nodiscard]] std::uint64_t migrated_nodes() const noexcept {
+    return engine_->migrated_nodes();
+  }
 
  private:
   std::unique_ptr<ShardedEngine> engine_;

@@ -206,6 +206,48 @@ class EpochMailbox {
   std::vector<std::vector<Run>> merge_runs_;
 };
 
+/// A W x W grid of typed hand-off cells for bulk state transfer at epoch
+/// barriers — the migration counterpart of EpochMailbox. Cell (sender,
+/// receiver) is written only by `sender` during its processing phase and
+/// drained only by `receiver` during its next delivery phase; the phases are
+/// barrier-separated, so no cell is ever touched from two threads at once.
+/// Unlike EpochMailbox there is no canonical merge here: payloads are whole
+/// per-node state bundles, and the RECEIVER canonicalizes (sorts by node id)
+/// what it drains before applying.
+template <typename T>
+class MigrationChannel {
+ public:
+  explicit MigrationChannel(int shards = 1) : shards_(shards) {
+    NC_CHECK_MSG(shards >= 1, "need at least one shard");
+    cells_.resize(static_cast<std::size_t>(shards) *
+                  static_cast<std::size_t>(shards));
+  }
+
+  /// The (sender, receiver) cell; the sender appends packed payloads here.
+  [[nodiscard]] std::vector<T>& outbox(int sender, int receiver) {
+    return cells_[static_cast<std::size_t>(sender) *
+                      static_cast<std::size_t>(shards_) +
+                  static_cast<std::size_t>(receiver)];
+  }
+
+  /// Moves everything destined to `receiver` into `out` (cleared first),
+  /// sender order; cells keep their capacity for the next barrier.
+  void collect_into(int receiver, std::vector<T>& out) {
+    out.clear();
+    for (int s = 0; s < shards_; ++s) {
+      std::vector<T>& cell = outbox(s, receiver);
+      for (T& item : cell) out.push_back(std::move(item));
+      cell.clear();
+    }
+  }
+
+  [[nodiscard]] int shards() const noexcept { return shards_; }
+
+ private:
+  int shards_;
+  std::vector<std::vector<T>> cells_;
+};
+
 /// One shard's event loop entries: local ping timers, delivered messages and
 /// drift-tracking ticks, ordered by the canonical key (processing time,
 /// kind, owner, sender, sequence). Delivered messages keep their original
@@ -263,6 +305,18 @@ class ShardEventQueue {
   }
 
   [[nodiscard]] ShardEvent pop() { return calendar_.pop(); }
+
+  /// Removes every pending event owned by `node` (ev.a == node) and appends
+  /// them to `out` in canonical Ops::less order — the packing step of
+  /// ownership migration. The new owner replays them through push_batch, so
+  /// they land in its calendar exactly as if delivered there originally.
+  void extract_node_events(NodeId node, std::vector<ShardEvent>& out) {
+    const std::size_t start = out.size();
+    calendar_.extract_if([node](const ShardEvent& ev) { return ev.a == node; },
+                         out);
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+              &Ops::less);
+  }
 
   [[nodiscard]] bool empty() const noexcept { return calendar_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return calendar_.size(); }

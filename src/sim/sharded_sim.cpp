@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <cmath>
+#include <ctime>
 #include <exception>
 #include <thread>
 
@@ -11,6 +13,21 @@
 namespace nc::sim {
 
 namespace {
+
+/// CPU time of the CALLING thread, the utilization basis of
+/// shard_busy_seconds(): time blocked at an epoch barrier costs ~nothing, so
+/// the per-shard spread reflects real work imbalance even on few cores.
+double thread_cpu_seconds() noexcept {
+#ifdef __linux__
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+#endif
+}
 
 MetricsConfig make_shard_metrics_config(const OnlineSimConfig& config,
                                         int num_nodes,
@@ -74,6 +91,8 @@ OnlineSimConfig replay_as_engine_config(const ReplayConfig& config) {
   oc.estimator = config.estimator;
   oc.publish_snapshots = config.publish_snapshots;
   oc.snapshot_interval_epochs = config.snapshot_interval_epochs;
+  oc.rebalance_interval_epochs = config.rebalance_interval_epochs;
+  oc.rebalance_max_moves = config.rebalance_max_moves;
   return oc;
 }
 
@@ -154,16 +173,48 @@ void ShardedEngine::init_snapshot_publication() {
 }
 
 void ShardedEngine::init_shards(int shards, int num_nodes) {
+  NC_CHECK_MSG(config_.rebalance_interval_epochs >= 0,
+               "rebalance interval must be >= 0 epochs");
+  NC_CHECK_MSG(config_.rebalance_max_moves >= 0,
+               "rebalance move budget must be >= 0");
+  // At one shard every plan is empty by construction; keep the whole
+  // machinery off so shards=1 stays the reference semantics bit-for-bit.
+  rebalancing_ = config_.rebalance_interval_epochs > 0 && shards > 1;
+  ownership_ = OwnershipMap(num_nodes, shards);
+  if (rebalancing_) {
+    node_weight_.assign(static_cast<std::size_t>(num_nodes), 0);
+    pinned_.assign(static_cast<std::size_t>(num_nodes), 0);
+    // Drift-tracked nodes are pinned: their tick series lives in the
+    // tracked subset of one shard's collector, which never migrates.
+    for (NodeId id : config_.tracked_nodes) {
+      NC_CHECK_MSG(id >= 0 && id < num_nodes, "tracked node out of range");
+      pinned_[static_cast<std::size_t>(id)] = 1;
+    }
+    migrations_ = MigrationChannel<NodeMigration>(shards);
+  }
+
   shards_.resize(static_cast<std::size_t>(shards));
   for (NodeId id = 0; id < num_nodes; ++id)
     shards_[static_cast<std::size_t>(shard_of(id))].owned.push_back(id);
 
   for (auto& shard : shards_) {
-    // Directed-link state for the shard's contiguous node block, indexed
-    // (src - first_owned, dst), lazily stream-seeded on first touch. Online
-    // mode only — replay traffic carries its RTTs in the trace, so replay
-    // shards own no link state at all.
-    if (!shard.owned.empty()) {
+    shard.ownership = ownership_;
+    // Directed-link state indexed (src - first_owned, dst), lazily
+    // stream-seeded on first touch. Online mode only — replay traffic
+    // carries its RTTs in the trace, so replay shards own no link state at
+    // all. Static partition: rows cover the shard's contiguous node block.
+    // Dynamic ownership breaks the contiguous-block invariant, so the
+    // stores span the FULL id space (row == node id; first_owned == 0) and
+    // a migration is a row hand-off between stores; forced paged/sparse so
+    // each shard pays for the rows it actually owns, not n^2.
+    if (rebalancing_) {
+      shard.first_owned = 0;
+      if (mode_ == Mode::kOnline)
+        shard.links = ShardLinkStore<DirLink>(
+            static_cast<std::size_t>(num_nodes),
+            static_cast<std::size_t>(num_nodes), 0,
+            config_.link_sparse_slot_limit);
+    } else if (!shard.owned.empty()) {
       shard.first_owned = shard.owned.front();
       if (mode_ == Mode::kOnline)
         shard.links = ShardLinkStore<DirLink>(
@@ -180,10 +231,18 @@ void ShardedEngine::init_shards(int shards, int num_nodes) {
     shard.collector = std::make_unique<MetricsCollector>(
         make_shard_metrics_config(config_, num_nodes, std::move(tracked)));
     // The shard's estimation backend instance, covering exactly its owned
-    // node block (the slice whose observations it will be fed).
-    shard.estimator = est::make_estimator(config_.estimator, num_nodes,
-                                          shard.first_owned,
-                                          static_cast<int>(shard.owned.size()));
+    // node block (full-height under rebalancing, same as the link store —
+    // forced paged so the owner-partitioned matrix rows cost what they
+    // hold, and a row hand-off lands in untouched pages).
+    if (rebalancing_) {
+      est::EstimatorSpec espec = config_.estimator;
+      espec.idms_eager_slot_limit = 0;
+      shard.estimator = est::make_estimator(espec, num_nodes, 0, num_nodes);
+    } else {
+      shard.estimator = est::make_estimator(
+          config_.estimator, num_nodes, shard.first_owned,
+          static_cast<int>(shard.owned.size()));
+    }
     // Staggered first pings for the shard's nodes, one phase draw per node
     // from its own stream (online mode; replay has no timers).
     if (mode_ == Mode::kOnline) {
@@ -203,12 +262,13 @@ void ShardedEngine::init_shards(int shards, int num_nodes) {
 }
 
 int ShardedEngine::shard_of(NodeId id) const noexcept {
-  // Block partition: contiguous id ranges per shard (better locality than
-  // round-robin; any fixed map works — results never depend on placement).
-  // Shared with lat::partition_trace, which splits replay traces by the
-  // same function so every pre-partitioned slice lands on its reader.
-  return shard_of_node(id, static_cast<int>(clients_.size()),
-                       static_cast<int>(shards_.size()));
+  // The ownership table seeds to the block partition shard_of_node computes
+  // (contiguous id ranges; shared with lat::partition_trace, which splits
+  // replay traces by that same static function). Without rebalancing the
+  // two never differ; with it, this is the CURRENT owner — re-synced from
+  // shard 0 once the workers join, so post-run routing (estimate_rtt) hits
+  // the shard that actually holds the node's estimator state.
+  return ownership_.owner(id);
 }
 
 void ShardedEngine::advance_node_dyn(NodeId id, double t) {
@@ -220,8 +280,14 @@ void ShardedEngine::advance_node_dyn(NodeId id, double t) {
     s.dyn.init(s.rng, t, link_config_, availability_);
   }
   s.dyn.advance(s.rng, t, link_config_, availability_);
+  bool up = s.dyn.up;
+  // Staged-rollout skew: an override AFTER the advance, so the node's RNG
+  // stream is untouched and the workload stays placement-independent.
+  if (up && id < availability_.staged_down_count &&
+      t < availability_.staged_join_s)
+    up = false;
   snapshots_[static_cast<std::size_t>(id)] =
-      NodeSnapshot{static_cast<std::uint8_t>(s.dyn.up ? 1 : 0), s.dyn.burst_end_t};
+      NodeSnapshot{static_cast<std::uint8_t>(up ? 1 : 0), s.dyn.burst_end_t};
 }
 
 ShardedEngine::DirLink& ShardedEngine::link_at(Shard& shard, NodeId src,
@@ -290,7 +356,12 @@ void ShardedEngine::process_epoch(Shard& shard, int shard_idx,
     // Track ticks are bookkeeping, not simulation events: every shard that
     // owns a tracked node carries its own copy of the tick series, so
     // counting them would make events_processed() depend on the partition.
-    if (ev.kind != ShardEventKind::kTrack) ++shard.events;
+    if (ev.kind != ShardEventKind::kTrack) {
+      ++shard.events;
+      // Rebalance weight: the owner counts every event its node consumes;
+      // decision points read the shared counters at barriers only.
+      if (rebalancing_) ++node_weight_[static_cast<std::size_t>(ev.a)];
+    }
     switch (ev.kind) {
       case ShardEventKind::kTrack:
         for (NodeId id : shard.collector->config().tracked_nodes)
@@ -373,7 +444,11 @@ void ShardedEngine::on_ping_timer(Shard& shard, double t, NodeId node) {
   // itself) and introduces the sender.
   if (const auto g = nbrs.random_neighbor(); g.has_value() && *g != *target)
     msg.gossip = *g;
-  mailbox_.send(shard_idx_of(shard), shard_of(*target), std::move(msg));
+  // Route with the shard's OWN ownership view: at a rebalance epoch it was
+  // advanced to the post-barrier owners before any send, which is exactly
+  // who collects this outbox at the next hand-off.
+  mailbox_.send(shard_idx_of(shard), shard.ownership.owner(*target),
+                std::move(msg));
 }
 
 void ShardedEngine::on_delivered_ping(Shard& shard, double t_proc,
@@ -399,7 +474,8 @@ void ShardedEngine::on_delivered_ping(Shard& shard, double t_proc,
   pong.sys_coord = cl.system_coordinate();
   pong.app_coord = cl.application_coordinate();
   pong.coord_err = cl.error_estimate();
-  mailbox_.send(shard_idx_of(shard), shard_of(pinger), std::move(pong));
+  mailbox_.send(shard_idx_of(shard), shard.ownership.owner(pinger),
+                std::move(pong));
   (void)t_proc;
 }
 
@@ -421,7 +497,8 @@ void ShardedEngine::on_delivered_obs(Shard& shard, const ShardEvent& ev) {
   pong.sys_coord = cl.system_coordinate();
   pong.app_coord = cl.application_coordinate();
   pong.coord_err = cl.error_estimate();
-  mailbox_.send(shard_idx_of(shard), shard_of(observer), std::move(pong));
+  mailbox_.send(shard_idx_of(shard), shard.ownership.owner(observer),
+                std::move(pong));
 }
 
 void ShardedEngine::on_delivered_pong(Shard& shard, double t_proc,
@@ -473,7 +550,8 @@ void ShardedEngine::on_delivered_pong(Shard& shard, double t_proc,
     rec.to = remote;
     rec.seq = msg_seq_[static_cast<std::size_t>(observer)]++;
     rec.err = err;
-    mailbox_.send(shard_idx_of(shard), shard_of(remote), std::move(rec));
+    mailbox_.send(shard_idx_of(shard), shard.ownership.owner(remote),
+                  std::move(rec));
   }
 }
 
@@ -503,7 +581,13 @@ void ShardedEngine::read_trace_until(int shard_idx, double t_limit) {
     NC_CHECK_MSG(rec.rtt_ms > 0.0f, "non-positive rtt in trace");
     // A partitioned slice must hold exactly the reading shard's records; a
     // mis-split file would scramble the canonical merge order silently.
-    NC_CHECK_MSG(!partitioned_ || shard_of(rec.dst) == shard_idx,
+    // Deliberately the STATIC partition (the one lat::partition_trace split
+    // by): readers stay bound to their original slice even after the record's
+    // dst migrated — only the kObs routing below follows the dynamic owner.
+    NC_CHECK_MSG(!partitioned_ ||
+                     shard_of_node(rec.dst, num_nodes(),
+                                   static_cast<int>(shards_.size())) ==
+                         shard_idx,
                  "partitioned trace slice holds a foreign record");
 
     ShardMessage msg;
@@ -515,7 +599,10 @@ void ShardedEngine::read_trace_until(int shard_idx, double t_limit) {
     msg.rtt_ms = rec.rtt_ms;
     if (oracle_ != nullptr && config_.collect_oracle)
       msg.gt_rtt_ms = oracle_->ground_truth_rtt(rec.src, rec.dst, rec.t_s);
-    mailbox_.send(shard_idx, shard_of(rec.dst), std::move(msg));
+    mailbox_.send(shard_idx,
+                  shards_[static_cast<std::size_t>(shard_idx)].ownership.owner(
+                      rec.dst),
+                  std::move(msg));
     reader.pending.reset();
   }
 }
@@ -601,6 +688,13 @@ void ShardedEngine::run_epochs() {
     try {
       for (std::int64_t k = 0; k < epochs; ++k) {
         const double epoch_start = static_cast<double>(k) * interval;
+        // Rebalance decisions happen at interval multiples, never at k == 0
+        // (no weights yet) and never at the last epoch (the hand-off needs
+        // one more epoch to land).
+        const bool decide =
+            rebalancing_ && k > 0 && k + 1 < epochs &&
+            k % config_.rebalance_interval_epochs == 0;
+        const double seg_delivery = thread_cpu_seconds();
         // Snapshot hand-off, shard 0, before the delivery barrier: ship the
         // buffer every shard stamped during the PREVIOUS processing phase
         // (its content is the boundary-k state, t = epoch_start), then
@@ -615,16 +709,37 @@ void ShardedEngine::run_epochs() {
           if (k % config_.snapshot_interval_epochs == 0)
             snap_staging_ = &publisher_.staging(num_nodes());
         }
+        // Dynamic ownership, top of the epoch: land the previous barrier's
+        // migrations FIRST (owned lists + packed state), so this epoch's
+        // node dynamics, deliveries and dst-error records already see the
+        // new owner; then, on a decision epoch, advance the routing view so
+        // every send below targets the post-barrier owners.
+        if (rebalancing_) {
+          apply_migrations(shard, s);
+          if (decide) decide_rebalance(shard);
+        }
         // Delivery phase: own node dynamics + own inbox only.
         if (mode_ == Mode::kOnline)
           for (NodeId id : shard.owned) advance_node_dyn(id, epoch_start);
         deliver_batch(shard, s, epoch_start);
+        shard.busy_s += thread_cpu_seconds() - seg_delivery;
         sync.arrive_and_wait();
+        const double seg_processing = thread_cpu_seconds();
+        // The decision just consumed the weights (pre-barrier, identically
+        // on every shard); start the next accumulation window at zero.
+        if (decide)
+          for (NodeId id : shard.owned)
+            node_weight_[static_cast<std::size_t>(id)] = 0;
         // Processing phase: own entities; cross-shard state only via the
         // read-only snapshots and the outboxes.
         process_epoch(shard, s, static_cast<double>(k + 1) * interval);
         if (snap_staging_ != nullptr)
           write_snapshot_slice(shard, *snap_staging_);
+        // Departing nodes leave AFTER their last owned epoch is fully
+        // processed and stamped; the receiver installs them right after the
+        // barrier below.
+        if (decide) pack_departures(shard, s);
+        shard.busy_s += thread_cpu_seconds() - seg_processing;
         sync.arrive_and_wait();
       }
       // Destination error records emitted in the final epoch still count:
@@ -661,6 +776,13 @@ void ShardedEngine::run_epochs() {
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
 
+  // Adopt the final ownership view (all per-shard copies are identical) so
+  // shard_of() / estimate_rtt() route to whoever holds each node's state
+  // now, and surface the per-shard utilization basis.
+  ownership_ = shards_[0].ownership;
+  busy_s_.clear();
+  for (const Shard& shard : shards_) busy_s_.push_back(shard.busy_s);
+
   // Always close the run with an end-of-run snapshot (workers are joined,
   // so the main thread stamps every slice itself): readers that outlive the
   // run — examples querying a finished engine, load generators draining
@@ -682,6 +804,79 @@ void ShardedEngine::run_epochs() {
     pings_lost_ += shard.pings_lost;
     events_ += shard.events;
   }
+}
+
+void ShardedEngine::decide_rebalance(Shard& shard) {
+  // Identical inputs on every shard: the shared weight counters (last
+  // written before the previous barrier) and this shard's ownership copy
+  // (kept in lock-step by construction) — so W redundant evaluations of the
+  // pure plan function replace any cross-shard agreement protocol.
+  shard.pending_plan = plan_rebalance(shard.ownership, node_weight_, pinned_,
+                                      config_.rebalance_max_moves);
+  shard.ownership.apply(shard.pending_plan);
+  if (shard_idx_of(shard) == 0)
+    migrated_ += static_cast<std::uint64_t>(shard.pending_plan.size());
+}
+
+void ShardedEngine::pack_departures(Shard& shard, int shard_idx) {
+  for (const RebalanceMove& m : shard.pending_plan) {
+    if (m.from != shard_idx) continue;
+    NodeMigration mig;
+    mig.node = m.node;
+    // Only initialized slots travel: an untouched (src, dst) link re-seeds
+    // identically from its derived stream wherever it is first touched.
+    if (mode_ == Mode::kOnline)
+      shard.links.extract_row(
+          static_cast<std::size_t>(m.node - shard.first_owned), mig.links,
+          [](const DirLink& l) { return l.initialized; });
+    mig.estimator = shard.estimator->extract_node_state(m.node);
+    mig.metrics = shard.collector->extract_node_state(m.node);
+    shard.queue.extract_node_events(m.node, mig.pending);
+    migrations_.outbox(shard_idx, m.to).push_back(std::move(mig));
+  }
+}
+
+void ShardedEngine::apply_migrations(Shard& shard, int shard_idx) {
+  if (shard.pending_plan.empty()) return;
+  // Owned lists move to the post-barrier partition, kept sorted so epoch
+  // iteration order (node dynamics, weight resets, snapshot slices) stays
+  // id-ascending like the static block partition's.
+  for (const RebalanceMove& m : shard.pending_plan) {
+    if (m.from == shard_idx) {
+      const auto it =
+          std::lower_bound(shard.owned.begin(), shard.owned.end(), m.node);
+      NC_ASSERT(it != shard.owned.end() && *it == m.node);
+      shard.owned.erase(it);
+    } else if (m.to == shard_idx) {
+      shard.owned.insert(
+          std::lower_bound(shard.owned.begin(), shard.owned.end(), m.node),
+          m.node);
+    }
+  }
+  shard.pending_plan.clear();
+
+  migrations_.collect_into(shard_idx, shard.arrivals);
+  // Canonical install order whatever the sender layout was.
+  std::sort(shard.arrivals.begin(), shard.arrivals.end(),
+            [](const NodeMigration& a, const NodeMigration& b) {
+              return a.node < b.node;
+            });
+  std::uint64_t staged_bytes = 0;
+  for (NodeMigration& mig : shard.arrivals) {
+    staged_bytes += mig.payload_bytes();
+    if (mode_ == Mode::kOnline)
+      shard.links.install_row(
+          static_cast<std::size_t>(mig.node - shard.first_owned), mig.links);
+    shard.estimator->install_node_state(mig.node, mig.estimator);
+    shard.collector->install_node_state(mig.node, std::move(mig.metrics));
+    // The node's not-yet-processed events join this epoch's staging buffer;
+    // deliver_batch's push_batch sorts the union into the canonical
+    // processing order.
+    shard.staging.insert(shard.staging.end(), mig.pending.begin(),
+                         mig.pending.end());
+  }
+  shard.rebalance_recv_hwm = std::max(shard.rebalance_recv_hwm, staged_bytes);
+  shard.arrivals.clear();
 }
 
 std::optional<double> ShardedEngine::estimate_rtt(NodeId a, NodeId b,
@@ -707,6 +902,15 @@ MemoryBudget ShardedEngine::memory_budget() const {
   }
   b.mailbox_bytes = mailbox_.memory_bytes();
   b.snapshot_bytes = publisher_.memory_bytes();  // 0 with publication off
+  // Dynamic-ownership overhead: the routing tables (engine + per-shard
+  // copies), the weight/pin counters, and the high-water mark of migration
+  // payloads staged across one barrier.
+  b.rebalance_bytes = ownership_.memory_bytes();
+  for (const Shard& shard : shards_)
+    b.rebalance_bytes +=
+        shard.ownership.memory_bytes() + shard.rebalance_recv_hwm;
+  b.rebalance_bytes += node_weight_.capacity() * sizeof(std::uint32_t) +
+                       pinned_.capacity() * sizeof(std::uint8_t);
   return b;
 }
 

@@ -3,7 +3,12 @@
 // ExperimentGrid parallelizes across independent runs; this engine
 // parallelizes WITHIN one run, and since PR 5 it drives BOTH simulation
 // modes — the event-driven online deployment (paper Sec. VI) and trace
-// replay (Sec. IV-A). Nodes are block-partitioned over W worker shards.
+// replay (Sec. IV-A). Nodes are block-partitioned over W worker shards;
+// with rebalance_interval_epochs > 0 the partition becomes DYNAMIC — every
+// k-th barrier each shard deterministically re-plans placement from shared
+// per-node event weights and hands a bounded batch of nodes to new owners
+// through the migration channel (core/ownership.hpp; DESIGN.md Sec. 14) with
+// bit-identical results.
 // Each shard owns everything its nodes touch — NCClient, NeighborSet,
 // per-node RNG streams, the availability/overload process of its nodes and
 // the latency state of every DIRECTED link its nodes ping — and advances in
@@ -73,6 +78,7 @@
 
 #include "core/nc_client.hpp"
 #include "core/neighbor_set.hpp"
+#include "core/ownership.hpp"
 #include "estimate/snapshot.hpp"
 #include "latency/link_model.hpp"
 #include "latency/topology.hpp"
@@ -116,6 +122,11 @@ struct ReplayConfig {
   /// concurrent readers (off by default; forced on by backend kSnapshot).
   bool publish_snapshots = false;
   int snapshot_interval_epochs = 1;
+
+  /// Same contract as OnlineSimConfig: dynamic shard ownership every k
+  /// epochs (0 keeps the static block partition).
+  int rebalance_interval_epochs = 0;
+  int rebalance_max_moves = 8;
 };
 
 /// Per-run byte accounting of the engine's big state blocks (surfaced in
@@ -126,9 +137,12 @@ struct MemoryBudget {
   std::uint64_t estimator_bytes = 0;  // backend state (matrix/coordinates)
   std::uint64_t mailbox_bytes = 0;    // epoch mailbox runs + merge scratch
   std::uint64_t snapshot_bytes = 0;   // published epoch snapshots (0 if off)
+  /// Dynamic-ownership state: routing tables, per-node weights, and the
+  /// high-water mark of migration payloads staged at one rebalance barrier.
+  std::uint64_t rebalance_bytes = 0;
   [[nodiscard]] std::uint64_t total() const noexcept {
     return client_bytes + link_bytes + estimator_bytes + mailbox_bytes +
-           snapshot_bytes;
+           snapshot_bytes + rebalance_bytes;
   }
 };
 
@@ -204,6 +218,16 @@ class ShardedEngine {
   /// second.
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_; }
 
+  /// Ownership hand-offs executed at rebalance barriers (0 with rebalancing
+  /// off, at shards()==1, or when the load never skews); valid after run().
+  [[nodiscard]] std::uint64_t migrated_nodes() const noexcept { return migrated_; }
+  /// Per-shard CPU seconds spent in the epoch loop's work segments
+  /// (delivery + processing; barrier waits excluded) — the utilization basis
+  /// bench_rebalance reports as a spread. Valid after run().
+  [[nodiscard]] const std::vector<double>& shard_busy_seconds() const noexcept {
+    return busy_s_;
+  }
+
  private:
   enum class Mode : std::uint8_t { kOnline, kReplay };
 
@@ -236,9 +260,37 @@ class ShardedEngine {
     bool initialized = false;
   };
 
+  /// One node's packed state crossing shards at a rebalance barrier, staged
+  /// in migrations_ by the departing owner after its processing phase and
+  /// installed by the arriving owner at the top of the next epoch. Shared
+  /// node-indexed arrays (clients_, neighbors_, timer_rngs_, msg_seq_,
+  /// node_dyn_, snapshots_) transfer by ownership hand-off alone — the
+  /// barriers order the old owner's last write before the new owner's first.
+  struct NodeMigration {
+    NodeId node = kInvalidNode;
+    /// Initialized directed-link slots of the node's store row, dst
+    /// ascending (online mode only).
+    std::vector<std::pair<std::uint32_t, DirLink>> links;
+    est::EstimatorNodeState estimator;
+    MetricsNodeState metrics;
+    /// The node's not-yet-processed queue events (re-armed ping timer,
+    /// far-future pongs), canonically ordered.
+    std::vector<ShardEvent> pending;
+
+    [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
+      return sizeof(*this) +
+             links.capacity() * sizeof(std::pair<std::uint32_t, DirLink>) +
+             estimator.cells.capacity() *
+                 sizeof(est::EstimatorNodeState::MatrixCell) +
+             (metrics.errors.capacity() +
+              metrics.second_movements.capacity()) * sizeof(double) +
+             pending.capacity() * sizeof(ShardEvent);
+    }
+  };
+
   struct Shard {
-    std::vector<NodeId> owned;  // contiguous block [first_owned, ...]
-    NodeId first_owned = 0;
+    std::vector<NodeId> owned;  // sorted; contiguous block unless rebalancing
+    NodeId first_owned = 0;     // 0 when rebalancing (full-height stores)
     ShardEventQueue queue;
     /// Directed-link state indexed (src - first_owned, dst). Flat at
     /// bench-tier sizes, lazily paged beyond, per-row compact-indexed at
@@ -255,6 +307,20 @@ class ShardedEngine {
     /// OBSERVER the shard owns, in the shard's canonical processing order
     /// (which is what keeps any backend bit-identical at any shard count).
     std::unique_ptr<est::LatencyEstimator> estimator;
+    /// The shard's own copy of the ownership map: read for every mailbox
+    /// routing decision, mutated only by this shard's thread (every shard
+    /// applies the identical deterministic plan, so the copies never
+    /// diverge).
+    OwnershipMap ownership;
+    /// The plan decided this rebalance epoch, applied (owned lists +
+    /// arriving state) at the top of the next epoch, then cleared.
+    std::vector<RebalanceMove> pending_plan;
+    /// Drain buffer for migrations_.collect_into, reused across barriers.
+    std::vector<NodeMigration> arrivals;
+    /// High-water mark of migration payload bytes received at one barrier.
+    std::uint64_t rebalance_recv_hwm = 0;
+    /// CPU seconds inside this shard's work segments (barriers excluded).
+    double busy_s = 0.0;
     std::uint64_t pings_sent = 0;
     std::uint64_t pings_lost = 0;
     std::uint64_t events = 0;
@@ -284,6 +350,20 @@ class ShardedEngine {
   /// barriers).
   void write_snapshot_slice(const Shard& shard, est::EpochSnapshot& snap);
 
+  // --- Dynamic ownership (rebalance_interval_epochs > 0) ------------------
+  /// Top of a rebalance-decision epoch's delivery phase: every shard
+  /// computes the IDENTICAL plan from the shared weight counters (stable
+  /// since the last barrier) and applies it to its own routing copy, so all
+  /// sends of this epoch already route to the post-barrier owners.
+  void decide_rebalance(Shard& shard);
+  /// End of the decision epoch's processing phase: the departing owner packs
+  /// each migrating node it owns into the migration channel.
+  void pack_departures(Shard& shard, int shard_idx);
+  /// Top of the NEXT epoch's delivery phase (barrier-separated from the
+  /// pack): owned lists are updated and arriving state is installed BEFORE
+  /// node dynamics advance and the epoch's messages deliver.
+  void apply_migrations(Shard& shard, int shard_idx);
+
   Mode mode_;
   OnlineSimConfig config_;  // replay mode maps ReplayConfig onto this
   lat::Topology topology_;  // online mode only
@@ -307,6 +387,24 @@ class ShardedEngine {
 
   std::vector<Shard> shards_;
   EpochMailbox mailbox_;
+
+  /// Dynamic ownership state. ownership_ seeds the per-shard copies and,
+  /// after the workers join, is re-synced from shard 0 so shard_of() /
+  /// estimate_rtt() route to the final owners. node_weight_[id] counts the
+  /// node's processed events since the last decision: incremented by the
+  /// owner during processing phases, read by every shard at decision points
+  /// in delivery phases, reset by the (current) owner right before the
+  /// decision epoch's processing — all barrier-separated, so the shared
+  /// vector needs no atomics.
+  bool rebalancing_ = false;
+  OwnershipMap ownership_;
+  std::vector<std::uint32_t> node_weight_;
+  /// Nodes that must never migrate (drift-tracked nodes: their collector
+  /// state is pinned to the shard whose tracked subset names them).
+  std::vector<std::uint8_t> pinned_;
+  MigrationChannel<NodeMigration> migrations_;
+  std::uint64_t migrated_ = 0;
+  std::vector<double> busy_s_;
 
   /// Epoch-snapshot hand-off (config_.publish_snapshots). snap_staging_ is
   /// the buffer being filled for the NEXT publish: shard 0 acquires it at

@@ -1,0 +1,126 @@
+// OwnershipMap + plan_rebalance: the deterministic decision function behind
+// dynamic shard ownership (DESIGN.md Sec. 14). The engine-level guarantees
+// (bit-identical metrics across migrations) live in tests/sim/rebalance_test.
+#include "core/ownership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace nc {
+namespace {
+
+TEST(OwnershipMap, SeedsFromTheStaticBlockPartition) {
+  const int n = 37, shards = 4;
+  const OwnershipMap map(n, shards);
+  EXPECT_EQ(map.num_nodes(), n);
+  EXPECT_EQ(map.shards(), shards);
+  for (NodeId id = 0; id < n; ++id)
+    EXPECT_EQ(map.owner(id), shard_of_node(id, n, shards));
+}
+
+TEST(OwnershipMap, ApplyMovesExactlyTheNamedNodes) {
+  OwnershipMap map(10, 2);
+  map.apply({{7, map.owner(7), 0}, {2, map.owner(2), 1}});
+  EXPECT_EQ(map.owner(7), 0);
+  EXPECT_EQ(map.owner(2), 1);
+  for (NodeId id = 0; id < 10; ++id) {
+    if (id != 7 && id != 2) {
+      EXPECT_EQ(map.owner(id), shard_of_node(id, 10, 2));
+    }
+  }
+}
+
+TEST(PlanRebalance, BalancedLoadPlansNothing) {
+  const OwnershipMap map(8, 2);  // 4 nodes per shard
+  const std::vector<std::uint32_t> w(8, 5);
+  EXPECT_TRUE(plan_rebalance(map, w, {}, 16).empty());
+}
+
+TEST(PlanRebalance, SingleShardOrZeroBudgetPlansNothing) {
+  const std::vector<std::uint32_t> w(8, 100);
+  EXPECT_TRUE(plan_rebalance(OwnershipMap(8, 1), w, {}, 16).empty());
+  EXPECT_TRUE(plan_rebalance(OwnershipMap(8, 2), w, {}, 0).empty());
+}
+
+TEST(PlanRebalance, MovesHeaviestEligibleNodeTowardTheIdleShard) {
+  // Shard 0 owns 0..3 (hot), shard 1 owns 4..7 (idle).
+  OwnershipMap map(8, 2);
+  std::vector<std::uint32_t> w = {10, 30, 20, 10, 0, 0, 0, 0};
+  const auto plan = plan_rebalance(map, w, {}, 1);
+  ASSERT_EQ(plan.size(), 1u);
+  // gap = 70; the heaviest node with weight <= gap/2 is node 1 (30).
+  EXPECT_EQ(plan[0].node, 1);
+  EXPECT_EQ(plan[0].from, 0);
+  EXPECT_EQ(plan[0].to, 1);
+}
+
+TEST(PlanRebalance, EveryMoveStrictlyNarrowsTheSpread) {
+  OwnershipMap map(12, 3);
+  std::vector<std::uint32_t> w = {9, 8, 7, 6, 1, 1, 0, 2, 0, 0, 1, 0};
+  const auto plan = plan_rebalance(map, w, {}, 64);
+  std::vector<std::int64_t> load(3, 0);
+  for (NodeId id = 0; id < 12; ++id) load[map.owner(id)] += w[id];
+  auto spread = [&] {
+    return *std::max_element(load.begin(), load.end()) -
+           *std::min_element(load.begin(), load.end());
+  };
+  std::int64_t prev = spread();
+  OwnershipMap rolling = map;
+  for (const RebalanceMove& m : plan) {
+    EXPECT_EQ(rolling.owner(m.node), m.from);
+    rolling.apply({m});
+    load[m.from] -= w[m.node];
+    load[m.to] += w[m.node];
+    EXPECT_LT(spread(), prev);
+    prev = spread();
+  }
+}
+
+TEST(PlanRebalance, PinnedNodesNeverMove) {
+  OwnershipMap map(8, 2);
+  std::vector<std::uint32_t> w = {10, 30, 20, 10, 0, 0, 0, 0};
+  std::vector<std::uint8_t> pinned(8, 0);
+  pinned[1] = 1;  // the otherwise-best candidate
+  const auto plan = plan_rebalance(map, w, pinned, 8);
+  for (const RebalanceMove& m : plan) EXPECT_NE(m.node, 1);
+  EXPECT_FALSE(plan.empty());  // others still rebalance
+}
+
+TEST(PlanRebalance, RespectsTheMoveBudget) {
+  OwnershipMap map(16, 2);
+  std::vector<std::uint32_t> w(16, 0);
+  for (NodeId id = 0; id < 8; ++id) w[id] = 4;  // shard 0 hot
+  EXPECT_LE(plan_rebalance(map, w, {}, 3).size(), 3u);
+}
+
+TEST(PlanRebalance, DeterministicAcrossRepeatedEvaluation) {
+  // The engine evaluates the plan once per shard; the copies must agree.
+  OwnershipMap map(24, 3);
+  std::vector<std::uint32_t> w(24, 0);
+  for (NodeId id = 0; id < 24; ++id)
+    w[id] = static_cast<std::uint32_t>((id * 7 + 3) % 11);
+  const auto a = plan_rebalance(map, w, {}, 8);
+  const auto b = plan_rebalance(map, w, {}, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].from, b[i].from);
+    EXPECT_EQ(a[i].to, b[i].to);
+  }
+}
+
+TEST(PlanRebalance, ZeroWeightNodesAreNotWorthMoving) {
+  // An idle node narrows nothing; the greedy loop must skip weight-0
+  // candidates rather than burn budget on no-op moves.
+  OwnershipMap map(8, 2);
+  std::vector<std::uint32_t> w = {0, 0, 0, 40, 0, 0, 0, 0};
+  const auto plan = plan_rebalance(map, w, {}, 8);
+  // Node 3 (40) exceeds gap/2 = 20 and everything else is weightless.
+  EXPECT_TRUE(plan.empty());
+}
+
+}  // namespace
+}  // namespace nc

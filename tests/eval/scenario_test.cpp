@@ -219,6 +219,9 @@ TEST(PartitionReplay, BitIdenticalToSingleReader) {
   spec.workload.duration_s = 600.0;
   spec.shards = 3;
 
+  // Partitioned replay is the default since PR 9; the single-reader path is
+  // the explicit opt-out under comparison here.
+  spec.partition_replay = false;
   const ScenarioOutput single = run_scenario(spec);
   spec.partition_replay = true;
   const ScenarioOutput split = run_scenario(spec);
@@ -249,6 +252,27 @@ TEST(PartitionReplay, SingleShardFallsBackToOneReader) {
   spec.partition_replay = true;
   const ScenarioOutput out = run_scenario(spec);
   EXPECT_GT(out.metrics.observation_count(), 0u);
+}
+
+// Sharded + oracle: partition_replay now defaults ON, but oracle sampling
+// needs the generating network, which concurrent readers must not touch —
+// the run silently keeps the single reader instead of throwing, and the
+// metrics match an explicit single-reader run bit for bit.
+TEST(PartitionReplay, OracleRunsFallBackToOneReader) {
+  ScenarioSpec spec = make_scenario("planetlab");
+  spec.workload.num_nodes = 16;
+  spec.workload.duration_s = 300.0;
+  spec.shards = 3;
+  spec.measurement.collect_oracle = true;
+  ASSERT_TRUE(spec.partition_replay);  // the PR 9 default
+  const ScenarioOutput defaulted = run_scenario(spec);
+  spec.partition_replay = false;
+  const ScenarioOutput single = run_scenario(spec);
+  EXPECT_GT(defaulted.metrics.observation_count(), 0u);
+  EXPECT_EQ(defaulted.metrics.observation_count(),
+            single.metrics.observation_count());
+  EXPECT_EQ(defaulted.metrics.median_relative_error(),
+            single.metrics.median_relative_error());
 }
 
 TEST(RouteSchedules, ComposedScheduleRunsInBothModes) {
