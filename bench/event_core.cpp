@@ -52,11 +52,16 @@ void print_row(const char* engine, int nodes, int shards, double wall,
   std::printf("  json: {\"engine\": \"%s\", \"nodes\": %d, \"shards\": %d, "
               "\"wall_s\": %.2f, \"events\": %llu, \"events_per_s\": %.0f, "
               "\"median_err\": %.4f, \"mem_bytes\": %llu, "
-              "\"rebalance_bytes\": %llu}\n",
+              "\"rebalance_bytes\": %llu, \"neighbor_bytes\": %llu, "
+              "\"snapshot_base_bytes\": %llu, \"snapshot_delta_bytes\": "
+              "%llu}\n",
               engine, nodes, shards, wall,
               static_cast<unsigned long long>(events), rate, err,
               static_cast<unsigned long long>(mem.total()),
-              static_cast<unsigned long long>(mem.rebalance_bytes));
+              static_cast<unsigned long long>(mem.rebalance_bytes),
+              static_cast<unsigned long long>(mem.neighbor_bytes),
+              static_cast<unsigned long long>(mem.snapshot_base_bytes),
+              static_cast<unsigned long long>(mem.snapshot_delta_bytes));
 }
 
 }  // namespace

@@ -10,21 +10,36 @@
 // microseconds for the BENCH record's "serving" section;
 // scripts/bench_diff.py gates p99 and qps across PRs.
 //
+// ISSUE 10 adds --snapshot-deltas: churn-proportional publication (full base
+// every --base-interval publishes, compact deltas between). Each row also
+// reports snapshot_publish_bytes_per_epoch — the mean wire bytes one publish
+// costs — which bench_diff gates downward; with deltas on it should sit at a
+// small fraction of the full-buffer cost on a churny scenario. --selfcheck
+// runs a shadow reader that reconstructs the delta stream through a
+// SnapshotView during the run and fails the bench loudly if the final
+// reconstructed view differs from the published full snapshot in any slot.
+//
 // The serving path never waits on the shard workers (one snapshot-pointer
-// copy per query), so on a multi-core host engine events/s should match the
-// unloaded bench_event_core rows; on a 1-core container the two tiers time-
-// slice and the tail mostly measures scheduler preemption — compare records
-// from the same host class only.
+// copy per query; O(changed slots) per refresh under deltas), so on a
+// multi-core host engine events/s should match the unloaded
+// bench_event_core rows; on a 1-core container the two tiers time-slice and
+// the tail mostly measures scheduler preemption — compare records from the
+// same host class only.
 //
 // Flags: standard (--scenario picks ONE preset; default runs the planetlab
 //        and churn presets back to back), --nodes (269), --hours (0.25),
 //        --seed (7), --shards (2), plus
-//        --clients (2)       open-loop client threads
-//        --rate (5000)       aggregate target qps across clients
-//        --load-seconds (5)  wall-clock load length per scenario
-//        --k (5)             nearest-k fan-out
+//        --clients (2)        open-loop client threads
+//        --rate (5000)        aggregate target qps across clients
+//        --load-seconds (5)   wall-clock load length per scenario
+//        --k (5)              nearest-k fan-out
+//        --snapshot-deltas    publish delta snapshots instead of full buffers
+//        --base-interval (16) full-base cadence under --snapshot-deltas
+//        --selfcheck          verify delta reconstruction == full snapshot
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <thread>
@@ -40,18 +55,28 @@ struct Row {
   std::string scenario;
   int nodes = 0;
   int shards = 0;
+  bool snapshot_deltas = false;
   nc::serve::LoadConfig load;
   nc::serve::LoadReport report;
   std::uint64_t snapshots = 0;      // versions published by the engine
+  double publish_bytes_per_epoch = 0.0;  // mean wire bytes per publish
   std::uint64_t engine_events = 0;  // kernel events processed
   double engine_wall_s = 0.0;       // engine thread, construction to join
 };
 
+struct DeltaOptions {
+  bool enabled = false;
+  int base_interval = 16;
+  bool selfcheck = false;
+};
+
 Row run_one(const nc::eval::ScenarioSpec& spec,
-            const nc::serve::LoadConfig& load) {
+            const nc::serve::LoadConfig& load, const DeltaOptions& deltas) {
   const int shards = std::max(1, spec.shards);
   nc::sim::OnlineSimConfig oc = nc::eval::resolve_online_config(spec);
   oc.publish_snapshots = true;
+  oc.snapshot_deltas = deltas.enabled;
+  oc.snapshot_base_interval = deltas.base_interval;
 
   const auto t0 = std::chrono::steady_clock::now();
   nc::sim::ShardedEngine engine(
@@ -73,18 +98,59 @@ Row run_one(const nc::eval::ScenarioSpec& spec,
       engine_error = std::current_exception();
     }
   });
+
+  // Shadow reconstruction check: a reader that follows the delta stream the
+  // whole run (so mid-run catch-up paths are exercised, not just the final
+  // base copy) and must land exactly on the published end state.
+  std::atomic<bool> check_stop{false};
+  std::atomic<bool> check_ok{true};
+  std::thread checker;
+  if (deltas.selfcheck) {
+    checker = std::thread([&] {
+      nc::est::SnapshotView view(&engine.snapshot_publisher());
+      while (!check_stop.load(std::memory_order_acquire)) {
+        view.refresh();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      const nc::est::EpochSnapshot* rec = view.refresh();
+      const auto full = engine.snapshot_publisher().latest();
+      const bool ok = rec != nullptr && full != nullptr &&
+                      rec->version == full->version &&
+                      rec->nodes == full->nodes;
+      if (!ok) check_ok.store(false, std::memory_order_release);
+    });
+  }
+
   Row row;
   row.report =
       nc::serve::run_open_loop(engine.snapshot_publisher(), engine.num_nodes(),
                                load);
   engine_thread.join();
+  if (checker.joinable()) {
+    check_stop.store(true, std::memory_order_release);
+    checker.join();
+  }
   if (engine_error) std::rethrow_exception(engine_error);
+  if (!check_ok.load()) {
+    std::fprintf(stderr,
+                 "SELFCHECK FAILED: delta-reconstructed view differs from "
+                 "the published full snapshot (scenario %s)\n",
+                 spec.scenario.c_str());
+    std::exit(1);
+  }
 
+  const nc::est::SnapshotPublisher& pub = engine.snapshot_publisher();
   row.scenario = spec.scenario;
   row.nodes = engine.num_nodes();
   row.shards = shards;
+  row.snapshot_deltas = deltas.enabled;
   row.load = load;
-  row.snapshots = engine.snapshot_publisher().published();
+  row.snapshots = pub.published();
+  if (pub.published() > 0)
+    row.publish_bytes_per_epoch =
+        static_cast<double>(pub.published_base_bytes() +
+                            pub.published_delta_bytes()) /
+        static_cast<double>(pub.published());
   row.engine_events = engine.events_processed();
   row.engine_wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -107,6 +173,7 @@ void print_row(const Row& r) {
       "\"qps\": %.0f, \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
       "\"p999_us\": %.1f, \"max_us\": %.1f, \"snapshot_first\": %llu, "
       "\"snapshot_last\": %llu, \"snapshots\": %llu, "
+      "\"snapshot_deltas\": %d, \"snapshot_publish_bytes_per_epoch\": %.1f, "
       "\"engine_events\": %llu, \"engine_wall_s\": %.2f}\n",
       r.scenario.c_str(), r.nodes, r.shards, r.load.clients, r.load.rate_qps,
       rep.elapsed_s, static_cast<unsigned long long>(rep.issued),
@@ -118,6 +185,7 @@ void print_row(const Row& r) {
       static_cast<unsigned long long>(rep.first_version),
       static_cast<unsigned long long>(rep.last_version),
       static_cast<unsigned long long>(r.snapshots),
+      r.snapshot_deltas ? 1 : 0, r.publish_bytes_per_epoch,
       static_cast<unsigned long long>(r.engine_events), r.engine_wall_s);
 }
 
@@ -125,13 +193,21 @@ void print_row(const Row& r) {
 
 int main(int argc, char** argv) {
   const nc::Flags flags =
-      ncb::parse_flags(argc, argv, {"clients", "rate", "load-seconds", "k"});
+      ncb::parse_flags(argc, argv,
+                       {"clients", "rate", "load-seconds", "k",
+                        "snapshot-deltas", "base-interval", "selfcheck"});
 
   nc::serve::LoadConfig load;
   load.clients = static_cast<int>(flags.get_int("clients", 2));
   load.rate_qps = flags.get_double("rate", 5000.0);
   load.duration_s = flags.get_double("load-seconds", 5.0);
   load.k = static_cast<int>(flags.get_int("k", 5));
+
+  DeltaOptions deltas;
+  deltas.enabled = flags.get_bool("snapshot-deltas", false);
+  deltas.base_interval =
+      static_cast<int>(flags.get_int("base-interval", 16));
+  deltas.selfcheck = flags.get_bool("selfcheck", false) && deltas.enabled;
 
   // One preset when --scenario is given, otherwise the default pair: the
   // steady embedding (planetlab) and the one that keeps rewriting itself
@@ -158,7 +234,7 @@ int main(int argc, char** argv) {
          .seed = 7, .scenario = name.c_str(),
          .mode = nc::eval::SimMode::kOnline, .shards = 2});
     load.seed = spec.workload.seed;
-    print_row(run_one(spec, load));
+    print_row(run_one(spec, load, deltas));
   }
 
   std::printf(

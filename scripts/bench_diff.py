@@ -20,12 +20,24 @@ Two kinds of entries are compared, matched by name across the files:
     (scenario, nodes, shards, clients, rate) row, lower is better, and the
     achieved qps, higher is better. Tail latency is the serving layer's
     whole contract, so a p99 that quietly grows 25% fails the same way a
-    kernel slowdown does;
+    kernel slowdown does. Since PR 10 rows also carry a snapshot_deltas
+    flag (part of the key — delta and full publication rows are tracked
+    independently; pre-PR 10 rows default to 0, so old full-mode rows keep
+    matching) and snapshot_publish_bytes_per_epoch, the mean wire bytes one
+    snapshot publish costs, lower is better — churn-proportional
+    publication exists to hold this down, so it gates like memory;
   * rebalance rows (the "rebalance" section, since PR 9): events_per_s per
     (scenario, nodes, shards, rebalance) row, higher is better, and
     util_spread — the (max-min)/mean spread of per-shard busy CPU time —
     lower is better. Dynamic ownership exists to hold that spread down
     under churn without costing throughput, so both directions gate.
+    util_spread is compared with an ADDITIVE slack of 0.1 on top of the
+    percentage threshold: spread is a dimensionless ratio that sits near
+    zero on a quiet host, so a pure percentage gate fails on scheduler
+    noise (0.01 -> 0.04 is +300% but means nothing on a time-sliced
+    1-core container), while a genuine regression — the kind rebalancing
+    exists to prevent — moves spread by tenths (PR 9's own deltas:
+    0.144 -> 0.028).
 
 Entries present in only one file are reported but never fail the check
 (benches come and go across PRs); a matched entry that regressed by more
@@ -96,12 +108,13 @@ def engine_memory(record):
 
 
 def _serving_key(row):
-    return "scenario=%s,nodes=%d,shards=%d,clients=%d,rate=%d" % (
+    return "scenario=%s,nodes=%d,shards=%d,clients=%d,rate=%d,deltas=%d" % (
         row.get("scenario", "planetlab"),
         int(row["nodes"]),
         int(row.get("shards", 0)),
         int(row.get("clients", 0)),
         int(row.get("rate_qps", 0)),
+        int(row.get("snapshot_deltas", 0)),
     )
 
 
@@ -118,6 +131,22 @@ def serving_qps(record):
     out = {}
     for row in record.get("serving", {}).get("results", []):
         out["serving_qps[%s]" % _serving_key(row)] = float(row["qps"])
+    return out
+
+
+def serving_publish_bytes(record):
+    """name -> mean snapshot wire bytes per publish (lower is better).
+
+    Only PR 10+ rows carry snapshot_publish_bytes_per_epoch; older rows are
+    simply absent and show up as only-in-one-file, which never fails.
+    """
+    out = {}
+    for row in record.get("serving", {}).get("results", []):
+        if "snapshot_publish_bytes_per_epoch" not in row:
+            continue
+        out["serving_publish_bytes[%s]" % _serving_key(row)] = float(
+            row["snapshot_publish_bytes_per_epoch"]
+        )
     return out
 
 
@@ -155,7 +184,7 @@ def rebalance_spread(record):
     return out
 
 
-def compare(name, old, new, lower_is_better, threshold_pct):
+def compare(name, old, new, lower_is_better, threshold_pct, abs_slack=0.0):
     # improvement_pct is signed in the direction of goodness: positive means
     # the new record is better, negative means it regressed.
     if lower_is_better:
@@ -165,6 +194,11 @@ def compare(name, old, new, lower_is_better, threshold_pct):
     else:
         improvement_pct = (new - old) / old * 100.0 if old > 0 else float("inf")
     regressed = improvement_pct < -threshold_pct
+    # Near-zero absolute metrics (util_spread) get an additive grace band:
+    # only a move past old + abs_slack is a regression, whatever the
+    # percentage says.
+    if regressed and lower_is_better and abs_slack > 0.0:
+        regressed = new > old + abs_slack
     better = "lower" if lower_is_better else "higher"
     marker = "REGRESSION" if regressed else "ok"
     print(
@@ -188,14 +222,15 @@ def main():
         new = json.load(f)
 
     failures = 0
-    for title, extract, lower in (
-        ("micro kernels (cpu_time)", micro_kernels, True),
-        ("online engine (events/s)", engine_rates, False),
-        ("engine memory (mem_bytes)", engine_memory, True),
-        ("serving tail latency (p99_us)", serving_p99, True),
-        ("serving throughput (qps)", serving_qps, False),
-        ("rebalance throughput (events/s)", rebalance_rates, False),
-        ("rebalance busy-time spread", rebalance_spread, True),
+    for title, extract, lower, abs_slack in (
+        ("micro kernels (cpu_time)", micro_kernels, True, 0.0),
+        ("online engine (events/s)", engine_rates, False, 0.0),
+        ("engine memory (mem_bytes)", engine_memory, True, 0.0),
+        ("serving tail latency (p99_us)", serving_p99, True, 0.0),
+        ("serving throughput (qps)", serving_qps, False, 0.0),
+        ("serving publish bytes/epoch", serving_publish_bytes, True, 0.0),
+        ("rebalance throughput (events/s)", rebalance_rates, False, 0.0),
+        ("rebalance busy-time spread", rebalance_spread, True, 0.1),
     ):
         a, b = extract(old), extract(new)
         shared = sorted(set(a) & set(b))
@@ -203,7 +238,8 @@ def main():
         only_new = sorted(set(b) - set(a))
         print("%s: %d compared" % (title, len(shared)))
         for name in shared:
-            if compare(name, a[name], b[name], lower, args.threshold):
+            if compare(name, a[name], b[name], lower, args.threshold,
+                       abs_slack):
                 failures += 1
         for name in only_old:
             print("  %-58s only in %s (skipped)" % (name, args.old))

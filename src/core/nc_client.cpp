@@ -111,6 +111,7 @@ ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coo
     // First usable sample: seed the application coordinate so callers always
     // have something consistent, then let the heuristic take over.
     app_coord_ = vivaldi_.coordinate();
+    app_error_ = vivaldi_.error_estimate();
     app_initialized_ = true;
     out.app_updated = true;
     out.app_displacement_ms = 0.0;  // seeded from origin-adjacent state
@@ -127,6 +128,7 @@ ObservationOutcome NCClient::observe(NodeId remote, const Coordinate& remote_coo
   out.app_updated = heuristic_->on_system_update(ctx, app_coord_);
   if (out.app_updated) {
     out.app_displacement_ms = app_coord_.displacement_from(app_before);
+    app_error_ = vivaldi_.error_estimate();
     ++app_updates_;
   }
   return out;

@@ -90,6 +90,16 @@ class NCClient {
   }
   [[nodiscard]] double error_estimate() const noexcept { return vivaldi_.error_estimate(); }
   [[nodiscard]] double confidence() const noexcept { return vivaldi_.confidence(); }
+  /// Error estimate AS OF the last application-coordinate update — the
+  /// value that describes application_coordinate(), where error_estimate()
+  /// describes the continuously-moving system coordinate. Equals the live
+  /// estimate until the first update (same fallback as
+  /// application_coordinate()). Published snapshots carry this pair, so a
+  /// node's published state only changes when its application state does.
+  [[nodiscard]] double app_error() const noexcept {
+    return app_initialized_ ? app_error_ : vivaldi_.error_estimate();
+  }
+  [[nodiscard]] double app_confidence() const noexcept { return 1.0 - app_error(); }
 
   /// Approximate nearest neighbor by filtered RTT, if any sample passed the
   /// filter yet.
@@ -136,6 +146,7 @@ class NCClient {
   Vivaldi vivaldi_;
   std::unique_ptr<UpdateHeuristic> heuristic_;
   Coordinate app_coord_;
+  double app_error_ = 1.0;  // error_estimate() at the last app update
   bool app_initialized_ = false;
 
   /// Slab of link states; active count bounded by max_tracked_links.

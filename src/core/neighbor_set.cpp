@@ -9,32 +9,23 @@ NeighborSet::NeighborSet(std::size_t capacity, std::uint64_t seed)
   NC_CHECK_MSG(capacity >= 1, "capacity must be >= 1");
 }
 
-void NeighborSet::set_bit(NodeId id) {
-  const auto word = static_cast<std::size_t>(id) >> 6;
-  if (word >= member_bits_.size()) member_bits_.resize(word + 1, 0);
-  member_bits_[word] |= std::uint64_t{1} << (static_cast<std::size_t>(id) & 63);
-}
-
-void NeighborSet::clear_bit(NodeId id) noexcept {
-  member_bits_[static_cast<std::size_t>(id) >> 6] &=
-      ~(std::uint64_t{1} << (static_cast<std::size_t>(id) & 63));
-}
-
 bool NeighborSet::add(NodeId id) {
   NC_CHECK_MSG(id != kInvalidNode && id >= 0, "invalid neighbor id");
   if (contains(id)) return false;
   if (order_.size() < capacity_) {
+    index_.insert(static_cast<std::uint32_t>(id),
+                  static_cast<std::uint32_t>(order_.size()));
     order_.push_back(id);
-    set_bit(id);
     return true;
   }
   // Full: replace a uniformly random member, keeping its round-robin slot so
   // the cursor's cycle length is undisturbed.
   const auto victim_idx =
       static_cast<std::size_t>(rng_.uniform_int(order_.size()));
-  clear_bit(order_[victim_idx]);
+  index_.erase(static_cast<std::uint32_t>(order_[victim_idx]));
   order_[victim_idx] = id;
-  set_bit(id);
+  index_.insert(static_cast<std::uint32_t>(id),
+                static_cast<std::uint32_t>(victim_idx));
   return true;
 }
 

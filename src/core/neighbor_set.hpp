@@ -5,11 +5,14 @@
 // extra node address). Capacity is bounded; once full, new additions replace
 // a uniformly random existing neighbor so long-running nodes keep mixing.
 //
-// Membership is a bitmap over node ids rather than a hash set: add() runs
-// once per delivered gossip message — one of the hottest calls in the
-// simulators — and a bitmap answers it with one word probe and zero heap
-// traffic, where the hash set paid an allocation per replacement
-// (erase + insert of set nodes) in the steady state.
+// Membership is a CompactSlotIndex (id -> round-robin slot) bounded by the
+// set's capacity. The bitmap it replaces answered contains() in one word
+// probe but cost n/8 bytes PER NODE — n^2/8 aggregate (125 GB at 1M nodes)
+// for a set that never holds more than `capacity` members. The compact
+// table keeps add() — one of the hottest calls in the simulators — at a
+// couple of cache probes on a flat array while memory stays O(capacity):
+// replacement erases the victim's entry (backward-shift, no tombstones), so
+// the table can never outgrow the membership it indexes.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/compact_index.hpp"
 #include "common/rng.hpp"
 #include "core/node_id.hpp"
 
@@ -32,9 +36,7 @@ class NeighborSet {
   bool add(NodeId id);
 
   [[nodiscard]] bool contains(NodeId id) const noexcept {
-    const auto word = static_cast<std::size_t>(id) >> 6;
-    return word < member_bits_.size() &&
-           ((member_bits_[word] >> (static_cast<std::size_t>(id) & 63)) & 1u) != 0;
+    return index_.find(static_cast<std::uint32_t>(id)).has_value();
   }
   [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
   [[nodiscard]] bool empty() const noexcept { return order_.empty(); }
@@ -49,16 +51,18 @@ class NeighborSet {
   /// All current neighbors, in round-robin order.
   [[nodiscard]] const std::vector<NodeId>& members() const noexcept { return order_; }
 
- private:
-  void set_bit(NodeId id);
-  void clear_bit(NodeId id) noexcept;
+  /// Heap bytes held (order list + membership index): O(capacity), never a
+  /// function of the id space — the bound the 1M-node budget relies on.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return sizeof(*this) + order_.capacity() * sizeof(NodeId) +
+           index_.memory_bytes();
+  }
 
+ private:
   std::size_t capacity_;
   std::vector<NodeId> order_;
-  /// Membership bitmap, grown to cover the largest id seen (ids are dense
-  /// node indices, so this settles at num_nodes/8 bytes and never
-  /// reallocates again).
-  std::vector<std::uint64_t> member_bits_;
+  /// id -> round-robin slot, bounded by `capacity_` live entries.
+  CompactSlotIndex index_;
   std::size_t cursor_ = 0;
   Rng rng_;
 };

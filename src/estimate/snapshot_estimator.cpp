@@ -5,7 +5,7 @@ namespace nc::est {
 SnapshotEstimator::SnapshotEstimator(const SnapshotEstimatorConfig& config,
                                      const SnapshotPublisher* source,
                                      int num_nodes)
-    : source_(source),
+    : view_(source),
       fallback_(CoordinateEstimatorConfig{config.max_age_s}, num_nodes) {}
 
 void SnapshotEstimator::on_observation(const LatencyObservation& obs) {
@@ -18,8 +18,8 @@ void SnapshotEstimator::on_observation(const LatencyObservation& obs) {
 std::optional<double> SnapshotEstimator::estimate_rtt(NodeId a, NodeId b,
                                                       double now_s) {
   ++queries_;
-  if (source_ != nullptr && a >= 0 && b >= 0) {
-    if (const std::shared_ptr<const EpochSnapshot> snap = source_->latest()) {
+  if (a >= 0 && b >= 0) {
+    if (const EpochSnapshot* snap = view_.refresh()) {
       const auto ia = static_cast<std::size_t>(a);
       const auto ib = static_cast<std::size_t>(b);
       if (ia < snap->nodes.size() && ib < snap->nodes.size()) {

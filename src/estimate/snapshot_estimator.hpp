@@ -1,13 +1,17 @@
 // SnapshotEstimator: answer latency queries from published epoch snapshots.
 //
 // The backend the serving layer runs on. Instead of tracking coordinates
-// off the observation stream itself, it reads the latest EpochSnapshot from
-// a SnapshotPublisher — one snapshot-pointer copy per query — and answers
-// estimate_rtt(a, b) with the coordinate distance between the two published
-// entries. That decouples readers from engine internals completely: any
-// thread may query at any time, and what it sees is a consistent
+// off the observation stream itself, it holds a SnapshotView onto a
+// SnapshotPublisher — refreshed once per query, which is a cached-version
+// no-op between publishes, a pointer copy in full mode, and an O(changed
+// slots) delta apply in delta mode — and answers estimate_rtt(a, b) with
+// the coordinate distance between the two published entries. That decouples
+// readers from engine internals completely: each estimator instance queries
+// from its own thread at any time, and what it sees is a consistent
 // epoch-boundary view (a's and b's coordinates from the SAME epoch, never a
-// torn mix).
+// torn mix). Like the view it wraps, an estimator instance is NOT
+// internally synchronized — one instance per reader thread (exactly how the
+// engine's per-shard and the service's per-thread instances are deployed).
 //
 // Fallback: before the first publish — and for nodes not yet placed in the
 // snapshot — the backend falls back to a CoordinateEstimator cache fed from
@@ -56,8 +60,13 @@ class SnapshotEstimator final : public LatencyEstimator {
   /// the summed stats depend on the shard count.
   [[nodiscard]] EstimatorStats stats() const override;
 
+  /// The materialized view queries are answered from — shared with callers
+  /// (CoordinateService's scans) so estimator and scan always agree on the
+  /// epoch. Same thread contract as the estimator itself.
+  [[nodiscard]] SnapshotView& view() noexcept { return view_; }
+
  private:
-  const SnapshotPublisher* source_;
+  SnapshotView view_;
   CoordinateEstimator fallback_;
 
   std::uint64_t queries_ = 0;

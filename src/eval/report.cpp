@@ -159,8 +159,13 @@ void print_memory_budget(std::ostream& os, const ScenarioOutput& out) {
      << " links=" << fmt_bytes(m.link_bytes)
      << " estimator=" << fmt_bytes(m.estimator_bytes)
      << " mailbox=" << fmt_bytes(m.mailbox_bytes);
-  if (m.snapshot_bytes > 0)
-    os << " snapshots=" << fmt_bytes(m.snapshot_bytes);
+  if (m.neighbor_bytes > 0)
+    os << " neighbors=" << fmt_bytes(m.neighbor_bytes);
+  if (m.snapshot_bytes() > 0) {
+    os << " snapshots=" << fmt_bytes(m.snapshot_bytes());
+    if (m.snapshot_delta_bytes > 0)
+      os << " (deltas=" << fmt_bytes(m.snapshot_delta_bytes) << ')';
+  }
   os << " total=" << fmt_bytes(m.total()) << '\n';
 }
 

@@ -8,15 +8,14 @@ namespace nc::serve {
 
 CoordinateService::CoordinateService(const est::SnapshotPublisher* source,
                                      int num_nodes)
-    : source_(source),
-      num_nodes_(num_nodes),
+    : num_nodes_(num_nodes),
       estimator_(est::SnapshotEstimatorConfig{}, source, num_nodes) {
   NC_CHECK_MSG(source != nullptr, "CoordinateService needs a snapshot source");
   NC_CHECK_MSG(num_nodes >= 1, "need at least one node");
 }
 
-std::shared_ptr<const est::EpochSnapshot> CoordinateService::view() {
-  std::shared_ptr<const est::EpochSnapshot> snap = source_->latest();
+const est::EpochSnapshot* CoordinateService::view() {
+  const est::EpochSnapshot* snap = estimator_.view().refresh();
   if (snap) last_version_ = snap->version;
   return snap;
 }
@@ -43,7 +42,7 @@ void CoordinateService::nearest_k(NodeId origin, int k,
   ++stats_.queries;
   ++stats_.nearest_queries;
   out.clear();
-  const std::shared_ptr<const est::EpochSnapshot> snap = view();
+  const est::EpochSnapshot* snap = view();
   if (!snap || k == 0) {
     if (!snap) ++stats_.empty_answers;
     return;
@@ -79,7 +78,7 @@ std::optional<Coordinate> CoordinateService::centroid(
     const std::vector<NodeId>& ids) {
   ++stats_.queries;
   ++stats_.centroid_queries;
-  const std::shared_ptr<const est::EpochSnapshot> snap = view();
+  const est::EpochSnapshot* snap = view();
   if (!snap) {
     ++stats_.empty_answers;
     return std::nullopt;

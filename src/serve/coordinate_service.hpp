@@ -14,12 +14,14 @@
 // exactly what a snapshot is).
 //
 // Thread contract: a CoordinateService instance is NOT internally
-// synchronized — it keeps per-instance query counters — but it is cheap
-// (two vectors of num_nodes entries) and entirely read-only towards the
-// engine, so the serving pattern is ONE INSTANCE PER CLIENT THREAD over the
-// same publisher (serve/load_generator.cpp does exactly that). Every query
-// re-reads the latest snapshot: one pointer-sized critical section, never
-// waiting on the shard workers.
+// synchronized — it keeps per-instance query counters and a materialized
+// SnapshotView — but it is cheap (a few vectors of num_nodes entries) and
+// entirely read-only towards the engine, so the serving pattern is ONE
+// INSTANCE PER CLIENT THREAD over the same publisher
+// (serve/load_generator.cpp does exactly that). Every query refreshes the
+// estimator's view: a cached-version no-op between publishes, one
+// pointer-sized critical section when something new was published, and —
+// in delta mode — an O(changed slots) apply instead of any O(n) work.
 #pragma once
 
 #include <cstdint>
@@ -89,9 +91,11 @@ class CoordinateService {
   [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
 
  private:
-  [[nodiscard]] std::shared_ptr<const est::EpochSnapshot> view();
+  /// Latest reconstructable snapshot, via the estimator's SnapshotView so
+  /// scans and distance queries always agree on the epoch; nullptr before
+  /// the first publish. Valid until the next view() call.
+  [[nodiscard]] const est::EpochSnapshot* view();
 
-  const est::SnapshotPublisher* source_;
   int num_nodes_;
   est::SnapshotEstimator estimator_;
   /// Scratch for nearest_k's candidate scan, reused across queries.

@@ -75,6 +75,17 @@ struct OnlineSimConfig {
   /// Publish every k-th epoch boundary (>= 1). The end-of-run state is
   /// always published once the run finishes, whatever the cadence.
   int snapshot_interval_epochs = 1;
+  /// Churn-proportional publication: ship a full base snapshot only every
+  /// snapshot_base_interval-th publish and compact deltas (the slots whose
+  /// published state actually changed) in between. Readers reconstruct the
+  /// full view through est::SnapshotView. Observationally identical to full
+  /// publication — same publish epochs, same version numbering, and any
+  /// reconstructed view matches the full snapshot slot for slot — only the
+  /// bytes shipped per publish change (O(churn) instead of O(n)).
+  bool snapshot_deltas = false;
+  /// Full-base cadence in publishes (>= 1) when snapshot_deltas is on. The
+  /// end-of-run publish always ships a base, whatever the cadence.
+  int snapshot_base_interval = 16;
 
   /// Dynamic shard ownership (core/ownership.hpp): every k-th epoch barrier
   /// each shard deterministically re-plans node placement from per-node

@@ -91,6 +91,8 @@ OnlineSimConfig replay_as_engine_config(const ReplayConfig& config) {
   oc.estimator = config.estimator;
   oc.publish_snapshots = config.publish_snapshots;
   oc.snapshot_interval_epochs = config.snapshot_interval_epochs;
+  oc.snapshot_deltas = config.snapshot_deltas;
+  oc.snapshot_base_interval = config.snapshot_base_interval;
   oc.rebalance_interval_epochs = config.rebalance_interval_epochs;
   oc.rebalance_max_moves = config.rebalance_max_moves;
   return oc;
@@ -134,7 +136,7 @@ ShardedEngine::ShardedEngine(const OnlineSimConfig& config, int shards,
   node_dyn_.resize(static_cast<std::size_t>(n));
   snapshots_.resize(static_cast<std::size_t>(n));
 
-  init_snapshot_publication();
+  init_snapshot_publication(shards, n);
   init_shards(shards, n);
 }
 
@@ -154,11 +156,11 @@ ShardedEngine::ShardedEngine(const ReplayConfig& config, int num_nodes)
     clients_.push_back(std::make_unique<NCClient>(id, config.client));
   msg_seq_.assign(static_cast<std::size_t>(num_nodes), 0);
 
-  init_snapshot_publication();
+  init_snapshot_publication(config.shards, num_nodes);
   init_shards(config.shards, num_nodes);
 }
 
-void ShardedEngine::init_snapshot_publication() {
+void ShardedEngine::init_snapshot_publication(int shards, int num_nodes) {
   // The snapshot backend reads its primary state off a publisher; when the
   // spec names none, the engine is it — turn publication on and point every
   // shard instance (built right after, in init_shards) at publisher_.
@@ -170,6 +172,16 @@ void ShardedEngine::init_snapshot_publication() {
   NC_CHECK_MSG(!config_.publish_snapshots ||
                    config_.snapshot_interval_epochs >= 1,
                "snapshot interval must be >= 1 epoch");
+  if (config_.publish_snapshots && config_.snapshot_deltas) {
+    NC_CHECK_MSG(config_.snapshot_base_interval >= 1,
+                 "snapshot base interval must be >= 1 publish");
+    publisher_.enable_deltas(config_.snapshot_base_interval, shards);
+    // The diff reference starts all-default; the first publish's companion
+    // delta therefore carries every node once, and churn-proportional
+    // records from there on.
+    last_published_.assign(static_cast<std::size_t>(num_nodes),
+                           est::SnapshotNode{});
+  }
 }
 
 void ShardedEngine::init_shards(int shards, int num_nodes) {
@@ -607,21 +619,39 @@ void ShardedEngine::read_trace_until(int shard_idx, double t_limit) {
   }
 }
 
-void ShardedEngine::write_snapshot_slice(const Shard& shard,
-                                         est::EpochSnapshot& snap) {
-  // Owned slots only: slices are disjoint across shards, so concurrent
-  // stamping needs no synchronization beyond the epoch barriers that order
-  // it against the publish. Replay mode has no availability process — every
-  // node is up by definition of the trace.
+void ShardedEngine::write_snapshot_slice(int shard_idx, const Shard& shard) {
+  // Owned slots only: slices (and dirty lanes) are disjoint across shards,
+  // so concurrent stamping needs no synchronization beyond the epoch
+  // barriers that order it against the publish. Replay mode has no
+  // availability process — every node is up by definition of the trace.
+  // Published error/confidence describe the published (application)
+  // coordinate — NCClient::app_error(), frozen at the coordinate's last
+  // update — NOT the live Vivaldi estimate, which moves every observation
+  // and would make every slot dirty every epoch.
+  est::EpochSnapshot* snap = snap_staging_;
+  std::vector<est::SnapshotDeltaEntry>* lane =
+      config_.snapshot_deltas ? &publisher_.lane(shard_idx) : nullptr;
   for (NodeId id : shard.owned) {
-    const NCClient& cl = *clients_[static_cast<std::size_t>(id)];
-    est::SnapshotNode& slot = snap.nodes[static_cast<std::size_t>(id)];
-    slot.app = cl.application_coordinate();
-    slot.error = cl.error_estimate();
-    slot.confidence = cl.confidence();
-    slot.up = mode_ == Mode::kOnline
-                  ? snapshots_[static_cast<std::size_t>(id)].up
-                  : std::uint8_t{1};
+    const auto i = static_cast<std::size_t>(id);
+    const NCClient& cl = *clients_[i];
+    est::SnapshotNode cur;
+    cur.app = cl.application_coordinate();
+    cur.error = cl.app_error();
+    cur.confidence = cl.app_confidence();
+    cur.up = mode_ == Mode::kOnline ? snapshots_[i].up : std::uint8_t{1};
+    if (snap != nullptr) snap->nodes[i] = cur;
+    if (lane != nullptr) {
+      // Append only slots whose published record actually changes, and fold
+      // the change into the mirror so the next stamp diffs against what this
+      // publish ships. Migration-safe: the mirror slot moves with ownership,
+      // and the barriers order the old owner's last stamp before the new
+      // owner's first.
+      est::SnapshotNode& prev = last_published_[i];
+      if (!(prev == cur)) {
+        lane->push_back({static_cast<std::uint32_t>(id), cur});
+        prev = cur;
+      }
+    }
   }
 }
 
@@ -695,19 +725,26 @@ void ShardedEngine::run_epochs() {
             rebalancing_ && k > 0 && k + 1 < epochs &&
             k % config_.rebalance_interval_epochs == 0;
         const double seg_delivery = thread_cpu_seconds();
-        // Snapshot hand-off, shard 0, before the delivery barrier: ship the
-        // buffer every shard stamped during the PREVIOUS processing phase
-        // (its content is the boundary-k state, t = epoch_start), then
-        // acquire the next staging buffer. Safe without extra locks — the
-        // previous epoch's slice writes happened before its second barrier,
-        // and peers only touch snap_staging_ after this epoch's first one.
+        // Snapshot hand-off, shard 0, before the delivery barrier: ship
+        // what every shard stamped during the PREVIOUS processing phase —
+        // the staged full buffer and/or the dirty lanes; the content is the
+        // boundary-k state, t = epoch_start — then arm the next publish
+        // (acquiring a full staging buffer only when the publisher's next
+        // publish ships a base; on delta epochs the lanes alone carry it).
+        // Safe without extra locks — the previous epoch's stamp writes
+        // happened before its second barrier, and peers only read the
+        // pending flag after this epoch's first one.
         if (config_.publish_snapshots && s == 0) {
-          if (snap_staging_ != nullptr) {
+          if (snap_publish_pending_) {
             publisher_.publish(epoch_start);
             snap_staging_ = nullptr;
+            snap_publish_pending_ = false;
           }
-          if (k % config_.snapshot_interval_epochs == 0)
-            snap_staging_ = &publisher_.staging(num_nodes());
+          if (k % config_.snapshot_interval_epochs == 0) {
+            snap_publish_pending_ = true;
+            if (publisher_.next_is_base())
+              snap_staging_ = &publisher_.staging(num_nodes());
+          }
         }
         // Dynamic ownership, top of the epoch: land the previous barrier's
         // migrations FIRST (owned lists + packed state), so this epoch's
@@ -733,8 +770,7 @@ void ShardedEngine::run_epochs() {
         // Processing phase: own entities; cross-shard state only via the
         // read-only snapshots and the outboxes.
         process_epoch(shard, s, static_cast<double>(k + 1) * interval);
-        if (snap_staging_ != nullptr)
-          write_snapshot_slice(shard, *snap_staging_);
+        if (snap_publish_pending_) write_snapshot_slice(s, shard);
         // Departing nodes leave AFTER their last owned epoch is fully
         // processed and stamped; the receiver installs them right after the
         // barrier below.
@@ -789,10 +825,22 @@ void ShardedEngine::run_epochs() {
   // their last requests — see the final coordinates whatever the mid-run
   // publication cadence was.
   if (config_.publish_snapshots) {
-    est::EpochSnapshot& snap = publisher_.staging(num_nodes());
-    for (const Shard& shard : shards_) write_snapshot_slice(shard, snap);
+    if (config_.snapshot_deltas && snap_publish_pending_) {
+      // The last processing phase stamped dirty lanes (and folded them into
+      // the mirror) for a publish that never ran; ship it first so the delta
+      // chain stays gapless for incremental readers, then force the closing
+      // publish to carry a full base.
+      publisher_.publish(config_.duration_s);
+      snap_staging_ = nullptr;
+      snap_publish_pending_ = false;
+    }
+    publisher_.force_base_next();
+    snap_staging_ = &publisher_.staging(num_nodes());
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      write_snapshot_slice(static_cast<int>(s), shards_[s]);
     publisher_.publish(config_.duration_s);
     snap_staging_ = nullptr;
+    snap_publish_pending_ = false;
   }
 
   // Merge shard collectors in shard order; fixed-point sums make the merged
@@ -901,7 +949,15 @@ MemoryBudget ShardedEngine::memory_budget() const {
     b.estimator_bytes += shard.estimator->stats().memory_bytes;
   }
   b.mailbox_bytes = mailbox_.memory_bytes();
-  b.snapshot_bytes = publisher_.memory_bytes();  // 0 with publication off
+  for (const NeighborSet& ns : neighbors_)  // empty in replay mode
+    b.neighbor_bytes += ns.memory_bytes();
+  // Both 0 with publication off; the delta side is 0 in full-publication
+  // mode. The last-published mirror is base-side state: O(n) full records,
+  // whichever mode.
+  b.snapshot_base_bytes =
+      publisher_.base_memory_bytes() +
+      last_published_.capacity() * sizeof(est::SnapshotNode);
+  b.snapshot_delta_bytes = publisher_.delta_memory_bytes();
   // Dynamic-ownership overhead: the routing tables (engine + per-shard
   // copies), the weight/pin counters, and the high-water mark of migration
   // payloads staged across one barrier.

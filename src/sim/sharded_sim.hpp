@@ -122,6 +122,11 @@ struct ReplayConfig {
   /// concurrent readers (off by default; forced on by backend kSnapshot).
   bool publish_snapshots = false;
   int snapshot_interval_epochs = 1;
+  /// Same contract as OnlineSimConfig: churn-proportional delta publication
+  /// (full base every snapshot_base_interval publishes, compact deltas in
+  /// between). Observationally identical to full publication.
+  bool snapshot_deltas = false;
+  int snapshot_base_interval = 16;
 
   /// Same contract as OnlineSimConfig: dynamic shard ownership every k
   /// epochs (0 keeps the static block partition).
@@ -136,13 +141,28 @@ struct MemoryBudget {
   std::uint64_t link_bytes = 0;       // per-shard directed-link stores
   std::uint64_t estimator_bytes = 0;  // backend state (matrix/coordinates)
   std::uint64_t mailbox_bytes = 0;    // epoch mailbox runs + merge scratch
-  std::uint64_t snapshot_bytes = 0;   // published epoch snapshots (0 if off)
+  /// Gossip membership (NeighborSet) across all nodes — O(degree) per node
+  /// since the compact-index membership replaced the n-bit bitmaps (0 in
+  /// replay mode, which has no neighbor sets).
+  std::uint64_t neighbor_bytes = 0;
+  /// Snapshot publication, split by side: full staged/published/pooled
+  /// buffers vs the delta chain + dirty lanes + delta pool (both 0 with
+  /// publication off; delta side 0 in full-publication mode). The engine's
+  /// last-published mirror counts on the base side — it is O(n) whether or
+  /// not deltas are on.
+  std::uint64_t snapshot_base_bytes = 0;
+  std::uint64_t snapshot_delta_bytes = 0;
   /// Dynamic-ownership state: routing tables, per-node weights, and the
   /// high-water mark of migration payloads staged at one rebalance barrier.
   std::uint64_t rebalance_bytes = 0;
+  /// Both snapshot sides, for callers that only care about the block total.
+  [[nodiscard]] std::uint64_t snapshot_bytes() const noexcept {
+    return snapshot_base_bytes + snapshot_delta_bytes;
+  }
   [[nodiscard]] std::uint64_t total() const noexcept {
     return client_bytes + link_bytes + estimator_bytes + mailbox_bytes +
-           snapshot_bytes + rebalance_bytes;
+           neighbor_bytes + snapshot_base_bytes + snapshot_delta_bytes +
+           rebalance_bytes;
   }
 };
 
@@ -329,7 +349,7 @@ class ShardedEngine {
   [[nodiscard]] int shard_idx_of(const Shard& s) const noexcept {
     return static_cast<int>(&s - shards_.data());
   }
-  void init_snapshot_publication();
+  void init_snapshot_publication(int shards, int num_nodes);
   void init_shards(int shards, int num_nodes);
   void advance_node_dyn(NodeId id, double t);
   void deliver_batch(Shard& shard, int shard_idx, double epoch_start);
@@ -345,10 +365,13 @@ class ShardedEngine {
   /// replay runs one per shard over its own slice.
   void read_trace_until(int shard_idx, double t_limit);
   DirLink& link_at(Shard& shard, NodeId src, NodeId dst, double t);
-  /// Stamps the shard's owned-node block into the staged snapshot (its own
-  /// slice only — disjoint writes, ordered before the publish by the epoch
-  /// barriers).
-  void write_snapshot_slice(const Shard& shard, est::EpochSnapshot& snap);
+  /// Stamps the shard's owned nodes for the pending publish: into the staged
+  /// full buffer when one is staged (base epochs / full mode), and — in
+  /// delta mode — diffs each owned slot against the last-published mirror,
+  /// appending changed slots to the shard's dirty lane and updating the
+  /// mirror. Owned slots only (disjoint writes, ordered before the publish
+  /// by the epoch barriers).
+  void write_snapshot_slice(int shard_idx, const Shard& shard);
 
   // --- Dynamic ownership (rebalance_interval_epochs > 0) ------------------
   /// Top of a rebalance-decision epoch's delivery phase: every shard
@@ -406,14 +429,21 @@ class ShardedEngine {
   std::uint64_t migrated_ = 0;
   std::vector<double> busy_s_;
 
-  /// Epoch-snapshot hand-off (config_.publish_snapshots). snap_staging_ is
-  /// the buffer being filled for the NEXT publish: shard 0 acquires it at
-  /// the top of an epoch iteration (before the delivery barrier), every
-  /// shard stamps its owned slice after its processing phase, and shard 0
-  /// publishes it at the top of the next iteration — all cross-thread
+  /// Epoch-snapshot hand-off (config_.publish_snapshots). On a snapshot
+  /// epoch shard 0 raises snap_publish_pending_ at the top of the iteration
+  /// (before the delivery barrier) and acquires a full staging buffer when
+  /// the publisher's next publish ships a base (always, in full mode);
+  /// every shard stamps its owned slice after its processing phase, and
+  /// shard 0 publishes at the top of the next iteration — all cross-thread
   /// hand-offs ordered by the epoch barriers.
   est::SnapshotPublisher publisher_;
   est::EpochSnapshot* snap_staging_ = nullptr;
+  bool snap_publish_pending_ = false;
+  /// Delta mode's diff reference: every node's state as of its last
+  /// published record. Owner-only writes at the stamp step (same slice
+  /// discipline as the staging buffer), so migration hand-offs carry it
+  /// implicitly with ownership.
+  std::vector<est::SnapshotNode> last_published_;
 
   /// One trace reader's cursor. readers_[s] is touched only by shard s's
   /// thread once the run starts (the priming reads happen before the

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace nc {
 namespace {
@@ -89,6 +91,65 @@ TEST(NeighborSet, DeterministicReplacementBySeed) {
     b.add(id);
   }
   EXPECT_EQ(a.members(), b.members());
+}
+
+// The compact-index membership must behave EXACTLY like the bitmap it
+// replaced: same members in the same round-robin order, same contains()
+// answers, same replacement victims — the reference model below replays the
+// identical RNG stream (Rng::derived(seed, kNeighbor), one uniform_int per
+// replacement) against a bitmap, over a churn-heavy add sequence with
+// duplicates and re-additions of evicted ids.
+TEST(NeighborSet, CompactMembershipMatchesBitmapReference) {
+  constexpr std::size_t kCapacity = 16;
+  constexpr NodeId kIdSpace = 2048;
+  constexpr std::uint64_t kSeed = 77;
+
+  NeighborSet s(kCapacity, kSeed);
+  std::vector<NodeId> ref_order;
+  std::vector<bool> ref_bitmap(static_cast<std::size_t>(kIdSpace), false);
+  Rng ref_rng = Rng::derived(kSeed, rngstream::kNeighbor);
+  Rng churn(12345);  // drives the id sequence only, not the set
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto id = static_cast<NodeId>(churn.uniform_int(kIdSpace));
+    const bool changed = s.add(id);
+    // Reference add with the same semantics and the same RNG stream.
+    bool ref_changed = false;
+    if (!ref_bitmap[static_cast<std::size_t>(id)]) {
+      ref_changed = true;
+      if (ref_order.size() < kCapacity) {
+        ref_order.push_back(id);
+      } else {
+        const auto victim =
+            static_cast<std::size_t>(ref_rng.uniform_int(ref_order.size()));
+        ref_bitmap[static_cast<std::size_t>(ref_order[victim])] = false;
+        ref_order[victim] = id;
+      }
+      ref_bitmap[static_cast<std::size_t>(id)] = true;
+    }
+    ASSERT_EQ(changed, ref_changed) << "step " << step;
+    ASSERT_EQ(s.members(), ref_order) << "step " << step;
+    // Spot-check contains() beyond the members themselves.
+    const auto probe = static_cast<NodeId>((id * 31 + step) % kIdSpace);
+    ASSERT_EQ(s.contains(probe), ref_bitmap[static_cast<std::size_t>(probe)])
+        << "step " << step;
+  }
+}
+
+// The point of the compact membership: bytes scale with the gossip degree,
+// never with the id space. A degree-64 set fed ids from a 1M-node space
+// stays under 4 KB, where the n-bit bitmap it replaced needed 125 KB per
+// node (n^2/8 aggregate).
+TEST(NeighborSet, MemoryBoundedByDegreeNotIdSpace) {
+  constexpr std::size_t kDegree = 64;
+  constexpr NodeId kIdSpace = 1'000'000;
+  NeighborSet s(kDegree, 9);
+  Rng churn(2024);
+  for (int step = 0; step < 20000; ++step)
+    s.add(static_cast<NodeId>(churn.uniform_int(kIdSpace)));
+  EXPECT_EQ(s.size(), kDegree);
+  EXPECT_LT(s.memory_bytes(), 4096u);          // O(degree)
+  EXPECT_LT(s.memory_bytes(), kIdSpace / 8u);  // << the bitmap bound
 }
 
 }  // namespace

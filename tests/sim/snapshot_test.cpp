@@ -138,8 +138,11 @@ TEST(SnapshotPublication, FinalSnapshotMatchesClientState) {
       const est::SnapshotNode& slot =
           snap->nodes[static_cast<std::size_t>(id)];
       EXPECT_EQ(slot.app, sim.client(id).application_coordinate()) << id;
-      EXPECT_EQ(slot.error, sim.client(id).error_estimate()) << id;
-      EXPECT_EQ(slot.confidence, sim.client(id).confidence()) << id;
+      // Published error/confidence describe the published coordinate: the
+      // app-level pair frozen at its last update, not the live Vivaldi
+      // estimate (which keeps moving between app updates).
+      EXPECT_EQ(slot.error, sim.client(id).app_error()) << id;
+      EXPECT_EQ(slot.confidence, sim.client(id).app_confidence()) << id;
     }
     return snap->nodes;
   };
@@ -257,7 +260,350 @@ TEST(SnapshotPublication, SnapshotBackendMetricsShardInvariant) {
   // The backend actually answered from snapshots, not only the fallback.
   EXPECT_GT(a.estimator_stats.direct_hits, 0u);
   // Snapshot buffers are accounted in the engine's memory budget.
-  EXPECT_GT(a.memory.snapshot_bytes, 0u);
+  EXPECT_GT(a.memory.snapshot_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Delta publication (ISSUE 10): churn-proportional snapshots must be
+// OBSERVATIONALLY IDENTICAL to full publication — same metrics bit for bit
+// at any shard count, and any reconstructed view equal to the full snapshot
+// slot for slot — while shipping O(changed) bytes per publish.
+// ---------------------------------------------------------------------------
+
+// Bit-identity gate, online mode: deltas on == deltas off == publication
+// off, at every shard count.
+TEST(SnapshotDeltas, OnlineBitIdenticalOnVsOff) {
+  const auto run_with = [](int shards, bool publish, bool deltas) {
+    OnlineSimConfig c = small_config();
+    c.publish_snapshots = publish;
+    c.snapshot_deltas = deltas;
+    c.snapshot_base_interval = 8;
+    ShardedEngine sim(c, shards, small_topology(), lat::LinkModelConfig{},
+                      all_up());
+    sim.run();
+    return digest(sim);
+  };
+  const RunDigest off = run_with(1, false, false);
+  for (const int shards : {1, 2, 4}) {
+    EXPECT_EQ(off, run_with(shards, true, true)) << "shards=" << shards;
+  }
+}
+
+// Bit-identity gate, replay mode, including a coarse publication cadence.
+TEST(SnapshotDeltas, ReplayBitIdenticalOnVsOff) {
+  const auto run_with = [](int shards, bool deltas, int interval) {
+    ReplayConfig rc;
+    rc.duration_s = 600.0;
+    rc.measure_start_s = 300.0;
+    rc.shards = shards;
+    rc.publish_snapshots = true;
+    rc.snapshot_interval_epochs = interval;
+    rc.snapshot_deltas = deltas;
+    rc.snapshot_base_interval = 5;
+    lat::TraceGenerator gen(small_trace());
+    ShardedEngine sim(rc, gen.num_nodes());
+    sim.run(gen);
+    return digest(sim);
+  };
+  const RunDigest off = run_with(1, false, 1);
+  for (const int shards : {1, 2, 4}) {
+    EXPECT_EQ(off, run_with(shards, true, 1)) << "shards=" << shards;
+    EXPECT_EQ(off, run_with(shards, true, 7)) << "shards=" << shards;
+  }
+}
+
+// The final published state under deltas equals full publication's, slot
+// for slot (the end-of-run publish always ships a base), and a SnapshotView
+// reconstructs exactly that — at every shard count. Deltas actually carried
+// the churn: base publishes are a small fraction of all publishes.
+TEST(SnapshotDeltas, FinalViewMatchesFullPublication) {
+  const auto final_nodes = [](int shards, bool deltas) {
+    OnlineSimConfig c = small_config(400.0);
+    c.publish_snapshots = true;
+    c.snapshot_deltas = deltas;
+    c.snapshot_base_interval = 16;
+    ShardedEngine sim(c, shards, small_topology(), lat::LinkModelConfig{},
+                      all_up());
+    sim.run();
+    const est::SnapshotPublisher& pub = sim.snapshot_publisher();
+    const auto snap = pub.latest();
+    EXPECT_NE(snap, nullptr);
+    EXPECT_EQ(snap->t_s, 400.0);
+    if (deltas) {
+      EXPECT_LT(pub.base_publishes(), pub.published() / 4);
+      EXPECT_GT(pub.published_delta_bytes(), 0u);
+      // A fresh reader reconstructs the final view: one base rebuild plus
+      // the (empty-or-not) chain tail, equal to the published base.
+      est::SnapshotView view(&pub);
+      const est::EpochSnapshot* rec = view.refresh();
+      EXPECT_NE(rec, nullptr);
+      if (rec != nullptr) {
+        EXPECT_EQ(rec->version, pub.published());
+        EXPECT_EQ(rec->nodes, snap->nodes);
+      }
+    }
+    return snap->nodes;
+  };
+  const std::vector<est::SnapshotNode> full = final_nodes(1, false);
+  for (const int shards : {1, 3}) {
+    const std::vector<est::SnapshotNode> delta = final_nodes(shards, true);
+    ASSERT_EQ(full.size(), delta.size());
+    for (std::size_t i = 0; i < full.size(); ++i)
+      EXPECT_TRUE(full[i] == delta[i]) << "slot " << i << " shards " << shards;
+  }
+}
+
+// The snapshot estimator backend answers THROUGH a SnapshotView now; with
+// deltas on, every engine-internal query must see exactly the view full
+// publication would give it: identical metrics AND identical coverage
+// counters, deltas on vs off, at multiple shard counts.
+TEST(SnapshotDeltas, SnapshotBackendIdenticalOnVsOff) {
+  const auto run_with = [](int shards, bool deltas) {
+    OnlineSimConfig c = small_config();
+    c.estimator.backend = est::EstimatorBackend::kSnapshot;
+    c.snapshot_deltas = deltas;
+    c.snapshot_base_interval = 8;
+    ShardedEngine sim(c, shards, small_topology(32), lat::LinkModelConfig{},
+                      all_up());
+    sim.run();
+    return std::make_tuple(digest(sim), sim.estimator_stats().queries,
+                           sim.estimator_stats().direct_hits,
+                           sim.estimator_stats().fallback_hits,
+                           sim.estimator_stats().misses);
+  };
+  const auto off = run_with(1, false);
+  EXPECT_GT(std::get<2>(off), 0u);  // snapshots actually answered queries
+  for (const int shards : {1, 3}) {
+    EXPECT_EQ(off, run_with(shards, true)) << "shards=" << shards;
+  }
+}
+
+// Reader-lag boundaries, driven directly against the publisher: a reader
+// within the retained chain (at most one base behind) catches up applying
+// deltas only; a reader further behind rebuilds from the newest base. In
+// both cases the reconstruction matches the reference state slot for slot.
+class DeltaDriver {
+ public:
+  DeltaDriver(int n, int base_interval, int lanes)
+      : lanes_(lanes), state_(static_cast<std::size_t>(n)) {
+    pub.enable_deltas(base_interval, lanes);
+    for (int i = 0; i < n; ++i) set(i, 0.0);
+  }
+
+  /// Gives slot i a placed coordinate encoding `value` (and a derived
+  /// error), marking it dirty for the next publish.
+  void set(int i, double value) {
+    Vec v = Vec::zero(3);
+    v[0] = value;
+    v[1] = static_cast<double>(i);
+    est::SnapshotNode n;
+    n.app = Coordinate(v);
+    n.error = 0.25 + value / 1024.0;
+    n.confidence = 1.0 - n.error;
+    n.up = 1;
+    state_[static_cast<std::size_t>(i)] = n;
+  }
+
+  /// Engine-shaped publish: diff state against the last-published mirror
+  /// into round-robin lanes, stage a full buffer when the publisher asks
+  /// for a base, publish.
+  void publish_next() {
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      if (mirror_.size() < state_.size()) mirror_.resize(state_.size());
+      if (!(mirror_[i] == state_[i])) {
+        pub.lane(static_cast<int>(i) % lanes_)
+            .push_back({static_cast<std::uint32_t>(i), state_[i]});
+        mirror_[i] = state_[i];
+      }
+    }
+    if (pub.next_is_base()) {
+      est::EpochSnapshot& s = pub.staging(static_cast<int>(state_.size()));
+      s.nodes = state_;
+    }
+    pub.publish(static_cast<double>(pub.published()));
+  }
+
+  void expect_current(const est::EpochSnapshot* view) const {
+    ASSERT_NE(view, nullptr);
+    ASSERT_EQ(view->nodes.size(), state_.size());
+    EXPECT_EQ(view->version, pub.published());
+    for (std::size_t i = 0; i < state_.size(); ++i)
+      EXPECT_TRUE(view->nodes[i] == state_[i]) << "slot " << i;
+  }
+
+  est::SnapshotPublisher pub;
+
+ private:
+  int lanes_;
+  std::vector<est::SnapshotNode> state_;
+  std::vector<est::SnapshotNode> mirror_;
+};
+
+TEST(SnapshotDeltas, ReaderLagWithinOneBaseCatchesUpIncrementally) {
+  DeltaDriver d(/*n=*/12, /*base_interval=*/4, /*lanes=*/3);
+  est::SnapshotView view(&d.pub);
+
+  d.publish_next();  // version 1: the first base, all slots dirty
+  d.expect_current(view.refresh());
+  EXPECT_EQ(view.full_rebuilds(), 1u);
+
+  // A few delta publishes, refreshed each time: all incremental.
+  for (int round = 1; round <= 6; ++round) {
+    d.set(round % 12, static_cast<double>(round));
+    d.publish_next();
+    d.expect_current(view.refresh());
+  }
+  EXPECT_EQ(view.full_rebuilds(), 1u);
+  EXPECT_EQ(view.delta_refreshes(), 6u);
+
+  // Fall behind across ONE base boundary (stale by < 2 bases): versions 8
+  // (base), 9, 10 land unrefreshed; the chain still reaches back far
+  // enough, so catch-up stays incremental.
+  for (int round = 7; round <= 9; ++round) {
+    d.set(round % 12, static_cast<double>(round));
+    d.publish_next();
+  }
+  d.expect_current(view.refresh());
+  EXPECT_EQ(view.full_rebuilds(), 1u);
+  EXPECT_EQ(view.delta_refreshes(), 7u);
+}
+
+TEST(SnapshotDeltas, ReaderLagBeyondOneBaseRebuildsFromBase) {
+  DeltaDriver d(/*n=*/12, /*base_interval=*/4, /*lanes=*/3);
+  est::SnapshotView view(&d.pub);
+  d.publish_next();
+  d.expect_current(view.refresh());
+
+  // Two whole base cycles pass unrefreshed: the chain has been pruned past
+  // this reader, so it must copy the newest base once — and still land on
+  // the exact current state.
+  for (int round = 1; round <= 9; ++round) {
+    d.set(round % 12, static_cast<double>(round));
+    d.publish_next();
+  }
+  d.expect_current(view.refresh());
+  EXPECT_EQ(view.full_rebuilds(), 2u);
+  EXPECT_EQ(view.delta_refreshes(), 0u);
+}
+
+// Steady-state delta publication allocates nothing: after one base cycle
+// has warmed the pools, buffer-allocation counters stay flat and the staged
+// buffers/lanes keep their storage across many more publish cycles.
+TEST(SnapshotDeltas, SteadyStatePublishingDoesNotAllocate) {
+  DeltaDriver d(/*n=*/64, /*base_interval=*/4, /*lanes=*/2);
+  est::SnapshotView view(&d.pub);
+  // Warm-up: three full base cycles — the live-object population (retained
+  // chain + pools) only reaches steady state once the first prune bursts
+  // have refilled the pool — with a reader draining so retired buffers
+  // recycle.
+  for (int round = 0; round < 12; ++round) {
+    d.set(round % 64, 100.0 + round);
+    d.publish_next();
+    view.refresh();
+  }
+  const std::uint64_t base_allocs = d.pub.base_buffer_allocs();
+  const std::uint64_t delta_allocs = d.pub.delta_buffer_allocs();
+  const est::SnapshotDeltaEntry* lane0 = d.pub.lane(0).data();
+  const std::size_t lane0_cap = d.pub.lane(0).capacity();
+
+  for (int round = 12; round < 48; ++round) {
+    d.set(round % 64, 200.0 + round);
+    d.publish_next();
+    view.refresh();
+  }
+  EXPECT_EQ(d.pub.base_buffer_allocs(), base_allocs);
+  EXPECT_EQ(d.pub.delta_buffer_allocs(), delta_allocs);
+  EXPECT_EQ(d.pub.lane(0).data(), lane0);
+  EXPECT_EQ(d.pub.lane(0).capacity(), lane0_cap);
+}
+
+// Wire accounting: with one slot changing per epoch, delta publishes cost
+// O(1) entries while base publishes cost O(n) — the mean bytes per publish
+// must sit far below the full-buffer cost (the churn-proportional claim,
+// unit-sized).
+TEST(SnapshotDeltas, PublishBytesAreChurnProportional) {
+  const int n = 256;
+  DeltaDriver d(n, /*base_interval=*/16, /*lanes=*/2);
+  for (int round = 0; round < 64; ++round) {
+    d.set(round % n, static_cast<double>(round));
+    d.publish_next();
+  }
+  const est::SnapshotPublisher& pub = d.pub;
+  const double mean_bytes =
+      static_cast<double>(pub.published_base_bytes() +
+                          pub.published_delta_bytes()) /
+      static_cast<double>(pub.published());
+  const double full_bytes = 24.0 + n * sizeof(est::SnapshotNode);
+  // 4 bases out of 64 publishes + tiny deltas: well under 20% of full cost.
+  EXPECT_LT(mean_bytes, 0.20 * full_bytes);
+}
+
+// The concurrent-reader stress test for the delta read path (CI TSan runs
+// this binary): reader threads each hold their OWN SnapshotView and refresh
+// while the shard workers publish deltas. Versions never go backwards,
+// refresh never trails published(), and every refreshed view is complete.
+TEST(SnapshotDeltas, ConcurrentViewReadersDuringRun) {
+  OnlineSimConfig c = small_config(600.0);
+  c.publish_snapshots = true;
+  c.snapshot_deltas = true;
+  c.snapshot_base_interval = 8;
+  ShardedEngine sim(c, 2, small_topology(32), lat::LinkModelConfig{},
+                    all_up());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotonic{true};
+  std::atomic<std::uint64_t> reads{0};
+  const auto reader = [&] {
+    est::SnapshotView view(&sim.snapshot_publisher());
+    std::uint64_t last_version = 0;
+    double sink = 0.0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t floor = sim.snapshot_publisher().published();
+      const est::EpochSnapshot* snap = view.refresh();
+      if (snap == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (snap->version < last_version || snap->version < floor)
+        monotonic.store(false, std::memory_order_relaxed);
+      last_version = snap->version;
+      for (const est::SnapshotNode& node : snap->nodes)
+        if (node.placed()) sink += node.error + node.confidence;
+      reads.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+    EXPECT_GE(sink, 0.0);
+    EXPECT_GT(view.full_rebuilds() + view.delta_refreshes(), 0u);
+  };
+
+  std::thread r1(reader);
+  std::thread r2(reader);
+  sim.run();
+  stop.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+
+  EXPECT_TRUE(monotonic.load());
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(sim.snapshot_publisher().published(), 0u);
+}
+
+// Delta-mode memory accounting is split and visible: the base side carries
+// the O(n) buffers + mirror, the delta side the chain/lanes/pool.
+TEST(SnapshotDeltas, MemoryBudgetSplitsBaseAndDelta) {
+  OnlineSimConfig c = small_config(200.0);
+  c.publish_snapshots = true;
+  c.snapshot_deltas = true;
+  c.snapshot_base_interval = 8;
+  ShardedEngine sim(c, 2, small_topology(), lat::LinkModelConfig{},
+                    all_up());
+  sim.run();
+  const MemoryBudget m = sim.memory_budget();
+  EXPECT_GT(m.snapshot_base_bytes, 0u);
+  EXPECT_GT(m.snapshot_delta_bytes, 0u);
+  EXPECT_GT(m.neighbor_bytes, 0u);
+  EXPECT_GE(m.total(), m.snapshot_base_bytes + m.snapshot_delta_bytes +
+                           m.neighbor_bytes);
 }
 
 }  // namespace
